@@ -1,0 +1,73 @@
+"""Fig. 5 — breakdown of Dapper's time cost for cross-architecture
+process transformation: checkpoint / recode / scp / restore per benchmark
+(x86-64 → aarch64, InfiniBand).
+
+Paper's reference points: checkpoint and restore below ~30 ms; recode
+averaging ≈254 ms when run on the x86-64 node vs ≈1005 ms on the
+aarch64 node (identical logic, weaker micro-architecture); scp ≈300 ms.
+"""
+
+from conftest import emit
+
+from repro.apps import all_apps
+from repro.core.costs import rpi_profile, xeon_profile
+from repro.core.migration import MigrationPipeline
+from repro.isa import ARM_ISA, X86_ISA
+from repro.vm import Machine
+
+BENCHMARKS = [s.name for s in all_apps()]
+
+
+def run_breakdown():
+    rows = []
+    arm_profile = rpi_profile()
+    for spec in all_apps():
+        program = spec.compile("small")
+        pipeline = MigrationPipeline(
+            Machine(X86_ISA, name="xeon"), Machine(ARM_ISA, name="rpi"),
+            program, target_footprint_bytes=spec.class_b_footprint)
+        result = pipeline.run_and_migrate(warmup_steps=4000)
+        assert result.process.exit_code == 0
+        stages = result.stage_seconds
+        # The paper notes the recode can run on either node; report the
+        # aarch64-side cost for the same (footprint-scaled) quantities.
+        scale = stages["recode"] * pipeline.recode_profile.recode_bytes_per_s
+        recode_on_arm = scale / arm_profile.recode_bytes_per_s
+        rows.append((spec.name,
+                     stages["checkpoint"] * 1e3,
+                     stages["recode"] * 1e3,
+                     recode_on_arm * 1e3,
+                     stages["scp"] * 1e3,
+                     stages["restore"] * 1e3,
+                     result.total_seconds * 1e3))
+    return rows
+
+
+def check_shapes(rows):
+    recode_x86 = [r[2] for r in rows]
+    recode_arm = [r[3] for r in rows]
+    for (_n, checkpoint, _rx, _ra, scp, restore, _t) in rows:
+        assert checkpoint < 32.0, "checkpoint should be ≈< 30 ms"
+        assert restore < 32.0, "restore should be ≈< 30 ms"
+        assert 250.0 < scp < 400.0, "InfiniBand scp ≈ 300 ms"
+    ratio = (sum(recode_arm) / len(recode_arm)) / \
+            (sum(recode_x86) / len(recode_x86))
+    assert 3.0 < ratio < 5.0, "recode ≈4× slower on the aarch64 node"
+
+
+def test_fig05_transformation_breakdown(one_shot):
+    rows = one_shot(run_breakdown)
+    check_shapes(rows)
+    avg = ["average",
+           sum(r[1] for r in rows) / len(rows),
+           sum(r[2] for r in rows) / len(rows),
+           sum(r[3] for r in rows) / len(rows),
+           sum(r[4] for r in rows) / len(rows),
+           sum(r[5] for r in rows) / len(rows),
+           sum(r[6] for r in rows) / len(rows)]
+    emit("fig05", "cross-ISA transformation cost breakdown (ms, x86→arm)",
+         ["benchmark", "checkpoint", "recode@x86", "recode@arm", "scp",
+          "restore", "total"],
+         rows + [avg],
+         notes=("paper: checkpoint/restore <30ms, recode 253.69ms (x86) "
+                "vs 1004.91ms (arm), scp ~300ms (InfiniBand)"))

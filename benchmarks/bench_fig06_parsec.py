@@ -1,0 +1,85 @@
+"""Fig. 6 — total execution time of multi-threaded PARSEC C applications:
+native x86-64, native aarch64, and Dapper (start on x86-64, migrate to
+aarch64 mid-run).
+
+Paper's shape: aarch64 native is slowest (weaker cores), x86-64 native is
+fastest, and the Dapper run lies *in between* — the migrated half runs at
+aarch64 speed plus the (sub-second) transformation overhead.
+"""
+
+from conftest import emit
+
+from repro.apps import apps_by_category
+from repro.core.costs import rpi_profile, xeon_profile
+from repro.core.migration import MigrationPipeline, exe_path_for, \
+    install_program
+from repro.isa import ARM_ISA, X86_ISA
+from repro.vm import Machine
+
+XEON = xeon_profile()
+RPI = rpi_profile()
+
+
+def native_seconds(spec, arch, profile):
+    program = spec.compile("small")
+    machine = Machine(X86_ISA if arch == "x86_64" else ARM_ISA)
+    install_program(machine, program)
+    process = machine.spawn_process(exe_path_for(spec.name, arch))
+    machine.run_process(process)
+    # Scale measured cycles to the nominal class-size instruction count.
+    cpi = process.cycle_total / max(1, process.instr_total)
+    return (profile.seconds_for_cycles(spec.class_b_instructions * cpi),
+            process.stdout())
+
+
+def dapper_seconds(spec, warmup_fraction=0.5):
+    program = spec.compile("small")
+    src = Machine(X86_ISA, name="xeon")
+    dst = Machine(ARM_ISA, name="rpi")
+    pipeline = MigrationPipeline(
+        src, dst, program, target_footprint_bytes=spec.class_b_footprint)
+    process = pipeline.start()
+    # Warm up roughly half the run before migrating.
+    probe = Machine(X86_ISA)
+    install_program(probe, program)
+    probe_proc = probe.spawn_process(exe_path_for(spec.name, "x86_64"))
+    probe.run_process(probe_proc)
+    total_instrs = probe_proc.instr_total
+    src.step_all(int(total_instrs * warmup_fraction))
+    result = pipeline.migrate(process)
+    dst.run_process(result.process)
+    # Simulated wall time: x86 phase + migration + arm phase, each
+    # scaled to the nominal class-size instruction count.
+    scale = spec.class_b_instructions / total_instrs
+    x86_cycles = process.cycle_total   # accumulated before migration
+    arm_cycles = result.process.cycle_total
+    seconds = (XEON.seconds_for_cycles(x86_cycles * scale)
+               + result.total_seconds
+               + RPI.seconds_for_cycles(arm_cycles * scale))
+    return seconds, result, probe_proc.stdout()
+
+
+def run_fig06():
+    rows = []
+    for spec in apps_by_category("parsec"):
+        x86_s, x86_out = native_seconds(spec, "x86_64", XEON)
+        arm_s, arm_out = native_seconds(spec, "aarch64", RPI)
+        dap_s, result, ref_out = dapper_seconds(spec)
+        assert x86_out == arm_out == ref_out
+        assert result.combined_output() == ref_out
+        rows.append((spec.name, x86_s, dap_s, arm_s,
+                     result.stats["threads"]))
+    return rows
+
+
+def test_fig06_parsec_total_time(one_shot):
+    rows = one_shot(run_fig06)
+    for name, x86_s, dap_s, arm_s, _threads in rows:
+        assert x86_s < dap_s < arm_s, \
+            f"{name}: Dapper total must lie between the natives"
+    emit("fig06", "PARSEC total execution time (s, class-B scaled)",
+         ["benchmark", "native x86_64", "dapper x86→arm", "native aarch64",
+          "threads at migration"],
+         rows,
+         notes="paper: with DAPPER the total execution time lies between "
+               "native x86-64 and native aarch64")

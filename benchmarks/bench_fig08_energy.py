@@ -1,0 +1,60 @@
+"""Fig. 8 — energy efficiency and throughput improvement of dynamically
+migrating (evicting) processes to Raspberry Pis.
+
+Paper's testbed: an 8-core Xeon (108 W at 7 job threads) plus three
+4-core Raspberry Pis (5.1 W at 3 job threads each), processing an
+infinite queue of NPB class-B jobs for 30 minutes. Evicting to the Pi
+boards improves energy efficiency by 15–39 % and throughput by 37–52 %
+depending on the workload.
+"""
+
+from conftest import emit
+
+from repro.apps import get_app
+from repro.cluster import BatchExperiment, measure_job_template
+
+BENCHMARKS = ("cg", "mg", "ep", "ft")
+
+
+def run_fig08():
+    rows = []
+    for name in BENCHMARKS:
+        template = measure_job_template(get_app(name), "B")
+        experiment = BatchExperiment(template, duration_s=1800.0)
+        results = experiment.sweep([0, 1, 3])
+        base = results[0]
+        for pis in (1, 3):
+            result = results[pis]
+            rows.append((name, pis,
+                         base.completed, result.completed,
+                         result.throughput_gain_over(base),
+                         base.jobs_per_kj, result.jobs_per_kj,
+                         result.efficiency_gain_over(base),
+                         result.evictions))
+    return rows
+
+
+def check_shapes(rows):
+    for (name, pis, base_jobs, jobs, thr_gain, _bkj, _kj, eff_gain,
+         evictions) in rows:
+        assert jobs > base_jobs, f"{name}+{pis}pi must complete more jobs"
+        assert thr_gain > 0 and eff_gain > 0
+        assert evictions > 0
+    three_pi = [r for r in rows if r[1] == 3]
+    for row in three_pi:
+        # Paper bands (with simulation slack): throughput +37–52 %,
+        # efficiency +15–39 %.
+        assert 25.0 < row[4] < 60.0, f"{row[0]}: throughput gain {row[4]}"
+        assert 10.0 < row[7] < 45.0, f"{row[0]}: efficiency gain {row[7]}"
+
+
+def test_fig08_energy_and_throughput(one_shot):
+    rows = one_shot(run_fig08)
+    check_shapes(rows)
+    emit("fig08", "energy efficiency & throughput of Pi eviction "
+                  "(NPB class-B queue, 30 min)",
+         ["benchmark", "pis", "jobs(base)", "jobs", "thr gain %",
+          "jobs/kJ(base)", "jobs/kJ", "eff gain %", "evictions"],
+         rows,
+         notes="paper: +37–52% throughput and +15–39% energy efficiency "
+               "when evicting to 3 Pis; Xeon 108W@7 jobs, Pi 5.1W@3 jobs")

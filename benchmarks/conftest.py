@@ -1,0 +1,53 @@
+"""Shared benchmark plumbing.
+
+Every ``bench_figNN_*.py`` regenerates one of the paper's figures: it
+runs the real pipeline on the simulated substrate, prints the figure's
+rows, and writes them to ``results/figNN.txt`` so they survive pytest's
+output capturing. ``pytest benchmarks/ --benchmark-only`` runs them all.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def emit(figure_id: str, title: str, headers: Sequence[str],
+         rows: List[Sequence], notes: str = "") -> str:
+    """Format a figure's data as a table; print it and persist it."""
+    widths = [max(len(str(h)), *(len(_fmt(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    lines = [f"== {figure_id}: {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(v).ljust(w)
+                               for v, w in zip(row, widths)))
+    if notes:
+        lines.append(notes)
+    text = "\n".join(lines) + "\n"
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{figure_id}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+    print("\n" + text)
+    return text
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+@pytest.fixture
+def one_shot(benchmark):
+    """Run a heavyweight harness exactly once under pytest-benchmark."""
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return runner

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Live software update through Dapper's rewriter (paper §I/§III-A:
+"Other possible policies can be live software updates...").
+
+A pricing server is patched *while it runs*: Dapper parks it at an
+equivalence point, checkpoints it, retargets the images onto the v2
+binary (new formula, a new local, a new global — the data segment
+grows), and resumes. Requests served before the update use the v1
+formula; every request after it uses v2's. No request is lost.
+
+Run:  python examples/live_update.py
+"""
+
+from repro import Machine, compile_source
+from repro.core.migration import exe_path_for, install_program
+from repro.core.policies.live_update import LiveUpdatePolicy
+from repro.core.rewriter import ProcessRewriter
+from repro.core.runtime import DapperRuntime
+from repro.criu.restore import restore_process
+from repro.isa import X86_ISA
+
+V1 = """
+global int served;
+
+func price(int amount) -> int {
+    int fee;
+    fee = amount / 10;          // v1: 10% fee
+    return amount + fee;
+}
+
+func main() -> int {
+    int i;
+    i = 1;
+    while (i <= 40) {
+        print(price(i * 100));
+        served = served + 1;
+        i = i + 1;
+    }
+    print(served);
+    return 0;
+}
+"""
+
+V2 = V1.replace("fee = amount / 10;          // v1: 10% fee",
+                "fee = (amount * 15) / 100;  // v2: hotfixed to 15%")
+
+
+def main() -> None:
+    v1 = compile_source(V1, "pricing")
+    v2 = compile_source(V2, "pricing")
+    machine = Machine(X86_ISA, name="prod")
+    install_program(machine, v1)
+
+    process = machine.spawn_process(exe_path_for("pricing", "x86_64"))
+    machine.step_all(900)       # serve a few requests under v1
+    runtime = DapperRuntime(machine, process)
+    runtime.pause_at_equivalence_points()
+    print("served under v1 (10% fee):")
+    for line in process.stdout().splitlines():
+        print(f"  {line}")
+
+    images = runtime.checkpoint()
+    runtime.kill_source()
+    policy = LiveUpdatePolicy(v1.binary("x86_64"), v2.binary("x86_64"),
+                              "/bin/pricing.x86_64.v2")
+    report = ProcessRewriter().rewrite(images, policy)[0]
+    machine.tmpfs.write(policy.dst_exe_path, v2.binary("x86_64").to_bytes())
+    print(f"\nlive update applied: {report.stats}")
+
+    updated = restore_process(machine, images)
+    machine.run_process(updated)
+    print("\nserved under v2 (15% fee), same process state:")
+    for line in updated.stdout().splitlines():
+        print(f"  {line}")
+    assert updated.exit_code == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Stack shuffling as a moving-target defence (paper §IV-B).
+
+Runs the Min-DOP attack — a data-oriented exploit that needs three stack
+allocations (a privilege flag, a secret pointer, a length guard) at the
+offsets it learned from the deployed binary — against:
+
+1. an unprotected victim: the exploit lands, and
+2. victims periodically re-randomized by Dapper's stack-shuffle policy:
+   the allocations move, the gadget chain dereferences the wrong slots,
+   and the exploit collapses to the analytic (1/2n)^k success bound.
+
+Run:  python examples/stack_shuffle_defense.py
+"""
+
+from repro.core.entropy import possible_frames
+from repro.security import run_attack_trials
+from repro.security.dop import MIN_DOP_TARGETS, build_min_dop_attack
+
+TRIALS = 12
+
+
+def main() -> None:
+    print("building the Min-DOP attack against the vulnerable server ...")
+    attack = build_min_dop_attack("x86_64")
+    print(f"  victim function : {attack.victim_func}")
+    print(f"  targeted slots  : {', '.join(MIN_DOP_TARGETS)}")
+    print(f"  learned offsets : {attack.learned_offsets}")
+    print(f"  frame entropy   : {attack.entropy_bits} bits "
+          f"({possible_frames(attack.entropy_bits)} possible frames)")
+
+    print("\n[1] attacking an unprotected victim ...")
+    outcome = attack.run_trial(shuffle_seed=None)
+    print(f"  {outcome}")
+    assert outcome.succeeded
+
+    print(f"\n[2] attacking {TRIALS} freshly shuffled victims ...")
+    successes, rate = run_attack_trials(attack, TRIALS)
+    print(f"  successes: {successes}/{TRIALS} (empirical rate {rate:.3f})")
+    print(f"  analytic bound: "
+          f"{attack.expected_success_probability():.5f} "
+          f"(the paper's 0.125^3 ≈ 0.19%)")
+    print("\nDapper's shuffling relocates the exploit-sensitive "
+          "allocations; the DOP gadget chain dispatches incorrectly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro — a full reproduction of *Dapper: A Lightweight and Extensible
+Framework for Live Program State Rewriting* (ICDCS 2024).
+
+Quickstart::
+
+    from repro import compile_source, Machine, MigrationPipeline
+    from repro.isa import X86_ISA, ARM_ISA
+
+    program = compile_source(SOURCE, "app")          # one source, two ISAs
+    pipeline = MigrationPipeline(Machine(X86_ISA, name="xeon"),
+                                 Machine(ARM_ISA, name="rpi"), program)
+    result = pipeline.run_and_migrate(warmup_steps=5000)
+    print(result.stage_seconds)       # checkpoint / recode / scp / restore
+    print(result.combined_output())   # byte-identical to a native run
+
+Layers (bottom-up):
+
+* :mod:`repro.isa` / :mod:`repro.mem` / :mod:`repro.binfmt` — two
+  simulated ISAs, paged memory, and the DELF binary format with
+  stackmap/frame metadata.
+* :mod:`repro.compiler` — the DapperC toolchain: one IR, an
+  equivalence-point middle-end, two backends, an aligning linker.
+* :mod:`repro.vm` — machines, a small kernel, ptrace, tmpfs.
+* :mod:`repro.criu` — checkpoint/restore images, CRIT, lazy migration.
+* :mod:`repro.core` — **the paper's contribution**: the runtime monitor,
+  the process rewriter, the cross-ISA and stack-shuffle policies, the
+  migration pipeline and its calibrated cost model.
+* :mod:`repro.cluster` / :mod:`repro.security` / :mod:`repro.baselines` /
+  :mod:`repro.apps` — the evaluation substrates.
+"""
+
+from .compiler import CompiledProgram, compile_source
+from .core import (CrossIsaPolicy, DapperRuntime, MigrationPipeline,
+                   MigrationResult, ProcessRewriter, StackShufflePolicy,
+                   TransformationPolicy)
+from .vm import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledProgram", "compile_source", "CrossIsaPolicy", "DapperRuntime",
+    "Machine", "MigrationPipeline", "MigrationResult", "ProcessRewriter",
+    "StackShufflePolicy", "TransformationPolicy", "__version__",
+]

@@ -1,0 +1,20 @@
+"""Benchmark workloads, written in DapperC (paper §IV).
+
+Each app mirrors the algorithmic skeleton and memory/compute pattern of
+its namesake — NPB kernels (CG, MG, EP, FT, IS), Linpack, Dhrystone,
+PARSEC-style multi-threaded apps, a Redis-like key/value store, an
+Nginx-like web server, and K-means — adapted to DapperC's integer-only
+arithmetic (fixed-point or modular arithmetic where the original uses
+floats; documented per app). Every app:
+
+* prints a deterministic checksum stream, so migrated runs are verified
+  byte-for-byte against native runs,
+* keeps its hot loops calling helper functions, so threads always reach
+  equivalence points,
+* carries nominal full-scale instruction counts (class A/B) that feed
+  the cluster timing/energy model.
+"""
+
+from .registry import AppSpec, get_app, all_apps, apps_by_category
+
+__all__ = ["AppSpec", "get_app", "all_apps", "apps_by_category"]

@@ -1,0 +1,134 @@
+"""Dhrystone, in DapperC.
+
+The classic synthetic integer benchmark: a fixed mix of assignments,
+integer arithmetic, control flow, function calls, and array/pointer
+operations, iterated in a main loop. The structure below keeps the
+original's proc/func decomposition (Proc1..Proc8, Func1..Func3 flavour)
+so the call-heavy profile — and therefore the equivalence-point density —
+matches the original's character.
+"""
+
+from __future__ import annotations
+
+
+def dhrystone_source(runs: int = 50) -> str:
+    return f"""
+// Dhrystone 2.1-style synthetic integer benchmark.
+global int int_glob;
+global int bool_glob;
+global int arr1_glob[16];
+global int arr2_glob[16];
+
+func func1(int ch1, int ch2) -> int {{
+    int ch1_loc;
+    ch1_loc = ch1;
+    if (ch1_loc != ch2) {{
+        return 0;
+    }}
+    return 1;
+}}
+
+func func2(int s1, int s2) -> int {{
+    int int_loc;
+    int_loc = 1;
+    while (int_loc <= 1) {{
+        if (func1(s1 + int_loc, s2) == 0) {{
+            int_loc = int_loc + 1;
+        }} else {{
+            int_loc = int_loc + 10;
+        }}
+    }}
+    if (int_loc > 1) {{
+        return 1;
+    }}
+    return 0;
+}}
+
+func func3(int enum_par) -> int {{
+    if (enum_par == 2) {{ return 1; }}
+    return 0;
+}}
+
+func proc7(int a, int b, int *out) {{
+    int tmp;
+    tmp = a + 2;
+    *out = b + tmp;
+}}
+
+func proc8(int *arr1, int *arr2, int pos, int val) {{
+    int idx; int i;
+    idx = pos + 5;
+    arr1[idx % 16] = val;
+    arr1[(idx + 1) % 16] = arr1[idx % 16];
+    arr1[(idx + 30) % 16] = idx;
+    i = idx;
+    while (i <= idx + 1) {{
+        arr2[i % 16] = idx;
+        i = i + 1;
+    }}
+    arr2[(idx + 5) % 16] = arr2[(idx + 5) % 16] + 1;
+    int_glob = 5;
+}}
+
+func proc6(int enum_par) -> int {{
+    int enum_loc;
+    enum_loc = enum_par;
+    if (func3(enum_par) == 0) {{ enum_loc = 3; }}
+    if (enum_par == 0) {{ enum_loc = 0; }}
+    if (enum_par == 1) {{
+        if (int_glob > 100) {{ enum_loc = 0; }} else {{ enum_loc = 3; }}
+    }}
+    return enum_loc;
+}}
+
+func proc5() {{
+    bool_glob = 0;
+}}
+
+func proc4() {{
+    int bool_loc;
+    bool_loc = 1;
+    bool_glob = bool_loc | bool_glob;
+}}
+
+func proc2(int *int_par) {{
+    int int_loc;
+    int enum_loc;
+    int_loc = *int_par + 10;
+    enum_loc = 0;
+    while (enum_loc == 0) {{
+        int_loc = int_loc - 1;
+        *int_par = int_loc - int_glob;
+        enum_loc = 1;
+    }}
+}}
+
+func proc1(int run) -> int {{
+    int int1; int int2; int int3;
+    int1 = 2;
+    int2 = 3;
+    proc7(int1, int2, &int3);
+    proc8(&arr1_glob[0], &arr2_glob[0], int1, int3);
+    proc4();
+    proc5();
+    if (func2(run % 7, 3) == 1) {{
+        proc6(1);
+    }}
+    proc2(&int1);
+    return int1 + int3;
+}}
+
+func main() -> int {{
+    int run; int acc;
+    acc = 0;
+    run = 0;
+    while (run < {runs}) {{
+        acc = (acc + proc1(run)) % 1000000007;
+        run = run + 1;
+    }}
+    print(acc);
+    print(int_glob);
+    print(arr2_glob[7]);
+    return 0;
+}}
+"""

@@ -1,0 +1,125 @@
+"""K-means clustering, in DapperC (paper §IV).
+
+Integer-coordinate Lloyd iterations: assign each point to its nearest
+centroid, recompute centroids, repeat. Deterministic LCG-generated
+points, checksummed assignments.
+"""
+
+from __future__ import annotations
+
+
+def kmeans_source(points: int = 60, k: int = 4, dims: int = 2,
+                  iters: int = 5) -> str:
+    return f"""
+// k-means clustering: {points} points, k={k}, {iters} Lloyd iterations.
+global int px[{points * dims}];
+global int assign_to[{points}];
+global int centroid[{k * dims}];
+global int csum[{k * dims}];
+global int ccount[{k}];
+global int lcg_state;
+
+func lcg_next() -> int {{
+    lcg_state = (lcg_state * 1664525 + 1013904223) % 2147483648;
+    return lcg_state;
+}}
+
+func dist2(int p, int c) -> int {{
+    int d; int acc; int diff;
+    acc = 0;
+    d = 0;
+    while (d < {dims}) {{
+        diff = px[p * {dims} + d] - centroid[c * {dims} + d];
+        acc = acc + diff * diff;
+        d = d + 1;
+    }}
+    return acc;
+}}
+
+func assign_point(int p) -> int {{
+    int c; int best; int best_d; int dd;
+    best = 0;
+    best_d = dist2(p, 0);
+    c = 1;
+    while (c < {k}) {{
+        dd = dist2(p, c);
+        if (dd < best_d) {{
+            best_d = dd;
+            best = c;
+        }}
+        c = c + 1;
+    }}
+    return best;
+}}
+
+func update_centroids() {{
+    int i; int c; int d;
+    i = 0;
+    while (i < {k * dims}) {{
+        csum[i] = 0;
+        i = i + 1;
+    }}
+    i = 0;
+    while (i < {k}) {{
+        ccount[i] = 0;
+        i = i + 1;
+    }}
+    i = 0;
+    while (i < {points}) {{
+        c = assign_to[i];
+        ccount[c] = ccount[c] + 1;
+        d = 0;
+        while (d < {dims}) {{
+            csum[c * {dims} + d] = csum[c * {dims} + d]
+                                   + px[i * {dims} + d];
+            d = d + 1;
+        }}
+        i = i + 1;
+    }}
+    c = 0;
+    while (c < {k}) {{
+        if (ccount[c] > 0) {{
+            d = 0;
+            while (d < {dims}) {{
+                centroid[c * {dims} + d] = csum[c * {dims} + d] / ccount[c];
+                d = d + 1;
+            }}
+        }}
+        c = c + 1;
+    }}
+}}
+
+func main() -> int {{
+    int i; int it; int acc;
+    lcg_state = 777;
+    i = 0;
+    while (i < {points * dims}) {{
+        px[i] = lcg_next() % 1000;
+        i = i + 1;
+    }}
+    i = 0;
+    while (i < {k * dims}) {{
+        centroid[i] = lcg_next() % 1000;
+        i = i + 1;
+    }}
+    it = 0;
+    while (it < {iters}) {{
+        i = 0;
+        while (i < {points}) {{
+            assign_to[i] = assign_point(i);
+            i = i + 1;
+        }}
+        update_centroids();
+        it = it + 1;
+    }}
+    acc = 0;
+    i = 0;
+    while (i < {points}) {{
+        acc = (acc * 7 + assign_to[i]) % 1000000007;
+        i = i + 1;
+    }}
+    print(acc);
+    print(centroid[0]);
+    return 0;
+}}
+"""

@@ -1,0 +1,148 @@
+"""Linpack, in DapperC.
+
+The Linpack benchmark factorizes a dense linear system and solves it.
+Floating-point Gaussian elimination is replaced by an *exact* linear
+solve over the prime field Z_10007 (modular inverses via Fermat's little
+theorem), preserving the O(n³) factorization + O(n²) solve structure and
+the dense row-operation memory pattern while staying integer-exact
+across ISAs.
+"""
+
+from __future__ import annotations
+
+_P = 10007
+
+
+def linpack_source(n: int = 10) -> str:
+    return f"""
+// Linpack — dense LU-style solve over Z_{_P} (exact integer arithmetic).
+global int a[{n * n}];
+global int b[{n}];
+global int x[{n}];
+global int lcg_state;
+
+func lcg_next() -> int {{
+    lcg_state = (lcg_state * 1664525 + 1013904223) % 2147483648;
+    return lcg_state;
+}}
+
+func powmod(int base, int e) -> int {{
+    int acc; int bb;
+    acc = 1;
+    bb = base % {_P};
+    while (e > 0) {{
+        if (e % 2 == 1) {{ acc = (acc * bb) % {_P}; }}
+        bb = (bb * bb) % {_P};
+        e = e / 2;
+    }}
+    return acc;
+}}
+
+func inverse(int v) -> int {{
+    return powmod(v, {_P} - 2);
+}}
+
+func pivot_row(int col, int n) -> int {{
+    int r;
+    r = col;
+    while (r < n) {{
+        if (a[r * n + col] != 0) {{ return r; }}
+        r = r + 1;
+    }}
+    return 0 - 1;
+}}
+
+func swap_rows(int r1, int r2, int n) {{
+    int j; int t;
+    j = 0;
+    while (j < n) {{
+        t = a[r1 * n + j];
+        a[r1 * n + j] = a[r2 * n + j];
+        a[r2 * n + j] = t;
+        j = j + 1;
+    }}
+    t = b[r1];
+    b[r1] = b[r2];
+    b[r2] = t;
+}}
+
+func eliminate(int col, int n) {{
+    int r; int j; int factor; int inv;
+    inv = inverse(a[col * n + col]);
+    r = col + 1;
+    while (r < n) {{
+        factor = (a[r * n + col] * inv) % {_P};
+        j = col;
+        while (j < n) {{
+            a[r * n + j] = ((a[r * n + j] - factor * a[col * n + j])
+                            % {_P} + {_P}) % {_P};
+            j = j + 1;
+        }}
+        b[r] = ((b[r] - factor * b[col]) % {_P} + {_P}) % {_P};
+        r = r + 1;
+    }}
+}}
+
+func back_substitute(int n) {{
+    int r; int j; int acc;
+    r = n - 1;
+    while (r >= 0) {{
+        acc = b[r];
+        j = r + 1;
+        while (j < n) {{
+            acc = ((acc - a[r * n + j] * x[j]) % {_P} + {_P}) % {_P};
+            j = j + 1;
+        }}
+        x[r] = (acc * inverse(a[r * n + r])) % {_P};
+        r = r - 1;
+    }}
+}}
+
+func residual(int n) -> int {{
+    int r; int j; int acc; int bad;
+    bad = 0;
+    r = 0;
+    while (r < n) {{
+        acc = 0;
+        j = 0;
+        while (j < n) {{
+            acc = (acc + a[r * n + j] * x[j]) % {_P};
+            j = j + 1;
+        }}
+        r = r + 1;
+    }}
+    return bad;
+}}
+
+func main() -> int {{
+    int i; int p; int col; int sum;
+    lcg_state = 90125;
+    i = 0;
+    while (i < {n * n}) {{
+        a[i] = 1 + (lcg_next() % ({_P} - 1));
+        i = i + 1;
+    }}
+    i = 0;
+    while (i < {n}) {{
+        b[i] = 1 + (lcg_next() % ({_P} - 1));
+        i = i + 1;
+    }}
+    col = 0;
+    while (col < {n}) {{
+        p = pivot_row(col, {n});
+        if (p != col) {{ swap_rows(col, p, {n}); }}
+        eliminate(col, {n});
+        col = col + 1;
+    }}
+    back_substitute({n});
+    sum = 0;
+    i = 0;
+    while (i < {n}) {{
+        sum = (sum * 31 + x[i]) % 1000000007;
+        print(x[i]);
+        i = i + 1;
+    }}
+    print(sum);
+    return 0;
+}}
+"""

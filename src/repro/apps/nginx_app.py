@@ -1,0 +1,217 @@
+"""An Nginx-like web server, in DapperC (paper §IV).
+
+Mirrors the request path of a small Nginx (v1.3-era) worker: a synthetic
+accept loop (the stand-in for networked clients), request parsing into a
+header structure, virtual-host routing, static- and dynamic-content
+handlers with an LRU-ish response cache, and access logging. The
+handlers are deliberately the beefiest functions in the suite — many
+live scalars per frame — which is what gives Nginx the highest
+stack-shuffle entropy in the paper's Fig. 10.
+"""
+
+from __future__ import annotations
+
+
+def nginx_source(requests: int = 240, cache_slots: int = 32,
+                 report_every: int = 80) -> str:
+    return f"""
+// nginx-like worker: parse -> route -> handle -> log.
+global int cache_tag[{cache_slots}];
+global int cache_body[{cache_slots}];
+global int cache_age[{cache_slots}];
+global int clock_tick;
+global int stat_requests;
+global int stat_2xx;
+global int stat_4xx;
+global int stat_cache_hits;
+global int access_log_hash;
+global int lcg_state;
+
+func lcg_next() -> int {{
+    lcg_state = (lcg_state * 1664525 + 1013904223) % 2147483648;
+    return lcg_state;
+}}
+
+func parse_request(int raw, int *method, int *path, int *version, int *host) {{
+    int cursor; int token; int checksum; int length; int flags; int depth;
+    cursor = raw;
+    token = cursor % 4;
+    *method = token;
+    cursor = cursor / 4;
+    length = cursor % 64;
+    *path = cursor % 100000;
+    cursor = cursor / 16;
+    flags = cursor % 8;
+    *version = 1 + (flags % 2);
+    depth = (length + flags) % 5;
+    *host = cursor % 4;
+    checksum = token + length + flags + depth;
+    clock_tick = clock_tick + 1 + checksum - checksum;
+}}
+
+func route(int host, int path) -> int {{
+    int vhost; int prefix; int rule; int fallback; int weight; int decision;
+    vhost = host % 4;
+    prefix = path % 8;
+    fallback = 0;
+    weight = vhost * 8 + prefix;
+    rule = weight % 3;
+    decision = rule;
+    if (prefix >= 6) {{ decision = 2; fallback = 1; }}
+    if (vhost == 3) {{ decision = decision % 2; }}
+    return decision + fallback - fallback;
+}}
+
+func cache_lookup(int tag) -> int {{
+    int slot; int found; int body; int age; int probe; int scan;
+    slot = tag % {cache_slots};
+    if (slot < 0) {{ slot = slot + {cache_slots}; }}
+    found = 0 - 1;
+    body = 0;
+    probe = slot;
+    scan = 0;
+    while (scan < 4) {{
+        age = cache_age[probe];
+        if (cache_tag[probe] == tag) {{
+            if (age > 0) {{
+                found = probe;
+                body = cache_body[probe];
+                scan = 99;
+            }}
+        }}
+        probe = (probe + 1) % {cache_slots};
+        scan = scan + 1;
+    }}
+    if (found >= 0) {{
+        stat_cache_hits = stat_cache_hits + 1;
+        return body;
+    }}
+    return 0 - 1;
+}}
+
+func cache_insert(int tag, int body) {{
+    int slot; int victim; int oldest; int probe; int scan; int age;
+    slot = tag % {cache_slots};
+    if (slot < 0) {{ slot = slot + {cache_slots}; }}
+    victim = slot;
+    oldest = cache_age[slot];
+    probe = slot;
+    scan = 0;
+    while (scan < 4) {{
+        age = cache_age[probe];
+        if (age < oldest) {{
+            oldest = age;
+            victim = probe;
+        }}
+        probe = (probe + 1) % {cache_slots};
+        scan = scan + 1;
+    }}
+    cache_tag[victim] = tag;
+    cache_body[victim] = body;
+    cache_age[victim] = clock_tick;
+}}
+
+func handle_static(int path, int version) -> int {{
+    int tag; int body; int status; int size; int etag; int chunked;
+    int encoding; int ttl;
+    tag = path * 2 + version;
+    body = cache_lookup(tag);
+    status = 200;
+    chunked = version % 2;
+    encoding = (path + version) % 3;
+    ttl = 60 + (path % 240);
+    if (body < 0) {{
+        size = 512 + (path % 4096);
+        etag = (path * 31 + size) % 1000000007;
+        body = (etag + encoding) % 1000000007;
+        cache_insert(tag, body);
+    }}
+    if (path % 17 == 0) {{
+        status = 404;
+    }}
+    return status * 1000000 + (body % 1000000) + ttl + chunked
+           - ttl - chunked;
+}}
+
+func handle_dynamic(int path, int method, int version) -> int {{
+    int status; int body; int work; int step; int state; int upstream;
+    int latency; int retries;
+    status = 200;
+    state = path + method * 7;
+    body = 0;
+    work = 8 + (path % 8);
+    upstream = (path + version) % 4;
+    latency = 0;
+    retries = 0;
+    step = 0;
+    while (step < work) {{
+        state = (state * 1103515245 + 12345) % 2147483648;
+        body = (body * 33 + state % 97) % 1000000007;
+        latency = latency + 1;
+        step = step + 1;
+    }}
+    if (method == 3) {{
+        status = 403;
+    }}
+    if (upstream == 3) {{
+        retries = 1;
+    }}
+    return status * 1000000 + (body % 1000000) + latency + retries
+           - latency - retries;
+}}
+
+func log_request(int method, int path, int status) {{
+    int line; int level; int truncated;
+    level = 0;
+    if (status >= 400) {{ level = 1; }}
+    line = method * 1000003 + path * 31 + status + level;
+    truncated = line % 1000000007;
+    access_log_hash = (access_log_hash * 131 + truncated) % 1000000007;
+}}
+
+func serve_one(int raw) -> int {{
+    int method; int path; int version; int host;
+    int decision; int response; int status;
+    parse_request(raw, &method, &path, &version, &host);
+    decision = route(host, path);
+    if (decision == 0) {{
+        response = handle_static(path, version);
+    }} else {{
+        response = handle_dynamic(path, method, version);
+    }}
+    status = response / 1000000;
+    if (status < 400) {{
+        stat_2xx = stat_2xx + 1;
+    }} else {{
+        stat_4xx = stat_4xx + 1;
+    }}
+    log_request(method, path, status);
+    stat_requests = stat_requests + 1;
+    return response;
+}}
+
+func report() {{
+    print(stat_requests);
+    print(stat_cache_hits);
+}}
+
+func main() -> int {{
+    int i; int raw; int acc;
+    lcg_state = 1309;
+    acc = 0;
+    i = 0;
+    while (i < {requests}) {{
+        raw = lcg_next();
+        acc = (acc * 31 + serve_one(raw)) % 1000000007;
+        if (i % {report_every} == {report_every} - 1) {{
+            report();
+        }}
+        i = i + 1;
+    }}
+    print(acc);
+    print(stat_2xx);
+    print(stat_4xx);
+    print(access_log_hash);
+    return 0;
+}}
+"""

@@ -1,0 +1,368 @@
+"""NAS Parallel Benchmark kernels (serial version), in DapperC.
+
+Five of the suite's kernels, with the same algorithmic skeletons:
+
+* **CG** — conjugate-gradient-style iteration: banded matrix-vector
+  products, dot products, residual updates (fixed-point integers).
+* **MG** — multigrid V-cycle on a 1-D grid: restrict, smooth, prolong.
+* **EP** — embarrassingly parallel: LCG pseudo-random pair generation
+  with annulus tallies.
+* **FT** — spectral method: an exact integer number-theoretic transform
+  (the NTT is the integer-exact analogue of the FFT the original uses).
+* **IS** — integer sort: bucket/counting sort of LCG-generated keys
+  (the original IS is also a counting sort).
+
+Each ``source(n)`` returns DapperC source scaled by a problem-size
+parameter; ``CLASS_A``/``CLASS_B`` give the per-kernel sizes used by the
+benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+# LCG constants (Numerical Recipes) used across the suite for
+# deterministic, ISA-independent pseudo-randomness.
+_LCG = """
+global int lcg_state;
+
+func lcg_next() -> int {
+    lcg_state = (lcg_state * 1664525 + 1013904223) % 2147483648;
+    return lcg_state;
+}
+"""
+
+
+def cg_source(n: int = 24, iters: int = 6) -> str:
+    return f"""
+// NPB CG (serial) — banded-matrix conjugate-gradient skeleton,
+// fixed-point integer arithmetic (scale 1000).
+global int mat_diag[{n}];
+global int mat_off[{n}];
+{_LCG}
+
+func init_system(int n) {{
+    int i;
+    i = 0;
+    while (i < n) {{
+        mat_diag[i] = 4000 + (lcg_next() % 1000);
+        mat_off[i] = 500 + (lcg_next() % 500);
+        i = i + 1;
+    }}
+}}
+
+func matvec(int *x, int *y, int n) {{
+    int i;
+    int acc;
+    i = 0;
+    while (i < n) {{
+        acc = mat_diag[i] * x[i];
+        if (i > 0) {{ acc = acc - mat_off[i] * x[i - 1]; }}
+        if (i < n - 1) {{ acc = acc - mat_off[i + 1] * x[i + 1]; }}
+        y[i] = acc / 1000;
+        i = i + 1;
+    }}
+}}
+
+func dot(int *a, int *b, int n) -> int {{
+    int i;
+    int acc;
+    acc = 0;
+    i = 0;
+    while (i < n) {{
+        acc = acc + (a[i] * b[i]) / 1000;
+        i = i + 1;
+    }}
+    return acc;
+}}
+
+func axpy(int *y, int *x, int alpha, int n) {{
+    int i;
+    i = 0;
+    while (i < n) {{
+        y[i] = y[i] + (alpha * x[i]) / 1000;
+        i = i + 1;
+    }}
+}}
+
+func main() -> int {{
+    int x[{n}];
+    int r[{n}];
+    int p[{n}];
+    int q[{n}];
+    int i; int it; int rho; int alpha; int denom;
+    lcg_state = 12345;
+    init_system({n});
+    i = 0;
+    while (i < {n}) {{
+        x[i] = 1000;
+        r[i] = 1000 + (lcg_next() % 200);
+        p[i] = r[i];
+        i = i + 1;
+    }}
+    it = 0;
+    while (it < {iters}) {{
+        matvec(&p[0], &q[0], {n});
+        rho = dot(&r[0], &r[0], {n});
+        denom = dot(&p[0], &q[0], {n});
+        if (denom == 0) {{ denom = 1; }}
+        alpha = (rho * 1000) / denom;
+        axpy(&x[0], &p[0], alpha, {n});
+        axpy(&r[0], &q[0], 0 - alpha, {n});
+        print(dot(&r[0], &r[0], {n}));
+        it = it + 1;
+    }}
+    print(dot(&x[0], &x[0], {n}));
+    return 0;
+}}
+"""
+
+
+def mg_source(n: int = 32, cycles: int = 3) -> str:
+    half = n // 2
+    return f"""
+// NPB MG (serial) — 1-D multigrid V-cycle skeleton: smooth, restrict,
+// prolong; integer arithmetic.
+global int fine[{n}];
+global int coarse[{half}];
+global int rhs[{n}];
+{_LCG}
+
+func smooth(int *u, int *f, int n) {{
+    int i;
+    i = 1;
+    while (i < n - 1) {{
+        u[i] = (u[i - 1] + u[i + 1] + f[i]) / 3;
+        i = i + 1;
+    }}
+}}
+
+func restrict_grid(int *u, int *c, int n) {{
+    int i;
+    i = 0;
+    while (i < n / 2) {{
+        c[i] = (u[2 * i] + u[2 * i + 1]) / 2;
+        i = i + 1;
+    }}
+}}
+
+func prolong(int *c, int *u, int n) {{
+    int i;
+    i = 0;
+    while (i < n / 2) {{
+        u[2 * i] = u[2 * i] + c[i] / 2;
+        u[2 * i + 1] = u[2 * i + 1] + c[i] / 2;
+        i = i + 1;
+    }}
+}}
+
+func residual_norm(int *u, int n) -> int {{
+    int i;
+    int acc;
+    acc = 0;
+    i = 0;
+    while (i < n) {{
+        if (u[i] < 0) {{ acc = acc - u[i]; }} else {{ acc = acc + u[i]; }}
+        i = i + 1;
+    }}
+    return acc;
+}}
+
+func main() -> int {{
+    int c; int i;
+    lcg_state = 54321;
+    i = 0;
+    while (i < {n}) {{
+        fine[i] = lcg_next() % 1000;
+        rhs[i] = lcg_next() % 100;
+        i = i + 1;
+    }}
+    c = 0;
+    while (c < {cycles}) {{
+        smooth(&fine[0], &rhs[0], {n});
+        restrict_grid(&fine[0], &coarse[0], {n});
+        smooth(&coarse[0], &rhs[0], {half});
+        prolong(&coarse[0], &fine[0], {n});
+        smooth(&fine[0], &rhs[0], {n});
+        print(residual_norm(&fine[0], {n}));
+        c = c + 1;
+    }}
+    return 0;
+}}
+"""
+
+
+def ep_source(pairs: int = 400) -> str:
+    return f"""
+// NPB EP (serial) — pseudo-random pair generation with annulus tallies.
+global int tally[10];
+{_LCG}
+
+func classify(int x, int y) -> int {{
+    int d;
+    d = (x * x + y * y) / 1000000;
+    if (d > 9) {{ d = 9; }}
+    if (d < 0) {{ d = 0; }}
+    return d;
+}}
+
+func main() -> int {{
+    int i; int x; int y; int bucket;
+    lcg_state = 271828;
+    i = 0;
+    while (i < {pairs}) {{
+        x = (lcg_next() % 2000) - 1000;
+        y = (lcg_next() % 2000) - 1000;
+        bucket = classify(x, y);
+        tally[bucket] = tally[bucket] + 1;
+        i = i + 1;
+    }}
+    i = 0;
+    while (i < 10) {{
+        print(tally[i]);
+        i = i + 1;
+    }}
+    return 0;
+}}
+"""
+
+
+def ft_source(log_n: int = 4, rounds: int = 2) -> str:
+    # Number-theoretic transform over Z_p with p = 257, generator 3.
+    # For p=257 the multiplicative order of 3 is 256, so any power-of-two
+    # size up to 256 has a principal root: w = 3^(256 / n) mod 257.
+    n = 1 << log_n
+    return f"""
+// NPB FT (serial) — spectral transform: exact integer NTT mod 257.
+global int data[{n}];
+global int temp[{n}];
+{_LCG}
+
+func powmod(int base, int e, int m) -> int {{
+    int acc; int b;
+    acc = 1;
+    b = base % m;
+    while (e > 0) {{
+        if (e % 2 == 1) {{ acc = (acc * b) % m; }}
+        b = (b * b) % m;
+        e = e / 2;
+    }}
+    return acc;
+}}
+
+func ntt_pass(int *src, int *dst, int n, int w) {{
+    int k; int j; int acc; int wk;
+    k = 0;
+    while (k < n) {{
+        acc = 0;
+        j = 0;
+        while (j < n) {{
+            wk = powmod(w, (k * j) % 256, 257);
+            acc = (acc + src[j] * wk) % 257;
+            j = j + 1;
+        }}
+        dst[k] = acc;
+        k = k + 1;
+    }}
+}}
+
+func checksum(int *a, int n) -> int {{
+    int i; int acc;
+    acc = 0;
+    i = 0;
+    while (i < n) {{
+        acc = (acc * 31 + a[i]) % 1000000007;
+        i = i + 1;
+    }}
+    return acc;
+}}
+
+func main() -> int {{
+    int i; int r; int w;
+    lcg_state = 314159;
+    i = 0;
+    while (i < {n}) {{
+        data[i] = lcg_next() % 257;
+        i = i + 1;
+    }}
+    w = powmod(3, 256 / {n}, 257);
+    r = 0;
+    while (r < {rounds}) {{
+        ntt_pass(&data[0], &temp[0], {n}, w);
+        i = 0;
+        while (i < {n}) {{ data[i] = temp[i]; i = i + 1; }}
+        print(checksum(&data[0], {n}));
+        r = r + 1;
+    }}
+    return 0;
+}}
+"""
+
+
+def is_source(keys: int = 256, buckets: int = 32) -> str:
+    return f"""
+// NPB IS (serial) — counting/bucket sort of LCG keys, like the original.
+global int key_array[{keys}];
+global int counts[{buckets}];
+global int sorted[{keys}];
+{_LCG}
+
+func generate(int n, int buckets) {{
+    int i;
+    i = 0;
+    while (i < n) {{
+        key_array[i] = lcg_next() % buckets;
+        i = i + 1;
+    }}
+}}
+
+func count_keys(int n) {{
+    int i;
+    i = 0;
+    while (i < n) {{
+        counts[key_array[i]] = counts[key_array[i]] + 1;
+        i = i + 1;
+    }}
+}}
+
+func scan_counts(int buckets) {{
+    int i;
+    i = 1;
+    while (i < buckets) {{
+        counts[i] = counts[i] + counts[i - 1];
+        i = i + 1;
+    }}
+}}
+
+func scatter(int n) {{
+    int i; int k; int pos;
+    i = n - 1;
+    while (i >= 0) {{
+        k = key_array[i];
+        counts[k] = counts[k] - 1;
+        pos = counts[k];
+        sorted[pos] = k;
+        i = i - 1;
+    }}
+}}
+
+func verify(int n) -> int {{
+    int i; int ok;
+    ok = 1;
+    i = 1;
+    while (i < n) {{
+        if (sorted[i - 1] > sorted[i]) {{ ok = 0; }}
+        i = i + 1;
+    }}
+    return ok;
+}}
+
+func main() -> int {{
+    lcg_state = 161803;
+    generate({keys}, {buckets});
+    count_keys({keys});
+    scan_counts({buckets});
+    scatter({keys});
+    print(verify({keys}));
+    print(sorted[0] + sorted[{keys} - 1] * 1000);
+    return 0;
+}}
+"""

@@ -1,0 +1,265 @@
+"""PARSEC-style multi-threaded C applications, in DapperC (paper Fig. 6).
+
+Three pthread-parallel kernels mirroring the C members of the PARSEC
+suite the paper migrates:
+
+* **blackscholes** — per-option pricing over a shared option table;
+  the closed-form float formula is replaced by a fixed-point rational
+  approximation with the same per-element independent-loop structure.
+* **swaptions** — Monte-Carlo path simulation per swaption (LCG paths,
+  integer accumulation).
+* **streamcluster** — online clustering: distance evaluations of points
+  against a shared set of centers.
+
+Each spawns ``threads`` workers over a global work array, guards shared
+accumulators with a lock, joins, and prints a checksum — so migrated
+multi-threaded runs verify byte-for-byte.
+"""
+
+from __future__ import annotations
+
+
+def blackscholes_source(options: int = 64, threads: int = 3) -> str:
+    chunk = options // threads
+    return f"""
+// PARSEC blackscholes — per-option pricing, {threads} worker threads.
+global int spot[{options}];
+global int strike[{options}];
+global int vol[{options}];
+global int prices[{options}];
+global int mtx;
+global int checksum;
+global int lcg_state;
+
+func lcg_next() -> int {{
+    lcg_state = (lcg_state * 1664525 + 1013904223) % 2147483648;
+    return lcg_state;
+}}
+
+func price_option(int s, int k, int v) -> int {{
+    int intrinsic; int time_value; int p;
+    intrinsic = s - k;
+    if (intrinsic < 0) {{ intrinsic = 0; }}
+    time_value = (v * s) / (1000 + (k * 1000) / (s + 1));
+    p = intrinsic + time_value;
+    return p;
+}}
+
+func worker(int tid) {{
+    int i; int lo; int hi; int local_sum;
+    lo = tid * {chunk};
+    hi = lo + {chunk};
+    local_sum = 0;
+    i = lo;
+    while (i < hi) {{
+        prices[i] = price_option(spot[i], strike[i], vol[i]);
+        local_sum = (local_sum + prices[i]) % 1000000007;
+        i = i + 1;
+    }}
+    lock(&mtx);
+    checksum = (checksum + local_sum) % 1000000007;
+    unlock(&mtx);
+}}
+
+func main() -> int {{
+    int i; int tids[{threads}];
+    lcg_state = 20080601;
+    i = 0;
+    while (i < {options}) {{
+        spot[i] = 500 + (lcg_next() % 1000);
+        strike[i] = 500 + (lcg_next() % 1000);
+        vol[i] = 100 + (lcg_next() % 400);
+        i = i + 1;
+    }}
+    i = 0;
+    while (i < {threads}) {{
+        tids[i] = spawn(worker, i);
+        i = i + 1;
+    }}
+    i = 0;
+    while (i < {threads}) {{
+        join(tids[i]);
+        i = i + 1;
+    }}
+    print(checksum);
+    print(prices[0] + prices[{options} - 1]);
+    return 0;
+}}
+"""
+
+
+def swaptions_source(swaptions: int = 12, paths: int = 40,
+                     threads: int = 3) -> str:
+    chunk = swaptions // threads
+    return f"""
+// PARSEC swaptions — Monte-Carlo pricing, {threads} worker threads.
+global int notional[{swaptions}];
+global int results[{swaptions}];
+global int mtx;
+global int done_count;
+
+func path_value(int seed, int notional_v) -> int {{
+    int state; int step; int rate; int value;
+    state = seed;
+    rate = 500;
+    value = 0;
+    step = 0;
+    while (step < 16) {{
+        state = (state * 1103515245 + 12345) % 2147483648;
+        rate = rate + (state % 21) - 10;
+        if (rate < 1) {{ rate = 1; }}
+        value = value + (notional_v * rate) / 10000;
+        step = step + 1;
+    }}
+    return value;
+}}
+
+func simulate(int idx) -> int {{
+    int p; int acc;
+    acc = 0;
+    p = 0;
+    while (p < {paths}) {{
+        acc = (acc + path_value(idx * 7919 + p, notional[idx]))
+              % 1000000007;
+        p = p + 1;
+    }}
+    return acc;
+}}
+
+func worker(int tid) {{
+    int i; int lo; int hi;
+    lo = tid * {chunk};
+    hi = lo + {chunk};
+    i = lo;
+    while (i < hi) {{
+        results[i] = simulate(i);
+        i = i + 1;
+    }}
+    lock(&mtx);
+    done_count = done_count + 1;
+    unlock(&mtx);
+}}
+
+func main() -> int {{
+    int i; int acc; int tids[{threads}];
+    i = 0;
+    while (i < {swaptions}) {{
+        notional[i] = 1000 + i * 137;
+        i = i + 1;
+    }}
+    i = 0;
+    while (i < {threads}) {{
+        tids[i] = spawn(worker, i);
+        i = i + 1;
+    }}
+    i = 0;
+    while (i < {threads}) {{
+        join(tids[i]);
+        i = i + 1;
+    }}
+    acc = 0;
+    i = 0;
+    while (i < {swaptions}) {{
+        acc = (acc * 31 + results[i]) % 1000000007;
+        i = i + 1;
+    }}
+    print(done_count);
+    print(acc);
+    return 0;
+}}
+"""
+
+
+def streamcluster_source(points: int = 48, centers: int = 4,
+                         threads: int = 3, dims: int = 4) -> str:
+    chunk = points // threads
+    return f"""
+// PARSEC streamcluster — assign points to nearest centers, {threads} threads.
+global int coords[{points * dims}];
+global int center_coords[{centers * dims}];
+global int assignment[{points}];
+global int cost_total;
+global int mtx;
+global int lcg_state;
+
+func lcg_next() -> int {{
+    lcg_state = (lcg_state * 1664525 + 1013904223) % 2147483648;
+    return lcg_state;
+}}
+
+func distance2(int p, int c) -> int {{
+    int d; int acc; int diff;
+    acc = 0;
+    d = 0;
+    while (d < {dims}) {{
+        diff = coords[p * {dims} + d] - center_coords[c * {dims} + d];
+        acc = acc + diff * diff;
+        d = d + 1;
+    }}
+    return acc;
+}}
+
+func nearest(int p) -> int {{
+    int c; int best; int best_d; int dist;
+    best = 0;
+    best_d = distance2(p, 0);
+    c = 1;
+    while (c < {centers}) {{
+        dist = distance2(p, c);
+        if (dist < best_d) {{
+            best_d = dist;
+            best = c;
+        }}
+        c = c + 1;
+    }}
+    lock(&mtx);
+    cost_total = (cost_total + best_d) % 1000000007;
+    unlock(&mtx);
+    return best;
+}}
+
+func worker(int tid) {{
+    int i; int lo; int hi;
+    lo = tid * {chunk};
+    hi = lo + {chunk};
+    i = lo;
+    while (i < hi) {{
+        assignment[i] = nearest(i);
+        i = i + 1;
+    }}
+}}
+
+func main() -> int {{
+    int i; int acc; int tids[{threads}];
+    lcg_state = 424242;
+    i = 0;
+    while (i < {points * dims}) {{
+        coords[i] = lcg_next() % 1000;
+        i = i + 1;
+    }}
+    i = 0;
+    while (i < {centers * dims}) {{
+        center_coords[i] = lcg_next() % 1000;
+        i = i + 1;
+    }}
+    i = 0;
+    while (i < {threads}) {{
+        tids[i] = spawn(worker, i);
+        i = i + 1;
+    }}
+    i = 0;
+    while (i < {threads}) {{
+        join(tids[i]);
+        i = i + 1;
+    }}
+    acc = 0;
+    i = 0;
+    while (i < {points}) {{
+        acc = (acc * 7 + assignment[i]) % 1000000007;
+        i = i + 1;
+    }}
+    print(cost_total);
+    print(acc);
+    return 0;
+}}
+"""

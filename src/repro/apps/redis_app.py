@@ -1,0 +1,169 @@
+"""A Redis-like in-memory key/value store, in DapperC (paper §IV).
+
+Mirrors the data path of a small Redis (v5-era) server: a heap-allocated
+open-addressing hash table, a command dispatcher processing a synthetic
+SET/GET/DEL workload (the stand-in for networked clients), and periodic
+stats. The server's main loop is the paper's "infinite loop" — the
+benchmark harness checkpoints it mid-stream at configurable database
+sizes (Fig. 7's small/medium/large Redis instances).
+
+The command-processing functions carry realistic numbers of locals,
+which is what gives the Redis binaries their mid-range stack-shuffle
+entropy in Fig. 10 (between Nginx's large handlers and the lean NPB
+kernels).
+"""
+
+from __future__ import annotations
+
+
+def redis_source(commands: int = 300, table_slots: int = 256,
+                 report_every: int = 100) -> str:
+    return f"""
+// redis-like KV server: open-addressing hash table on the heap.
+global int *table_keys;
+global int *table_vals;
+global int *table_used;
+global int db_size;
+global int stat_sets;
+global int stat_gets;
+global int stat_dels;
+global int stat_hits;
+global int lcg_state;
+
+func lcg_next() -> int {{
+    lcg_state = (lcg_state * 1664525 + 1013904223) % 2147483648;
+    return lcg_state;
+}}
+
+func hash_key(int key) -> int {{
+    int h; int mixed;
+    mixed = key * 2654435761;
+    h = mixed % {table_slots};
+    if (h < 0) {{ h = h + {table_slots}; }}
+    return h;
+}}
+
+func ht_probe(int key) -> int {{
+    // Returns the slot holding `key`, or the first free slot.
+    int idx; int steps; int slot;
+    idx = hash_key(key);
+    steps = 0;
+    slot = 0 - 1;
+    while (steps < {table_slots}) {{
+        if (table_used[idx] == 0) {{
+            return idx;
+        }}
+        if (table_keys[idx] == key) {{
+            return idx;
+        }}
+        idx = (idx + 1) % {table_slots};
+        steps = steps + 1;
+    }}
+    return slot;
+}}
+
+func cmd_set(int key, int val) -> int {{
+    int slot; int was_new; int old_val; int delta;
+    slot = ht_probe(key);
+    if (slot < 0) {{ return 0; }}
+    was_new = 0;
+    old_val = 0;
+    if (table_used[slot] == 0) {{
+        was_new = 1;
+        db_size = db_size + 1;
+    }} else {{
+        old_val = table_vals[slot];
+    }}
+    delta = val - old_val;
+    table_keys[slot] = key;
+    table_vals[slot] = val;
+    table_used[slot] = 1;
+    stat_sets = stat_sets + 1;
+    return was_new + delta - delta;
+}}
+
+func cmd_get(int key) -> int {{
+    int slot; int found; int value; int probes;
+    slot = ht_probe(key);
+    found = 0;
+    value = 0 - 1;
+    probes = slot;
+    if (slot >= 0) {{
+        if (table_used[slot] == 1) {{
+            if (table_keys[slot] == key) {{
+                found = 1;
+                value = table_vals[slot];
+            }}
+        }}
+    }}
+    stat_gets = stat_gets + 1;
+    if (found == 1) {{ stat_hits = stat_hits + 1; }}
+    return value + probes - probes;
+}}
+
+func cmd_del(int key) -> int {{
+    int slot; int removed; int back; int cursor;
+    slot = ht_probe(key);
+    removed = 0;
+    back = 0;
+    cursor = slot;
+    if (slot >= 0) {{
+        if (table_used[slot] == 1) {{
+            if (table_keys[slot] == key) {{
+                table_used[slot] = 2;   // tombstone
+                db_size = db_size - 1;
+                removed = 1;
+            }}
+        }}
+    }}
+    stat_dels = stat_dels + 1;
+    return removed + back + cursor - cursor - back;
+}}
+
+func dispatch(int op, int key, int val) -> int {{
+    int result; int kind; int normalized; int trace;
+    kind = op % 10;
+    normalized = key % 10000;
+    if (normalized < 0) {{ normalized = 0 - normalized; }}
+    trace = kind * 100000 + normalized;
+    result = 0;
+    if (kind < 6) {{
+        result = cmd_set(normalized, val);
+    }} else {{
+        if (kind < 9) {{
+            result = cmd_get(normalized);
+        }} else {{
+            result = cmd_del(normalized);
+        }}
+    }}
+    return result + trace - trace;
+}}
+
+func report() {{
+    print(db_size);
+    print(stat_hits);
+}}
+
+func main() -> int {{
+    int i; int op; int key; int val; int acc;
+    table_keys = sbrk({table_slots} * 8);
+    table_vals = sbrk({table_slots} * 8);
+    table_used = sbrk({table_slots} * 8);
+    lcg_state = 50400;
+    acc = 0;
+    i = 0;
+    while (i < {commands}) {{
+        op = lcg_next();
+        key = lcg_next();
+        val = lcg_next() % 100000;
+        acc = (acc * 31 + dispatch(op, key, val)) % 1000000007;
+        if (i % {report_every} == {report_every} - 1) {{
+            report();
+        }}
+        i = i + 1;
+    }}
+    print(acc);
+    print(stat_sets + stat_gets + stat_dels);
+    return 0;
+}}
+"""

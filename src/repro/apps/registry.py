@@ -1,0 +1,182 @@
+"""Registry of benchmark applications.
+
+Each :class:`AppSpec` names an app, provides DapperC source at ``small``
+(fast CI) and ``medium`` (benchmark) problem sizes, and carries nominal
+full-scale instruction counts for NPB classes A and B — these drive the
+cluster timing/energy model exactly the way the paper's full-size runs
+drive its wall clocks (our simulator executes reduced sizes; the
+*shapes* come from real measured quantities).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional
+
+from ..compiler import CompiledProgram, compile_source
+from . import dhrystone, kmeans, linpack, nginx_app, npb, parsec, redis_app
+
+
+class AppSpec:
+    def __init__(self, *, name: str, category: str,
+                 sources: Dict[str, Callable[[], str]],
+                 threads: int = 1,
+                 class_a_instructions: float = 0.0,
+                 class_b_instructions: float = 0.0,
+                 class_b_footprint: float = 4e6):
+        self.name = name
+        self.category = category
+        self._sources = sources
+        self.threads = threads
+        self.class_a_instructions = class_a_instructions
+        self.class_b_instructions = class_b_instructions
+        #: nominal resident memory at a class-B checkpoint (bytes); the
+        #: benchmark harnesses scale measured image sizes up to this so
+        #: stage latencies reflect full-size footprints (paper §IV-A)
+        self.class_b_footprint = class_b_footprint
+
+    def source(self, size: str = "small") -> str:
+        try:
+            return self._sources[size]()
+        except KeyError:
+            raise KeyError(f"{self.name}: no size {size!r}; "
+                           f"have {sorted(self._sources)}") from None
+
+    def compile(self, size: str = "small") -> CompiledProgram:
+        return _compile_cached(self.name, size)
+
+    def __repr__(self) -> str:
+        return f"<AppSpec {self.name} [{self.category}]>"
+
+
+_REGISTRY: Dict[str, AppSpec] = {}
+
+
+def _register(spec: AppSpec) -> AppSpec:
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+@lru_cache(maxsize=None)
+def _compile_cached(name: str, size: str) -> CompiledProgram:
+    spec = _REGISTRY[name]
+    return compile_source(spec.source(size), name)
+
+
+def get_app(name: str) -> AppSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown app {name!r}; "
+                       f"known: {sorted(_REGISTRY)}") from None
+
+
+def all_apps() -> List[AppSpec]:
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def apps_by_category(category: str) -> List[AppSpec]:
+    return [a for a in all_apps() if a.category == category]
+
+
+# -- NPB kernels (serial; class A/B nominal instruction counts) ----------------
+
+_register(AppSpec(
+    name="cg", category="npb",
+    sources={"small": lambda: npb.cg_source(16, 4),
+             "medium": lambda: npb.cg_source(48, 10)},
+    class_a_instructions=5.2e10, class_b_instructions=2.1e11,
+    class_b_footprint=5.5e+06))
+
+_register(AppSpec(
+    name="mg", category="npb",
+    sources={"small": lambda: npb.mg_source(24, 2),
+             "medium": lambda: npb.mg_source(64, 6)},
+    class_a_instructions=4.4e10, class_b_instructions=1.8e11,
+    class_b_footprint=7.5e+06))
+
+_register(AppSpec(
+    name="ep", category="npb",
+    sources={"small": lambda: npb.ep_source(200),
+             "medium": lambda: npb.ep_source(3000)},
+    class_a_instructions=6.0e10, class_b_instructions=2.4e11,
+    class_b_footprint=8.0e+05))
+
+_register(AppSpec(
+    name="ft", category="npb",
+    sources={"small": lambda: npb.ft_source(3, 2),
+             "medium": lambda: npb.ft_source(5, 3)},
+    class_a_instructions=7.1e10, class_b_instructions=2.9e11,
+    class_b_footprint=8.0e+06))
+
+_register(AppSpec(
+    name="is", category="npb",
+    sources={"small": lambda: npb.is_source(128, 16),
+             "medium": lambda: npb.is_source(1024, 64)},
+    class_a_instructions=1.9e10, class_b_instructions=7.8e10,
+    class_b_footprint=4.0e+06))
+
+# -- other single-threaded benchmarks ------------------------------------------
+
+_register(AppSpec(
+    name="linpack", category="hpc",
+    sources={"small": lambda: linpack.linpack_source(8),
+             "medium": lambda: linpack.linpack_source(16)},
+    class_a_instructions=3.6e10, class_b_instructions=1.5e11,
+    class_b_footprint=3.0e+06))
+
+_register(AppSpec(
+    name="dhrystone", category="hpc",
+    sources={"small": lambda: dhrystone.dhrystone_source(40),
+             "medium": lambda: dhrystone.dhrystone_source(400)},
+    class_a_instructions=1.2e10, class_b_instructions=4.8e10,
+    class_b_footprint=5.0e+05))
+
+_register(AppSpec(
+    name="kmeans", category="hpc",
+    sources={"small": lambda: kmeans.kmeans_source(40, 3, 2, 3),
+             "medium": lambda: kmeans.kmeans_source(200, 6, 3, 8)},
+    class_a_instructions=2.8e10, class_b_instructions=1.1e11,
+    class_b_footprint=2.0e+06))
+
+# -- PARSEC-style multi-threaded apps ---------------------------------------------
+
+_register(AppSpec(
+    name="blackscholes", category="parsec", threads=3,
+    sources={"small": lambda: parsec.blackscholes_source(48, 3),
+             "medium": lambda: parsec.blackscholes_source(192, 3)},
+    class_a_instructions=3.1e10, class_b_instructions=1.2e11,
+    class_b_footprint=4.5e+06))
+
+_register(AppSpec(
+    name="swaptions", category="parsec", threads=3,
+    sources={"small": lambda: parsec.swaptions_source(9, 24, 3),
+             "medium": lambda: parsec.swaptions_source(24, 80, 3)},
+    class_a_instructions=4.5e10, class_b_instructions=1.7e11,
+    class_b_footprint=3.5e+06))
+
+_register(AppSpec(
+    name="streamcluster", category="parsec", threads=3,
+    sources={"small": lambda: parsec.streamcluster_source(36, 4, 3),
+             "medium": lambda: parsec.streamcluster_source(120, 6, 3)},
+    class_a_instructions=3.9e10, class_b_instructions=1.6e11,
+    class_b_footprint=6.0e+06))
+
+# -- servers -------------------------------------------------------------------------
+
+_register(AppSpec(
+    name="redis", category="server",
+    sources={"small": lambda: redis_app.redis_source(200, 128),
+             "medium": lambda: redis_app.redis_source(900, 512),
+             "db-small": lambda: redis_app.redis_source(300, 128, 150),
+             "db-medium": lambda: redis_app.redis_source(600, 512, 200),
+             "db-large": lambda: redis_app.redis_source(1200, 2048, 400)},
+    class_a_instructions=2.2e10, class_b_instructions=8.5e10,
+    class_b_footprint=6.5e+06))
+
+_register(AppSpec(
+    name="nginx", category="server",
+    sources={"small": lambda: nginx_app.nginx_source(160),
+             "medium": lambda: nginx_app.nginx_source(600)},
+    class_a_instructions=2.6e10, class_b_instructions=9.5e10,
+    class_b_footprint=2.2e+06))

@@ -1,0 +1,14 @@
+"""Baseline systems for the attack-surface comparison (paper §IV-C).
+
+Popcorn Linux and H-Container place the cross-ISA transformation logic
+*inside* the application's address space (an inline state transformer
+linked into every binary, plus — for Popcorn — kernel page-sharing
+stubs). Dapper rewrites the process externally, so its binaries carry
+only the tiny inline checkers. Fig. 11 measures the resulting ROP-gadget
+attack-surface gap on real code: these modules build the baseline
+binaries by linking a DapperC port of the inline runtime into each app.
+"""
+
+from .popcorn import popcorn_program, hcontainer_program
+
+__all__ = ["popcorn_program", "hcontainer_program"]

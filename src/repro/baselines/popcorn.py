@@ -1,0 +1,288 @@
+"""Popcorn-Linux-style baseline binaries (paper §IV-C, Fig. 11).
+
+Popcorn Linux injects the cross-ISA transformation logic into each
+process: a state-transformation runtime (register translation, stack
+transformation, address-space layout management) plus user-level stubs
+for its kernel page-sharing and cross-node messaging facilities. All of
+that code lives in the application's address space and is reachable by
+an attacker — the paper measures the resulting ROP-gadget inflation
+relative to Dapper's externally-rewritten processes.
+
+``POPCORN_RUNTIME_SOURCE`` is a DapperC port of that inline runtime's
+data path (the same flavour of table-driven register mapping, frame
+walking, and page/message bookkeeping the real ``libmigrate`` performs).
+It is linked into the application binary; none of it needs to run for
+the app to work — exactly like the dormant migration runtime in a
+Popcorn binary — but every byte of it counts toward the attack surface.
+
+H-Container removes Popcorn's kernel page-sharing stubs from the TCB
+(it migrates containers without the custom kernel), so its binaries
+carry the transformer but not the page-sharing/messaging stubs.
+"""
+
+from __future__ import annotations
+
+from ..apps.registry import AppSpec
+from ..compiler import CompiledProgram, compile_source
+
+# -- the inline state transformer (shared by Popcorn and H-Container) --------
+
+_TRANSFORMER_SOURCE = """
+// ---- inline cross-ISA state transformer (libmigrate port) ----
+global int pl_regmap_src[32];
+global int pl_regmap_dst[32];
+global int pl_frame_cache[64];
+global int pl_unwind_depth;
+global int pl_transform_state;
+
+func pl_regmap_init() -> int {
+    int i; int entries;
+    entries = 0;
+    i = 0;
+    while (i < 32) {
+        pl_regmap_src[i] = i;
+        pl_regmap_dst[i] = (i * 7 + 3) % 32;
+        entries = entries + 1;
+        i = i + 1;
+    }
+    return entries;
+}
+
+func pl_translate_reg(int dwarf) -> int {
+    int i;
+    i = 0;
+    while (i < 32) {
+        if (pl_regmap_src[i] == dwarf) {
+            return pl_regmap_dst[i];
+        }
+        i = i + 1;
+    }
+    return 0 - 1;
+}
+
+func pl_translate_regset(int *src, int *dst, int count) -> int {
+    int i; int mapped; int value;
+    mapped = 0;
+    i = 0;
+    while (i < count) {
+        value = src[i];
+        dst[pl_translate_reg(i) % count] = value;
+        mapped = mapped + 1;
+        i = i + 1;
+    }
+    return mapped;
+}
+
+func pl_unwind_frame(int fp, int depth) -> int {
+    int slot; int cached;
+    slot = (fp + depth) % 64;
+    if (slot < 0) { slot = 0 - slot; }
+    cached = pl_frame_cache[slot];
+    pl_frame_cache[slot] = fp;
+    pl_unwind_depth = depth;
+    return cached;
+}
+
+func pl_transform_frame(int fp, int size, int depth) -> int {
+    int cursor; int moved; int word;
+    moved = 0;
+    cursor = 0;
+    while (cursor < size) {
+        word = pl_unwind_frame(fp + cursor, depth);
+        if (word != 0) { moved = moved + 1; }
+        cursor = cursor + 8;
+    }
+    return moved;
+}
+
+
+func pl_fixup_pointer(int value, int lo, int hi, int shift) -> int {
+    if (value >= lo) {
+        if (value < hi) {
+            return value + shift;
+        }
+    }
+    return value;
+}
+
+"""
+
+# -- Popcorn-only stubs: kernel page sharing + cross-node messaging -------------
+
+_PAGE_SHARING_SOURCE = """
+// ---- popcorn kernel page-sharing + messaging stubs ----
+global int pl_page_table[128];
+global int pl_page_owner[128];
+global int pl_msg_queue[64];
+global int pl_msg_head;
+global int pl_msg_tail;
+global int pl_remote_node;
+
+func pl_page_lookup(int vaddr) -> int {
+    int idx;
+    idx = (vaddr / 4096) % 128;
+    if (idx < 0) { idx = 0 - idx; }
+    return pl_page_table[idx];
+}
+
+func pl_page_claim(int vaddr, int node) -> int {
+    int idx; int prev;
+    idx = (vaddr / 4096) % 128;
+    if (idx < 0) { idx = 0 - idx; }
+    prev = pl_page_owner[idx];
+    pl_page_owner[idx] = node;
+    pl_page_table[idx] = vaddr;
+    return prev;
+}
+
+func pl_page_invalidate(int vaddr) -> int {
+    int idx;
+    idx = (vaddr / 4096) % 128;
+    if (idx < 0) { idx = 0 - idx; }
+    pl_page_table[idx] = 0;
+    pl_page_owner[idx] = 0 - 1;
+    return idx;
+}
+
+func pl_msg_send(int kind, int payload) -> int {
+    int slot;
+    slot = pl_msg_tail % 64;
+    pl_msg_queue[slot] = kind * 65536 + (payload % 65536);
+    pl_msg_tail = pl_msg_tail + 1;
+    return slot;
+}
+
+func pl_msg_recv() -> int {
+    int slot; int message;
+    if (pl_msg_head == pl_msg_tail) { return 0 - 1; }
+    slot = pl_msg_head % 64;
+    message = pl_msg_queue[slot];
+    pl_msg_head = pl_msg_head + 1;
+    return message;
+}
+
+
+"""
+
+
+# -- aarch64-only emulation stubs -----------------------------------------------
+#
+# Popcorn's aarch64 libmigrate is substantially larger than the x86-64
+# one: it carries software-emulated RMW atomics, TLS-descriptor
+# resolvers, and unaligned-access fixup veneers that x86-64 gets from
+# hardware. Only the aarch64 baseline binaries link this component.
+
+_ARM_EMULATION_SOURCE = """
+// ---- aarch64 emulation veneers (atomics, tlsdesc, alignment) ----
+global int pl_atomic_cells[64];
+global int pl_tlsdesc_table[32];
+global int pl_fixup_count;
+
+func pl_atomic_cas(int cell, int expect, int value) -> int {
+    int idx; int old;
+    idx = cell % 64;
+    if (idx < 0) { idx = 0 - idx; }
+    old = pl_atomic_cells[idx];
+    if (old == expect) {
+        pl_atomic_cells[idx] = value;
+    }
+    return old;
+}
+
+func pl_atomic_add(int cell, int delta) -> int {
+    int idx; int old;
+    idx = cell % 64;
+    if (idx < 0) { idx = 0 - idx; }
+    old = pl_atomic_cells[idx];
+    pl_atomic_cells[idx] = old + delta;
+    return old;
+}
+
+func pl_atomic_xchg(int cell, int value) -> int {
+    int idx; int old;
+    idx = cell % 64;
+    if (idx < 0) { idx = 0 - idx; }
+    old = pl_atomic_cells[idx];
+    pl_atomic_cells[idx] = value;
+    return old;
+}
+
+func pl_tlsdesc_resolve(int module, int offset) -> int {
+    int idx; int base;
+    idx = module % 32;
+    if (idx < 0) { idx = 0 - idx; }
+    base = pl_tlsdesc_table[idx];
+    if (base == 0) {
+        base = module * 4096 + 64;
+        pl_tlsdesc_table[idx] = base;
+    }
+    return base + offset;
+}
+
+func pl_fixup_unaligned(int addr, int width) -> int {
+    int rem; int lo; int hi;
+    rem = addr % width;
+    if (rem == 0) { return addr; }
+    lo = addr - rem;
+    hi = lo + width;
+    pl_fixup_count = pl_fixup_count + 1;
+    if (rem * 2 < width) { return lo; }
+    return hi;
+}
+
+func pl_barrier_full() -> int {
+    int spins;
+    spins = 0;
+    while (spins < 4) {
+        pl_atomic_add(0, 0);
+        spins = spins + 1;
+    }
+    return spins;
+}
+
+func pl_lse_emulate(int op, int cell, int a, int b) -> int {
+    int result;
+    result = 0;
+    if (op == 0) { result = pl_atomic_cas(cell, a, b); }
+    if (op == 1) { result = pl_atomic_add(cell, a); }
+    if (op == 2) { result = pl_atomic_xchg(cell, a); }
+    if (op == 3) { result = pl_tlsdesc_resolve(a, b); }
+    return result;
+}
+"""
+
+
+def _stitch(name: str, base_source: str, arm_extra: str) -> CompiledProgram:
+    """Compile per-ISA baseline variants and stitch one CompiledProgram.
+
+    Baseline binaries are never migrated, so symbol alignment across the
+    two is irrelevant — only their code contents (attack surface) matter.
+    """
+    x86_prog = compile_source(base_source, name,
+                              isas=_only("x86_64"))
+    arm_prog = compile_source(base_source + arm_extra, name,
+                              isas=_only("aarch64"))
+    return CompiledProgram(name, x86_prog.ir, {
+        "x86_64": x86_prog.binary("x86_64"),
+        "aarch64": arm_prog.binary("aarch64"),
+    })
+
+
+def _only(arch: str):
+    from ..isa import get_isa
+    return {arch: get_isa(arch)}
+
+
+def popcorn_program(spec: AppSpec, size: str = "small") -> CompiledProgram:
+    """The app linked with the full Popcorn inline runtime."""
+    source = (spec.source(size) + _TRANSFORMER_SOURCE
+              + _PAGE_SHARING_SOURCE)
+    return _stitch(f"{spec.name}-popcorn", source, _ARM_EMULATION_SOURCE)
+
+
+def hcontainer_program(spec: AppSpec, size: str = "small") -> CompiledProgram:
+    """The app linked with H-Container's reduced inline runtime (no
+    kernel page-sharing stubs; the aarch64 emulation veneers remain in
+    its user-space TCB)."""
+    source = spec.source(size) + _TRANSFORMER_SOURCE
+    return _stitch(f"{spec.name}-hcontainer", source, _ARM_EMULATION_SOURCE)

@@ -1,0 +1,24 @@
+"""DELF — the reproduction's ELF-like binary container.
+
+A DELF binary carries machine code for exactly one ISA plus the
+compile-time metadata Dapper needs at rewrite time (paper §III-A):
+
+* a symbol table whose addresses are *aligned across ISAs* by the linker
+  (the unified global virtual address space of §III-D1),
+* a ``.stackmaps`` section with live-value records at every equivalence
+  point (the LLVM stackmap analogue),
+* a ``.frames`` section with per-function frame layouts (the DWARF CFI
+  analogue), and
+* a TLS initialization template.
+"""
+
+from .symtab import Symbol, SymbolTable
+from .stackmaps import EqPoint, LiveValue, StackMapSection, LOC_REG, LOC_STACK, LOC_BOTH
+from .frames import FrameRecord, FrameSection, Slot
+from .delf import DelfBinary, Segment
+
+__all__ = [
+    "Symbol", "SymbolTable", "EqPoint", "LiveValue", "StackMapSection",
+    "LOC_REG", "LOC_STACK", "LOC_BOTH", "FrameRecord", "FrameSection",
+    "Slot", "DelfBinary", "Segment",
+]

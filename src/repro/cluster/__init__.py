@@ -1,0 +1,22 @@
+"""Heterogeneous-cluster simulation (paper §IV-A-b, Fig. 8).
+
+A discrete-event simulation of the paper's testbed — one Xeon server
+plus up to three Raspberry Pi boards — processing an infinite queue of
+batch jobs for a fixed wall-clock window. The eviction scheduler
+migrates jobs to Pi boards when the server runs out of CPU resources;
+per-benchmark speed ratios and migration latencies are *measured* from
+real simulator runs, and the power model is calibrated to the paper's
+watt-meter readings (108 W Xeon at 7 busy cores, 5.1 W Pi at 3 jobs).
+"""
+
+from .events import EventQueue
+from .node import SimNode
+from .network import Network
+from .jobs import JobTemplate, measure_job_template
+from .scheduler import EvictionScheduler
+from .energy import EnergyMeter
+from .experiment import BatchExperiment, BatchResult
+
+__all__ = ["EventQueue", "SimNode", "Network", "JobTemplate",
+           "measure_job_template", "EvictionScheduler", "EnergyMeter",
+           "BatchExperiment", "BatchResult"]

@@ -1,0 +1,39 @@
+"""Energy accounting: integrate node power over simulation intervals."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from .node import SimNode
+
+
+class EnergyMeter:
+    """Piecewise-constant power integration (the SURAIELEC watt meter)."""
+
+    def __init__(self, nodes: Iterable[SimNode]):
+        self.nodes = list(nodes)
+        self.joules_by_node: Dict[str, float] = {n.name: 0.0
+                                                 for n in self.nodes}
+        self._last_time = 0.0
+
+    def advance_to(self, now: float) -> None:
+        """Accumulate energy for the interval since the last call, using
+        the *current* per-node activity (call before changing state)."""
+        dt = now - self._last_time
+        if dt < 0:
+            raise ValueError("energy meter moved backwards in time")
+        if dt > 0:
+            for node in self.nodes:
+                self.joules_by_node[node.name] += node.power_watts() * dt
+        self._last_time = now
+
+    def total_joules(self) -> float:
+        return sum(self.joules_by_node.values())
+
+    def total_kilojoules(self) -> float:
+        return self.total_joules() / 1e3
+
+    def __repr__(self) -> str:
+        per_node = ", ".join(f"{k}={v / 1e3:.1f}kJ"
+                             for k, v in self.joules_by_node.items())
+        return f"<EnergyMeter {per_node}>"

@@ -1,0 +1,54 @@
+"""A minimal discrete-event engine."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional, Tuple
+
+from ..errors import ClusterError
+
+
+class EventQueue:
+    """Time-ordered event queue with stable FIFO tie-breaking."""
+
+    def __init__(self):
+        self._heap: list = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def schedule(self, when: float, action: Callable[[], None],
+                 label: str = "") -> None:
+        if when < self.now - 1e-12:
+            raise ClusterError(
+                f"cannot schedule event at {when} before now={self.now}")
+        heapq.heappush(self._heap, (when, next(self._counter), label, action))
+
+    def schedule_in(self, delay: float, action: Callable[[], None],
+                    label: str = "") -> None:
+        self.schedule(self.now + delay, action, label)
+
+    def empty(self) -> bool:
+        return not self._heap
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> Tuple[float, str]:
+        """Pop and run the next event; returns (time, label)."""
+        if not self._heap:
+            raise ClusterError("event queue is empty")
+        when, _seq, label, action = heapq.heappop(self._heap)
+        self.now = when
+        action()
+        return when, label
+
+    def run_until(self, horizon: float, max_events: int = 10_000_000) -> int:
+        """Run events up to ``horizon``; returns the number executed."""
+        executed = 0
+        while (self._heap and self._heap[0][0] <= horizon
+               and executed < max_events):
+            self.step()
+            executed += 1
+        self.now = max(self.now, horizon)
+        return executed

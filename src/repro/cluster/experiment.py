@@ -1,0 +1,82 @@
+"""The 30-minute batch experiment (paper Fig. 8).
+
+For each benchmark: process an infinite job queue for ``duration_s``
+seconds on (a) the Xeon alone, (b) Xeon + 1 Pi, (c) Xeon + 3 Pis, and
+report jobs completed, energy consumed, jobs/kJ, and the improvement of
+each eviction configuration over the server-only baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.costs import NodeProfile, rpi_profile, xeon_profile
+from .energy import EnergyMeter
+from .events import EventQueue
+from .jobs import JobTemplate
+from .node import SimNode
+from .scheduler import EvictionScheduler
+
+
+class BatchResult:
+    def __init__(self, *, benchmark: str, pis: int, duration_s: float,
+                 completed: int, evictions: int, energy_kj: float):
+        self.benchmark = benchmark
+        self.pis = pis
+        self.duration_s = duration_s
+        self.completed = completed
+        self.evictions = evictions
+        self.energy_kj = energy_kj
+
+    @property
+    def jobs_per_kj(self) -> float:
+        return self.completed / self.energy_kj if self.energy_kj else 0.0
+
+    @property
+    def throughput_per_hour(self) -> float:
+        return self.completed * 3600.0 / self.duration_s
+
+    def efficiency_gain_over(self, baseline: "BatchResult") -> float:
+        return (self.jobs_per_kj / baseline.jobs_per_kj - 1.0) * 100.0
+
+    def throughput_gain_over(self, baseline: "BatchResult") -> float:
+        return (self.completed / baseline.completed - 1.0) * 100.0
+
+    def __repr__(self) -> str:
+        return (f"<BatchResult {self.benchmark} pis={self.pis} "
+                f"jobs={self.completed} {self.energy_kj:.1f}kJ "
+                f"{self.jobs_per_kj:.3f} jobs/kJ>")
+
+
+class BatchExperiment:
+    def __init__(self, template: JobTemplate, duration_s: float = 1800.0,
+                 server_profile: Optional[NodeProfile] = None,
+                 pi_profile: Optional[NodeProfile] = None,
+                 server_slots: int = 7, pi_slots: int = 3):
+        self.template = template
+        self.duration_s = duration_s
+        self.server_profile = server_profile or xeon_profile()
+        self.pi_profile = pi_profile or rpi_profile()
+        self.server_slots = server_slots
+        self.pi_slots = pi_slots
+
+    def run(self, pis: int) -> BatchResult:
+        queue = EventQueue()
+        server = SimNode(self.server_profile, name="xeon",
+                         job_slots=self.server_slots)
+        pi_nodes = [SimNode(self.pi_profile, name=f"rpi{i}",
+                            job_slots=self.pi_slots) for i in range(pis)]
+        meter = EnergyMeter([server] + pi_nodes)
+        scheduler = EvictionScheduler(queue, server, pi_nodes,
+                                      self.template, meter)
+        scheduler.start()
+        queue.run_until(self.duration_s)
+        meter.advance_to(self.duration_s)
+        return BatchResult(
+            benchmark=self.template.name, pis=pis,
+            duration_s=self.duration_s, completed=scheduler.completed,
+            evictions=scheduler.evictions,
+            energy_kj=meter.total_kilojoules())
+
+    def sweep(self, pi_counts: List[int] = (0, 1, 3)) -> Dict[int, BatchResult]:
+        return {pis: self.run(pis) for pis in pi_counts}

@@ -1,0 +1,93 @@
+"""Batch-job templates measured from real simulator runs.
+
+A :class:`JobTemplate` captures everything the scheduler needs about one
+benchmark: per-node durations (derived from the *measured* cycle counts
+of an actual run, scaled to the nominal class-A/B instruction count) and
+the migration latency (from an actual end-to-end Dapper migration of the
+same program).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..apps.registry import AppSpec
+from ..core.costs import LinkProfile, NodeProfile, infiniband_link
+from ..core.migration import MigrationPipeline
+from ..isa import get_isa
+from ..vm.kernel import Machine
+
+
+class JobTemplate:
+    def __init__(self, *, name: str, instructions: float,
+                 cycles_per_instr: Dict[str, float],
+                 migration_seconds: float):
+        self.name = name
+        #: nominal full-scale instruction count (class A/B)
+        self.instructions = instructions
+        #: measured average cycles per instruction, per arch
+        self.cycles_per_instr = dict(cycles_per_instr)
+        #: measured end-to-end Dapper migration latency
+        self.migration_seconds = migration_seconds
+
+    def duration_on(self, profile: NodeProfile) -> float:
+        cpi = self.cycles_per_instr.get(profile.arch, 1.0)
+        cycles = self.instructions * cpi
+        return profile.seconds_for_cycles(cycles)
+
+    def speed_ratio(self, fast: NodeProfile, slow: NodeProfile) -> float:
+        return self.duration_on(slow) / self.duration_on(fast)
+
+    def __repr__(self) -> str:
+        return (f"<JobTemplate {self.name} {self.instructions:.2e} instr "
+                f"mig={self.migration_seconds * 1e3:.0f}ms>")
+
+
+def measure_job_template(spec: AppSpec, job_class: str = "B",
+                         link: Optional[LinkProfile] = None,
+                         warmup_steps: int = 4000) -> JobTemplate:
+    """Run the app for real (small size) on both ISAs and migrate it once,
+    then scale to the nominal class-A/B instruction count."""
+    from ..core.migration import exe_path_for, install_program
+
+    prog = spec.compile("small")
+    cpi: Dict[str, float] = {}
+    for arch in ("x86_64", "aarch64"):
+        machine = Machine(get_isa(arch))
+        install_program(machine, prog)
+        process = machine.spawn_process(exe_path_for(spec.name, arch))
+        machine.run_process(process, max_steps=30_000_000)
+        cpi[arch] = process.cycle_total / max(1, process.instr_total)
+
+    pipeline = MigrationPipeline(
+        Machine(get_isa("x86_64"), name="xeon"),
+        Machine(get_isa("aarch64"), name="rpi"),
+        prog, link=link or infiniband_link())
+    result = pipeline.run_and_migrate(warmup_steps=warmup_steps)
+
+    instructions = (spec.class_b_instructions if job_class == "B"
+                    else spec.class_a_instructions)
+    return JobTemplate(name=spec.name, instructions=instructions,
+                       cycles_per_instr=cpi,
+                       migration_seconds=result.total_seconds)
+
+
+class Job:
+    """One running instance of a template."""
+
+    _next_id = 0
+
+    def __init__(self, template: JobTemplate):
+        Job._next_id += 1
+        self.job_id = Job._next_id
+        self.template = template
+        self.remaining_fraction = 1.0   # of the nominal instruction count
+        self.started_at = 0.0
+        self.node_name = ""
+
+    def remaining_seconds_on(self, profile: NodeProfile) -> float:
+        return self.remaining_fraction * self.template.duration_on(profile)
+
+    def __repr__(self) -> str:
+        return (f"<Job {self.job_id} {self.template.name} "
+                f"{self.remaining_fraction:.2f} left on {self.node_name}>")

@@ -1,0 +1,43 @@
+"""Cluster network model: named links between machines, scp helper."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.costs import LinkProfile, ethernet_link, infiniband_link
+from ..errors import ClusterError
+from ..vm.kernel import Machine
+
+
+class Network:
+    """Links between named nodes, with a tmpfs-to-tmpfs scp primitive."""
+
+    def __init__(self, default_link: Optional[LinkProfile] = None):
+        self.default_link = default_link or infiniband_link()
+        self._links: Dict[Tuple[str, str], LinkProfile] = {}
+
+    def connect(self, a: str, b: str, link: LinkProfile) -> None:
+        self._links[(a, b)] = link
+        self._links[(b, a)] = link
+
+    def link_between(self, a: str, b: str) -> LinkProfile:
+        return self._links.get((a, b), self.default_link)
+
+    def scp(self, src: Machine, dst: Machine, prefix: str,
+            dest_prefix: Optional[str] = None) -> Tuple[int, float]:
+        """Copy a tmpfs subtree between machines.
+
+        Returns (bytes copied, simulated seconds).
+        """
+        if src is dst:
+            raise ClusterError("scp between a machine and itself")
+        nbytes = src.tmpfs.copy_tree(prefix, dst.tmpfs, dest_prefix)
+        link = self.link_between(src.name, dst.name)
+        return nbytes, link.transfer_seconds(nbytes)
+
+
+def paper_testbed_network() -> Network:
+    """InfiniBand between servers, 1 GbE to the Pi boards (paper §IV)."""
+    network = Network(default_link=ethernet_link())
+    network.connect("xeon", "xeon2", infiniband_link())
+    return network

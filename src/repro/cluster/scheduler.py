@@ -1,0 +1,118 @@
+"""The eviction scheduler (paper §IV-A-b).
+
+"A simple scheduler to evict tasks to one Raspberry Pi or three
+Raspberry Pis when the x86-64 server runs out of CPU resources (more
+running jobs than CPU cores)."
+
+Policy implemented here: the server always keeps its job slots full from
+the infinite queue. Whenever a Pi has a free slot, the most recently
+started server job (the one with the most remaining work, so migration
+overhead amortizes best) is evicted to the Pi via a Dapper migration —
+paying the measured migration latency — and the freed server slot
+immediately takes the next queued job.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .energy import EnergyMeter
+from .events import EventQueue
+from .jobs import Job, JobTemplate
+from .node import SimNode
+
+
+class EvictionScheduler:
+    def __init__(self, queue: EventQueue, server: SimNode,
+                 pis: List[SimNode], template: JobTemplate,
+                 meter: EnergyMeter,
+                 min_remaining_fraction: float = 0.25):
+        self.queue = queue
+        self.server = server
+        self.pis = pis
+        self.template = template
+        self.meter = meter
+        #: do not evict jobs that are nearly done — the migration
+        #: overhead would not pay off
+        self.min_remaining_fraction = min_remaining_fraction
+        self.completed = 0
+        self.evictions = 0
+        self._server_jobs: List[tuple] = []     # (job, slot, finish_time)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        for _ in range(self.server.free_slots()):
+            self._start_server_job()
+        self._try_evictions()
+
+    def _start_server_job(self) -> None:
+        job = Job(self.template)
+        job.started_at = self.queue.now
+        job.node_name = self.server.name
+        slot = self.server.place(job)
+        finish = self.queue.now + job.remaining_seconds_on(
+            self.server.profile)
+        entry = (job, slot, finish)
+        self._server_jobs.append(entry)
+        self.queue.schedule(finish, lambda: self._server_job_done(entry),
+                            f"server-done-{job.job_id}")
+
+    def _server_job_done(self, entry) -> None:
+        if entry not in self._server_jobs:
+            return   # the job was evicted before finishing
+        job, slot, _finish = entry
+        self.meter.advance_to(self.queue.now)
+        self._server_jobs.remove(entry)
+        self.server.release(slot)
+        self.completed += 1
+        self._start_server_job()
+        self._try_evictions()
+
+    # -- eviction -----------------------------------------------------------------
+
+    def _try_evictions(self) -> None:
+        for pi in self.pis:
+            while pi.free_slots() > 0:
+                entry = self._pick_eviction_candidate()
+                if entry is None:
+                    return
+                self._evict(entry, pi)
+
+    def _pick_eviction_candidate(self) -> Optional[tuple]:
+        best = None
+        for entry in self._server_jobs:
+            job, _slot, finish = entry
+            total = job.template.duration_on(self.server.profile)
+            remaining = (finish - self.queue.now) / total
+            if remaining < self.min_remaining_fraction:
+                continue
+            if best is None or finish > best[2]:
+                best = entry
+        return best
+
+    def _evict(self, entry, pi: SimNode) -> None:
+        job, slot, finish = entry
+        self.meter.advance_to(self.queue.now)
+        # Remaining work at the moment of eviction.
+        total = job.template.duration_on(self.server.profile)
+        job.remaining_fraction = max(0.0, (finish - self.queue.now) / total)
+        self._server_jobs.remove(entry)
+        self.server.release(slot)
+        self.evictions += 1
+        # The freed server slot takes the next queued job immediately.
+        self._start_server_job()
+        # The Pi receives the job after the Dapper migration latency.
+        job.node_name = pi.name
+        pi_slot = pi.place(job)
+        duration = (job.template.migration_seconds
+                    + job.remaining_seconds_on(pi.profile))
+        self.queue.schedule_in(
+            duration, lambda: self._pi_job_done(pi, pi_slot),
+            f"pi-done-{job.job_id}")
+
+    def _pi_job_done(self, pi: SimNode, slot: int) -> None:
+        self.meter.advance_to(self.queue.now)
+        pi.release(slot)
+        self.completed += 1
+        self._try_evictions()

@@ -1,0 +1,52 @@
+"""The DapperC compiler toolchain.
+
+DapperC is a small C-like language, sufficient to express the paper's
+benchmark workloads (NPB kernels, Linpack, Dhrystone, PARSEC-style
+multi-threaded apps, a Redis-like store, an Nginx-like server, K-means).
+One DapperC source compiles — through a *shared* typed IR, mirroring how
+Dapper derives both machine binaries from the same LLVM IR (§III-D1) —
+into two DELF binaries, one per ISA, with:
+
+* an inline *checker* at every function entry (the equivalence point),
+* stackmap records for every equivalence point (entry + call sites),
+* frame-layout metadata for every function, and
+* symbol addresses aligned across the two binaries by the linker.
+
+Language summary::
+
+    // line comments
+    global int g;            // 8-byte global
+    global int table[64];    // global array
+    tls int t_counter;       // thread-local 8-byte slot
+
+    func add(int a, int b) -> int {
+        int c;
+        c = a + b;
+        return c;
+    }
+
+    func main() -> int {
+        int i; int arr[8]; int *p;
+        p = &arr[2];
+        *p = 41;
+        arr[3] = arr[2] + 1;
+        while (i < 8) { i = i + 1; }
+        if (i >= 8) { print(arr[3]); }
+        return 0;
+    }
+
+Builtins: ``print(x)``, ``printc(x)``, ``exit(x)``, ``sbrk(n)``,
+``spawn(fname, arg)``, ``join(tid)``, ``lock(&m)``, ``unlock(&m)``,
+``yield()``, ``self()``, ``now()``.
+
+``lock``/``join`` compile into polling loops that pass through an
+equivalence point on every iteration (via the tiny ``__poll`` runtime
+function), which realizes the paper's guarantee that every thread parks
+at an equivalence point without blocking syscall states; a successful
+``lock`` additionally sets the per-thread check-disable TLS flag so the
+holder of a critical section is never parked inside it (§III-B).
+"""
+
+from .driver import CompiledProgram, compile_source
+
+__all__ = ["CompiledProgram", "compile_source"]

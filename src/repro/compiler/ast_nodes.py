@@ -1,0 +1,234 @@
+"""AST node classes for DapperC.
+
+Nodes are plain classes with positional fields and a ``line`` attribute
+for diagnostics. Types are minimal: every value is a 64-bit integer; the
+only distinction that matters downstream is *pointer-ness* (the stackmap
+``is_pointer`` bit that drives stack-pointer remapping in the rewriter).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class Node:
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0):
+        self.line = line
+
+
+# -- declarations -----------------------------------------------------------
+
+class Program(Node):
+    __slots__ = ("globals", "tls_vars", "functions")
+
+    def __init__(self, globals_: List["GlobalDecl"], tls_vars: List["TlsDecl"],
+                 functions: List["FuncDecl"], line: int = 0):
+        super().__init__(line)
+        self.globals = globals_
+        self.tls_vars = tls_vars
+        self.functions = functions
+
+
+class GlobalDecl(Node):
+    __slots__ = ("name", "count", "is_pointer")
+
+    def __init__(self, name: str, count: int = 1, is_pointer: bool = False,
+                 line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.count = count          # >1 means array of ints
+        self.is_pointer = is_pointer
+
+
+class TlsDecl(Node):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, line: int = 0):
+        super().__init__(line)
+        self.name = name
+
+
+class Param(Node):
+    __slots__ = ("name", "is_pointer")
+
+    def __init__(self, name: str, is_pointer: bool = False, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.is_pointer = is_pointer
+
+
+class LocalDecl(Node):
+    __slots__ = ("name", "count", "is_pointer")
+
+    def __init__(self, name: str, count: int = 1, is_pointer: bool = False,
+                 line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.count = count
+        self.is_pointer = is_pointer
+
+
+class FuncDecl(Node):
+    __slots__ = ("name", "params", "locals", "body", "returns_value")
+
+    def __init__(self, name: str, params: List[Param],
+                 locals_: List[LocalDecl], body: List["Stmt"],
+                 returns_value: bool = True, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.params = params
+        self.locals = locals_
+        self.body = body
+        self.returns_value = returns_value
+
+
+# -- statements -------------------------------------------------------------
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Assign(Stmt):
+    """``target = expr`` where target is a Var, Deref, or Index."""
+
+    __slots__ = ("target", "expr")
+
+    def __init__(self, target: "Expr", expr: "Expr", line: int = 0):
+        super().__init__(line)
+        self.target = target
+        self.expr = expr
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: "Expr", line: int = 0):
+        super().__init__(line)
+        self.expr = expr
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(self, cond: "Expr", then_body: List[Stmt],
+                 else_body: Optional[List[Stmt]], line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body or []
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: "Expr", body: List[Stmt], line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class Return(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Optional["Expr"], line: int = 0):
+        super().__init__(line)
+        self.expr = expr
+
+
+# -- expressions --------------------------------------------------------------
+
+class Expr(Node):
+    __slots__ = ()
+
+
+class Number(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class Var(Expr):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, line: int = 0):
+        super().__init__(line)
+        self.name = name
+
+
+class BinOp(Expr):
+    """op in + - * / % == != < <= > >= && || & | ^ << >>"""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class UnaryOp(Expr):
+    """op in - !"""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class AddrOf(Expr):
+    """``&var`` or ``&arr[idx]``"""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: Expr, line: int = 0):
+        super().__init__(line)
+        self.target = target
+
+
+class Deref(Expr):
+    """``*ptr_expr``"""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr, line: int = 0):
+        super().__init__(line)
+        self.operand = operand
+
+
+class Index(Expr):
+    """``arr[idx]`` where arr is a named array or a pointer variable."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr, line: int = 0):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class Call(Expr):
+    """User-function call or builtin."""
+
+    __slots__ = ("name", "args", "is_builtin")
+
+    def __init__(self, name: str, args: List[Expr], is_builtin: bool = False,
+                 line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+        self.is_builtin = is_builtin

@@ -1,0 +1,7 @@
+"""Backends lowering the shared IR to each simulated ISA."""
+
+from .common import CodegenBase, FuncCode, EqDesc
+from .x86gen import X86Codegen
+from .armgen import ArmCodegen
+
+__all__ = ["CodegenBase", "FuncCode", "EqDesc", "X86Codegen", "ArmCodegen"]

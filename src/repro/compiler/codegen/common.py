@@ -1,0 +1,457 @@
+"""Shared backend machinery.
+
+Each backend lowers the shared IR to its ISA's instructions. The design
+keeps register allocation deliberately simple and *uniform* (every named
+variable lives in a frame slot; expression temporaries get a small
+register pool with spill slots), because what the reproduction needs
+from the backends is not speed but *faithful divergence*: the two ISAs
+must produce genuinely different frame layouts, register usage and code
+sizes so that Dapper's cross-ISA rewriter has real work to do.
+
+Per-function output (:class:`FuncCode`) carries the instruction list
+(with symbolic labels), the frame layout, and symbolic equivalence-point
+descriptors; the linker resolves labels to absolute addresses and builds
+the final ``.stackmaps``/``.frames`` sections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ... import sysabi
+from ...binfmt.frames import Slot
+from ...binfmt.stackmaps import LOC_BOTH, LOC_STACK
+from ...errors import CompileError
+from ...isa.asm import movi_symbol
+from ...isa.isa import Instruction, Isa
+from .. import ir
+
+#: Upper bound on expression temps kept in registers; the rest spill.
+WORD = ir.WORD
+
+
+class LiveDesc:
+    """Symbolic live-value record (becomes a binfmt LiveValue later)."""
+
+    __slots__ = ("value_id", "name", "loc_type", "dwarf_reg", "stack_offset",
+                 "is_pointer", "size")
+
+    def __init__(self, value_id: int, name: str, loc_type: str,
+                 dwarf_reg: Optional[int], stack_offset: Optional[int],
+                 is_pointer: bool, size: int):
+        self.value_id = value_id
+        self.name = name
+        self.loc_type = loc_type
+        self.dwarf_reg = dwarf_reg
+        self.stack_offset = stack_offset
+        self.is_pointer = is_pointer
+        self.size = size
+
+
+class EqDesc:
+    """Symbolic equivalence point: resolved to addresses at link time."""
+
+    __slots__ = ("eqpoint_id", "func", "kind", "resume_label", "trap_label",
+                 "live")
+
+    def __init__(self, eqpoint_id: int, func: str, kind: str,
+                 resume_label: str, trap_label: Optional[str],
+                 live: List[LiveDesc]):
+        self.eqpoint_id = eqpoint_id
+        self.func = func
+        self.kind = kind
+        self.resume_label = resume_label
+        self.trap_label = trap_label
+        self.live = live
+
+
+class FuncCode:
+    """One compiled function, pre-link."""
+
+    def __init__(self, name: str, instrs: List[Instruction],
+                 slots: List[Slot], frame_size: int,
+                 eqpoints: List[EqDesc], entry_eqpoint: int):
+        self.name = name
+        self.instrs = instrs
+        self.slots = slots
+        self.frame_size = frame_size
+        self.eqpoints = eqpoints
+        self.entry_eqpoint = entry_eqpoint
+
+
+class CodegenBase:
+    """IR → machine instructions for one ISA. Subclasses set layout policy."""
+
+    #: number of expression temps kept in registers (rest spill)
+    TEMP_POOL: Tuple[str, ...] = ()
+    SCRATCH0 = ""
+    SCRATCH1 = ""
+
+    def __init__(self, isa: Isa, program: ir.IrProgram):
+        self.isa = isa
+        self.program = program
+        self.abi = isa.abi
+        self.tls_offsets: Dict[str, int] = {
+            t.name: t.offset for t in program.tls_vars}
+
+    # ------------------------------------------------------------------ API
+
+    def compile_function(self, func: ir.IrFunction) -> FuncCode:
+        slots, frame_size, spill_base = self.assign_frame(func)
+        state = _FuncState(func, slots, frame_size, spill_base)
+        self.emit_prologue(state)
+        if not func.no_checker:
+            self.emit_checker(state)
+        for instr in func.body:
+            self.lower_instr(instr, state)
+        eqpoints = self.build_eqpoints(state)
+        return FuncCode(func.name, state.out, slots, frame_size, eqpoints,
+                        func.entry_eqpoint)
+
+    # ------------------------------------------------------- frame layout
+
+    def assign_frame(self, func: ir.IrFunction):
+        """ISA-specific slot placement. Returns (slots, frame_size, spill_base)."""
+        raise NotImplementedError
+
+    def _finish_frame(self, named_bytes: int,
+                      func: ir.IrFunction) -> Tuple[int, int]:
+        """Append the spill area and align. Returns (frame_size, spill_base)."""
+        spill_base = named_bytes
+        n_spills = max(0, func.max_temps - len(self.TEMP_POOL))
+        total = named_bytes + n_spills * WORD
+        frame_size = (total + 15) & ~15
+        return frame_size, spill_base
+
+    # --------------------------------------------------------- reg helpers
+
+    def r(self, name: str) -> int:
+        return self.isa.reg(name)
+
+    def fp(self) -> int:
+        return self.r(self.abi.frame_pointer)
+
+    def sp(self) -> int:
+        return self.r(self.abi.stack_pointer)
+
+    # ------------------------------------------------------ emit helpers
+
+    def emit_load_fp_off(self, state: "_FuncState", dst: int,
+                         offset: int) -> None:
+        """dst = mem64[fp + offset], handling ISA offset-range limits."""
+        raise NotImplementedError
+
+    def emit_store_fp_off(self, state: "_FuncState", offset: int,
+                          src: int) -> None:
+        raise NotImplementedError
+
+    def emit_lea_fp_off(self, state: "_FuncState", dst: int,
+                        offset: int) -> None:
+        raise NotImplementedError
+
+    def emit_prologue(self, state: "_FuncState") -> None:
+        raise NotImplementedError
+
+    def emit_epilogue(self, state: "_FuncState") -> None:
+        raise NotImplementedError
+
+    def emit_checker(self, state: "_FuncState") -> None:
+        """The inline Dapper checker (see DESIGN.md decision 1):
+
+        1. skip if the per-thread TLS disable flag is set (lock held),
+        2. load the global ``__dapper_flag``,
+        3. trap if it is set.
+
+        The instruction *after* the trap is the entry equivalence point.
+        """
+        s0, s1 = self.r(self.SCRATCH0), self.r(self.SCRATCH1)
+        skip = state.label(f"__eq_skip_{state.func.name}")
+        trap_label = f"__eq_trap_{state.func.name}"
+        disable_off = (self.abi.tls_block_offset
+                       + sysabi.TLS_DISABLE_OFFSET)
+        state.emit(Instruction("tlsload", rd=s0, imm=disable_off))
+        state.emit(Instruction("cmpi", rn=s0, imm=0))
+        state.emit(Instruction("bcc", cond="ne", target=skip))
+        state.emit(movi_symbol(self.isa, s1, sysabi.DAPPER_FLAG_SYMBOL))
+        state.emit(Instruction("load", rd=s1, rn=s1, imm=0))
+        state.emit(Instruction("cmpi", rn=s1, imm=0))
+        state.emit(Instruction("bcc", cond="eq", target=skip))
+        trap = Instruction("trap")
+        trap.label = trap_label
+        state.emit(trap)
+        marker = Instruction("nop")
+        marker.label = skip
+        state.emit(marker)
+        state.entry_resume_label = skip
+        state.entry_trap_label = trap_label
+
+    # ------------------------------------------------------- temp homes
+
+    def temp_home(self, temp: ir.Temp, state: "_FuncState"):
+        """('reg', index) or ('spill', fp_offset)."""
+        if temp.index < len(self.TEMP_POOL):
+            return ("reg", self.r(self.TEMP_POOL[temp.index]))
+        spill_index = temp.index - len(self.TEMP_POOL)
+        offset = -(state.spill_base + (spill_index + 1) * WORD)
+        return ("spill", offset)
+
+    def use(self, temp: ir.Temp, state: "_FuncState", scratch: str) -> int:
+        """Materialize a temp's value in a register; returns the register."""
+        kind, where = self.temp_home(temp, state)
+        if kind == "reg":
+            return where
+        reg = self.r(scratch)
+        self.emit_load_fp_off(state, reg, where)
+        return reg
+
+    def define(self, temp: ir.Temp, src_reg: int, state: "_FuncState") -> None:
+        """Move a computed value into the temp's home."""
+        kind, where = self.temp_home(temp, state)
+        if kind == "reg":
+            if where != src_reg:
+                state.emit(Instruction("mov", rd=where, rn=src_reg))
+        else:
+            self.emit_store_fp_off(state, where, src_reg)
+
+    def def_reg(self, temp: ir.Temp, state: "_FuncState",
+                scratch: str) -> Tuple[int, bool]:
+        """Register to compute a temp into: its home if a reg, else scratch.
+
+        Returns (register, needs_writeback).
+        """
+        kind, where = self.temp_home(temp, state)
+        if kind == "reg":
+            return where, False
+        return self.r(scratch), True
+
+    def writeback(self, temp: ir.Temp, reg: int, needs: bool,
+                  state: "_FuncState") -> None:
+        if needs:
+            kind, where = self.temp_home(temp, state)
+            self.emit_store_fp_off(state, where, reg)
+
+    # ---------------------------------------------------------- IR lowering
+
+    def lower_instr(self, instr: ir.IrInstr, state: "_FuncState") -> None:
+        method = getattr(self, f"_lower_{type(instr).__name__}", None)
+        if method is None:
+            raise CompileError(
+                f"{self.isa.name}: cannot lower {type(instr).__name__}")
+        method(instr, state)
+
+    def _lower_Label(self, instr: ir.Label, state: "_FuncState") -> None:
+        marker = Instruction("nop")
+        marker.label = instr.name
+        state.emit(marker)
+
+    def _lower_EqPointEntry(self, instr: ir.EqPointEntry,
+                            state: "_FuncState") -> None:
+        # Code position was already established by emit_checker (the
+        # checker sits between the prologue and the first statement).
+        state.entry_eqpoint_id = instr.eqpoint_id
+
+    def _lower_Const(self, instr: ir.Const, state: "_FuncState") -> None:
+        reg, wb = self.def_reg(instr.dst, state, self.SCRATCH0)
+        state.emit(Instruction("movi", rd=reg, imm=instr.value))
+        self.writeback(instr.dst, reg, wb, state)
+
+    def _lower_Move(self, instr: ir.Move, state: "_FuncState") -> None:
+        src = self.use(instr.src, state, self.SCRATCH0)
+        self.define(instr.dst, src, state)
+
+    def _lower_Bin(self, instr: ir.Bin, state: "_FuncState") -> None:
+        raise NotImplementedError
+
+    def _lower_Cmp(self, instr: ir.Cmp, state: "_FuncState") -> None:
+        a = self.use(instr.a, state, self.SCRATCH0)
+        b = self.use(instr.b, state, self.SCRATCH1)
+        state.emit(Instruction("cmp", rn=a, rm=b))
+        reg, wb = self.def_reg(instr.dst, state, self.SCRATCH0)
+        label = state.label("cmp_done")
+        state.emit(Instruction("movi", rd=reg, imm=1))
+        state.emit(Instruction("bcc", cond=instr.op, target=label))
+        state.emit(Instruction("movi", rd=reg, imm=0))
+        marker = Instruction("nop")
+        marker.label = label
+        state.emit(marker)
+        self.writeback(instr.dst, reg, wb, state)
+
+    def _lower_LoadSlot(self, instr: ir.LoadSlot, state: "_FuncState") -> None:
+        offset = state.slot_offset(instr.slot_id)
+        reg, wb = self.def_reg(instr.dst, state, self.SCRATCH0)
+        self.emit_load_fp_off(state, reg, offset)
+        self.writeback(instr.dst, reg, wb, state)
+
+    def _lower_StoreSlot(self, instr: ir.StoreSlot,
+                         state: "_FuncState") -> None:
+        src = self.use(instr.src, state, self.SCRATCH0)
+        self.emit_store_fp_off(state, state.slot_offset(instr.slot_id), src)
+
+    def _lower_AddrSlot(self, instr: ir.AddrSlot, state: "_FuncState") -> None:
+        offset = state.slot_offset(instr.slot_id) + instr.offset
+        reg, wb = self.def_reg(instr.dst, state, self.SCRATCH0)
+        self.emit_lea_fp_off(state, reg, offset)
+        self.writeback(instr.dst, reg, wb, state)
+
+    def _lower_LoadGlobal(self, instr: ir.LoadGlobal,
+                          state: "_FuncState") -> None:
+        s1 = self.r(self.SCRATCH1)
+        state.emit(movi_symbol(self.isa, s1, instr.symbol))
+        reg, wb = self.def_reg(instr.dst, state, self.SCRATCH0)
+        state.emit(Instruction("load", rd=reg, rn=s1, imm=0))
+        self.writeback(instr.dst, reg, wb, state)
+
+    def _lower_StoreGlobal(self, instr: ir.StoreGlobal,
+                           state: "_FuncState") -> None:
+        s1 = self.r(self.SCRATCH1)
+        state.emit(movi_symbol(self.isa, s1, instr.symbol))
+        src = self.use(instr.src, state, self.SCRATCH0)
+        state.emit(Instruction("store", rd=src, rn=s1, imm=0))
+
+    def _lower_AddrGlobal(self, instr: ir.AddrGlobal,
+                          state: "_FuncState") -> None:
+        reg, wb = self.def_reg(instr.dst, state, self.SCRATCH0)
+        mov = movi_symbol(self.isa, reg, instr.symbol)
+        state.emit(mov)
+        if instr.offset:
+            state.emit(Instruction("addi", rd=reg, rn=reg, imm=instr.offset))
+        self.writeback(instr.dst, reg, wb, state)
+
+    def _lower_TlsLoad(self, instr: ir.TlsLoad, state: "_FuncState") -> None:
+        offset = self.abi.tls_block_offset + self.tls_offsets[instr.symbol]
+        reg, wb = self.def_reg(instr.dst, state, self.SCRATCH0)
+        state.emit(Instruction("tlsload", rd=reg, imm=offset))
+        self.writeback(instr.dst, reg, wb, state)
+
+    def _lower_TlsStore(self, instr: ir.TlsStore, state: "_FuncState") -> None:
+        offset = self.abi.tls_block_offset + self.tls_offsets[instr.symbol]
+        src = self.use(instr.src, state, self.SCRATCH0)
+        state.emit(Instruction("tlsstore", rd=src, imm=offset))
+
+    def _lower_LoadMem(self, instr: ir.LoadMem, state: "_FuncState") -> None:
+        addr = self.use(instr.addr, state, self.SCRATCH0)
+        reg, wb = self.def_reg(instr.dst, state, self.SCRATCH1)
+        state.emit(Instruction("load", rd=reg, rn=addr, imm=0))
+        self.writeback(instr.dst, reg, wb, state)
+
+    def _lower_StoreMem(self, instr: ir.StoreMem, state: "_FuncState") -> None:
+        addr = self.use(instr.addr, state, self.SCRATCH0)
+        src = self.use(instr.src, state, self.SCRATCH1)
+        state.emit(Instruction("store", rd=src, rn=addr, imm=0))
+
+    def _lower_Jump(self, instr: ir.Jump, state: "_FuncState") -> None:
+        state.emit(Instruction("b", target=instr.label))
+
+    def _lower_BranchZero(self, instr: ir.BranchZero,
+                          state: "_FuncState") -> None:
+        src = self.use(instr.src, state, self.SCRATCH0)
+        state.emit(Instruction("cmpi", rn=src, imm=0))
+        state.emit(Instruction("bcc", cond="eq", target=instr.label))
+
+    def _lower_BranchNonZero(self, instr: ir.BranchNonZero,
+                             state: "_FuncState") -> None:
+        src = self.use(instr.src, state, self.SCRATCH0)
+        state.emit(Instruction("cmpi", rn=src, imm=0))
+        state.emit(Instruction("bcc", cond="ne", target=instr.label))
+
+    def _lower_CallIr(self, instr: ir.CallIr, state: "_FuncState") -> None:
+        if len(instr.args) > len(self.abi.arg_regs):
+            raise CompileError(f"too many args calling {instr.func!r}")
+        for i, temp in enumerate(instr.args):
+            src = self.use(temp, state, self.SCRATCH0)
+            arg_reg = self.r(self.abi.arg_regs[i])
+            if src != arg_reg:
+                state.emit(Instruction("mov", rd=arg_reg, rn=src))
+        state.emit(Instruction("call", target=instr.func))
+        resume = f"__eq_cs_{instr.eqpoint_id}"
+        marker = Instruction("nop")
+        marker.label = resume
+        state.emit(marker)
+        state.callsites.append((instr.eqpoint_id, resume))
+        if instr.dst is not None:
+            self.define(instr.dst, self.r(self.abi.return_reg), state)
+
+    def _lower_SyscallIr(self, instr: ir.SyscallIr,
+                         state: "_FuncState") -> None:
+        if len(instr.args) > len(self.abi.syscall_arg_regs):
+            raise CompileError("too many syscall args")
+        for i, temp in enumerate(instr.args):
+            src = self.use(temp, state, self.SCRATCH0)
+            arg_reg = self.r(self.abi.syscall_arg_regs[i])
+            if src != arg_reg:
+                state.emit(Instruction("mov", rd=arg_reg, rn=src))
+        number_reg = self.r(self.abi.syscall_number_reg)
+        state.emit(Instruction("movi", rd=number_reg, imm=instr.number))
+        state.emit(Instruction("syscall"))
+        if instr.dst is not None:
+            self.define(instr.dst, self.r(self.abi.return_reg), state)
+
+    def _lower_Ret(self, instr: ir.Ret, state: "_FuncState") -> None:
+        if instr.src is not None:
+            src = self.use(instr.src, state, self.SCRATCH0)
+            ret_reg = self.r(self.abi.return_reg)
+            if src != ret_reg:
+                state.emit(Instruction("mov", rd=ret_reg, rn=src))
+        self.emit_epilogue(state)
+        state.emit(Instruction("ret"))
+
+    # ----------------------------------------------------------- stackmaps
+
+    def build_eqpoints(self, state: "_FuncState") -> List[EqDesc]:
+        func = state.func
+        eqpoints: List[EqDesc] = []
+        # Entry eqpoint: parameters live in arg registers AND their spill
+        # slots; everything else in slots only (conservative liveness).
+        entry_live: List[LiveDesc] = []
+        for slot in func.slots:
+            binslot = state.slot_map[slot.slot_id]
+            if slot.kind == ir.SLOT_PARAM:
+                dwarf = self.isa.dwarf_of(self.abi.arg_regs[slot.slot_id])
+                entry_live.append(LiveDesc(
+                    slot.slot_id, slot.name, LOC_BOTH, dwarf,
+                    binslot.offset, slot.is_pointer, slot.size))
+            else:
+                entry_live.append(LiveDesc(
+                    slot.slot_id, slot.name, LOC_STACK, None,
+                    binslot.offset, slot.is_pointer, slot.size))
+        if not func.no_checker:
+            eqpoints.append(EqDesc(
+                func.entry_eqpoint, func.name, "entry",
+                state.entry_resume_label, state.entry_trap_label, entry_live))
+        # Callsite eqpoints: every slot, stack locations only.
+        cs_live = [LiveDesc(slot.slot_id, slot.name, LOC_STACK, None,
+                            state.slot_map[slot.slot_id].offset,
+                            slot.is_pointer, slot.size)
+                   for slot in func.slots]
+        for eqpoint_id, resume in state.callsites:
+            eqpoints.append(EqDesc(eqpoint_id, func.name, "callsite",
+                                   resume, None, cs_live))
+        return eqpoints
+
+
+class _FuncState:
+    """Mutable per-function emission state."""
+
+    def __init__(self, func: ir.IrFunction, slots: List[Slot],
+                 frame_size: int, spill_base: int):
+        self.func = func
+        self.slots = slots
+        self.slot_map: Dict[int, Slot] = {s.slot_id: s for s in slots}
+        self.frame_size = frame_size
+        self.spill_base = spill_base
+        self.out: List[Instruction] = []
+        self.callsites: List[Tuple[int, str]] = []
+        self.entry_resume_label = ""
+        self.entry_trap_label: Optional[str] = None
+        self.entry_eqpoint_id: Optional[int] = None
+        self._label_counter = 0
+
+    def emit(self, instr: Instruction) -> None:
+        self.out.append(instr)
+
+    def label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f".{hint}_{self._label_counter}"
+
+    def slot_offset(self, slot_id: int) -> int:
+        return self.slot_map[slot_id].offset

@@ -1,0 +1,91 @@
+"""x86_64 backend.
+
+Frame layout: slots in declaration (slot_id) order, packed downward from
+the frame pointer, spill area last. Two-operand arithmetic (``rd == rn``)
+is honoured by accumulating into the destination register.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...binfmt.frames import Slot
+from ...isa.isa import Instruction
+from .. import ir
+from .common import CodegenBase, _FuncState
+
+_KIND_MAP = {
+    ir.SLOT_PARAM: "param",
+    ir.SLOT_LOCAL: "local",
+    ir.SLOT_ARRAY: "array",
+    ir.SLOT_CALLTMP: "calltmp",
+}
+
+
+class X86Codegen(CodegenBase):
+    TEMP_POOL = ("rbx", "r10", "r11", "r12", "r13")
+    SCRATCH0 = "r14"
+    SCRATCH1 = "r15"
+
+    def assign_frame(self, func: ir.IrFunction) -> Tuple[List[Slot], int, int]:
+        slots: List[Slot] = []
+        offset = 0
+        for irslot in func.slots:
+            offset += irslot.size
+            slots.append(Slot(irslot.slot_id, irslot.name, -offset,
+                              irslot.size, _KIND_MAP[irslot.kind],
+                              irslot.is_pointer, pair_member=False))
+        frame_size, spill_base = self._finish_frame(offset, func)
+        return slots, frame_size, spill_base
+
+    # -- frame access -----------------------------------------------------
+
+    def emit_load_fp_off(self, state: _FuncState, dst: int,
+                         offset: int) -> None:
+        state.emit(Instruction("load", rd=dst, rn=self.fp(), imm=offset))
+
+    def emit_store_fp_off(self, state: _FuncState, offset: int,
+                          src: int) -> None:
+        state.emit(Instruction("store", rd=src, rn=self.fp(), imm=offset))
+
+    def emit_lea_fp_off(self, state: _FuncState, dst: int,
+                        offset: int) -> None:
+        state.emit(Instruction("lea", rd=dst, rn=self.fp(), imm=offset))
+
+    # -- prologue / epilogue -------------------------------------------------
+
+    def emit_prologue(self, state: _FuncState) -> None:
+        # call already pushed the return address: [sp] = ret addr.
+        fp, sp = self.fp(), self.sp()
+        state.emit(Instruction("push", rd=fp))
+        state.emit(Instruction("mov", rd=fp, rn=sp))
+        if state.frame_size:
+            state.emit(Instruction("addi", rd=sp, rn=sp,
+                                   imm=-state.frame_size))
+        # Spill parameters to their slots.
+        for irslot in state.func.params:
+            arg_reg = self.r(self.abi.arg_regs[irslot.slot_id])
+            self.emit_store_fp_off(state, state.slot_offset(irslot.slot_id),
+                                   arg_reg)
+
+    def emit_epilogue(self, state: _FuncState) -> None:
+        fp, sp = self.fp(), self.sp()
+        state.emit(Instruction("mov", rd=sp, rn=fp))
+        state.emit(Instruction("pop", rd=fp))
+        # ret pops the return address.
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def _lower_Bin(self, instr: ir.Bin, state: _FuncState) -> None:
+        # Accumulate in the destination register (or SCRATCH0 if spilled):
+        # two-operand form requires rd == rn.
+        acc, wb = self.def_reg(instr.dst, state, self.SCRATCH0)
+        a = self.use(instr.a, state, self.SCRATCH0)
+        if a != acc:
+            # `a` may be living in SCRATCH0 when both are spilled; move
+            # through SCRATCH1 never needed because use() loaded into
+            # SCRATCH0 only when spilled, and then acc == SCRATCH0.
+            state.emit(Instruction("mov", rd=acc, rn=a))
+        b = self.use(instr.b, state, self.SCRATCH1)
+        state.emit(Instruction(instr.op, rd=acc, rn=acc, rm=b))
+        self.writeback(instr.dst, acc, wb, state)

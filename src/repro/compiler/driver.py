@@ -1,0 +1,63 @@
+"""Compiler driver: DapperC source → one aligned DELF binary per ISA."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..binfmt.delf import DelfBinary
+from ..isa import ARM_ISA, X86_ISA, Isa
+from . import irgen, linker, passes
+from .codegen.armgen import ArmCodegen
+from .codegen.x86gen import X86Codegen
+
+_BACKENDS = {
+    X86_ISA.name: (X86_ISA, X86Codegen),
+    ARM_ISA.name: (ARM_ISA, ArmCodegen),
+}
+
+
+class CompiledProgram:
+    """Result of one compilation: the shared IR plus per-ISA binaries."""
+
+    def __init__(self, name: str, ir_program, binaries: Dict[str, DelfBinary]):
+        self.name = name
+        self.ir = ir_program
+        self.binaries = binaries
+
+    def binary(self, isa_name: str) -> DelfBinary:
+        return self.binaries[isa_name]
+
+    def __repr__(self) -> str:
+        archs = ", ".join(sorted(self.binaries))
+        return f"<CompiledProgram {self.name} [{archs}]>"
+
+
+def compile_source(source: str, name: str = "program",
+                   isas: Optional[Dict[str, Isa]] = None,
+                   arm_stack_pairs: bool = True) -> CompiledProgram:
+    """Compile DapperC source for every ISA (both, by default).
+
+    The pipeline mirrors the paper's toolchain (§III-D1): one IR, a
+    middle-end pass that places equivalence points and stackmap records,
+    two backends, and a linker that aligns all symbols across the output
+    binaries.
+
+    ``arm_stack_pairs=False`` disables ldp/stp emission on aarch64 — the
+    paper's future-work extension that makes every slot shuffleable (see
+    :class:`~repro.compiler.codegen.armgen.ArmCodegen`).
+    """
+    program = irgen.lower(source, name)
+    passes.run_middle_end(program)
+    targets = isas or {name_: isa for name_, (isa, _) in _BACKENDS.items()}
+    per_isa_code = {}
+    isa_map = {}
+    for isa_name in targets:
+        isa, backend_cls = _BACKENDS[isa_name]
+        backend = backend_cls(isa, program)
+        if isa_name == "aarch64":
+            backend.use_stack_pairs = arm_stack_pairs
+        per_isa_code[isa_name] = [backend.compile_function(f)
+                                  for f in program.functions]
+        isa_map[isa_name] = isa
+    binaries = linker.link(program, per_isa_code, isa_map)
+    return CompiledProgram(name, program, binaries)

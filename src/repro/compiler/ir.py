@@ -1,0 +1,401 @@
+"""Typed three-address IR shared by both backends.
+
+The IR is a *linear* instruction list per function with labels and
+branches (no explicit CFG — the programs the reproduction compiles do
+not need one). Every named program variable lives in a *slot* with a
+stable ``slot_id``; expression temporaries (``Temp``) are statement-local
+and are guaranteed by the IR generator never to be live across a call or
+any other equivalence point (calls are hoisted to statement level).
+
+This property is what makes the cross-ISA stackmaps tractable exactly as
+described in DESIGN.md: at every equivalence point the live state is the
+set of frame slots (plus, at function entry, the argument registers).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+WORD = 8
+
+SLOT_PARAM = "param"
+SLOT_LOCAL = "local"
+SLOT_ARRAY = "array"
+SLOT_CALLTMP = "calltmp"
+
+BIN_OPS = ("add", "sub", "mul", "sdiv", "srem", "and", "orr", "eor",
+           "lsl", "lsr")
+CMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+
+class Temp:
+    """A statement-local virtual register."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int):
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"t{self.index}"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Temp) and other.index == self.index
+
+    def __hash__(self) -> int:
+        return hash(("temp", self.index))
+
+
+class IrSlot:
+    """One named stack slot (parameter, local, array, or call temp)."""
+
+    __slots__ = ("slot_id", "name", "size", "is_pointer", "kind")
+
+    def __init__(self, slot_id: int, name: str, size: int,
+                 is_pointer: bool, kind: str):
+        self.slot_id = slot_id
+        self.name = name
+        self.size = size
+        self.is_pointer = is_pointer
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return (f"<IrSlot #{self.slot_id} {self.name} {self.size}B "
+                f"{self.kind}{' ptr' if self.is_pointer else ''}>")
+
+
+# -- instructions -------------------------------------------------------------
+
+class IrInstr:
+    __slots__ = ()
+
+
+class Label(IrInstr):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"{self.name}:"
+
+
+class Const(IrInstr):
+    __slots__ = ("dst", "value")
+
+    def __init__(self, dst: Temp, value: int):
+        self.dst = dst
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"  {self.dst} = const {self.value:#x}"
+
+
+class Move(IrInstr):
+    __slots__ = ("dst", "src")
+
+    def __init__(self, dst: Temp, src: Temp):
+        self.dst = dst
+        self.src = src
+
+    def __repr__(self) -> str:
+        return f"  {self.dst} = {self.src}"
+
+
+class Bin(IrInstr):
+    __slots__ = ("op", "dst", "a", "b")
+
+    def __init__(self, op: str, dst: Temp, a: Temp, b: Temp):
+        assert op in BIN_OPS, op
+        self.op = op
+        self.dst = dst
+        self.a = a
+        self.b = b
+
+    def __repr__(self) -> str:
+        return f"  {self.dst} = {self.op} {self.a}, {self.b}"
+
+
+class Cmp(IrInstr):
+    """dst = (a OP b) as 0/1."""
+
+    __slots__ = ("op", "dst", "a", "b")
+
+    def __init__(self, op: str, dst: Temp, a: Temp, b: Temp):
+        assert op in CMP_OPS, op
+        self.op = op
+        self.dst = dst
+        self.a = a
+        self.b = b
+
+    def __repr__(self) -> str:
+        return f"  {self.dst} = cmp.{self.op} {self.a}, {self.b}"
+
+
+class LoadSlot(IrInstr):
+    __slots__ = ("dst", "slot_id")
+
+    def __init__(self, dst: Temp, slot_id: int):
+        self.dst = dst
+        self.slot_id = slot_id
+
+    def __repr__(self) -> str:
+        return f"  {self.dst} = slot[{self.slot_id}]"
+
+
+class StoreSlot(IrInstr):
+    __slots__ = ("slot_id", "src")
+
+    def __init__(self, slot_id: int, src: Temp):
+        self.slot_id = slot_id
+        self.src = src
+
+    def __repr__(self) -> str:
+        return f"  slot[{self.slot_id}] = {self.src}"
+
+
+class AddrSlot(IrInstr):
+    """dst = address of slot (+ constant byte offset)."""
+
+    __slots__ = ("dst", "slot_id", "offset")
+
+    def __init__(self, dst: Temp, slot_id: int, offset: int = 0):
+        self.dst = dst
+        self.slot_id = slot_id
+        self.offset = offset
+
+    def __repr__(self) -> str:
+        return f"  {self.dst} = &slot[{self.slot_id}]+{self.offset}"
+
+
+class LoadGlobal(IrInstr):
+    __slots__ = ("dst", "symbol")
+
+    def __init__(self, dst: Temp, symbol: str):
+        self.dst = dst
+        self.symbol = symbol
+
+    def __repr__(self) -> str:
+        return f"  {self.dst} = @{self.symbol}"
+
+
+class StoreGlobal(IrInstr):
+    __slots__ = ("symbol", "src")
+
+    def __init__(self, symbol: str, src: Temp):
+        self.symbol = symbol
+        self.src = src
+
+    def __repr__(self) -> str:
+        return f"  @{self.symbol} = {self.src}"
+
+
+class AddrGlobal(IrInstr):
+    __slots__ = ("dst", "symbol", "offset")
+
+    def __init__(self, dst: Temp, symbol: str, offset: int = 0):
+        self.dst = dst
+        self.symbol = symbol
+        self.offset = offset
+
+    def __repr__(self) -> str:
+        return f"  {self.dst} = &@{self.symbol}+{self.offset}"
+
+
+class TlsLoad(IrInstr):
+    __slots__ = ("dst", "symbol")
+
+    def __init__(self, dst: Temp, symbol: str):
+        self.dst = dst
+        self.symbol = symbol
+
+    def __repr__(self) -> str:
+        return f"  {self.dst} = tls:{self.symbol}"
+
+
+class TlsStore(IrInstr):
+    __slots__ = ("symbol", "src")
+
+    def __init__(self, symbol: str, src: Temp):
+        self.symbol = symbol
+        self.src = src
+
+    def __repr__(self) -> str:
+        return f"  tls:{self.symbol} = {self.src}"
+
+
+class LoadMem(IrInstr):
+    __slots__ = ("dst", "addr")
+
+    def __init__(self, dst: Temp, addr: Temp):
+        self.dst = dst
+        self.addr = addr
+
+    def __repr__(self) -> str:
+        return f"  {self.dst} = mem[{self.addr}]"
+
+
+class StoreMem(IrInstr):
+    __slots__ = ("addr", "src")
+
+    def __init__(self, addr: Temp, src: Temp):
+        self.addr = addr
+        self.src = src
+
+    def __repr__(self) -> str:
+        return f"  mem[{self.addr}] = {self.src}"
+
+
+class CallIr(IrInstr):
+    """Direct call. ``eqpoint_id`` is assigned by the middle-end pass."""
+
+    __slots__ = ("dst", "func", "args", "eqpoint_id")
+
+    def __init__(self, dst: Optional[Temp], func: str, args: List[Temp]):
+        self.dst = dst
+        self.func = func
+        self.args = args
+        self.eqpoint_id: Optional[int] = None
+
+    def __repr__(self) -> str:
+        lhs = f"{self.dst} = " if self.dst else ""
+        return (f"  {lhs}call {self.func}({', '.join(map(repr, self.args))})"
+                f" [eq#{self.eqpoint_id}]")
+
+
+class SyscallIr(IrInstr):
+    __slots__ = ("dst", "number", "args")
+
+    def __init__(self, dst: Optional[Temp], number: int, args: List[Temp]):
+        self.dst = dst
+        self.number = number
+        self.args = args
+
+    def __repr__(self) -> str:
+        lhs = f"{self.dst} = " if self.dst else ""
+        return f"  {lhs}syscall {self.number}({', '.join(map(repr, self.args))})"
+
+
+class Jump(IrInstr):
+    __slots__ = ("label",)
+
+    def __init__(self, label: str):
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"  jump {self.label}"
+
+
+class BranchZero(IrInstr):
+    """if src == 0: goto label"""
+
+    __slots__ = ("src", "label")
+
+    def __init__(self, src: Temp, label: str):
+        self.src = src
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"  if {self.src} == 0 goto {self.label}"
+
+
+class BranchNonZero(IrInstr):
+    """if src != 0: goto label"""
+
+    __slots__ = ("src", "label")
+
+    def __init__(self, src: Temp, label: str):
+        self.src = src
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"  if {self.src} != 0 goto {self.label}"
+
+
+class Ret(IrInstr):
+    __slots__ = ("src",)
+
+    def __init__(self, src: Optional[Temp]):
+        self.src = src
+
+    def __repr__(self) -> str:
+        return f"  ret {self.src if self.src else ''}"
+
+
+class EqPointEntry(IrInstr):
+    """Marker: the function-entry equivalence point (inline checker site)."""
+
+    __slots__ = ("eqpoint_id",)
+
+    def __init__(self):
+        self.eqpoint_id: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return f"  eqpoint.entry [eq#{self.eqpoint_id}]"
+
+
+# -- containers ---------------------------------------------------------------
+
+class IrFunction:
+    def __init__(self, name: str, params: List[IrSlot],
+                 returns_value: bool):
+        self.name = name
+        self.params = params
+        self.returns_value = returns_value
+        self.slots: List[IrSlot] = list(params)
+        self.body: List[IrInstr] = []
+        self.max_temps = 0
+        self.entry_eqpoint: Optional[int] = None
+        #: set by passes.py: do not instrument a checker (runtime helpers
+        #: like __poll would otherwise recurse through themselves).
+        self.no_checker = False
+
+    def slot_by_name(self, name: str) -> Optional[IrSlot]:
+        for slot in self.slots:
+            if slot.name == name:
+                return slot
+        return None
+
+    def add_slot(self, slot: IrSlot) -> IrSlot:
+        self.slots.append(slot)
+        return slot
+
+    def dump(self) -> str:
+        lines = [f"func {self.name}({', '.join(s.name for s in self.params)})"
+                 f" slots={len(self.slots)} max_temps={self.max_temps}"]
+        lines += [repr(i) for i in self.body]
+        return "\n".join(lines)
+
+
+class IrGlobal:
+    __slots__ = ("name", "size", "is_pointer")
+
+    def __init__(self, name: str, size: int, is_pointer: bool):
+        self.name = name
+        self.size = size
+        self.is_pointer = is_pointer
+
+
+class IrTls:
+    __slots__ = ("name", "offset")
+
+    def __init__(self, name: str, offset: int):
+        self.name = name
+        self.offset = offset
+
+
+class IrProgram:
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self.functions: List[IrFunction] = []
+        self.globals: List[IrGlobal] = []
+        self.tls_vars: List[IrTls] = []
+
+    def function(self, name: str) -> IrFunction:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)
+
+    def dump(self) -> str:
+        return "\n\n".join(f.dump() for f in self.functions)

@@ -1,0 +1,588 @@
+"""AST → IR lowering.
+
+Responsibilities beyond straightforward lowering:
+
+* **Call hoisting.** Any call nested inside an expression is hoisted to
+  its own statement whose result lands in a dedicated ``calltmp`` frame
+  slot. After hoisting, no expression temporary is ever live across a
+  call — the property the stackmap design relies on (see ``ir.py``).
+* **Builtin lowering.** ``print``/``exit``/… become syscalls;
+  ``lock``/``join`` become polling loops that pass through the ``__poll``
+  function (an equivalence point) on every iteration.
+* **Pointer-ness.** Slots and expressions are classified as pointers so
+  the stackmaps can mark values for stack-pointer remapping.
+* **Runtime prelude.** ``_start``, ``__poll`` and ``__thread_exit`` are
+  injected into every program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .. import sysabi
+from ..errors import CompileError
+from . import ast_nodes as ast
+from . import ir
+from .parser import parse
+
+MAX_PARAMS = 6
+
+RUNTIME_PRELUDE = """
+// Dapper runtime prelude (injected by the compiler).
+func __poll() { yield(); }
+func __thread_exit() { texit(); }
+func _start() -> int { int r; r = main(); exit(r); return 0; }
+"""
+
+_BINOP_MAP = {
+    "+": "add", "-": "sub", "*": "mul", "/": "sdiv", "%": "srem",
+    "&": "and", "|": "orr", "^": "eor", "<<": "lsl", ">>": "lsr",
+}
+_CMP_MAP = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le",
+            ">": "gt", ">=": "ge"}
+
+_SIMPLE_BUILTINS: Dict[str, Tuple[int, int, bool]] = {
+    # name: (syscall number, arg count, returns value)
+    "print": (sysabi.SYS_PRINT_INT, 1, False),
+    "printc": (sysabi.SYS_PRINT_CHAR, 1, False),
+    "exit": (sysabi.SYS_EXIT, 1, False),
+    "sbrk": (sysabi.SYS_SBRK, 1, True),
+    "unlock": (sysabi.SYS_UNLOCK, 1, False),
+    "yield": (sysabi.SYS_YIELD, 0, False),
+    "self": (sysabi.SYS_GETTID, 0, True),
+    "now": (sysabi.SYS_NOW, 0, True),
+    "texit": (sysabi.SYS_THREAD_EXIT, 0, False),
+}
+
+
+class _FuncContext:
+    """Per-function lowering state."""
+
+    def __init__(self, func: ir.IrFunction, program_ctx: "_ProgramContext"):
+        self.func = func
+        self.program = program_ctx
+        self.temp_counter = 0
+        self.label_counter = 0
+        self.calltmp_counter = 0
+        self.loop_stack: List[Tuple[str, str]] = []   # (continue, break)
+        self.slot_ids: Dict[str, int] = {}
+
+    def new_temp(self) -> ir.Temp:
+        temp = ir.Temp(self.temp_counter)
+        self.temp_counter += 1
+        self.func.max_temps = max(self.func.max_temps, self.temp_counter)
+        return temp
+
+    def reset_temps(self) -> None:
+        self.temp_counter = 0
+
+    def new_label(self, hint: str) -> str:
+        self.label_counter += 1
+        return f".L{hint}_{self.label_counter}"
+
+    def new_calltmp(self, is_pointer: bool) -> ir.IrSlot:
+        name = f"$call{self.calltmp_counter}"
+        self.calltmp_counter += 1
+        slot = ir.IrSlot(len(self.func.slots), name, ir.WORD, is_pointer,
+                         ir.SLOT_CALLTMP)
+        self.func.add_slot(slot)
+        self.slot_ids[name] = slot.slot_id
+        return slot
+
+    def emit(self, instr: ir.IrInstr) -> None:
+        self.func.body.append(instr)
+
+
+class _ProgramContext:
+    def __init__(self, program: ir.IrProgram):
+        self.program = program
+        self.global_names: Dict[str, ir.IrGlobal] = {}
+        self.tls_names: Dict[str, ir.IrTls] = {}
+        self.func_names: Dict[str, ast.FuncDecl] = {}
+
+
+def lower(source: str, name: str = "program",
+          with_prelude: bool = True) -> ir.IrProgram:
+    """Parse and lower DapperC source into an :class:`~repro.compiler.ir.IrProgram`."""
+    full_source = (RUNTIME_PRELUDE + source) if with_prelude else source
+    tree = parse(full_source)
+    program = ir.IrProgram(name)
+    ctx = _ProgramContext(program)
+
+    for decl in tree.globals:
+        if decl.name in ctx.global_names:
+            raise CompileError(f"duplicate global {decl.name!r}", decl.line)
+        glob = ir.IrGlobal(decl.name, decl.count * ir.WORD, decl.is_pointer)
+        ctx.global_names[decl.name] = glob
+        program.globals.append(glob)
+
+    offset = sysabi.TLS_USER_BASE
+    for decl in tree.tls_vars:
+        if decl.name in ctx.tls_names:
+            raise CompileError(f"duplicate tls var {decl.name!r}", decl.line)
+        tls = ir.IrTls(decl.name, offset)
+        offset += ir.WORD
+        ctx.tls_names[decl.name] = tls
+        program.tls_vars.append(tls)
+
+    for func in tree.functions:
+        if func.name in ctx.func_names:
+            raise CompileError(f"duplicate function {func.name!r}", func.line)
+        ctx.func_names[func.name] = func
+
+    if "main" not in ctx.func_names:
+        raise CompileError("program has no 'main' function")
+
+    for func in tree.functions:
+        program.functions.append(_lower_function(func, ctx))
+    return program
+
+
+def _lower_function(decl: ast.FuncDecl, pctx: _ProgramContext) -> ir.IrFunction:
+    if len(decl.params) > MAX_PARAMS:
+        raise CompileError(
+            f"{decl.name}: at most {MAX_PARAMS} parameters supported",
+            decl.line)
+    params = [ir.IrSlot(i, p.name, ir.WORD, p.is_pointer, ir.SLOT_PARAM)
+              for i, p in enumerate(decl.params)]
+    func = ir.IrFunction(decl.name, params, decl.returns_value)
+    fctx = _FuncContext(func, pctx)
+    for slot in params:
+        fctx.slot_ids[slot.name] = slot.slot_id
+    for local in decl.locals:
+        if local.name in fctx.slot_ids:
+            raise CompileError(
+                f"{decl.name}: duplicate variable {local.name!r}", local.line)
+        kind = ir.SLOT_ARRAY if local.count > 1 else ir.SLOT_LOCAL
+        slot = ir.IrSlot(len(func.slots), local.name,
+                         local.count * ir.WORD, local.is_pointer, kind)
+        func.add_slot(slot)
+        fctx.slot_ids[local.name] = slot.slot_id
+
+    func.body.append(ir.EqPointEntry())
+    for stmt in decl.body:
+        _lower_stmt(stmt, fctx)
+    # Implicit return (value 0 if the function returns one).
+    fctx.reset_temps()
+    if decl.returns_value:
+        temp = fctx.new_temp()
+        fctx.emit(ir.Const(temp, 0))
+        fctx.emit(ir.Ret(temp))
+    else:
+        fctx.emit(ir.Ret(None))
+    return func
+
+
+# -- statements -----------------------------------------------------------------
+
+def _lower_stmt(stmt: ast.Stmt, fctx: _FuncContext) -> None:
+    fctx.reset_temps()
+    if isinstance(stmt, ast.Assign):
+        _lower_assign(stmt, fctx)
+    elif isinstance(stmt, ast.ExprStmt):
+        _lower_expr_stmt(stmt, fctx)
+    elif isinstance(stmt, ast.If):
+        _lower_if(stmt, fctx)
+    elif isinstance(stmt, ast.While):
+        _lower_while(stmt, fctx)
+    elif isinstance(stmt, ast.Break):
+        if not fctx.loop_stack:
+            raise CompileError("'break' outside loop", stmt.line)
+        fctx.emit(ir.Jump(fctx.loop_stack[-1][1]))
+    elif isinstance(stmt, ast.Continue):
+        if not fctx.loop_stack:
+            raise CompileError("'continue' outside loop", stmt.line)
+        fctx.emit(ir.Jump(fctx.loop_stack[-1][0]))
+    elif isinstance(stmt, ast.Return):
+        if stmt.expr is not None:
+            expr = _hoist_calls(stmt.expr, fctx)
+            temp, _ = _lower_expr(expr, fctx)
+            fctx.emit(ir.Ret(temp))
+        else:
+            fctx.emit(ir.Ret(None))
+    else:
+        raise CompileError(f"unsupported statement {type(stmt).__name__}",
+                           stmt.line)
+
+
+def _lower_assign(stmt: ast.Assign, fctx: _FuncContext) -> None:
+    expr = _hoist_calls(stmt.expr, fctx)
+    target = stmt.target
+    if isinstance(target, ast.Var):
+        value, _ = _lower_expr(expr, fctx)
+        name = target.name
+        if name in fctx.slot_ids:
+            fctx.emit(ir.StoreSlot(fctx.slot_ids[name], value))
+        elif name in fctx.program.global_names:
+            fctx.emit(ir.StoreGlobal(name, value))
+        elif name in fctx.program.tls_names:
+            fctx.emit(ir.TlsStore(name, value))
+        else:
+            raise CompileError(f"undefined variable {name!r}", stmt.line)
+        return
+    if isinstance(target, ast.Deref):
+        addr_expr = _hoist_calls(target.operand, fctx)
+        value, _ = _lower_expr(expr, fctx)
+        addr, _ = _lower_expr(addr_expr, fctx)
+        fctx.emit(ir.StoreMem(addr, value))
+        return
+    if isinstance(target, ast.Index):
+        idx_expr = _hoist_calls(target.index, fctx)
+        value, _ = _lower_expr(expr, fctx)
+        addr = _lower_element_addr(target.base, idx_expr, fctx, stmt.line)
+        fctx.emit(ir.StoreMem(addr, value))
+        return
+    raise CompileError("invalid assignment target", stmt.line)
+
+
+def _lower_expr_stmt(stmt: ast.ExprStmt, fctx: _FuncContext) -> None:
+    expr = stmt.expr
+    if isinstance(expr, ast.Call):
+        _lower_call(expr, fctx, want_value=False)
+        return
+    hoisted = _hoist_calls(expr, fctx)
+    _lower_expr(hoisted, fctx)   # evaluated for (non-)effect; result dropped
+
+
+def _lower_if(stmt: ast.If, fctx: _FuncContext) -> None:
+    else_label = fctx.new_label("else")
+    end_label = fctx.new_label("endif")
+    cond = _hoist_calls(stmt.cond, fctx)
+    fctx.reset_temps()
+    temp, _ = _lower_expr(cond, fctx)
+    fctx.emit(ir.BranchZero(temp, else_label if stmt.else_body else end_label))
+    for inner in stmt.then_body:
+        _lower_stmt(inner, fctx)
+    if stmt.else_body:
+        fctx.emit(ir.Jump(end_label))
+        fctx.emit(ir.Label(else_label))
+        for inner in stmt.else_body:
+            _lower_stmt(inner, fctx)
+    fctx.emit(ir.Label(end_label))
+
+
+def _lower_while(stmt: ast.While, fctx: _FuncContext) -> None:
+    top_label = fctx.new_label("while")
+    end_label = fctx.new_label("endwhile")
+    fctx.emit(ir.Label(top_label))
+    cond = _hoist_calls(stmt.cond, fctx)
+    fctx.reset_temps()
+    temp, _ = _lower_expr(cond, fctx)
+    fctx.emit(ir.BranchZero(temp, end_label))
+    fctx.loop_stack.append((top_label, end_label))
+    for inner in stmt.body:
+        _lower_stmt(inner, fctx)
+    fctx.loop_stack.pop()
+    fctx.emit(ir.Jump(top_label))
+    fctx.emit(ir.Label(end_label))
+
+
+# -- call hoisting -------------------------------------------------------------
+
+def _hoist_calls(expr: ast.Expr, fctx: _FuncContext) -> ast.Expr:
+    """Replace every nested Call with a Var reading a fresh calltmp slot.
+
+    The calls themselves are emitted (in evaluation order) before the
+    containing statement's code.
+    """
+    if isinstance(expr, ast.Call):
+        # Hoist arguments first (they may themselves contain calls).
+        hoisted_args = [_hoist_calls(a, fctx) for a in expr.args]
+        call = ast.Call(expr.name, hoisted_args, expr.is_builtin, expr.line)
+        returns_pointer = expr.is_builtin and expr.name == "sbrk"
+        slot = fctx.new_calltmp(returns_pointer)
+        result = _lower_call(call, fctx, want_value=True)
+        if result is None:
+            raise CompileError(
+                f"call to {expr.name!r} used as a value but returns nothing",
+                expr.line)
+        fctx.emit(ir.StoreSlot(slot.slot_id, result))
+        fctx.reset_temps()
+        return ast.Var(slot.name, expr.line)
+    if isinstance(expr, ast.BinOp):
+        left = _hoist_calls(expr.left, fctx)
+        right = _hoist_calls(expr.right, fctx)
+        return ast.BinOp(expr.op, left, right, expr.line)
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _hoist_calls(expr.operand, fctx),
+                           expr.line)
+    if isinstance(expr, ast.Deref):
+        return ast.Deref(_hoist_calls(expr.operand, fctx), expr.line)
+    if isinstance(expr, ast.AddrOf):
+        if isinstance(expr.target, ast.Index):
+            target = ast.Index(expr.target.base,
+                               _hoist_calls(expr.target.index, fctx),
+                               expr.target.line)
+            return ast.AddrOf(target, expr.line)
+        return expr
+    if isinstance(expr, ast.Index):
+        return ast.Index(expr.base, _hoist_calls(expr.index, fctx), expr.line)
+    return expr
+
+
+# -- calls ---------------------------------------------------------------------
+
+def _lower_call(expr: ast.Call, fctx: _FuncContext,
+                want_value: bool) -> Optional[ir.Temp]:
+    if expr.is_builtin or expr.name == "texit":
+        return _lower_builtin(expr, fctx, want_value)
+    decl = fctx.program.func_names.get(expr.name)
+    if decl is None:
+        raise CompileError(f"call to undefined function {expr.name!r}",
+                           expr.line)
+    if len(expr.args) != len(decl.params):
+        raise CompileError(
+            f"{expr.name!r} expects {len(decl.params)} args, "
+            f"got {len(expr.args)}", expr.line)
+    # Nested calls inside arguments must be hoisted before lowering any
+    # argument (hoisting emits code and resets the temp counter).
+    hoisted = [_hoist_calls(a, fctx) for a in expr.args]
+    arg_temps = []
+    for arg in hoisted:
+        temp, _ = _lower_expr(arg, fctx)
+        arg_temps.append(temp)
+    dst = fctx.new_temp() if (want_value and decl.returns_value) else None
+    fctx.emit(ir.CallIr(dst, expr.name, arg_temps))
+    if want_value and not decl.returns_value:
+        return None
+    return dst
+
+
+def _lower_builtin(expr: ast.Call, fctx: _FuncContext,
+                   want_value: bool) -> Optional[ir.Temp]:
+    name = expr.name
+    if name in _SIMPLE_BUILTINS:
+        number, argc, returns = _SIMPLE_BUILTINS[name]
+        if len(expr.args) != argc:
+            raise CompileError(f"{name} expects {argc} args", expr.line)
+        hoisted = [_hoist_calls(a, fctx) for a in expr.args]
+        temps = [_lower_expr(a, fctx)[0] for a in hoisted]
+        dst = fctx.new_temp() if returns else None
+        fctx.emit(ir.SyscallIr(dst, number, temps))
+        return dst
+    if name == "spawn":
+        if len(expr.args) != 2 or not isinstance(expr.args[0], ast.Var):
+            raise CompileError("spawn(fname, arg) needs a function name",
+                               expr.line)
+        fname = expr.args[0].name
+        if fname not in fctx.program.func_names:
+            raise CompileError(f"spawn of undefined function {fname!r}",
+                               expr.line)
+        target = fctx.program.func_names[fname]
+        if len(target.params) > 1:
+            raise CompileError(
+                f"spawned function {fname!r} must take at most one arg",
+                expr.line)
+        spawn_arg = _hoist_calls(expr.args[1], fctx)
+        addr = fctx.new_temp()
+        fctx.emit(ir.AddrGlobal(addr, fname))
+        arg, _ = _lower_expr(spawn_arg, fctx)
+        dst = fctx.new_temp()
+        fctx.emit(ir.SyscallIr(dst, sysabi.SYS_SPAWN, [addr, arg]))
+        return dst
+    if name in ("join", "lock"):
+        if len(expr.args) != 1:
+            raise CompileError(f"{name} expects one arg", expr.line)
+        # Stash the operand in a calltmp slot: the polling loop re-reads
+        # it on each iteration and calls __poll (temps don't survive it).
+        operand, _ = _lower_expr(_hoist_calls(expr.args[0], fctx), fctx)
+        slot = fctx.new_calltmp(is_pointer=(name == "lock"))
+        fctx.emit(ir.StoreSlot(slot.slot_id, operand))
+        fctx.reset_temps()
+        number = sysabi.SYS_TRY_JOIN if name == "join" else sysabi.SYS_TRY_LOCK
+        top = fctx.new_label(f"{name}_poll")
+        done = fctx.new_label(f"{name}_done")
+        fctx.emit(ir.Label(top))
+        arg = fctx.new_temp()
+        fctx.emit(ir.LoadSlot(arg, slot.slot_id))
+        got = fctx.new_temp()
+        fctx.emit(ir.SyscallIr(got, number, [arg]))
+        fctx.emit(ir.BranchNonZero(got, done))
+        fctx.emit(ir.CallIr(None, sysabi.RT_POLL, []))
+        fctx.emit(ir.Jump(top))
+        fctx.emit(ir.Label(done))
+        fctx.reset_temps()
+        return None
+    raise CompileError(f"unknown builtin {name!r}", expr.line)
+
+
+# -- expressions ------------------------------------------------------------------
+
+def _lower_expr(expr: ast.Expr, fctx: _FuncContext) -> Tuple[ir.Temp, bool]:
+    """Lower a call-free expression; returns (temp, is_pointer)."""
+    if isinstance(expr, ast.Number):
+        temp = fctx.new_temp()
+        fctx.emit(ir.Const(temp, expr.value))
+        return temp, False
+    if isinstance(expr, ast.Var):
+        return _lower_var(expr, fctx)
+    if isinstance(expr, ast.UnaryOp):
+        operand, is_ptr = _lower_expr(expr.operand, fctx)
+        dst = fctx.new_temp()
+        if expr.op == "-":
+            zero = fctx.new_temp()
+            fctx.emit(ir.Const(zero, 0))
+            fctx.emit(ir.Bin("sub", dst, zero, operand))
+        elif expr.op == "!":
+            zero = fctx.new_temp()
+            fctx.emit(ir.Const(zero, 0))
+            fctx.emit(ir.Cmp("eq", dst, operand, zero))
+        else:
+            raise CompileError(f"unsupported unary {expr.op!r}", expr.line)
+        return dst, False
+    if isinstance(expr, ast.BinOp):
+        return _lower_binop(expr, fctx)
+    if isinstance(expr, ast.Deref):
+        addr, _ = _lower_expr(expr.operand, fctx)
+        dst = fctx.new_temp()
+        fctx.emit(ir.LoadMem(dst, addr))
+        return dst, False
+    if isinstance(expr, ast.AddrOf):
+        return _lower_addrof(expr, fctx)
+    if isinstance(expr, ast.Index):
+        addr = _lower_element_addr(expr.base, expr.index, fctx, expr.line)
+        dst = fctx.new_temp()
+        fctx.emit(ir.LoadMem(dst, addr))
+        return dst, False
+    if isinstance(expr, ast.Call):
+        raise CompileError(
+            "internal: call survived hoisting", expr.line)
+    raise CompileError(f"unsupported expression {type(expr).__name__}",
+                       expr.line)
+
+
+def _lower_var(expr: ast.Var, fctx: _FuncContext) -> Tuple[ir.Temp, bool]:
+    name = expr.name
+    dst = fctx.new_temp()
+    if name in fctx.slot_ids:
+        slot = fctx.func.slots[fctx.slot_ids[name]]
+        if slot.kind == ir.SLOT_ARRAY:
+            # An array name decays to its address.
+            fctx.emit(ir.AddrSlot(dst, slot.slot_id))
+            return dst, True
+        fctx.emit(ir.LoadSlot(dst, slot.slot_id))
+        return dst, slot.is_pointer
+    if name in fctx.program.global_names:
+        glob = fctx.program.global_names[name]
+        if glob.size > ir.WORD:
+            fctx.emit(ir.AddrGlobal(dst, name))
+            return dst, True
+        fctx.emit(ir.LoadGlobal(dst, name))
+        return dst, glob.is_pointer
+    if name in fctx.program.tls_names:
+        fctx.emit(ir.TlsLoad(dst, name))
+        return dst, False
+    if name in fctx.program.func_names:
+        fctx.emit(ir.AddrGlobal(dst, name))
+        return dst, True
+    raise CompileError(f"undefined variable {name!r}", expr.line)
+
+
+def _lower_binop(expr: ast.BinOp, fctx: _FuncContext) -> Tuple[ir.Temp, bool]:
+    op = expr.op
+    if op in ("&&", "||"):
+        return _lower_shortcircuit(expr, fctx)
+    if op in _CMP_MAP:
+        a, _ = _lower_expr(expr.left, fctx)
+        b, _ = _lower_expr(expr.right, fctx)
+        dst = fctx.new_temp()
+        fctx.emit(ir.Cmp(_CMP_MAP[op], dst, a, b))
+        return dst, False
+    if op in _BINOP_MAP:
+        a, a_ptr = _lower_expr(expr.left, fctx)
+        b, b_ptr = _lower_expr(expr.right, fctx)
+        is_ptr = (a_ptr or b_ptr) and op in ("+", "-")
+        # Pointer arithmetic scales by the 8-byte element size.
+        if is_ptr and op in ("+", "-") and (a_ptr != b_ptr):
+            scaled = fctx.new_temp()
+            eight = fctx.new_temp()
+            fctx.emit(ir.Const(eight, ir.WORD))
+            if a_ptr:
+                fctx.emit(ir.Bin("mul", scaled, b, eight))
+                b = scaled
+            else:
+                fctx.emit(ir.Bin("mul", scaled, a, eight))
+                a = scaled
+        dst = fctx.new_temp()
+        fctx.emit(ir.Bin(_BINOP_MAP[op], dst, a, b))
+        # ptr - ptr yields a (byte) difference, not a pointer.
+        return dst, is_ptr and not (a_ptr and b_ptr)
+    raise CompileError(f"unsupported operator {op!r}", expr.line)
+
+
+def _lower_shortcircuit(expr: ast.BinOp,
+                        fctx: _FuncContext) -> Tuple[ir.Temp, bool]:
+    # Calls were hoisted, so evaluating both sides has no side effects —
+    # but short-circuit form keeps the branch structure realistic.
+    done = fctx.new_label("sc_done")
+    dst = fctx.new_temp()
+    a, _ = _lower_expr(expr.left, fctx)
+    zero = fctx.new_temp()
+    fctx.emit(ir.Const(zero, 0))
+    fctx.emit(ir.Cmp("ne", dst, a, zero))
+    if expr.op == "&&":
+        fctx.emit(ir.BranchZero(dst, done))
+    else:
+        fctx.emit(ir.BranchNonZero(dst, done))
+    b, _ = _lower_expr(expr.right, fctx)
+    zero2 = fctx.new_temp()
+    fctx.emit(ir.Const(zero2, 0))
+    fctx.emit(ir.Cmp("ne", dst, b, zero2))
+    fctx.emit(ir.Label(done))
+    return dst, False
+
+
+def _lower_addrof(expr: ast.AddrOf, fctx: _FuncContext) -> Tuple[ir.Temp, bool]:
+    target = expr.target
+    dst = fctx.new_temp()
+    if isinstance(target, ast.Var):
+        name = target.name
+        if name in fctx.slot_ids:
+            fctx.emit(ir.AddrSlot(dst, fctx.slot_ids[name]))
+            return dst, True
+        if name in fctx.program.global_names:
+            fctx.emit(ir.AddrGlobal(dst, name))
+            return dst, True
+        raise CompileError(f"cannot take address of {name!r}", expr.line)
+    if isinstance(target, ast.Index):
+        addr = _lower_element_addr(target.base, target.index, fctx, expr.line)
+        fctx.emit(ir.Move(dst, addr))
+        return dst, True
+    raise CompileError("unsupported address-of target", expr.line)
+
+
+def _lower_element_addr(base: ast.Expr, index: ast.Expr, fctx: _FuncContext,
+                        line: int) -> ir.Temp:
+    """Address of ``base[index]`` (base: array name or pointer expr)."""
+    idx, _ = _lower_expr(index, fctx)
+    scaled = fctx.new_temp()
+    eight = fctx.new_temp()
+    fctx.emit(ir.Const(eight, ir.WORD))
+    fctx.emit(ir.Bin("mul", scaled, idx, eight))
+    if isinstance(base, ast.Var):
+        name = base.name
+        if name in fctx.slot_ids:
+            slot = fctx.func.slots[fctx.slot_ids[name]]
+            base_addr = fctx.new_temp()
+            if slot.kind == ir.SLOT_ARRAY:
+                fctx.emit(ir.AddrSlot(base_addr, slot.slot_id))
+            else:
+                fctx.emit(ir.LoadSlot(base_addr, slot.slot_id))
+            out = fctx.new_temp()
+            fctx.emit(ir.Bin("add", out, base_addr, scaled))
+            return out
+        if name in fctx.program.global_names:
+            glob = fctx.program.global_names[name]
+            base_addr = fctx.new_temp()
+            if glob.size > ir.WORD:
+                fctx.emit(ir.AddrGlobal(base_addr, name))
+            else:
+                fctx.emit(ir.LoadGlobal(base_addr, name))
+            out = fctx.new_temp()
+            fctx.emit(ir.Bin("add", out, base_addr, scaled))
+            return out
+        raise CompileError(f"undefined variable {name!r}", line)
+    base_temp, _ = _lower_expr(base, fctx)
+    out = fctx.new_temp()
+    fctx.emit(ir.Bin("add", out, base_temp, scaled))
+    return out

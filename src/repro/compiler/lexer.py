@@ -1,0 +1,109 @@
+"""Hand-written lexer for DapperC."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import CompileError
+from .tokens import KEYWORDS, OPERATORS, Token
+
+_PUNCT_SINGLE = "(){}[],;"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex DapperC source into a token list ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def emit(kind: str, value, length: int, at_col: int) -> None:
+        tokens.append(Token(kind, value, line, at_col))
+
+    while i < n:
+        ch = source[i]
+        # Whitespace and newlines.
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # Line comments.
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        # Block comments.
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line, col)
+            for c in source[i:end]:
+                if c == "\n":
+                    line += 1
+                    col = 0
+                col += 1
+            i = end + 2
+            continue
+        # Numbers: decimal and 0x-hex, with optional leading minus handled
+        # by the parser as unary.
+        if ch.isdigit():
+            start = i
+            start_col = col
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                text = source[start:i]
+                value = int(text, 16)
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                value = int(source[start:i])
+            col += i - start
+            emit("number", value, i - start, start_col)
+            continue
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_" or ch == "$":
+            start = i
+            start_col = col
+            while i < n and (source[i].isalnum() or source[i] in "_$"):
+                i += 1
+            text = source[start:i]
+            col += i - start
+            if text in KEYWORDS:
+                emit("keyword", text, i - start, start_col)
+            else:
+                emit("ident", text, i - start, start_col)
+            continue
+        # '->' is punctuation (function return arrow), check before '-'.
+        if source.startswith("->", i):
+            emit("punct", "->", 2, col)
+            i += 2
+            col += 2
+            continue
+        # Operators (longest match first).
+        matched = False
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                emit("op", op, len(op), col)
+                i += len(op)
+                col += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT_SINGLE:
+            emit("punct", ch, 1, col)
+            i += 1
+            col += 1
+            continue
+        raise CompileError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token("eof", None, line, col))
+    return tokens

@@ -1,0 +1,325 @@
+"""Recursive-descent parser for DapperC.
+
+Grammar (EBNF-ish)::
+
+    program    := (global_decl | tls_decl | func_decl)*
+    global_decl:= "global" "int" ["*"] IDENT ["[" NUMBER "]"] ";"
+    tls_decl   := "tls" "int" IDENT ";"
+    func_decl  := "func" IDENT "(" params ")" ["->" "int"] block
+    params     := [param ("," param)*]
+    param      := "int" ["*"] IDENT
+    block      := "{" (local_decl | stmt)* "}"
+    local_decl := "int" ["*"] IDENT ["[" NUMBER "]"] ";"
+    stmt       := assign ";" | call ";" | if | while | "break" ";"
+                | "continue" ";" | "return" [expr] ";"
+    if         := "if" "(" expr ")" block ["else" (block | if)]
+    while      := "while" "(" expr ")" block
+    assign     := lvalue "=" expr
+    lvalue     := IDENT | "*" unary | IDENT "[" expr "]"
+    expr       := logical_or ( "||" handled with short-circuit lowering )
+    ...
+
+Local declarations may appear anywhere in a function body (they are all
+hoisted to function scope, C89-style).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import CompileError
+from . import ast_nodes as ast
+from .lexer import tokenize
+from .tokens import BUILTINS, Token
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, value=None) -> bool:
+        return self.peek().matches(kind, value)
+
+    def accept(self, kind: str, value=None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value=None) -> Token:
+        token = self.peek()
+        if not token.matches(kind, value):
+            want = value if value is not None else kind
+            raise CompileError(
+                f"expected {want!r}, found {token.value!r}",
+                token.line, token.column)
+        return self.advance()
+
+    # -- declarations ----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        globals_: List[ast.GlobalDecl] = []
+        tls_vars: List[ast.TlsDecl] = []
+        functions: List[ast.FuncDecl] = []
+        while not self.check("eof"):
+            if self.check("keyword", "global"):
+                globals_.append(self.parse_global())
+            elif self.check("keyword", "tls"):
+                tls_vars.append(self.parse_tls())
+            elif self.check("keyword", "func"):
+                functions.append(self.parse_func())
+            else:
+                token = self.peek()
+                raise CompileError(
+                    f"expected declaration, found {token.value!r}",
+                    token.line, token.column)
+        return ast.Program(globals_, tls_vars, functions)
+
+    def parse_global(self) -> ast.GlobalDecl:
+        start = self.expect("keyword", "global")
+        self.expect("keyword", "int")
+        is_pointer = bool(self.accept("op", "*"))
+        name = self.expect("ident").value
+        count = 1
+        if self.accept("punct", "["):
+            count = self.expect("number").value
+            self.expect("punct", "]")
+            if count < 1:
+                raise CompileError(f"array {name!r} has size {count}",
+                                   start.line)
+        self.expect("punct", ";")
+        return ast.GlobalDecl(name, count, is_pointer, start.line)
+
+    def parse_tls(self) -> ast.TlsDecl:
+        start = self.expect("keyword", "tls")
+        self.expect("keyword", "int")
+        name = self.expect("ident").value
+        self.expect("punct", ";")
+        return ast.TlsDecl(name, start.line)
+
+    def parse_func(self) -> ast.FuncDecl:
+        start = self.expect("keyword", "func")
+        name = self.expect("ident").value
+        self.expect("punct", "(")
+        params: List[ast.Param] = []
+        if not self.check("punct", ")"):
+            while True:
+                self.expect("keyword", "int")
+                is_pointer = bool(self.accept("op", "*"))
+                pname = self.expect("ident").value
+                params.append(ast.Param(pname, is_pointer, start.line))
+                if not self.accept("punct", ","):
+                    break
+        self.expect("punct", ")")
+        returns_value = False
+        if self.accept("punct", "->"):
+            self.expect("keyword", "int")
+            returns_value = True
+        locals_: List[ast.LocalDecl] = []
+        body = self.parse_block(locals_)
+        return ast.FuncDecl(name, params, locals_, body, returns_value,
+                            start.line)
+
+    # -- statements ---------------------------------------------------------------
+
+    def parse_block(self, locals_out: List[ast.LocalDecl]) -> List[ast.Stmt]:
+        self.expect("punct", "{")
+        body: List[ast.Stmt] = []
+        while not self.check("punct", "}"):
+            if self.check("keyword", "int"):
+                locals_out.append(self.parse_local())
+            else:
+                body.append(self.parse_stmt(locals_out))
+        self.expect("punct", "}")
+        return body
+
+    def parse_local(self) -> ast.LocalDecl:
+        start = self.expect("keyword", "int")
+        is_pointer = bool(self.accept("op", "*"))
+        name = self.expect("ident").value
+        count = 1
+        if self.accept("punct", "["):
+            count = self.expect("number").value
+            self.expect("punct", "]")
+            if count < 1:
+                raise CompileError(f"array {name!r} has size {count}",
+                                   start.line)
+        self.expect("punct", ";")
+        return ast.LocalDecl(name, count, is_pointer, start.line)
+
+    def parse_stmt(self, locals_out: List[ast.LocalDecl]) -> ast.Stmt:
+        token = self.peek()
+        if token.matches("keyword", "if"):
+            return self.parse_if(locals_out)
+        if token.matches("keyword", "while"):
+            return self.parse_while(locals_out)
+        if token.matches("keyword", "break"):
+            self.advance()
+            self.expect("punct", ";")
+            return ast.Break(token.line)
+        if token.matches("keyword", "continue"):
+            self.advance()
+            self.expect("punct", ";")
+            return ast.Continue(token.line)
+        if token.matches("keyword", "return"):
+            self.advance()
+            expr = None
+            if not self.check("punct", ";"):
+                expr = self.parse_expr()
+            self.expect("punct", ";")
+            return ast.Return(expr, token.line)
+        # Assignment or expression statement. Disambiguate by scanning for
+        # a top-level '=' before the terminating ';'.
+        expr = self.parse_unary() if self._looks_like_lvalue() else None
+        if expr is not None and self.check("op", "="):
+            self.advance()
+            value = self.parse_expr()
+            self.expect("punct", ";")
+            self._check_lvalue(expr, token)
+            return ast.Assign(expr, value, token.line)
+        if expr is not None:
+            # Not an assignment after all: continue parsing as expression
+            # with `expr` as the leftmost operand.
+            full = self._continue_expr(expr)
+            self.expect("punct", ";")
+            return ast.ExprStmt(full, token.line)
+        full = self.parse_expr()
+        self.expect("punct", ";")
+        return ast.ExprStmt(full, token.line)
+
+    def _looks_like_lvalue(self) -> bool:
+        token = self.peek()
+        return token.kind == "ident" or token.matches("op", "*")
+
+    @staticmethod
+    def _check_lvalue(expr: ast.Expr, token: Token) -> None:
+        if not isinstance(expr, (ast.Var, ast.Deref, ast.Index)):
+            raise CompileError("invalid assignment target",
+                               token.line, token.column)
+
+    def parse_if(self, locals_out: List[ast.LocalDecl]) -> ast.If:
+        start = self.expect("keyword", "if")
+        self.expect("punct", "(")
+        cond = self.parse_expr()
+        self.expect("punct", ")")
+        then_body = self.parse_block(locals_out)
+        else_body: Optional[List[ast.Stmt]] = None
+        if self.accept("keyword", "else"):
+            if self.check("keyword", "if"):
+                else_body = [self.parse_if(locals_out)]
+            else:
+                else_body = self.parse_block(locals_out)
+        return ast.If(cond, then_body, else_body, start.line)
+
+    def parse_while(self, locals_out: List[ast.LocalDecl]) -> ast.While:
+        start = self.expect("keyword", "while")
+        self.expect("punct", "(")
+        cond = self.parse_expr()
+        self.expect("punct", ")")
+        body = self.parse_block(locals_out)
+        return ast.While(cond, body, start.line)
+
+    # -- expressions ------------------------------------------------------------
+    # Precedence (low → high):
+    #   || ; && ; | ; ^ ; & ; == != ; < <= > >= ; << >> ; + - ; * / % ; unary
+
+    _LEVELS = (
+        ("||",), ("&&",), ("|",), ("^",), ("&",),
+        ("==", "!="), ("<", "<=", ">", ">="), ("<<", ">>"),
+        ("+", "-"), ("*", "/", "%"),
+    )
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_level(0)
+
+    def _parse_level(self, level: int) -> ast.Expr:
+        if level >= len(self._LEVELS):
+            return self.parse_unary()
+        left = self._parse_level(level + 1)
+        ops = self._LEVELS[level]
+        while self.peek().kind == "op" and self.peek().value in ops:
+            token = self.advance()
+            right = self._parse_level(level + 1)
+            left = ast.BinOp(token.value, left, right, token.line)
+        return left
+
+    def _continue_expr(self, left: ast.Expr) -> ast.Expr:
+        """Resume precedence climbing with an already-parsed left operand."""
+        for level in range(len(self._LEVELS) - 1, -1, -1):
+            ops = self._LEVELS[level]
+            while self.peek().kind == "op" and self.peek().value in ops:
+                token = self.advance()
+                right = self._parse_level(level + 1)
+                left = ast.BinOp(token.value, left, right, token.line)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.matches("op", "-"):
+            self.advance()
+            return ast.UnaryOp("-", self.parse_unary(), token.line)
+        if token.matches("op", "!"):
+            self.advance()
+            return ast.UnaryOp("!", self.parse_unary(), token.line)
+        if token.matches("op", "*"):
+            self.advance()
+            return ast.Deref(self.parse_unary(), token.line)
+        if token.matches("op", "&"):
+            self.advance()
+            target = self.parse_unary()
+            if not isinstance(target, (ast.Var, ast.Index)):
+                raise CompileError("'&' needs a variable or array element",
+                                   token.line, token.column)
+            return ast.AddrOf(target, token.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return ast.Number(token.value, token.line)
+        if token.matches("punct", "("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect("punct", ")")
+            return self._maybe_index(inner)
+        if token.kind == "ident":
+            self.advance()
+            name = token.value
+            if self.check("punct", "("):
+                self.advance()
+                args: List[ast.Expr] = []
+                if not self.check("punct", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept("punct", ","):
+                            break
+                self.expect("punct", ")")
+                return ast.Call(name, args, name in BUILTINS, token.line)
+            return self._maybe_index(ast.Var(name, token.line))
+        raise CompileError(f"unexpected token {token.value!r}",
+                           token.line, token.column)
+
+    def _maybe_index(self, base: ast.Expr) -> ast.Expr:
+        while self.check("punct", "["):
+            bracket = self.advance()
+            index = self.parse_expr()
+            self.expect("punct", "]")
+            base = ast.Index(base, index, bracket.line)
+        return base
+
+
+def parse(source: str) -> ast.Program:
+    """Lex and parse DapperC source."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,70 @@
+"""Middle-end passes over the shared IR.
+
+This is the reproduction's analogue of the paper's LLVM middle-end pass
+(§III-D1): it identifies all equivalence points — one at each function
+entry plus one at every call site — and assigns them program-wide stable
+identifiers *before* the backends split. Because identifiers are
+assigned on the shared IR, the x86_64 and aarch64 binaries agree on them
+exactly, which is what lets the rewriter pair up stackmap records across
+ISAs.
+
+The inline checker instrumentation itself is emitted by the backends at
+each ``EqPointEntry`` marker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .. import sysabi
+from . import ir
+
+
+class EqPointTable:
+    """Program-wide equivalence-point numbering."""
+
+    def __init__(self):
+        self.next_id = 0
+        #: eqpoint_id -> (func_name, kind)
+        self.points: Dict[int, tuple] = {}
+
+    def allocate(self, func: str, kind: str) -> int:
+        eqpoint_id = self.next_id
+        self.next_id += 1
+        self.points[eqpoint_id] = (func, kind)
+        return eqpoint_id
+
+
+def run_middle_end(program: ir.IrProgram) -> EqPointTable:
+    """Assign equivalence-point ids and mark checker-exempt functions."""
+    table = EqPointTable()
+    for func in program.functions:
+        _assign_eqpoints(func, table)
+        # __thread_exit runs on a dying thread; parking there would leave
+        # a thread that can never resume past texit. It still has an
+        # entry eqpoint record (harmless) but no checker.
+        if func.name == sysabi.RT_THREAD_EXIT:
+            func.no_checker = True
+    return table
+
+
+def _assign_eqpoints(func: ir.IrFunction, table: EqPointTable) -> None:
+    for instr in func.body:
+        if isinstance(instr, ir.EqPointEntry):
+            if func.entry_eqpoint is not None:
+                raise AssertionError(f"{func.name}: duplicate entry eqpoint")
+            instr.eqpoint_id = table.allocate(func.name, "entry")
+            func.entry_eqpoint = instr.eqpoint_id
+        elif isinstance(instr, ir.CallIr):
+            instr.eqpoint_id = table.allocate(func.name, "callsite")
+    if func.entry_eqpoint is None:
+        raise AssertionError(f"{func.name}: missing entry eqpoint marker")
+
+
+def count_eqpoints(program: ir.IrProgram) -> int:
+    total = 0
+    for func in program.functions:
+        for instr in func.body:
+            if isinstance(instr, (ir.EqPointEntry, ir.CallIr)):
+                total += 1
+    return total

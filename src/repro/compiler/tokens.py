@@ -1,0 +1,41 @@
+"""Token kinds and the Token class for the DapperC lexer."""
+
+from __future__ import annotations
+
+KEYWORDS = frozenset({
+    "func", "global", "tls", "int", "return", "if", "else", "while",
+    "break", "continue",
+})
+
+BUILTINS = frozenset({
+    "print", "printc", "exit", "sbrk", "spawn", "join", "lock", "unlock",
+    "yield", "self", "now",
+})
+
+# Multi-character operators must precede their prefixes.
+OPERATORS = (
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+", "-", "*", "/", "%", "<", ">", "=", "&", "|", "^", "!",
+)
+
+PUNCTUATION = ("(", ")", "{", "}", "[", "]", ",", ";", "->")
+
+
+class Token:
+    """One lexeme with its source position."""
+
+    __slots__ = ("kind", "value", "line", "column")
+
+    KINDS = ("ident", "number", "keyword", "op", "punct", "eof")
+
+    def __init__(self, kind: str, value, line: int, column: int):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def matches(self, kind: str, value=None) -> bool:
+        return self.kind == kind and (value is None or self.value == value)
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"

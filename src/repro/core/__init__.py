@@ -1,0 +1,33 @@
+"""Dapper's core: the runtime monitor and the process-image rewriter.
+
+This package is the paper's contribution (§III). Everything else in
+``repro`` is substrate.
+
+* :mod:`repro.core.runtime` — the ptrace-based runtime monitor that
+  raises the transformation flag and parks every thread at an
+  equivalence point (§III-B, §III-D2a).
+* :mod:`repro.core.rewriter` — the CRIT-based process rewriter that
+  applies a :class:`~repro.core.policy.TransformationPolicy` to a
+  checkpointed image set (§III-C).
+* :mod:`repro.core.policies.cross_isa` — cross-architecture state
+  transformation (registers, stacks, TLS, code pages).
+* :mod:`repro.core.policies.stack_shuffle` — stack-slot re-randomization
+  with static binary instrumentation of the code pages (§IV-B).
+* :mod:`repro.core.migration` — the end-to-end pipeline
+  (checkpoint → recode → scp → restore) with its cost model (§IV-A).
+"""
+
+from .runtime import DapperRuntime
+from .rewriter import ImageMemory, ProcessRewriter, RewriteReport
+from .policy import TransformationPolicy
+from .policies.cross_isa import CrossIsaPolicy
+from .policies.stack_shuffle import StackShufflePolicy
+from .policies.live_update import LiveUpdatePolicy
+from .migration import MigrationPipeline, MigrationResult
+
+__all__ = [
+    "DapperRuntime", "ImageMemory", "ProcessRewriter", "RewriteReport",
+    "TransformationPolicy", "CrossIsaPolicy", "StackShufflePolicy",
+    "LiveUpdatePolicy",
+    "MigrationPipeline", "MigrationResult",
+]

@@ -1,0 +1,198 @@
+"""End-to-end migration pipeline (paper §IV-A, Fig. 5/7).
+
+One :class:`MigrationPipeline` owns a source and a destination machine
+(with both architectures' binaries installed, as in the paper's cluster)
+and executes the four stages the paper measures:
+
+1. **checkpoint** — pause at equivalence points + CRIU dump into tmpfs,
+2. **recode** — rewrite the image set with the cross-ISA policy (the
+   paper notes the rewrite can run on either node; the recode node is
+   configurable and defaults to the source),
+3. **scp** — copy the transformed images over the network link,
+4. **restore** — vanilla or post-copy (lazy) restoration on the target.
+
+Each stage reports a simulated wall-clock latency from the calibrated
+cost model, driven by the *measured* image sizes / frame counts / page
+counts of the run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..compiler.driver import CompiledProgram
+from ..criu.images import ImageSet
+from ..criu.lazy import PageServer, restore_process_lazy
+from ..criu.restore import restore_process
+from ..errors import MigrationError
+from ..vm.kernel import Machine, Process
+from .costs import LinkProfile, NodeProfile, infiniband_link, profile_for_arch
+from .policies.cross_isa import CrossIsaPolicy
+from .rewriter import ProcessRewriter
+from .runtime import DapperRuntime
+
+
+class MigrationResult:
+    """Everything one migration produced."""
+
+    def __init__(self, *, process: Process, images: ImageSet,
+                 stage_seconds: Dict[str, float], stats: Dict,
+                 output_before: str, page_server: Optional[PageServer],
+                 lazy: bool):
+        self.process = process
+        self.images = images
+        self.stage_seconds = dict(stage_seconds)
+        self.stats = dict(stats)
+        self.output_before = output_before
+        self.page_server = page_server
+        self.lazy = lazy
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def combined_output(self) -> str:
+        return self.output_before + self.process.stdout()
+
+    def indirect_restore_seconds(self, link: LinkProfile) -> float:
+        """Post-copy page-retrieval cost concealed in post-migration
+        execution (estimated from the page server's log, as the paper
+        does for Redis)."""
+        if self.page_server is None:
+            return 0.0
+        return link.page_fault_seconds(self.page_server.pages_served)
+
+    def __repr__(self) -> str:
+        stages = ", ".join(f"{k}={v * 1e3:.1f}ms"
+                           for k, v in self.stage_seconds.items())
+        return f"<MigrationResult {'lazy ' if self.lazy else ''}{stages}>"
+
+
+def exe_path_for(program_name: str, arch: str) -> str:
+    return f"/bin/{program_name}.{arch}"
+
+
+def install_program(machine: Machine, program: CompiledProgram) -> None:
+    """Install both architectures' binaries (the paper keeps both on every
+    node so the target arch is chosen by the executable, not the host)."""
+    for arch, binary in program.binaries.items():
+        machine.tmpfs.write(exe_path_for(program.name, arch),
+                            binary.to_bytes())
+
+
+class MigrationPipeline:
+    def __init__(self, src_machine: Machine, dst_machine: Machine,
+                 program: CompiledProgram,
+                 link: Optional[LinkProfile] = None,
+                 src_profile: Optional[NodeProfile] = None,
+                 dst_profile: Optional[NodeProfile] = None,
+                 recode_profile: Optional[NodeProfile] = None,
+                 byte_scale: float = 1.0,
+                 target_footprint_bytes: Optional[float] = None):
+        self.src_machine = src_machine
+        self.dst_machine = dst_machine
+        self.program = program
+        self.link = link or infiniband_link()
+        self.src_profile = src_profile or profile_for_arch(
+            src_machine.isa.name)
+        self.dst_profile = dst_profile or profile_for_arch(
+            dst_machine.isa.name)
+        # The paper: "we can always transform the process image on the
+        # most powerful machine" — default to recoding at the source.
+        self.recode_profile = recode_profile or self.src_profile
+        # Stage-latency inputs are measured image bytes multiplied by
+        # byte_scale; the benchmark harnesses set it to
+        # nominal_footprint / measured_footprint so latencies reflect
+        # full-size (class-B) checkpoints while all rewriting stays real.
+        self.byte_scale = byte_scale
+        # Alternative to byte_scale: give the nominal full-size resident
+        # footprint (e.g. AppSpec.class_b_footprint) and the scale is
+        # derived from the process's actual populated memory at pause
+        # time — consistent between vanilla and lazy runs.
+        self.target_footprint_bytes = target_footprint_bytes
+        install_program(src_machine, program)
+        install_program(dst_machine, program)
+
+    def start(self) -> Process:
+        return self.src_machine.spawn_process(
+            exe_path_for(self.program.name, self.src_machine.isa.name))
+
+    # -- the pipeline ------------------------------------------------------------
+
+    def migrate(self, process: Process, lazy: bool = False,
+                max_pause_steps: int = 20_000_000) -> MigrationResult:
+        if process.machine is not self.src_machine:
+            raise MigrationError("process does not run on the source machine")
+        src_arch = self.src_machine.isa.name
+        dst_arch = self.dst_machine.isa.name
+        stage_seconds: Dict[str, float] = {}
+
+        # 1. checkpoint
+        runtime = DapperRuntime(self.src_machine, process)
+        runtime.pause_at_equivalence_points(max_pause_steps)
+        output_before = process.stdout()
+        footprint_bytes = process.aspace.populated_bytes()
+        page_server = None
+        if lazy:
+            images, page_server = runtime.checkpoint_lazy()
+        else:
+            images = runtime.checkpoint()
+        threads = len(images.inventory().tids)
+        scale = self.byte_scale
+        if self.target_footprint_bytes:
+            scale = max(1.0, self.target_footprint_bytes
+                        / max(1, footprint_bytes))
+
+        def scaled(nbytes: int) -> int:
+            return int(nbytes * scale)
+        stage_seconds["checkpoint"] = self.src_profile.checkpoint_seconds(
+            scaled(images.total_bytes()), threads)
+
+        # 2. recode
+        policy = CrossIsaPolicy(
+            self.program.binary(src_arch), self.program.binary(dst_arch),
+            exe_path_for(self.program.name, dst_arch))
+        report = ProcessRewriter().rewrite(images, policy)[0]
+        stage_seconds["recode"] = self.recode_profile.recode_seconds(
+            scaled(report.bytes_before), report.stats["frames"])
+
+        # 3. scp
+        images.save(self.dst_machine.tmpfs, f"/images/{process.pid}")
+        stage_seconds["scp"] = self.link.transfer_seconds(
+            scaled(images.total_bytes()))
+
+        # 4. restore (+ tear down the source)
+        runtime.kill_source()
+        if lazy:
+            restored = restore_process_lazy(self.dst_machine, images,
+                                            page_server)
+            # Only the minimal execution context is loaded up front (the
+            # paper measures ≈8 ms); missing pages are served on demand
+            # and show up as the *indirect* restoration cost instead.
+            stage_seconds["restore"] = self.dst_profile.restore_seconds(
+                scaled(images.total_bytes()), threads)
+        else:
+            restored = restore_process(self.dst_machine, images)
+            stage_seconds["restore"] = self.dst_profile.restore_seconds(
+                scaled(images.total_bytes()), threads)
+
+        return MigrationResult(
+            process=restored, images=images, stage_seconds=stage_seconds,
+            stats=report.stats, output_before=output_before,
+            page_server=page_server, lazy=lazy)
+
+    # -- convenience ----------------------------------------------------------------
+
+    def run_and_migrate(self, warmup_steps: int, lazy: bool = False,
+                        max_total_steps: int = 50_000_000
+                        ) -> MigrationResult:
+        """Start the program, run ``warmup_steps``, migrate, run to exit."""
+        process = self.start()
+        self.src_machine.step_all(warmup_steps)
+        if process.exited:
+            raise MigrationError(
+                "process finished before the migration point; lower "
+                "warmup_steps")
+        result = self.migrate(process, lazy=lazy)
+        self.dst_machine.run_process(result.process, max_total_steps)
+        return result

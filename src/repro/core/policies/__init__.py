@@ -1,0 +1,8 @@
+"""Built-in transformation policies: cross-ISA migration, stack
+shuffling, and live software update."""
+
+from .cross_isa import CrossIsaPolicy
+from .stack_shuffle import StackShufflePolicy
+from .live_update import LiveUpdatePolicy
+
+__all__ = ["CrossIsaPolicy", "StackShufflePolicy", "LiveUpdatePolicy"]

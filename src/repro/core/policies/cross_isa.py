@@ -1,0 +1,141 @@
+"""Cross-architecture state transformation (paper §III-C, §III-D2b).
+
+Given a checkpoint taken on the source ISA and the pair of aligned
+binaries, this policy rewrites the image set so it restores on the
+destination ISA:
+
+1. unwind every thread's stack against the source stackmaps,
+2. lay out destination frames per the destination frame records,
+3. copy live values (registers ↔ slots), remapping stack pointers,
+4. translate each thread's register file, pc, sp, fp,
+5. adjust the TLS thread-pointer displacement,
+6. replace the execution-context code page(s) with the destination
+   binary's, and point ``files.img`` at the destination executable,
+7. mark every image as targeting the destination architecture.
+
+The same machinery, pointed at a *same-ISA* binary with a permuted frame
+layout, implements stack shuffling — see
+:mod:`repro.core.policies.stack_shuffle` — so the retargeting core is
+exposed as :func:`retarget_images`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...binfmt.delf import DelfBinary
+from ...criu.images import ImageSet
+from ...errors import RewriteError
+from ...mem.paging import PAGE_SIZE, page_align_down
+from ..policy import TransformationPolicy
+from ..rewriter import ImageMemory
+from ..stack_rewrite import FrameMap, unwind_thread, write_thread
+from ..tlsmod import translate_tls_base
+
+
+def retarget_images(images: ImageSet, memory: ImageMemory,
+                    src_binary: DelfBinary, dst_binary: DelfBinary,
+                    dst_exe_path: str,
+                    missing_live_ok: bool = False) -> Dict:
+    """Rewrite a checkpoint so it resumes under ``dst_binary``.
+
+    Source and destination may be different ISAs (cross-ISA migration),
+    the same ISA with a different frame layout (stack shuffling), or a
+    different program *version* (live update; ``missing_live_ok``
+    zero-fills new locals the source frames don't carry).
+    """
+    inventory = images.inventory()
+    if inventory.arch != src_binary.arch:
+        raise RewriteError(
+            f"checkpoint is {inventory.arch}, rewriter expects "
+            f"{src_binary.arch}")
+    dst_arch = dst_binary.arch
+    mm = images.mm()
+
+    # Phase A: unwind all threads (read-only over the dump).
+    unwound = [unwind_thread(memory, core, src_binary)
+               for core in images.cores()]
+
+    # Phase B: destination layout for every frame of every thread — the
+    # global pointer-remap table needs all of them up front.
+    frame_map = FrameMap()
+    for thread in unwound:
+        frame_map.add_thread(thread, dst_binary, dst_arch)
+
+    # Phase C: write destination stacks and rebuild core images.
+    frames_total = 0
+    for thread in unwound:
+        new_core = write_thread(memory, thread, frame_map, src_binary,
+                                dst_binary, dst_arch, mm.vmas,
+                                missing_live_ok=missing_live_ok)
+        new_core.tls_base = translate_tls_base(
+            thread.core.tls_base, inventory.arch, dst_arch)
+        images.set_core(new_core)
+        frames_total += len(thread.frames)
+
+    # Phase D: swap the execution-context code pages (paper: "replaces
+    # the code page(s) with the corresponding code page(s) of the
+    # destination architecture").
+    code_pages = _swap_code_pages(images, memory, dst_binary)
+
+    # Phase E: retarget files.img and inventory.
+    files_img = images.files_img()
+    files_img.exe_path = dst_exe_path
+    files_img.exe_arch = dst_arch
+    images.set_files_img(files_img)
+    inventory.arch = dst_arch
+    images.set_inventory(inventory)
+
+    return {
+        "threads": len(unwound),
+        "frames": frames_total,
+        "pointers_remapped": frame_map.pointers_remapped,
+        "pointers_kept": frame_map.pointers_kept,
+        "code_pages_swapped": code_pages,
+    }
+
+
+def _swap_code_pages(images: ImageSet, memory: ImageMemory,
+                     dst_binary: DelfBinary) -> int:
+    text_vmas = [v for v in images.mm().vmas if v.file_backed]
+    if not text_vmas:
+        raise RewriteError("no file-backed code VMA in mm.img")
+    text = text_vmas[0]
+    # Drop every dumped source code page.
+    for base in memory.page_bases():
+        if text.start <= base < text.end:
+            memory.drop_page(base)
+    # Install the destination execution context: the page under each
+    # thread's (already-translated) pc.
+    swapped = 0
+    for core in images.cores():
+        base = page_align_down(core.pc)
+        for page_base in (base, base + PAGE_SIZE):
+            if page_base < text.start or page_base >= text.end:
+                continue
+            if memory.has_page(page_base):
+                continue
+            offset = page_base - text.start
+            page = dst_binary.text[offset:offset + PAGE_SIZE]
+            page = page + b"\x00" * (PAGE_SIZE - len(page))
+            memory.add_page(page_base, page)
+            swapped += 1
+    return swapped
+
+
+class CrossIsaPolicy(TransformationPolicy):
+    name = "cross-isa"
+
+    def __init__(self, src_binary: DelfBinary, dst_binary: DelfBinary,
+                 dst_exe_path: str):
+        if src_binary.arch == dst_binary.arch:
+            raise RewriteError("source and destination ISAs are identical")
+        if src_binary.source_name != dst_binary.source_name:
+            raise RewriteError("binaries come from different programs")
+        self.src_binary = src_binary
+        self.dst_binary = dst_binary
+        self.dst_exe_path = dst_exe_path
+
+    def apply(self, images: ImageSet, memory: ImageMemory) -> Dict:
+        return retarget_images(images, memory, self.src_binary,
+                               self.dst_binary, self.dst_exe_path)

@@ -1,0 +1,106 @@
+"""Live software update as a Dapper transformation policy.
+
+The paper names dynamic software update as one of the "other possible
+policies" Dapper's extensible rewriter supports (§I, §III-A). This
+policy realizes it: a running process checkpointed at equivalence points
+is retargeted onto a *new version* of its own program — same ISA, new
+code — and resumes mid-execution under the updated binary.
+
+Updatability conditions (checked, not assumed):
+
+* both versions compile with the same program name and target the same
+  ISA,
+* for every frame suspended on any thread's stack at update time, the
+  new binary has an equivalence point with the same id, the same
+  function name and the same kind (entry/callsite) — true whenever the
+  update does not add or remove *calls or functions* before those
+  frames' eqpoints in program order (the classic quiescence restriction
+  of DSU systems, expressed over Dapper's eqpoint numbering),
+* value ids shared by both versions are transferred; **new locals** in
+  an updated function zero-initialize; dropped locals are discarded.
+
+The update may grow ``.data`` (new globals): the policy extends the data
+VMA in ``mm.img`` and seeds the new region from the new binary's
+initialization image.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...binfmt.delf import DelfBinary
+from ...criu.images import ImageSet
+from ...errors import PolicyError
+from ...mem.paging import page_align_up
+from ..policy import TransformationPolicy
+from ..rewriter import ImageMemory
+from ..stack_rewrite import unwind_thread
+from .cross_isa import retarget_images
+
+
+class LiveUpdatePolicy(TransformationPolicy):
+    name = "live-update"
+
+    def __init__(self, old_binary: DelfBinary, new_binary: DelfBinary,
+                 dst_exe_path: str):
+        if old_binary.arch != new_binary.arch:
+            raise PolicyError("live update cannot change the ISA; compose "
+                              "with the cross-ISA policy instead")
+        if old_binary.source_name != new_binary.source_name:
+            raise PolicyError("new binary is a different program")
+        self.old_binary = old_binary
+        self.new_binary = new_binary
+        self.dst_exe_path = dst_exe_path
+
+    # -- updatability ------------------------------------------------------
+
+    def check_updatable(self, images: ImageSet,
+                        memory: ImageMemory) -> None:
+        """Verify every suspended frame maps onto the new version."""
+        new_maps = self.new_binary.stackmaps
+        for core in images.cores():
+            unwound = unwind_thread(memory, core, self.old_binary)
+            for frame in unwound.frames:
+                peer = new_maps.by_id.get(frame.eqpoint.eqpoint_id)
+                if peer is None:
+                    raise PolicyError(
+                        f"not updatable here: eqpoint "
+                        f"#{frame.eqpoint.eqpoint_id} ({frame.func}) has "
+                        f"no counterpart in the new version")
+                if peer.func != frame.func or peer.kind != frame.eqpoint.kind:
+                    raise PolicyError(
+                        f"not updatable here: eqpoint "
+                        f"#{frame.eqpoint.eqpoint_id} moved from "
+                        f"{frame.func}/{frame.eqpoint.kind} to "
+                        f"{peer.func}/{peer.kind}")
+
+    # -- application ----------------------------------------------------------
+
+    def apply(self, images: ImageSet, memory: ImageMemory) -> Dict:
+        self.check_updatable(images, memory)
+        grown = self._grow_data_segment(images, memory)
+        stats = retarget_images(images, memory, self.old_binary,
+                                self.new_binary, self.dst_exe_path,
+                                missing_live_ok=True)
+        stats["data_bytes_added"] = grown
+        return stats
+
+    def _grow_data_segment(self, images: ImageSet,
+                           memory: ImageMemory) -> int:
+        """Extend the data VMA for new globals and seed their initial
+        values from the new binary."""
+        old_size = len(self.old_binary.data)
+        new_size = len(self.new_binary.data)
+        if new_size <= old_size:
+            return 0
+        mm = images.mm()
+        data_vma = next((v for v in mm.vmas if v.name == ".data"), None)
+        if data_vma is None:
+            raise PolicyError("checkpoint has no .data VMA")
+        needed_end = page_align_up(data_vma.start + new_size)
+        if needed_end > data_vma.end:
+            data_vma.end = needed_end
+            images.set_mm(mm)
+        memory.write(data_vma.start + old_size,
+                     self.new_binary.data[old_size:])
+        return new_size - old_size

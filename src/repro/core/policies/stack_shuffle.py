@@ -1,0 +1,170 @@
+"""Stack-slot re-randomization via static binary instrumentation (§IV-B).
+
+The paper builds a stack-shuffling system on Dapper by applying SBI to
+the checkpointed process image *and* the source binary: permute each
+frame's candidate stack objects, re-encode the instructions that address
+them (capstone-style disassembly → offset patch → re-assembly), and
+update the stackmap records to the new layout. The checkpointed stacks
+are then rewritten to the permuted layout — including remapping any live
+pointers into moved slots — by the same retargeting core the cross-ISA
+policy uses, with source ISA == destination ISA.
+
+aarch64 slots accessed by ``ldp``/``stp`` pair instructions are excluded
+from permutation (re-encoding pairs is scoped out, as in the paper),
+which is why aarch64 shows fewer bits of entropy in Fig. 10.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ...binfmt.delf import DelfBinary
+from ...binfmt.frames import FrameSection
+from ...binfmt.stackmaps import StackMapSection
+from ...criu.images import ImageSet
+from ...errors import RewriteError
+from ...isa import get_isa
+from ..entropy import frame_entropy_bits, shuffleable_slots
+from ..policy import TransformationPolicy
+from ..rewriter import ImageMemory
+from .cross_isa import retarget_images
+
+
+class ShuffleStats:
+    """Per-stage counters used by the Fig. 9 time-cost model."""
+
+    def __init__(self):
+        self.functions = 0
+        self.slots_shuffled = 0
+        self.pairs = 0
+        self.code_bytes = 0
+        self.instructions_scanned = 0
+        self.instructions_patched = 0
+        self.stackmap_records_updated = 0
+        self.entropy_bits: Dict[str, int] = {}
+
+    def as_dict(self) -> Dict:
+        return {
+            "functions": self.functions,
+            "slots_shuffled": self.slots_shuffled,
+            "pairs": self.pairs,
+            "code_bytes": self.code_bytes,
+            "instructions_scanned": self.instructions_scanned,
+            "instructions_patched": self.instructions_patched,
+            "stackmap_records_updated": self.stackmap_records_updated,
+        }
+
+
+def shuffle_binary(binary: DelfBinary, seed: int,
+                   new_exe_suffix: str = ".shuffled"
+                   ) -> Tuple[DelfBinary, ShuffleStats]:
+    """Produce a same-ISA binary with permuted frame layouts.
+
+    Returns the transformed binary and the shuffle statistics. Instruction
+    sizes never change (the offset fields are fixed-width), so code
+    addresses — and therefore symbols and stackmap pcs — are unchanged.
+    """
+    rng = random.Random(seed)
+    isa = get_isa(binary.arch)
+    fp_index = isa.reg(isa.abi.frame_pointer)
+    stats = ShuffleStats()
+
+    # Deep-copy the metadata sections via their wire round-trip.
+    frames = FrameSection.from_bytes(binary.frames.to_bytes())
+    stackmaps = StackMapSection.from_bytes(binary.stackmaps.to_bytes())
+    text = bytearray(binary.text)
+
+    for record in frames.frames:
+        candidates = shuffleable_slots(record)
+        stats.functions += 1
+        stats.entropy_bits[record.func] = frame_entropy_bits(record)
+        if len(candidates) < 2:
+            continue
+        # Pair allocations of equal size and permute every pair (§IV-B).
+        order = list(candidates)
+        rng.shuffle(order)
+        offset_moves: Dict[int, int] = {}
+        for i in range(0, len(order) - 1, 2):
+            a, b = order[i], order[i + 1]
+            offset_moves[a.offset] = b.offset
+            offset_moves[b.offset] = a.offset
+            a.offset, b.offset = b.offset, a.offset
+            stats.pairs += 1
+            stats.slots_shuffled += 2
+        # Patch the code: every fp-relative access to a moved slot.
+        patched = _patch_function_code(text, binary, record.addr,
+                                       record.end_addr, fp_index,
+                                       offset_moves, isa, stats)
+        stats.instructions_patched += patched
+        # Update the stackmap records (value_id == slot_id by construction).
+        moved_ids = {s.slot_id: s.offset for s in candidates}
+        for point in stackmaps.for_func(record.func):
+            for live in point.live:
+                if live.value_id in moved_ids and live.on_stack():
+                    if live.stack_offset != moved_ids[live.value_id]:
+                        live.stack_offset = moved_ids[live.value_id]
+                        stats.stackmap_records_updated += 1
+
+    shuffled = DelfBinary(
+        arch=binary.arch,
+        entry=binary.entry,
+        source_name=binary.source_name,
+        text=bytes(text),
+        data=binary.data,
+        symtab=binary.symtab,
+        stackmaps=stackmaps,
+        frames=frames,
+        tls_template=binary.tls_template,
+        extra_sections=dict(binary.extra_sections),
+    )
+    return shuffled, stats
+
+
+def _patch_function_code(text: bytearray, binary: DelfBinary, addr: int,
+                         end_addr: int, fp_index: int,
+                         offset_moves: Dict[int, int], isa,
+                         stats: ShuffleStats) -> int:
+    """Disassemble one function, rewrite moved fp-relative offsets."""
+    from ...binfmt.delf import TEXT_BASE
+    start = addr - TEXT_BASE
+    end = min(end_addr - TEXT_BASE, len(text))
+    blob = bytes(text[start:end])
+    stats.code_bytes += len(blob)
+    patched = 0
+    offset = 0
+    while offset < len(blob):
+        instr = isa.decode(blob, offset, addr + offset)
+        stats.instructions_scanned += 1
+        if (instr.op in ("load", "store", "lea") and instr.rn == fp_index
+                and instr.imm in offset_moves):
+            instr.imm = offset_moves[instr.imm]
+            new_bytes = isa.encode(instr)
+            if len(new_bytes) != instr.size:
+                raise RewriteError("offset patch changed instruction size")
+            text[start + offset:start + offset + instr.size] = new_bytes
+            patched += 1
+        offset += instr.size
+    return patched
+
+
+class StackShufflePolicy(TransformationPolicy):
+    """Shuffle the checkpointed process's stack layout.
+
+    ``apply`` transforms the images to resume under the shuffled binary;
+    the shuffled binary itself is exposed as ``self.shuffled_binary`` and
+    must be installed at ``dst_exe_path`` on the restoring machine.
+    """
+
+    name = "stack-shuffle"
+
+    def __init__(self, binary: DelfBinary, seed: int, dst_exe_path: str):
+        self.src_binary = binary
+        self.dst_exe_path = dst_exe_path
+        self.shuffled_binary, self.shuffle_stats = shuffle_binary(binary, seed)
+
+    def apply(self, images: ImageSet, memory: ImageMemory) -> Dict:
+        stats = retarget_images(images, memory, self.src_binary,
+                                self.shuffled_binary, self.dst_exe_path)
+        stats.update(self.shuffle_stats.as_dict())
+        return stats

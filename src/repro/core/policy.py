@@ -1,0 +1,36 @@
+"""The transformation-policy plugin interface.
+
+End-users extend Dapper by writing policies (paper §III): a policy
+receives the checkpointed image set (through the rewriter's
+:class:`~repro.core.rewriter.ImageMemory` view) and transforms it. The
+two policies the paper builds — cross-ISA transformation and stack
+shuffling — live in :mod:`repro.core.policies`; new ones (live update,
+feature customization, …) plug in the same way.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:
+    from ..criu.images import ImageSet
+    from .rewriter import ImageMemory
+
+
+class TransformationPolicy:
+    """Base class for image-rewriting policies."""
+
+    #: short identifier used in reports
+    name = "base"
+
+    def apply(self, images: "ImageSet", memory: "ImageMemory") -> Dict:
+        """Transform ``images`` in place; return a stats dict.
+
+        ``memory`` is a mutable byte-level view over the dumped pages;
+        the rewriter flushes it back into ``pages-1.img``/``pagemap.img``
+        after the policy returns.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name

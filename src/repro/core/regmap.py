@@ -1,0 +1,50 @@
+"""Register translation via paired stackmap records (paper Fig. 4).
+
+At an entry equivalence point the function's parameters are live in
+argument registers; the source and destination stackmap records for the
+same eqpoint list each value's DWARF register number on each ISA (e.g.
+``a`` in register 5/``rdi`` on x86-64 and register 0/``x0`` on aarch64).
+Translation is the one-to-one copy the paper describes: read the value
+from the source register, write it to the destination register.
+
+:func:`translate_registers` builds that mapping table for one eqpoint —
+used directly by tests and documentation; the full rewrite path in
+``stack_rewrite.write_thread`` performs the same translation inline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..binfmt.stackmaps import EqPoint
+from ..errors import RewriteError
+
+
+def register_mapping(src_point: EqPoint,
+                     dst_point: EqPoint) -> List[Tuple[str, int, int]]:
+    """Pairs of (value name, src dwarf reg, dst dwarf reg) for one eqpoint."""
+    if src_point.eqpoint_id != dst_point.eqpoint_id:
+        raise RewriteError("register_mapping: eqpoint ids differ")
+    dst_by_id = {lv.value_id: lv for lv in dst_point.live}
+    mapping = []
+    for src_live in src_point.live:
+        if not src_live.in_register():
+            continue
+        dst_live = dst_by_id.get(src_live.value_id)
+        if dst_live is None or not dst_live.in_register():
+            continue
+        mapping.append((src_live.name, src_live.dwarf_reg,
+                        dst_live.dwarf_reg))
+    return mapping
+
+
+def translate_registers(src_regs: Dict[int, int], src_point: EqPoint,
+                        dst_point: EqPoint) -> Dict[int, int]:
+    """Translate concrete register values across ISAs for one eqpoint."""
+    out: Dict[int, int] = {}
+    for name, src_dwarf, dst_dwarf in register_mapping(src_point, dst_point):
+        if src_dwarf not in src_regs:
+            raise RewriteError(f"source registers missing dwarf {src_dwarf} "
+                               f"({name})")
+        out[dst_dwarf] = src_regs[src_dwarf]
+    return out

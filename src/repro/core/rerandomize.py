@@ -1,0 +1,125 @@
+"""Periodic stack re-randomization (paper §I, §III: "periodically
+re-randomizing the function call stack by changing the layout of each
+function stack frame").
+
+:class:`PeriodicRerandomizer` drives a process in shuffle epochs: run for
+an interval, park at equivalence points, checkpoint, retarget onto a
+freshly shuffled binary, restore, repeat. Because the rewrite happens on
+the *static* checkpoint image, the race conditions of inline
+re-randomization systems (Shuffler, ReRanz, …) cannot arise — the
+process is never running while its layout moves (§III-C).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..binfmt.delf import DelfBinary
+from ..criu.restore import restore_process
+from ..errors import RewriteError
+from ..vm.kernel import Machine, Process
+from .policies.stack_shuffle import StackShufflePolicy
+from .rewriter import ProcessRewriter
+from .runtime import DapperRuntime
+
+
+class ShuffleEpoch:
+    """Record of one re-randomization round."""
+
+    def __init__(self, epoch: int, seed: int, pairs: int,
+                 instructions_patched: int, pointers_remapped: int):
+        self.epoch = epoch
+        self.seed = seed
+        self.pairs = pairs
+        self.instructions_patched = instructions_patched
+        self.pointers_remapped = pointers_remapped
+
+    def __repr__(self) -> str:
+        return (f"<ShuffleEpoch #{self.epoch} seed={self.seed} "
+                f"pairs={self.pairs}>")
+
+
+class PeriodicRerandomizer:
+    """Runs a process under a shuffle-every-interval policy."""
+
+    def __init__(self, machine: Machine, process: Process,
+                 base_binary: DelfBinary, interval_steps: int,
+                 seed: int = 0):
+        self.machine = machine
+        self.process = process
+        self.base_binary = base_binary
+        self.interval_steps = interval_steps
+        self._rng = random.Random(seed)
+        self._active_binary = base_binary
+        self._accumulated_output = ""
+        self.epochs: List[ShuffleEpoch] = []
+
+    @property
+    def active_binary(self) -> DelfBinary:
+        """The binary (layout) the process currently runs under."""
+        return self._active_binary
+
+    def output(self) -> str:
+        return self._accumulated_output + self.process.stdout()
+
+    def run_epoch(self) -> bool:
+        """Run one interval then re-randomize.
+
+        Returns False once the process has exited (no shuffle applied) —
+        including the benign race where it exits between the
+        transformation request and the next equivalence point.
+        """
+        self.machine.step_all(self.interval_steps)
+        if self.process.exited:
+            return False
+        from ..errors import PtraceError
+        try:
+            self._shuffle_now()
+        except PtraceError:
+            if self.process.exited:
+                return False
+            raise
+        return True
+
+    def run_to_completion(self, max_epochs: int = 1000) -> int:
+        """Keep re-randomizing until the process exits.
+
+        Returns the process exit code.
+        """
+        for _ in range(max_epochs):
+            if not self.run_epoch():
+                break
+        else:
+            raise RewriteError(f"process still running after "
+                               f"{max_epochs} shuffle epochs")
+        return self.process.exit_code
+
+    # -- internals -----------------------------------------------------------
+
+    def _shuffle_now(self) -> None:
+        epoch_no = len(self.epochs) + 1
+        seed = self._rng.randrange(1 << 30)
+        runtime = DapperRuntime(self.machine, self.process)
+        runtime.pause_at_equivalence_points()
+        self._accumulated_output = self.process.stdout()
+        images = runtime.checkpoint()
+        prefix = self._accumulated_output
+        runtime.kill_source()
+
+        policy = StackShufflePolicy(
+            self._active_binary, seed=seed,
+            dst_exe_path=f"{self.process.exe_path}.e{epoch_no}")
+        report = ProcessRewriter().rewrite(images, policy)[0]
+        self.machine.tmpfs.write(policy.dst_exe_path,
+                                 policy.shuffled_binary.to_bytes())
+        restored = restore_process(self.machine, images)
+        # Carry the output stream across the process swap.
+        restored.output = [prefix]
+        self._accumulated_output = ""
+        self.process = restored
+        self._active_binary = policy.shuffled_binary
+        self.epochs.append(ShuffleEpoch(
+            epoch_no, seed, report.stats.get("pairs", 0),
+            report.stats.get("instructions_patched", 0),
+            report.stats.get("pointers_remapped", 0)))

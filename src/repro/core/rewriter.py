@@ -1,0 +1,173 @@
+"""The process rewriter: byte-level image memory + policy application.
+
+The paper implements state transformation as a CRIT sub-command doing
+"a set of file reads and writes which set the live values within the
+memory dump" (§III-D2b). :class:`ImageMemory` is that read/write layer:
+it materializes the dumped pages from ``pages-1.img``/``pagemap.img``
+into an addressable view, lets policies read and write words, add and
+drop whole pages (code-page replacement), and then flushes back into
+image-file form.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from typing import Dict, List, Optional
+
+from ..criu.images import ImageSet, PagemapEntry, PagemapImage
+from ..errors import RewriteError
+from ..mem.paging import PAGE_SIZE, page_align_down
+from .policy import TransformationPolicy
+
+
+class ImageMemory:
+    """Mutable view over the dumped pages of a checkpoint."""
+
+    def __init__(self, images: ImageSet):
+        self._images = images
+        self._pages: Dict[int, bytearray] = {}
+        pagemap = images.pagemap()
+        blob = images.pages()
+        index = 0
+        for entry in pagemap.entries:
+            for i in range(entry.nr_pages):
+                base = entry.vaddr + i * PAGE_SIZE
+                offset = index * PAGE_SIZE
+                self._pages[base] = bytearray(blob[offset:offset + PAGE_SIZE])
+                index += 1
+
+    # -- page-level -------------------------------------------------------
+
+    def has_page(self, base: int) -> bool:
+        return base in self._pages
+
+    def page_bases(self) -> List[int]:
+        return sorted(self._pages)
+
+    def add_page(self, base: int, data: bytes) -> None:
+        if len(data) != PAGE_SIZE:
+            raise RewriteError("add_page needs exactly one page of data")
+        self._pages[base] = bytearray(data)
+
+    def drop_page(self, base: int) -> None:
+        self._pages.pop(base, None)
+
+    def page(self, base: int) -> bytearray:
+        try:
+            return self._pages[base]
+        except KeyError:
+            raise RewriteError(f"page {base:#x} not in dump") from None
+
+    # -- byte/word-level -----------------------------------------------------
+
+    def read(self, addr: int, length: int) -> bytes:
+        out = bytearray()
+        cursor = addr
+        remaining = length
+        while remaining:
+            base = page_align_down(cursor)
+            offset = cursor - base
+            chunk = min(PAGE_SIZE - offset, remaining)
+            store = self._pages.get(base)
+            out += (store[offset:offset + chunk] if store is not None
+                    else b"\x00" * chunk)
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        cursor = addr
+        view = memoryview(data)
+        while view:
+            base = page_align_down(cursor)
+            offset = cursor - base
+            chunk = min(PAGE_SIZE - offset, len(view))
+            store = self._pages.get(base)
+            if store is None:
+                # Writing into a page the dump did not contain (e.g. a
+                # larger destination frame): materialize it as zeros.
+                store = bytearray(PAGE_SIZE)
+                self._pages[base] = store
+            store[offset:offset + chunk] = view[:chunk]
+            cursor += chunk
+            view = view[chunk:]
+
+    def read_u64(self, addr: int) -> int:
+        return struct.unpack("<Q", self.read(addr, 8))[0]
+
+    def read_i64(self, addr: int) -> int:
+        return struct.unpack("<q", self.read(addr, 8))[0]
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, struct.pack("<Q", value & 0xFFFFFFFFFFFFFFFF))
+
+    def write_i64(self, addr: int, value: int) -> None:
+        self.write_u64(addr, value)
+
+    # -- flush ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write the page view back into pagemap.img / pages-1.img."""
+        entries: List[PagemapEntry] = []
+        blob = bytearray()
+        run_start = None
+        run_len = 0
+        for base in sorted(self._pages):
+            blob += self._pages[base]
+            if run_start is not None and base == run_start + run_len * PAGE_SIZE:
+                run_len += 1
+            else:
+                if run_start is not None:
+                    entries.append(PagemapEntry(run_start, run_len))
+                run_start = base
+                run_len = 1
+        if run_start is not None:
+            entries.append(PagemapEntry(run_start, run_len))
+        self._images.set_pagemap(PagemapImage(entries))
+        self._images.set_pages(bytes(blob))
+
+
+class RewriteReport:
+    """What one rewrite did (feeds the cost model and the benchmarks)."""
+
+    def __init__(self, policy: str, stats: Dict, wall_seconds: float,
+                 bytes_before: int, bytes_after: int):
+        self.policy = policy
+        self.stats = dict(stats)
+        self.wall_seconds = wall_seconds
+        self.bytes_before = bytes_before
+        self.bytes_after = bytes_after
+
+    def __repr__(self) -> str:
+        return (f"<RewriteReport {self.policy} {self.wall_seconds * 1e3:.2f}ms "
+                f"{self.bytes_before}B→{self.bytes_after}B {self.stats}>")
+
+
+class ProcessRewriter:
+    """Applies transformation policies to checkpointed image sets."""
+
+    def __init__(self, policies: Optional[List[TransformationPolicy]] = None):
+        self.policies: List[TransformationPolicy] = list(policies or [])
+
+    def add_policy(self, policy: TransformationPolicy) -> None:
+        self.policies.append(policy)
+
+    def rewrite(self, images: ImageSet,
+                policy: Optional[TransformationPolicy] = None
+                ) -> List[RewriteReport]:
+        """Run one policy (or all registered ones, in order)."""
+        todo = [policy] if policy is not None else self.policies
+        if not todo:
+            raise RewriteError("no transformation policy given")
+        reports = []
+        for item in todo:
+            start = time.perf_counter()
+            before = images.total_bytes()
+            memory = ImageMemory(images)
+            stats = item.apply(images, memory)
+            memory.flush()
+            wall = time.perf_counter() - start
+            reports.append(RewriteReport(item.name, stats or {}, wall,
+                                         before, images.total_bytes()))
+        return reports

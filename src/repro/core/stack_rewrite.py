@@ -1,0 +1,267 @@
+"""Stack unwinding and cross-ISA re-layout (paper §III-C, §III-D2b).
+
+Frame convention (both ISAs, established by our backends):
+
+* ``[fp + 8]`` — return address,
+* ``[fp + 0]`` — saved caller frame pointer (0 terminates the chain),
+* slots at negative fp offsets per the binary's ``.frames`` records,
+* on entry to a callee, ``callee.fp == caller.fp - caller.frame_size - 16``.
+
+The unwinder walks the dumped stack outward from the parked thread's
+frame pointer, pairing every frame with its equivalence point: the
+innermost frame resumes at the *entry* eqpoint the checker trapped on;
+every outer frame resumes at the *call-site* eqpoint matching the return
+address stored in its callee's frame.
+
+Re-layout computes destination frame pointers top-of-stack down using the
+destination ISA's frame sizes and prologue displacement, then copies
+every live value from its source location (register or slot) to its
+destination location, remapping pointers that point into any thread's
+stack (paper: "map each live stack pointer to its respective stack
+allocation").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..binfmt.delf import DelfBinary
+from ..binfmt.frames import RET_ADDR_OFFSET, SAVED_FP_OFFSET
+from ..binfmt.stackmaps import EqPoint, KIND_CALLSITE, KIND_ENTRY
+from ..criu.images import CoreImage
+from ..errors import RewriteError
+from ..isa import get_isa
+from .rewriter import ImageMemory
+
+#: distance from a function's entry-sp to its fp, per ISA convention
+#: (x86: one push; arm: the stp-equivalent 16-byte pair area)
+_ENTRY_SP_TO_FP = {"x86_64": 8, "aarch64": 16}
+
+#: callee.fp = caller.fp - caller.frame_size - _FRAME_LINK
+_FRAME_LINK = 16
+
+
+class UnwoundFrame:
+    """One source frame with its live values read out."""
+
+    __slots__ = ("func", "eqpoint", "fp", "values", "ret_addr", "saved_fp",
+                 "frame_size")
+
+    def __init__(self, func: str, eqpoint: EqPoint, fp: int,
+                 frame_size: int):
+        self.func = func
+        self.eqpoint = eqpoint
+        self.fp = fp
+        self.frame_size = frame_size
+        #: value_id -> bytes (slot-sized)
+        self.values: Dict[int, bytes] = {}
+        self.ret_addr = 0
+        self.saved_fp = 0
+
+    def __repr__(self) -> str:
+        return (f"<UnwoundFrame {self.func} fp={self.fp:#x} "
+                f"eq#{self.eqpoint.eqpoint_id} values={len(self.values)}>")
+
+
+class UnwoundThread:
+    __slots__ = ("core", "frames")
+
+    def __init__(self, core: CoreImage, frames: List[UnwoundFrame]):
+        self.core = core
+        #: innermost first
+        self.frames = frames
+
+
+def unwind_thread(memory: ImageMemory, core: CoreImage,
+                  binary: DelfBinary) -> UnwoundThread:
+    """Walk one parked thread's stack, innermost → outermost."""
+    isa = get_isa(core.arch)
+    stackmaps = binary.stackmaps
+    frames_meta = binary.frames
+
+    point = stackmaps.by_addr.get(core.pc)
+    if point is None or point.kind != KIND_ENTRY:
+        raise RewriteError(
+            f"thread {core.tid}: pc {core.pc:#x} is not an entry "
+            f"equivalence point")
+    fp = core.regs[isa.dwarf_of(isa.abi.frame_pointer)] & 0xFFFFFFFFFFFFFFFF
+
+    frames: List[UnwoundFrame] = []
+    guard = 0
+    while True:
+        guard += 1
+        if guard > 4096:
+            raise RewriteError("unwind did not terminate (fp chain loop?)")
+        record = frames_meta.get(point.func)
+        frame = UnwoundFrame(point.func, point, fp, record.frame_size)
+        for live in point.live:
+            if live.on_stack():
+                frame.values[live.value_id] = memory.read(
+                    fp + live.stack_offset, live.size)
+            else:
+                value = core.regs.get(live.dwarf_reg)
+                if value is None:
+                    raise RewriteError(
+                        f"{point.func}: live value {live.name!r} in "
+                        f"unknown register {live.dwarf_reg}")
+                frame.values[live.value_id] = \
+                    (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+        frame.saved_fp = memory.read_u64(fp + SAVED_FP_OFFSET)
+        frame.ret_addr = memory.read_u64(fp + RET_ADDR_OFFSET)
+        frames.append(frame)
+        if frame.saved_fp == 0:
+            break
+        caller_point = stackmaps.by_addr.get(frame.ret_addr)
+        if caller_point is None or caller_point.kind != KIND_CALLSITE:
+            raise RewriteError(
+                f"thread {core.tid}: return address {frame.ret_addr:#x} "
+                f"has no call-site stackmap")
+        point = caller_point
+        fp = frame.saved_fp
+    return UnwoundThread(core, frames)
+
+
+class FrameMap:
+    """Destination frame pointers for every source frame of every thread,
+    plus the pointer-remapping function built from them."""
+
+    def __init__(self):
+        #: (tid, frame index) -> dst fp
+        self.dst_fp: Dict[Tuple[int, int], int] = {}
+        #: flat list of (thread, index, frame) for pointer search
+        self._all: List[Tuple[UnwoundThread, int, UnwoundFrame]] = []
+        self.pointers_remapped = 0
+        self.pointers_kept = 0
+
+    def add_thread(self, thread: UnwoundThread, dst_binary: DelfBinary,
+                   dst_arch: str) -> None:
+        """Lay the thread's destination frames out, outermost first."""
+        dst_frames = dst_binary.frames
+        outer = thread.frames[-1]
+        # Reconstruct the outermost frame's entry-sp from the *source*
+        # geometry, then place the destination fp per the destination
+        # ISA's prologue displacement. entry_sp = fp + displacement.
+        src_entry_sp = outer.fp + _ENTRY_SP_TO_FP[thread.core.arch]
+        fp = src_entry_sp - _ENTRY_SP_TO_FP[dst_arch]
+        for index in range(len(thread.frames) - 1, -1, -1):
+            frame = thread.frames[index]
+            self.dst_fp[(thread.core.tid, index)] = fp
+            self._all.append((thread, index, frame))
+            if index > 0:
+                dst_size = dst_frames.get(frame.func).frame_size
+                fp = fp - dst_size - _FRAME_LINK
+
+    def lookup_dst_fp(self, tid: int, index: int) -> int:
+        return self.dst_fp[(tid, index)]
+
+    def remap_pointer(self, value: int, src_binary: DelfBinary,
+                      dst_binary: DelfBinary) -> int:
+        """Translate a pointer into some thread's source stack into the
+        matching destination address; non-stack pointers pass through
+        (code/data/heap addresses are aligned across ISAs)."""
+        for thread, index, frame in self._all:
+            delta = value - frame.fp
+            # A slot address lies in [-frame_size, 0); the saved-fp /
+            # return-address words are at [0, 16) and are rebuilt anyway.
+            if not (-frame.frame_size <= delta < 0):
+                continue
+            src_record = src_binary.frames.get(frame.func)
+            slot = src_record.slot_containing(delta)
+            if slot is None:
+                continue
+            dst_slot = dst_binary.frames.get(frame.func).slot_by_id(
+                slot.slot_id)
+            if dst_slot is None:
+                raise RewriteError(
+                    f"{frame.func}: slot #{slot.slot_id} missing in "
+                    f"destination frame record")
+            dst_fp = self.lookup_dst_fp(thread.core.tid, index)
+            self.pointers_remapped += 1
+            return dst_fp + dst_slot.offset + (delta - slot.offset)
+        self.pointers_kept += 1
+        return value
+
+
+def in_stack_region(value: int, mm_vmas) -> bool:
+    """Is ``value`` inside any thread-stack VMA?"""
+    for vma in mm_vmas:
+        if vma.name.startswith("stack:") and vma.start <= value < vma.end:
+            return True
+    return False
+
+
+def write_thread(memory: ImageMemory, thread: UnwoundThread,
+                 frame_map: FrameMap, src_binary: DelfBinary,
+                 dst_binary: DelfBinary, dst_arch: str,
+                 mm_vmas, missing_live_ok: bool = False) -> CoreImage:
+    """Write one thread's destination stack and build its new core image.
+
+    ``missing_live_ok`` lets a destination live value with no source
+    counterpart initialize to zero — used by the live-update policy when
+    the updated function introduces new locals.
+    """
+    dst_isa = get_isa(dst_arch)
+    dst_maps = dst_binary.stackmaps
+    tid = thread.core.tid
+
+    new_regs: Dict[int, int] = {r.dwarf: 0 for r in dst_isa.registers}
+
+    for index, frame in enumerate(thread.frames):
+        dst_fp = frame_map.lookup_dst_fp(tid, index)
+        dst_point = dst_maps.by_id.get(frame.eqpoint.eqpoint_id)
+        if dst_point is None:
+            raise RewriteError(
+                f"eqpoint #{frame.eqpoint.eqpoint_id} missing in "
+                f"destination stackmaps")
+        # Frame linkage: saved caller fp and return address follow the
+        # destination ABI (paper: "DAPPER follows the destination
+        # architecture's ABI and retains the register-save procedure").
+        if index + 1 < len(thread.frames):
+            caller_fp = frame_map.lookup_dst_fp(tid, index + 1)
+            caller_point = thread.frames[index + 1].eqpoint
+            dst_caller_point = dst_maps.by_id[caller_point.eqpoint_id]
+            memory.write_u64(dst_fp + SAVED_FP_OFFSET, caller_fp)
+            memory.write_u64(dst_fp + RET_ADDR_OFFSET, dst_caller_point.addr)
+        else:
+            # Outermost frame: chain terminator + raw return target
+            # (symbol addresses are aligned across ISAs, so e.g. the
+            # __thread_exit stub address stays valid).
+            memory.write_u64(dst_fp + SAVED_FP_OFFSET, 0)
+            memory.write_u64(dst_fp + RET_ADDR_OFFSET, frame.ret_addr)
+        # Live values.
+        src_live_by_id = {lv.value_id: lv for lv in frame.eqpoint.live}
+        for live in dst_point.live:
+            raw = frame.values.get(live.value_id)
+            if raw is None:
+                if not missing_live_ok:
+                    raise RewriteError(
+                        f"{frame.func}: live value #{live.value_id} "
+                        f"({live.name}) absent from source frame")
+                raw = bytes(live.size)
+            src_live = src_live_by_id.get(live.value_id)
+            if (live.is_pointer and live.size == 8
+                    and src_live is not None and src_live.is_pointer):
+                value = int.from_bytes(raw, "little")
+                if in_stack_region(value, mm_vmas):
+                    value = frame_map.remap_pointer(value, src_binary,
+                                                    dst_binary)
+                raw = value.to_bytes(8, "little")
+            if live.on_stack():
+                memory.write(dst_fp + live.stack_offset, raw)
+            if live.in_register():
+                if index != 0:
+                    raise RewriteError(
+                        f"{frame.func}: register-resident live value in a "
+                        f"suspended (non-innermost) frame")
+                signed = int.from_bytes(raw[:8], "little", signed=True)
+                new_regs[live.dwarf_reg] = signed
+        if index == 0:
+            new_regs[dst_isa.dwarf_of(dst_isa.abi.frame_pointer)] = dst_fp
+            dst_record = dst_binary.frames.get(frame.func)
+            new_regs[dst_isa.dwarf_of(dst_isa.abi.stack_pointer)] = \
+                dst_fp - dst_record.frame_size
+            new_pc = dst_point.addr
+
+    return CoreImage(tid=tid, arch=dst_arch, pc=new_pc,
+                     flags=thread.core.flags, tls_base=0,   # set by tlsmod
+                     status=thread.core.status, regs=new_regs)

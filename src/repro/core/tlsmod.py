@@ -1,0 +1,28 @@
+"""TLS pointer adjustment across ISAs (paper §III-C, "Thread Local Storage").
+
+The TLS *block* (the variables) stays at its source virtual address; what
+differs per architecture is the libc-defined displacement between the
+thread pointer register (FS base on x86-64, TPIDR on aarch64) and the
+block. Dapper "simply updates the offset values": the rewriter adjusts
+the dumped thread-pointer value so that
+
+    tp_dst + dst_block_offset == tp_src + src_block_offset
+
+and every TLS access compiled into the destination binary lands on the
+same bytes the source process was using.
+"""
+
+from __future__ import annotations
+
+from ..isa import get_isa
+
+
+def translate_tls_base(tls_base: int, src_arch: str, dst_arch: str) -> int:
+    src_off = get_isa(src_arch).abi.tls_block_offset
+    dst_off = get_isa(dst_arch).abi.tls_block_offset
+    return tls_base + src_off - dst_off
+
+
+def tls_block_address(tls_base: int, arch: str) -> int:
+    """Virtual address of the TLS block given a thread pointer value."""
+    return tls_base + get_isa(arch).abi.tls_block_offset

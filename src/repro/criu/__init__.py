@@ -1,0 +1,30 @@
+"""CRIU-style checkpoint/restore for simulated processes.
+
+Mirrors the structure of real CRIU images (paper §III-D2b):
+
+=================  ========================================================
+``inventory.img``  process-level metadata (pid, arch, thread list)
+``core-<t>.img``   per-thread register state, TLS pointer, task status
+``mm.img``         VMA list + heap break
+``files.img``      opened files — here, the executable path and arch
+``pagemap.img``    which virtual regions have dumped pages
+``pages-1.img``    raw page contents (no wire encoding, like real CRIU)
+=================  ========================================================
+
+All ``.img`` files except ``pages-1.img`` are encoded with the
+protobuf-like wire format and can be decoded to JSON and re-encoded with
+the CRIT tool (``repro.criu.crit``), exactly as the paper extends CRIT
+for rewriting.
+"""
+
+from .images import (CoreImage, FilesImage, ImageSet, InventoryImage,
+                     MmImage, PagemapEntry, PagemapImage)
+from .dump import dump_process
+from .restore import restore_process
+from .lazy import PageServer, dump_process_lazy, restore_process_lazy
+
+__all__ = [
+    "CoreImage", "FilesImage", "ImageSet", "InventoryImage", "MmImage",
+    "PagemapEntry", "PagemapImage", "dump_process", "restore_process",
+    "PageServer", "dump_process_lazy", "restore_process_lazy",
+]

@@ -1,0 +1,125 @@
+"""CRIT — the CRIU Image Tool (paper §II, §III-D2b).
+
+Decodes image files to human-readable JSON-compatible dictionaries,
+re-encodes them, and pretty-prints an image set. The Dapper process
+rewriter is implemented as a CRIT *sub-command* in the paper; here the
+equivalent entry point is :func:`repro.core.rewriter.rewrite_images`,
+and this module provides the decode/encode plumbing it builds on.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict
+
+from ..errors import ImageFormatError
+from .images import (CoreImage, FilesImage, ImageSet, InventoryImage,
+                     MmImage, PagemapImage)
+
+_CORE_RE = re.compile(r"^core-(\d+)\.img$")
+
+_TYPED = {
+    "inventory.img": InventoryImage,
+    "mm.img": MmImage,
+    "files.img": FilesImage,
+    "pagemap.img": PagemapImage,
+}
+
+
+def image_class(filename: str):
+    if filename in _TYPED:
+        return _TYPED[filename]
+    if _CORE_RE.match(filename):
+        return CoreImage
+    return None
+
+
+def decode_image(filename: str, blob: bytes) -> dict:
+    """CRIT ``decode``: one image file → JSON-compatible dict."""
+    if filename == "pages-1.img":
+        return {"kind": "raw_pages", "size": len(blob)}
+    cls = image_class(filename)
+    if cls is None:
+        raise ImageFormatError(f"unknown image file {filename!r}")
+    obj = cls.from_bytes(blob)
+    return _to_plain(filename, obj)
+
+
+def encode_image(filename: str, data: dict) -> bytes:
+    """CRIT ``encode``: JSON-compatible dict → image file bytes."""
+    cls = image_class(filename)
+    if cls is None:
+        raise ImageFormatError(f"unknown image file {filename!r}")
+    return _from_plain(filename, cls, data).to_bytes()
+
+
+def _to_plain(filename: str, obj) -> dict:
+    if isinstance(obj, InventoryImage):
+        return {"kind": "inventory", "pid": obj.pid, "arch": obj.arch,
+                "source_name": obj.source_name, "tids": obj.tids,
+                "lazy": obj.lazy}
+    if isinstance(obj, CoreImage):
+        return {"kind": "core", "tid": obj.tid, "arch": obj.arch,
+                "pc": obj.pc, "flags": obj.flags, "tls_base": obj.tls_base,
+                "status": obj.status,
+                "regs": {str(k): v for k, v in sorted(obj.regs.items())}}
+    if isinstance(obj, MmImage):
+        return {"kind": "mm", "heap_end": obj.heap_end,
+                "vmas": [v.to_dict() for v in obj.vmas]}
+    if isinstance(obj, FilesImage):
+        return {"kind": "files", "exe_path": obj.exe_path,
+                "exe_arch": obj.exe_arch}
+    if isinstance(obj, PagemapImage):
+        return {"kind": "pagemap",
+                "entries": [e.to_dict() for e in obj.entries]}
+    raise ImageFormatError(f"cannot decode {filename!r}")
+
+
+def _from_plain(filename: str, cls, data: dict):
+    from ..mem.vma import Vma
+    from .images import PagemapEntry
+    if cls is InventoryImage:
+        return InventoryImage(data["pid"], data["arch"],
+                              data.get("source_name", ""),
+                              data.get("tids", []),
+                              bool(data.get("lazy", False)))
+    if cls is CoreImage:
+        return CoreImage(data["tid"], data["arch"], data["pc"],
+                         data["flags"], data["tls_base"],
+                         data.get("status", "running"),
+                         {int(k): v for k, v in data.get("regs", {}).items()})
+    if cls is MmImage:
+        return MmImage([Vma.from_dict(v) for v in data.get("vmas", [])],
+                       data.get("heap_end", 0))
+    if cls is FilesImage:
+        return FilesImage(data["exe_path"], data.get("exe_arch", ""))
+    if cls is PagemapImage:
+        return PagemapImage([PagemapEntry.from_dict(e)
+                             for e in data.get("entries", [])])
+    raise ImageFormatError(f"cannot encode {filename!r}")
+
+
+def decode_set(images: ImageSet) -> Dict[str, dict]:
+    """Decode every file in an image set."""
+    return {name: decode_image(name, blob)
+            for name, blob in sorted(images.files.items())}
+
+
+def show(images: ImageSet) -> str:
+    """CRIT ``show``: pretty-print an image set as JSON."""
+    return json.dumps(decode_set(images), indent=2, sort_keys=True)
+
+
+def roundtrip(images: ImageSet) -> ImageSet:
+    """decode → encode every wire-encoded image; raw pages pass through.
+
+    Used by tests to prove the CRIT encode path is lossless.
+    """
+    out = ImageSet()
+    for name, blob in images.files.items():
+        if name == "pages-1.img":
+            out.files[name] = blob
+        else:
+            out.files[name] = encode_image(name, decode_image(name, blob))
+    return out

@@ -1,0 +1,95 @@
+"""Checkpoint: dump a stopped process into an :class:`ImageSet`.
+
+Page-dump policy mirrors CRIU (paper §III-C): file-backed (code) VMAs
+contribute only the *execution context* — the page(s) each thread's
+program counter points into — because clean code pages reload from the
+binary at restore. All other populated pages are dumped.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..errors import CheckpointError
+from ..mem.paging import PAGE_SIZE, page_align_down
+from ..vm.cpu import ThreadStatus
+from ..vm.kernel import Process
+from .images import (CoreImage, FilesImage, ImageSet, InventoryImage,
+                     MmImage, PagemapEntry, PagemapImage)
+
+
+def dump_process(process: Process, require_stopped: bool = True) -> ImageSet:
+    """Dump ``process`` into a fresh image set."""
+    if require_stopped and not process.stopped:
+        raise CheckpointError(
+            f"process {process.pid} must be SIGSTOPped before dumping")
+    if process.exited:
+        raise CheckpointError(f"process {process.pid} has exited")
+
+    images = ImageSet()
+    live = [t for t in process.threads.values()
+            if t.status != ThreadStatus.DEAD]
+    if not live:
+        raise CheckpointError("no live threads to dump")
+
+    images.set_inventory(InventoryImage(
+        pid=process.pid, arch=process.isa.name,
+        source_name=process.binary.source_name,
+        tids=sorted(t.tid for t in live)))
+
+    for thread in live:
+        regs = {process.isa.dwarf_of_index(i): value
+                for i, value in enumerate(thread.regs)}
+        images.set_core(CoreImage(
+            tid=thread.tid, arch=process.isa.name, pc=thread.pc,
+            flags=thread.flags, tls_base=thread.tp, status=thread.status,
+            regs=regs))
+
+    images.set_mm(MmImage(process.aspace.vmas, process.heap_end))
+    images.set_files_img(FilesImage(process.exe_path, process.isa.name))
+
+    dump_pages = _select_pages(process)
+    _write_pages(process, sorted(dump_pages), images)
+    return images
+
+
+def _select_pages(process: Process) -> Set[int]:
+    """Page-aligned addresses to dump."""
+    selected: Set[int] = set()
+    exec_pages = {page_align_down(t.pc)
+                  for t in process.threads.values()
+                  if t.status != ThreadStatus.DEAD}
+    for base, _data in process.aspace.populated_pages():
+        vma = process.aspace.find_vma(base)
+        if vma is None:
+            continue
+        if vma.file_backed:
+            # Execution context only: the page under each thread's pc
+            # (and its successor, since an instruction can straddle).
+            if base in exec_pages or (base - PAGE_SIZE) in exec_pages:
+                selected.add(base)
+        else:
+            selected.add(base)
+    return selected
+
+
+def _write_pages(process: Process, pages: List[int],
+                 images: ImageSet) -> None:
+    entries: List[PagemapEntry] = []
+    blob = bytearray()
+    run_start = None
+    run_len = 0
+    for base in pages:
+        data = process.aspace.page(base)
+        blob += bytes(data) if data is not None else bytes(PAGE_SIZE)
+        if run_start is not None and base == run_start + run_len * PAGE_SIZE:
+            run_len += 1
+        else:
+            if run_start is not None:
+                entries.append(PagemapEntry(run_start, run_len))
+            run_start = base
+            run_len = 1
+    if run_start is not None:
+        entries.append(PagemapEntry(run_start, run_len))
+    images.set_pagemap(PagemapImage(entries))
+    images.set_pages(bytes(blob))

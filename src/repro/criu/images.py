@@ -1,0 +1,329 @@
+"""Typed CRIU image classes and their wire schemas."""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional
+
+from .. import wire
+from ..errors import ImageFormatError
+from ..mem.paging import PAGE_SIZE
+from ..mem.vma import Vma
+
+#: magic values at the head of each encoded image (like CRIU's magics)
+MAGIC_INVENTORY = 0x58313116
+MAGIC_CORE = 0x5A4E494D
+MAGIC_MM = 0x5746F78B
+MAGIC_PAGEMAP = 0x56084025
+MAGIC_FILES = 0x56303138
+
+_MAGIC_BY_KIND = {
+    "inventory": MAGIC_INVENTORY,
+    "core": MAGIC_CORE,
+    "mm": MAGIC_MM,
+    "pagemap": MAGIC_PAGEMAP,
+    "files": MAGIC_FILES,
+}
+
+
+def _wrap(kind: str, payload: bytes) -> bytes:
+    return struct.pack("<I", _MAGIC_BY_KIND[kind]) + payload
+
+
+def _unwrap(kind: str, blob: bytes) -> bytes:
+    if len(blob) < 4:
+        raise ImageFormatError(f"{kind}: truncated image")
+    magic = struct.unpack_from("<I", blob)[0]
+    if magic != _MAGIC_BY_KIND[kind]:
+        raise ImageFormatError(
+            f"{kind}: bad magic {magic:#x} (want "
+            f"{_MAGIC_BY_KIND[kind]:#x})")
+    return blob[4:]
+
+
+# -- inventory ---------------------------------------------------------------
+
+_INVENTORY_SCHEMA = wire.Schema("inventory", [
+    wire.field(1, "pid", "int"),
+    wire.field(2, "arch", "str"),
+    wire.field(3, "source_name", "str"),
+    wire.field(4, "tids", "int", repeated=True),
+    wire.field(5, "lazy", "int"),
+])
+
+
+class InventoryImage:
+    def __init__(self, pid: int, arch: str, source_name: str,
+                 tids: List[int], lazy: bool = False):
+        self.pid = pid
+        self.arch = arch
+        self.source_name = source_name
+        self.tids = list(tids)
+        self.lazy = lazy
+
+    def to_bytes(self) -> bytes:
+        return _wrap("inventory", _INVENTORY_SCHEMA.encode({
+            "pid": self.pid, "arch": self.arch,
+            "source_name": self.source_name, "tids": self.tids,
+            "lazy": int(self.lazy)}))
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "InventoryImage":
+        data = _INVENTORY_SCHEMA.decode(_unwrap("inventory", blob))
+        return cls(data["pid"], data["arch"], data.get("source_name", ""),
+                   data.get("tids", []), bool(data.get("lazy", 0)))
+
+
+# -- core (per thread) ----------------------------------------------------------
+
+_CORE_SCHEMA = wire.Schema("core", [
+    wire.field(1, "tid", "int"),
+    wire.field(2, "arch", "str"),
+    wire.field(3, "pc", "int"),
+    wire.field(4, "flags", "int"),
+    wire.field(5, "tls_base", "int"),
+    wire.field(6, "status", "str"),
+    # Registers stored as (dwarf_number, value) pairs so the rewriter can
+    # address them exactly the way the stackmaps do.
+    wire.field(7, "reg_dwarf", "int", repeated=True),
+    wire.field(8, "reg_value", "int", repeated=True),
+])
+
+
+class CoreImage:
+    """One thread's dumped architectural state."""
+
+    def __init__(self, tid: int, arch: str, pc: int, flags: int,
+                 tls_base: int, status: str, regs: Dict[int, int]):
+        self.tid = tid
+        self.arch = arch
+        self.pc = pc
+        self.flags = flags
+        self.tls_base = tls_base
+        self.status = status
+        #: dwarf register number -> signed value
+        self.regs = dict(regs)
+
+    def to_bytes(self) -> bytes:
+        numbers = sorted(self.regs)
+        return _wrap("core", _CORE_SCHEMA.encode({
+            "tid": self.tid, "arch": self.arch, "pc": self.pc,
+            "flags": self.flags, "tls_base": self.tls_base,
+            "status": self.status,
+            "reg_dwarf": numbers,
+            "reg_value": [self.regs[n] for n in numbers]}))
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CoreImage":
+        data = _CORE_SCHEMA.decode(_unwrap("core", blob))
+        regs = dict(zip(data.get("reg_dwarf", []),
+                        data.get("reg_value", [])))
+        return cls(data["tid"], data["arch"], data["pc"], data["flags"],
+                   data["tls_base"], data.get("status", "running"), regs)
+
+
+# -- mm -----------------------------------------------------------------------
+
+_VMA_SCHEMA = wire.Schema("vma", [
+    wire.field(1, "start", "int"),
+    wire.field(2, "end", "int"),
+    wire.field(3, "prot", "int"),
+    wire.field(4, "name", "str"),
+    wire.field(5, "file_backed", "int"),
+    wire.field(6, "file_path", "str"),
+    wire.field(7, "file_offset", "int"),
+])
+
+_MM_SCHEMA = wire.Schema("mm", [
+    wire.field(1, "vmas", "message", repeated=True, message=_VMA_SCHEMA),
+    wire.field(2, "heap_end", "int"),
+])
+
+
+class MmImage:
+    def __init__(self, vmas: List[Vma], heap_end: int):
+        self.vmas = list(vmas)
+        self.heap_end = heap_end
+
+    def to_bytes(self) -> bytes:
+        return _wrap("mm", _MM_SCHEMA.encode({
+            "vmas": [v.to_dict() for v in self.vmas],
+            "heap_end": self.heap_end}))
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "MmImage":
+        data = _MM_SCHEMA.decode(_unwrap("mm", blob))
+        return cls([Vma.from_dict(v) for v in data.get("vmas", [])],
+                   data.get("heap_end", 0))
+
+
+# -- files ----------------------------------------------------------------------
+
+_FILES_SCHEMA = wire.Schema("files", [
+    wire.field(1, "exe_path", "str"),
+    wire.field(2, "exe_arch", "str"),
+])
+
+
+class FilesImage:
+    """Opened files. The entry that matters for Dapper is the executable:
+    cross-ISA rewriting points it at the other architecture's binary."""
+
+    def __init__(self, exe_path: str, exe_arch: str):
+        self.exe_path = exe_path
+        self.exe_arch = exe_arch
+
+    def to_bytes(self) -> bytes:
+        return _wrap("files", _FILES_SCHEMA.encode({
+            "exe_path": self.exe_path, "exe_arch": self.exe_arch}))
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "FilesImage":
+        data = _FILES_SCHEMA.decode(_unwrap("files", blob))
+        return cls(data["exe_path"], data.get("exe_arch", ""))
+
+
+# -- pagemap + pages ---------------------------------------------------------------
+
+_PAGEMAP_ENTRY_SCHEMA = wire.Schema("pagemap_entry", [
+    wire.field(1, "vaddr", "int"),
+    wire.field(2, "nr_pages", "int"),
+])
+
+_PAGEMAP_SCHEMA = wire.Schema("pagemap", [
+    wire.field(1, "entries", "message", repeated=True,
+               message=_PAGEMAP_ENTRY_SCHEMA),
+])
+
+
+class PagemapEntry:
+    __slots__ = ("vaddr", "nr_pages")
+
+    def __init__(self, vaddr: int, nr_pages: int):
+        self.vaddr = vaddr
+        self.nr_pages = nr_pages
+
+    def to_dict(self) -> dict:
+        return {"vaddr": self.vaddr, "nr_pages": self.nr_pages}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PagemapEntry":
+        return cls(data["vaddr"], data["nr_pages"])
+
+    def __repr__(self) -> str:
+        return f"<PagemapEntry {self.vaddr:#x} x{self.nr_pages}>"
+
+
+class PagemapImage:
+    """Index into ``pages-1.img``: runs of dumped pages in file order."""
+
+    def __init__(self, entries: List[PagemapEntry]):
+        self.entries = list(entries)
+
+    def total_pages(self) -> int:
+        return sum(e.nr_pages for e in self.entries)
+
+    def page_addresses(self) -> List[int]:
+        out = []
+        for entry in self.entries:
+            for i in range(entry.nr_pages):
+                out.append(entry.vaddr + i * PAGE_SIZE)
+        return out
+
+    def to_bytes(self) -> bytes:
+        return _wrap("pagemap", _PAGEMAP_SCHEMA.encode({
+            "entries": [e.to_dict() for e in self.entries]}))
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "PagemapImage":
+        data = _PAGEMAP_SCHEMA.decode(_unwrap("pagemap", blob))
+        return cls([PagemapEntry.from_dict(e)
+                    for e in data.get("entries", [])])
+
+
+# -- the image set ------------------------------------------------------------------
+
+class ImageSet:
+    """One checkpoint: named image files, loadable from / savable to tmpfs."""
+
+    def __init__(self, files: Optional[Dict[str, bytes]] = None):
+        self.files: Dict[str, bytes] = dict(files or {})
+
+    # typed accessors (parse on demand, write back explicitly)
+
+    def inventory(self) -> InventoryImage:
+        return InventoryImage.from_bytes(self.files["inventory.img"])
+
+    def core(self, tid: int) -> CoreImage:
+        return CoreImage.from_bytes(self.files[f"core-{tid}.img"])
+
+    def cores(self) -> List[CoreImage]:
+        return [self.core(tid) for tid in self.inventory().tids]
+
+    def mm(self) -> MmImage:
+        return MmImage.from_bytes(self.files["mm.img"])
+
+    def files_img(self) -> FilesImage:
+        return FilesImage.from_bytes(self.files["files.img"])
+
+    def pagemap(self) -> PagemapImage:
+        return PagemapImage.from_bytes(self.files["pagemap.img"])
+
+    def pages(self) -> bytes:
+        return self.files["pages-1.img"]
+
+    def set_inventory(self, image: InventoryImage) -> None:
+        self.files["inventory.img"] = image.to_bytes()
+
+    def set_core(self, image: CoreImage) -> None:
+        self.files[f"core-{image.tid}.img"] = image.to_bytes()
+
+    def set_mm(self, image: MmImage) -> None:
+        self.files["mm.img"] = image.to_bytes()
+
+    def set_files_img(self, image: FilesImage) -> None:
+        self.files["files.img"] = image.to_bytes()
+
+    def set_pagemap(self, image: PagemapImage) -> None:
+        self.files["pagemap.img"] = image.to_bytes()
+
+    def set_pages(self, data: bytes) -> None:
+        self.files["pages-1.img"] = bytes(data)
+
+    # page lookup helpers
+
+    def page_at(self, vaddr: int) -> Optional[bytes]:
+        """Dumped page contents for a page-aligned address, if present."""
+        index = 0
+        for entry in self.pagemap().entries:
+            span = entry.nr_pages * PAGE_SIZE
+            if entry.vaddr <= vaddr < entry.vaddr + span:
+                offset = (index * PAGE_SIZE) + (vaddr - entry.vaddr)
+                return self.pages()[offset:offset + PAGE_SIZE]
+            index += entry.nr_pages
+        return None
+
+    def total_bytes(self) -> int:
+        return sum(len(v) for v in self.files.values())
+
+    # tmpfs I/O
+
+    def save(self, tmpfs, prefix: str) -> int:
+        total = 0
+        for name, data in self.files.items():
+            tmpfs.write(f"{prefix.rstrip('/')}/{name}", data)
+            total += len(data)
+        return total
+
+    @classmethod
+    def load(cls, tmpfs, prefix: str) -> "ImageSet":
+        files = {}
+        for path in tmpfs.listdir(prefix):
+            name = path[len(prefix.rstrip('/')) + 1:]
+            files[name] = tmpfs.read(path)
+        if not files:
+            raise ImageFormatError(f"no images under {prefix!r}")
+        return cls(files)
+
+    def __repr__(self) -> str:
+        return f"<ImageSet {sorted(self.files)} {self.total_bytes()}B>"

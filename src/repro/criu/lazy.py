@@ -1,0 +1,137 @@
+"""Post-copy (lazy) migration support (paper §III-D3).
+
+``dump_process_lazy`` dumps only the *minimal set that starts the
+process*: task state (cores, mm, files) plus stack and TLS pages and the
+execution-context code pages — exactly the set the paper notes is
+"enough for cross-architecture process transformation". All remaining
+populated pages stay behind in a :class:`PageServer` attached to the
+source node; the restored process faults them in on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import CheckpointError
+from ..mem.paging import PAGE_SIZE, page_align_down
+from ..vm.cpu import ThreadStatus
+from ..vm.kernel import Machine, Process
+from .dump import _write_pages
+from .images import (CoreImage, FilesImage, ImageSet, InventoryImage,
+                     MmImage)
+from .restore import restore_process
+
+
+class PageServer:
+    """Serves left-behind pages from the source node on demand.
+
+    Keeps its own copies of the page contents (the source process may be
+    torn down after migration). Records a request log — the paper reads
+    the page server's log to estimate the indirect restoration cost for
+    long-running servers like Redis.
+    """
+
+    def __init__(self, pages: Dict[int, bytes], node_name: str = "source"):
+        self._pages = dict(pages)
+        self.node_name = node_name
+        self.requests = 0
+        self.pages_served = 0
+        self.bytes_served = 0
+        self.log: List[Tuple[int, int]] = []   # (request index, vaddr)
+
+    def remaining_pages(self) -> int:
+        return len(self._pages)
+
+    def remaining_bytes(self) -> int:
+        return len(self._pages) * PAGE_SIZE
+
+    def fetch(self, vaddr: int) -> Optional[bytes]:
+        self.requests += 1
+        self.log.append((self.requests, vaddr))
+        data = self._pages.pop(vaddr, None)
+        if data is not None:
+            self.pages_served += 1
+            self.bytes_served += len(data)
+        return data
+
+
+def dump_process_lazy(process: Process,
+                      require_stopped: bool = True
+                      ) -> Tuple[ImageSet, PageServer]:
+    """Minimal dump + a page server holding everything else."""
+    if require_stopped and not process.stopped:
+        raise CheckpointError(
+            f"process {process.pid} must be SIGSTOPped before dumping")
+    if process.exited:
+        raise CheckpointError(f"process {process.pid} has exited")
+
+    images = ImageSet()
+    live = [t for t in process.threads.values()
+            if t.status != ThreadStatus.DEAD]
+    if not live:
+        raise CheckpointError("no live threads to dump")
+
+    images.set_inventory(InventoryImage(
+        pid=process.pid, arch=process.isa.name,
+        source_name=process.binary.source_name,
+        tids=sorted(t.tid for t in live), lazy=True))
+    for thread in live:
+        regs = {process.isa.dwarf_of_index(i): value
+                for i, value in enumerate(thread.regs)}
+        images.set_core(CoreImage(
+            tid=thread.tid, arch=process.isa.name, pc=thread.pc,
+            flags=thread.flags, tls_base=thread.tp, status=thread.status,
+            regs=regs))
+    images.set_mm(MmImage(process.aspace.vmas, process.heap_end))
+    images.set_files_img(FilesImage(process.exe_path, process.isa.name))
+
+    eager, lazy = _partition_pages(process)
+    _write_pages(process, sorted(eager), images)
+    server_pages = {}
+    for base in lazy:
+        data = process.aspace.page(base)
+        server_pages[base] = bytes(data) if data is not None \
+            else bytes(PAGE_SIZE)
+    return images, PageServer(server_pages, node_name=process.machine.name)
+
+
+def _partition_pages(process: Process) -> Tuple[Set[int], Set[int]]:
+    """Split populated pages into (eagerly dumped, left at source)."""
+    eager: Set[int] = set()
+    lazy: Set[int] = set()
+    exec_pages = {page_align_down(t.pc)
+                  for t in process.threads.values()
+                  if t.status != ThreadStatus.DEAD}
+    for base, _data in process.aspace.populated_pages():
+        vma = process.aspace.find_vma(base)
+        if vma is None:
+            continue
+        if vma.file_backed:
+            if base in exec_pages or (base - PAGE_SIZE) in exec_pages:
+                eager.add(base)
+            continue   # other clean code pages: reload from the binary
+        if vma.name.startswith("stack:") or vma.name.startswith("tls:"):
+            eager.add(base)
+        else:
+            lazy.add(base)
+    return eager, lazy
+
+
+def restore_process_lazy(machine: Machine, images: ImageSet,
+                         page_server: PageServer,
+                         pid: Optional[int] = None) -> Process:
+    """Restore a lazy checkpoint; missing pages fault in from the server."""
+    process = restore_process(machine, images, pid=pid)
+    lazy_vmas = [v for v in process.aspace.vmas
+                 if not (v.file_backed or v.name.startswith("stack:")
+                         or v.name.startswith("tls:"))]
+    lazy_ranges = [(v.start, v.end) for v in lazy_vmas]
+
+    def hook(base: int) -> Optional[bytes]:
+        for start, end in lazy_ranges:
+            if start <= base < end:
+                return page_server.fetch(base)
+        return None
+
+    process.aspace.missing_page_hook = hook
+    return process

@@ -1,0 +1,90 @@
+"""Restore: rebuild a live process from an :class:`ImageSet`.
+
+The code segment is re-mapped from the executable named in ``files.img``
+(which the cross-ISA rewriter points at the destination architecture's
+binary), then the dumped pages — including the rewritten execution
+context and stacks — are overlaid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..binfmt.delf import DelfBinary
+from ..errors import RestoreError
+from ..mem import AddressSpace
+from ..mem.paging import PAGE_SIZE
+from ..mem.vma import Vma
+from ..vm.cpu import ThreadContext, ThreadStatus
+from ..vm.kernel import Machine, Process
+from .images import ImageSet
+
+
+def restore_process(machine: Machine, images: ImageSet,
+                    pid: Optional[int] = None) -> Process:
+    """Restore the checkpoint into a new process on ``machine``."""
+    inventory = images.inventory()
+    files_img = images.files_img()
+    if files_img.exe_arch != machine.isa.name:
+        raise RestoreError(
+            f"image targets {files_img.exe_arch}, machine runs "
+            f"{machine.isa.name} — rewrite the image first")
+    if not machine.tmpfs.exists(files_img.exe_path):
+        raise RestoreError(f"executable {files_img.exe_path!r} not present "
+                           f"on {machine.name}")
+    binary = DelfBinary.from_bytes(machine.tmpfs.read(files_img.exe_path))
+    if binary.arch != machine.isa.name:
+        raise RestoreError(
+            f"binary {files_img.exe_path!r} is {binary.arch}")
+
+    aspace = _build_address_space(images, binary)
+    process = Process(pid if pid is not None else machine.alloc_pid(),
+                      binary, files_img.exe_path, machine, aspace=aspace)
+    process.heap_end = images.mm().heap_end
+
+    max_tid = 0
+    for core in images.cores():
+        if core.arch != machine.isa.name:
+            raise RestoreError(
+                f"core-{core.tid} is {core.arch}, machine is "
+                f"{machine.isa.name}")
+        thread = ThreadContext(core.tid, machine.isa)
+        for dwarf, value in core.regs.items():
+            thread.regs[machine.isa.index_of_dwarf(dwarf)] = value
+        thread.pc = core.pc
+        thread.flags = core.flags
+        thread.tp = core.tls_base
+        # Trapped threads resume running: the dumped pc already points
+        # past the trap, at the equivalence point.
+        thread.status = ThreadStatus.RUNNING
+        process.threads[core.tid] = thread
+        max_tid = max(max_tid, core.tid)
+    process.next_tid = max_tid + 1
+
+    machine.adopt_process(process)
+    return process
+
+
+def _build_address_space(images: ImageSet, binary: DelfBinary) -> AddressSpace:
+    aspace = AddressSpace()
+    mm = images.mm()
+    for vma in mm.vmas:
+        aspace.map(Vma(vma.start, vma.end, vma.prot, vma.name,
+                       vma.file_backed, vma.file_path, vma.file_offset))
+        if vma.file_backed:
+            # Reload clean code pages from the (destination) binary.
+            for segment in binary.segments:
+                if segment.section == ".text":
+                    aspace.write_code(segment.vaddr, binary.text)
+    # Overlay every dumped page (stacks, data, heap, TLS, and the
+    # rewritten execution-context code pages).
+    pagemap = images.pagemap()
+    pages = images.pages()
+    index = 0
+    for entry in pagemap.entries:
+        for i in range(entry.nr_pages):
+            offset = index * PAGE_SIZE
+            aspace.install_page(entry.vaddr + i * PAGE_SIZE,
+                                pages[offset:offset + PAGE_SIZE])
+            index += 1
+    return aspace

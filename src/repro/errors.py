@@ -1,0 +1,103 @@
+"""Exception hierarchy for the Dapper reproduction.
+
+Every layer of the stack raises a subclass of :class:`ReproError` so that
+callers can catch failures from one subsystem without accidentally
+swallowing failures from another.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class WireError(ReproError):
+    """Malformed data in the protobuf-like wire format."""
+
+
+class IsaError(ReproError):
+    """Problems assembling, encoding, or decoding machine instructions."""
+
+
+class EncodingError(IsaError):
+    """An instruction cannot be encoded (bad operand, out-of-range field)."""
+
+
+class DecodingError(IsaError):
+    """A byte sequence does not decode to a valid instruction."""
+
+
+class MemoryError_(ReproError):
+    """Invalid access to a simulated address space."""
+
+
+class SegmentationFault(MemoryError_):
+    """Access to an unmapped or protection-violating address."""
+
+    def __init__(self, address: int, reason: str = "unmapped"):
+        super().__init__(f"segmentation fault at {address:#x} ({reason})")
+        self.address = address
+        self.reason = reason
+
+
+class CompileError(ReproError):
+    """DapperC compilation failure (lex, parse, type, or codegen)."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        loc = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{loc}")
+        self.line = line
+        self.column = column
+
+
+class LinkError(ReproError):
+    """Cross-ISA layout/linking failure (e.g. unresolvable symbol)."""
+
+
+class LoaderError(ReproError):
+    """A DELF binary cannot be loaded into an address space."""
+
+
+class KernelError(ReproError):
+    """Simulated-kernel level failure (bad syscall, dead thread, ...)."""
+
+
+class PtraceError(KernelError):
+    """Invalid ptrace request (wrong state, unknown thread, ...)."""
+
+
+class CheckpointError(ReproError):
+    """CRIU dump failed (process not stopped, inconsistent state, ...)."""
+
+
+class RestoreError(ReproError):
+    """CRIU restore failed (bad images, wrong architecture, ...)."""
+
+
+class ImageFormatError(ReproError):
+    """A CRIU image file is malformed or has the wrong magic."""
+
+
+class RewriteError(ReproError):
+    """The process rewriter could not transform an image set."""
+
+
+class NotAtEquivalencePoint(RewriteError):
+    """A thread was not parked at an equivalence point when rewriting."""
+
+
+class PolicyError(RewriteError):
+    """A transformation policy was misconfigured or inapplicable."""
+
+
+class MigrationError(ReproError):
+    """End-to-end migration pipeline failure."""
+
+
+class ClusterError(ReproError):
+    """Cluster/discrete-event simulation misconfiguration."""
+
+
+class SecurityHarnessError(ReproError):
+    """Attack harness misconfiguration (not an attack failure)."""

@@ -1,0 +1,42 @@
+"""ISA substrate: two simulated instruction sets with real byte encodings.
+
+``repro.isa.x86`` is a CISC-style, variable-length ISA modeled on x86-64
+(16 general-purpose registers, ``0xCC`` trap, two-byte ``0F``-prefixed
+conditional branches). ``repro.isa.arm`` is a RISC-style, fixed 4-byte
+ISA modeled on aarch64 (31 general-purpose registers, load/store *pair*
+instructions, the ``D4 20 00 00`` ``brk #0`` trap).
+
+Both expose the same interface: an :class:`~repro.isa.isa.Isa` descriptor
+with an assembler (:func:`encode`), a disassembler (:func:`decode`), an
+ABI description, and DWARF register numbering — everything the Dapper
+rewriter needs to translate state between them.
+"""
+
+from .registers import Register, RegisterFile
+from .isa import Abi, Instruction, Isa, Operand
+from .x86 import X86_ISA
+from .arm import ARM_ISA
+
+ISAS = {X86_ISA.name: X86_ISA, ARM_ISA.name: ARM_ISA}
+
+
+def get_isa(name: str) -> Isa:
+    """Look up an ISA by name (``"x86_64"`` or ``"aarch64"``)."""
+    try:
+        return ISAS[name]
+    except KeyError:
+        raise KeyError(f"unknown ISA {name!r}; known: {sorted(ISAS)}") from None
+
+
+def other_isa(name: str) -> Isa:
+    """Return the *other* ISA — convenient for cross-ISA tests."""
+    for key, isa in ISAS.items():
+        if key != name:
+            return isa
+    raise KeyError(name)
+
+
+__all__ = [
+    "Abi", "Instruction", "Isa", "Operand", "Register", "RegisterFile",
+    "X86_ISA", "ARM_ISA", "ISAS", "get_isa", "other_isa",
+]

@@ -1,0 +1,329 @@
+"""The RISC-style simulated ISA ("aarch64").
+
+Fixed 4-byte instruction words modeled on aarch64: 31 general-purpose
+registers plus ``sp``, ``movz``/``movk`` immediate materialization,
+load/store *pair* instructions (``ldp``/``stp``) used by the backend for
+adjacent stack slots (these are what limit stack-shuffle entropy on this
+ISA, paper §IV-B), and the exact ``D4 20 00 00`` byte sequence for the
+trap (``brk #0``) that the paper's footnote 2 quotes.
+
+Instruction words are laid out as ``op, b1, b2, b3`` where ``op`` is the
+opcode byte and the remaining bytes are register indices / immediates.
+Whole-word patterns (``nop``, ``ret``, ``brk``, ``svc``) are matched
+before the opcode dispatch.
+"""
+
+from __future__ import annotations
+
+from ..errors import DecodingError, EncodingError
+from .isa import Abi, Instruction, Isa, check_reg, signed_fits, to_signed
+from .registers import ARM_REGISTERS
+
+WORD = 4
+
+# Whole-word encodings.
+BYTES_NOP = bytes([0x1F, 0x20, 0x03, 0xD5])   # real aarch64 `nop`
+BYTES_BRK = bytes([0xD4, 0x20, 0x00, 0x00])   # paper footnote 2: brk #0
+BYTES_RET = bytes([0xC0, 0x03, 0x5F, 0xD6])   # real aarch64 `ret`
+BYTES_SVC = bytes([0x01, 0x00, 0x00, 0xD4])   # svc #0 (approx.)
+
+OP_MOV = 0x01
+OP_MOVZ = 0x02
+OP_MOVK1 = 0x03
+OP_MOVK2 = 0x04
+OP_MOVK3 = 0x05
+OP_LDR = 0x06
+OP_STR = 0x07
+OP_LDP = 0x08
+OP_STP = 0x09
+BINOP_TO_OPCODE = {
+    "add": 0x0A, "sub": 0x0B, "mul": 0x0C, "sdiv": 0x0D, "srem": 0x0E,
+    "and": 0x0F, "orr": 0x10, "eor": 0x11, "lsl": 0x12, "lsr": 0x13,
+}
+OPCODE_TO_BINOP = {v: k for k, v in BINOP_TO_OPCODE.items()}
+OP_ADDI = 0x14
+OP_SUBI = 0x15
+OP_CMP = 0x16
+OP_CMPI = 0x17
+OP_B = 0x18
+OP_BL = 0x19
+OP_BCC = 0x1A
+OP_TLSLOAD = 0x1C
+OP_TLSSTORE = 0x1D
+OP_LEA = 0x1E
+
+COND_TO_CC = {"eq": 0, "ne": 1, "lt": 2, "le": 3, "gt": 4, "ge": 5}
+CC_TO_COND = {v: k for k, v in COND_TO_CC.items()}
+
+#: Mnemonics this ISA encodes in a single word.
+_SINGLE_WORD = {
+    "nop", "trap", "ret", "syscall", "mov", "movz", "movk1", "movk2",
+    "movk3", "load", "store", "ldp", "stp", "addi", "cmp", "cmpi", "b",
+    "bcc", "call", "tlsload", "tlsstore", "lea",
+} | set(BINOP_TO_OPCODE)
+
+
+def arm_size(instr: Instruction, isa: Isa) -> int:
+    if instr.op == "movi_full":
+        # Always the full movz + 3×movk form: used for link-time-resolved
+        # addresses so sizes are independent of symbol placement.
+        return WORD * 4
+    if instr.op == "movi":
+        # Pseudo-instruction: movz + up to three movk. Address-bearing
+        # immediates are always materialized with the full 4-word form by
+        # the code generator (stable sizes before linking); here the size
+        # depends only on the known immediate value.
+        return WORD * len(_movi_parts(instr.imm or 0))
+    if instr.op in _SINGLE_WORD:
+        return WORD
+    raise EncodingError(f"aarch64: unknown mnemonic {instr.op!r}")
+
+
+def _movi_parts(imm: int):
+    """16-bit chunks of a 64-bit immediate, least-significant first."""
+    value = imm & 0xFFFFFFFFFFFFFFFF
+    parts = [(value >> shift) & 0xFFFF for shift in (0, 16, 32, 48)]
+    # Always keep chunk 0 (movz); keep the longest prefix whose upper
+    # chunks are non-zero.
+    while len(parts) > 1 and parts[-1] == 0:
+        parts.pop()
+    return parts
+
+
+def expand_movi(rd: int, imm: int, full: bool = False):
+    """Expand ``movi rd, imm`` into movz/movk instructions.
+
+    With ``full=True`` all four words are emitted regardless of the value
+    — required for link-time-resolved addresses so instruction sizes do
+    not depend on symbol placement.
+    """
+    value = imm & 0xFFFFFFFFFFFFFFFF
+    chunks = [(value >> shift) & 0xFFFF for shift in (0, 16, 32, 48)]
+    if not full:
+        while len(chunks) > 1 and chunks[-1] == 0:
+            chunks.pop()
+    ops = ["movz", "movk1", "movk2", "movk3"]
+    return [Instruction(ops[i], rd=rd, imm=chunk)
+            for i, chunk in enumerate(chunks)]
+
+
+def _word(op: int, b1: int = 0, b2: int = 0, b3: int = 0) -> bytes:
+    return bytes([op, b1 & 0xFF, b2 & 0xFF, b3 & 0xFF])
+
+
+def _imm16(value: int):
+    if not 0 <= value <= 0xFFFF:
+        raise EncodingError(f"aarch64: imm16 out of range: {value:#x}")
+    return value & 0xFF, (value >> 8) & 0xFF
+
+
+def _off8(value: int, scaled: bool) -> int:
+    if scaled:
+        if value % 8:
+            raise EncodingError(f"aarch64: offset {value} not 8-aligned")
+        value //= 8
+    if not signed_fits(value, 8):
+        raise EncodingError(f"aarch64: offset field out of range: {value}")
+    return value & 0xFF
+
+
+def arm_encode(instr: Instruction, isa: Isa) -> bytes:
+    op = instr.op
+    if op == "nop":
+        return BYTES_NOP
+    if op == "trap":
+        return BYTES_BRK
+    if op == "ret":
+        return BYTES_RET
+    if op == "syscall":
+        return BYTES_SVC
+    if op == "mov":
+        return _word(OP_MOV, check_reg(instr, "rd", isa),
+                     check_reg(instr, "rn", isa))
+    if op in ("movz", "movk1", "movk2", "movk3"):
+        lo, hi = _imm16(instr.imm or 0)
+        opcode = {"movz": OP_MOVZ, "movk1": OP_MOVK1,
+                  "movk2": OP_MOVK2, "movk3": OP_MOVK3}[op]
+        return _word(opcode, check_reg(instr, "rd", isa), lo, hi)
+    if op in ("movi", "movi_full"):
+        out = bytearray()
+        parts = expand_movi(check_reg(instr, "rd", isa), instr.imm or 0,
+                            full=(op == "movi_full"))
+        for part in parts:
+            out += arm_encode(part, isa)
+        return bytes(out)
+    if op in ("load", "store"):
+        opcode = OP_LDR if op == "load" else OP_STR
+        return _word(opcode, check_reg(instr, "rd", isa),
+                     check_reg(instr, "rn", isa),
+                     _off8(instr.imm or 0, scaled=True))
+    if op in ("ldp", "stp"):
+        opcode = OP_LDP if op == "ldp" else OP_STP
+        return _word(opcode, check_reg(instr, "rd", isa),
+                     check_reg(instr, "rm", isa),
+                     _off8(instr.imm or 0, scaled=True))
+    if op in BINOP_TO_OPCODE:
+        return _word(BINOP_TO_OPCODE[op], check_reg(instr, "rd", isa),
+                     check_reg(instr, "rn", isa), check_reg(instr, "rm", isa))
+    if op == "addi":
+        imm = instr.imm or 0
+        opcode = OP_ADDI
+        if imm < 0:
+            opcode, imm = OP_SUBI, -imm
+        if not 0 <= imm <= 255:
+            raise EncodingError(f"aarch64: addi immediate {instr.imm} "
+                                "out of range (use movi + add)")
+        return _word(opcode, check_reg(instr, "rd", isa),
+                     check_reg(instr, "rn", isa), imm)
+    if op == "lea":
+        # rd = rn + imm8*8 (frame-slot address computation)
+        return _word(OP_LEA, check_reg(instr, "rd", isa),
+                     check_reg(instr, "rn", isa),
+                     _off8(instr.imm or 0, scaled=True))
+    if op == "cmp":
+        return _word(OP_CMP, check_reg(instr, "rn", isa),
+                     check_reg(instr, "rm", isa))
+    if op == "cmpi":
+        imm = instr.imm or 0
+        if not signed_fits(imm, 8):
+            raise EncodingError(f"aarch64: cmpi immediate {imm} out of range")
+        return _word(OP_CMPI, check_reg(instr, "rn", isa), imm & 0xFF)
+    if op in ("b", "call"):
+        rel = _branch_rel(instr, bits=24)
+        return bytes([OP_B if op == "b" else OP_BL,
+                      rel & 0xFF, (rel >> 8) & 0xFF, (rel >> 16) & 0xFF])
+    if op == "bcc":
+        if instr.cond not in COND_TO_CC:
+            raise EncodingError(f"aarch64: unknown condition {instr.cond!r}")
+        rel = _branch_rel(instr, bits=16)
+        return bytes([OP_BCC, COND_TO_CC[instr.cond],
+                      rel & 0xFF, (rel >> 8) & 0xFF])
+    if op in ("tlsload", "tlsstore"):
+        imm = instr.imm or 0
+        if not 0 <= imm <= 0xFFFF:
+            raise EncodingError(f"aarch64: TLS offset {imm} out of range")
+        opcode = OP_TLSLOAD if op == "tlsload" else OP_TLSSTORE
+        return _word(opcode, check_reg(instr, "rd", isa),
+                     imm & 0xFF, (imm >> 8) & 0xFF)
+    raise EncodingError(f"aarch64: cannot encode {op!r}")
+
+
+def _branch_rel(instr: Instruction, bits: int) -> int:
+    if instr.addr is None:
+        raise EncodingError(f"aarch64: {instr.op} has no address assigned")
+    if not isinstance(instr.target, int):
+        raise EncodingError(
+            f"aarch64: unresolved branch target {instr.target!r}")
+    delta = instr.target - instr.addr
+    if delta % WORD:
+        raise EncodingError(f"aarch64: misaligned branch target {instr.target:#x}")
+    rel = delta // WORD
+    if not signed_fits(rel, bits):
+        raise EncodingError(f"aarch64: branch displacement {delta} too far")
+    return rel & ((1 << bits) - 1)
+
+
+def arm_decode(data: bytes, offset: int, addr: int, isa: Isa) -> Instruction:
+    if offset + WORD > len(data):
+        raise DecodingError("aarch64: truncated instruction word")
+    word = bytes(data[offset:offset + WORD])
+
+    def done(instr: Instruction) -> Instruction:
+        instr.addr = addr
+        instr.size = WORD
+        return instr
+
+    if word == BYTES_NOP:
+        return done(Instruction("nop"))
+    if word == BYTES_BRK:
+        return done(Instruction("trap"))
+    if word == BYTES_RET:
+        return done(Instruction("ret"))
+    if word == BYTES_SVC:
+        return done(Instruction("syscall"))
+
+    op, b1, b2, b3 = word
+
+    def reg(value: int) -> int:
+        if value not in isa.registers.by_index:
+            raise DecodingError(f"aarch64: bad register byte {value:#x}")
+        return value
+
+    if op == OP_MOV:
+        return done(Instruction("mov", rd=reg(b1), rn=reg(b2)))
+    if op in (OP_MOVZ, OP_MOVK1, OP_MOVK2, OP_MOVK3):
+        name = {OP_MOVZ: "movz", OP_MOVK1: "movk1",
+                OP_MOVK2: "movk2", OP_MOVK3: "movk3"}[op]
+        return done(Instruction(name, rd=reg(b1), imm=b2 | (b3 << 8)))
+    if op in (OP_LDR, OP_STR):
+        name = "load" if op == OP_LDR else "store"
+        return done(Instruction(name, rd=reg(b1), rn=reg(b2),
+                                imm=to_signed(b3, 8) * 8))
+    if op in (OP_LDP, OP_STP):
+        name = "ldp" if op == OP_LDP else "stp"
+        return done(Instruction(name, rd=reg(b1), rm=reg(b2),
+                                imm=to_signed(b3, 8) * 8))
+    if op in OPCODE_TO_BINOP:
+        return done(Instruction(OPCODE_TO_BINOP[op], rd=reg(b1), rn=reg(b2),
+                                rm=reg(b3)))
+    if op == OP_ADDI:
+        return done(Instruction("addi", rd=reg(b1), rn=reg(b2), imm=b3))
+    if op == OP_SUBI:
+        return done(Instruction("addi", rd=reg(b1), rn=reg(b2), imm=-b3))
+    if op == OP_LEA:
+        return done(Instruction("lea", rd=reg(b1), rn=reg(b2),
+                                imm=to_signed(b3, 8) * 8))
+    if op == OP_CMP:
+        return done(Instruction("cmp", rn=reg(b1), rm=reg(b2)))
+    if op == OP_CMPI:
+        return done(Instruction("cmpi", rn=reg(b1), imm=to_signed(b2, 8)))
+    if op in (OP_B, OP_BL):
+        rel = to_signed(b1 | (b2 << 8) | (b3 << 16), 24)
+        name = "b" if op == OP_B else "call"
+        return done(Instruction(name, target=addr + rel * WORD))
+    if op == OP_BCC:
+        if b1 not in CC_TO_COND:
+            raise DecodingError(f"aarch64: bad condition code {b1}")
+        rel = to_signed(b2 | (b3 << 8), 16)
+        return done(Instruction("bcc", cond=CC_TO_COND[b1],
+                                target=addr + rel * WORD))
+    if op in (OP_TLSLOAD, OP_TLSSTORE):
+        name = "tlsload" if op == OP_TLSLOAD else "tlsstore"
+        return done(Instruction(name, rd=reg(b1), imm=b2 | (b3 << 8)))
+    raise DecodingError(f"aarch64: unknown opcode {op:#x}")
+
+
+ARM_ABI = Abi(
+    stack_pointer="sp",
+    frame_pointer="x29",
+    link_register="x30",
+    return_reg="x0",
+    arg_regs=("x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7"),
+    scratch_regs=("x9", "x10", "x11", "x12", "x13", "x14", "x15",
+                  "x16", "x17", "x19", "x20", "x21", "x22", "x23"),
+    syscall_number_reg="x8",
+    syscall_arg_regs=("x0", "x1", "x2"),
+    callee_saved=("x19", "x20", "x21", "x22", "x23", "x24", "x25",
+                  "x26", "x27", "x28"),
+    stack_alignment=16,
+    # Model of the aarch64 libc TCB layout offset — deliberately different
+    # from x86_64's so the rewriter must fix it up (paper §III-C, TLS).
+    tls_block_offset=32,
+)
+
+ARM_ISA = Isa(
+    name="aarch64",
+    wordsize=8,
+    registers=ARM_REGISTERS,
+    abi=ARM_ABI,
+    encode_fn=arm_encode,
+    decode_fn=arm_decode,
+    size_fn=arm_size,
+    nop_bytes=BYTES_NOP,
+    trap_bytes=BYTES_BRK,
+    ret_bytes=BYTES_RET,
+    fixed_width=WORD,
+    cost_table={"load": 2, "store": 2, "ldp": 2, "stp": 2, "tlsload": 2,
+                "tlsstore": 2, "mul": 4, "sdiv": 16, "srem": 16,
+                "call": 2, "syscall": 24},
+)

@@ -1,0 +1,92 @@
+"""Label-based assembly helpers.
+
+The code generators emit :class:`~repro.isa.isa.Instruction` lists whose
+branch targets are either symbolic *labels* (strings, intra-function) or
+symbol names (resolved by the linker). This module lays such a list out
+at a base address, resolves intra-function labels, and encodes bytes.
+
+Instruction sizes never depend on final addresses (x86 branches are
+always rel32; arm address materialization always uses the full
+movz+movk*3 form via ``movi_full``), so layout is a single pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import EncodingError
+from .isa import BRANCH_OPS, Instruction, Isa
+
+
+class AsmBlock:
+    """A relocatable sequence of instructions (one function body)."""
+
+    def __init__(self, isa: Isa, instrs: List[Instruction]):
+        self.isa = isa
+        self.instrs = instrs
+
+    def layout(self) -> Dict[str, int]:
+        """Assign intra-block byte offsets; return label → offset map."""
+        labels: Dict[str, int] = {}
+        offset = 0
+        for instr in self.instrs:
+            if instr.label is not None:
+                if instr.label in labels:
+                    raise EncodingError(f"duplicate label {instr.label!r}")
+                labels[instr.label] = offset
+            offset += self.isa.size_of(instr)
+        self._size = offset
+        self._labels = labels
+        return labels
+
+    @property
+    def size(self) -> int:
+        if not hasattr(self, "_size"):
+            self.layout()
+        return self._size
+
+    def encode(self, base_addr: int,
+               resolve_symbol: Optional[Callable[[str], int]] = None) -> bytes:
+        """Encode at ``base_addr``, resolving labels and symbols.
+
+        ``resolve_symbol`` maps global symbol names (call targets,
+        address-of-symbol immediates marked with a string ``target``) to
+        absolute addresses.
+        """
+        labels = self.layout()
+        out = bytearray()
+        addr = base_addr
+        for instr in self.instrs:
+            if instr.op in BRANCH_OPS and isinstance(instr.target, str):
+                name = instr.target
+                if name in labels:
+                    resolved = base_addr + labels[name]
+                elif resolve_symbol is not None:
+                    resolved = resolve_symbol(name)
+                else:
+                    raise EncodingError(f"unresolved target {name!r}")
+                # Do not mutate the instruction list: encoding must be
+                # repeatable at a different base address.
+                instr = instr.clone()
+                instr.target = resolved
+            elif instr.op == "movi_full" and isinstance(instr.target, str):
+                if resolve_symbol is None:
+                    raise EncodingError(f"unresolved symbol {instr.target!r}")
+                instr = instr.clone()
+                instr.imm = resolve_symbol(instr.target)
+                instr.target = None
+            instr.addr = addr
+            data = self.isa.encode(instr)
+            out += data
+            addr += len(data)
+        return bytes(out)
+
+
+def movi_symbol(isa: Isa, rd: int, symbol: str) -> Instruction:
+    """``movi_full rd, &symbol`` — resolved at link time.
+
+    ``movi_full`` always uses the maximal encoding (10 bytes on x86_64,
+    four words on aarch64) so that layout does not depend on where the
+    linker ultimately places ``symbol``.
+    """
+    return Instruction("movi_full", rd=rd, imm=0, target=symbol)

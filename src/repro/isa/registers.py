@@ -1,0 +1,87 @@
+"""Register files with DWARF numbering.
+
+The stackmap records in Dapper encode live-value locations using DWARF
+register numbers (paper §III-C, Fig. 4), so both simulated ISAs carry the
+*real* DWARF numbering of the architectures they model:
+
+* x86-64: rax=0, rdx=1, rcx=2, rbx=3, rsi=4, rdi=5, rbp=6, rsp=7,
+  r8..r15 = 8..15 (System V psABI).
+* aarch64: x0..x30 = 0..30, sp = 31 (AArch64 DWARF ABI).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class Register:
+    """One architectural register."""
+
+    __slots__ = ("name", "index", "dwarf")
+
+    def __init__(self, name: str, index: int, dwarf: int):
+        self.name = name
+        self.index = index      # dense index into the register array
+        self.dwarf = dwarf      # DWARF register number
+
+    def __repr__(self) -> str:
+        return f"Register({self.name}, idx={self.index}, dwarf={self.dwarf})"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Register)
+                and (self.name, self.index, self.dwarf)
+                == (other.name, other.index, other.dwarf))
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.index, self.dwarf))
+
+
+class RegisterFile:
+    """All registers of one ISA, addressable by name, index, or DWARF number."""
+
+    def __init__(self, registers: List[Register]):
+        self.registers = list(registers)
+        self.by_name: Dict[str, Register] = {r.name: r for r in registers}
+        self.by_index: Dict[int, Register] = {r.index: r for r in registers}
+        self.by_dwarf: Dict[int, Register] = {r.dwarf: r for r in registers}
+        if len(self.by_name) != len(registers):
+            raise ValueError("duplicate register name")
+        if len(self.by_index) != len(registers):
+            raise ValueError("duplicate register index")
+
+    def __len__(self) -> int:
+        return len(self.registers)
+
+    def __iter__(self):
+        return iter(self.registers)
+
+    def __getitem__(self, key) -> Register:
+        if isinstance(key, str):
+            return self.by_name[key]
+        return self.by_index[key]
+
+    def dwarf(self, name: str) -> int:
+        """DWARF number for a register name."""
+        return self.by_name[name].dwarf
+
+    def names(self) -> List[str]:
+        return [r.name for r in self.registers]
+
+
+def _make(names_with_dwarf: List[Tuple[str, int]]) -> RegisterFile:
+    return RegisterFile([Register(name, idx, dwarf)
+                         for idx, (name, dwarf) in enumerate(names_with_dwarf)])
+
+
+# System V x86-64 DWARF register numbering.
+X86_REGISTERS = _make([
+    ("rax", 0), ("rdx", 1), ("rcx", 2), ("rbx", 3),
+    ("rsi", 4), ("rdi", 5), ("rbp", 6), ("rsp", 7),
+    ("r8", 8), ("r9", 9), ("r10", 10), ("r11", 11),
+    ("r12", 12), ("r13", 13), ("r14", 14), ("r15", 15),
+])
+
+# AArch64 DWARF register numbering: x0..x30 then sp=31.
+ARM_REGISTERS = _make(
+    [(f"x{i}", i) for i in range(31)] + [("sp", 31)]
+)

@@ -1,0 +1,280 @@
+"""The CISC-style simulated ISA ("x86_64").
+
+Variable-length encoding modeled on x86-64: one-byte opcodes with
+register bytes and little-endian immediates, two-byte ``0F``-prefixed
+conditional branches, a ``64`` segment-override prefix for TLS accesses,
+``0xCC`` (``int3``) as the trap instruction and ``0xC3`` (``ret``).
+
+Branch displacements are 32-bit and relative to the *end* of the
+instruction, exactly like real x86 ``rel32`` operands.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import DecodingError, EncodingError
+from .isa import (Abi, Instruction, Isa, check_reg, signed_fits, to_signed)
+from .registers import X86_REGISTERS
+
+# One-byte opcodes.
+OP_NOP = 0x90
+OP_TRAP = 0xCC
+OP_RET = 0xC3
+OP_PUSH = 0x50
+OP_POP = 0x58
+OP_MOV_RR = 0x89
+OP_MOVI = 0xB8
+OP_LOAD = 0x8B
+OP_STORE = 0x88
+OP_LEA = 0x8D
+OP_ADDI = 0x83
+OP_CMP = 0x39
+OP_CMPI = 0x3D
+OP_JMP = 0xE9
+OP_CALL = 0xE8
+OP_PFX_0F = 0x0F        # prefix: Jcc and syscall
+OP_PFX_TLS = 0x64       # fs-segment override: TLS load/store
+OP_SYSCALL2 = 0x05      # 0F 05
+
+BINOP_TO_OPCODE = {
+    "add": 0x01, "sub": 0x29, "mul": 0xAF, "sdiv": 0xF7, "srem": 0xF6,
+    "and": 0x21, "orr": 0x09, "eor": 0x31, "lsl": 0xA0, "lsr": 0xA8,
+}
+OPCODE_TO_BINOP = {v: k for k, v in BINOP_TO_OPCODE.items()}
+
+COND_TO_CC = {"eq": 0x84, "ne": 0x85, "lt": 0x8C, "le": 0x8E,
+              "gt": 0x8F, "ge": 0x8D}
+CC_TO_COND = {v: k for k, v in COND_TO_CC.items()}
+
+_SIZES = {
+    "nop": 1, "trap": 1, "ret": 1, "push": 2, "pop": 2, "mov": 3,
+    "movi": 10, "movi_full": 10, "load": 7, "store": 7, "lea": 7,
+    "addi": 6, "cmp": 3,
+    "cmpi": 7, "b": 5, "bcc": 6, "call": 5, "syscall": 2,
+    "tlsload": 7, "tlsstore": 7,
+}
+for _binop in BINOP_TO_OPCODE:
+    _SIZES[_binop] = 3
+
+
+def x86_size(instr: Instruction, isa: Isa) -> int:
+    try:
+        return _SIZES[instr.op]
+    except KeyError:
+        raise EncodingError(f"x86_64: unknown mnemonic {instr.op!r}") from None
+
+
+def _i32(value: int) -> bytes:
+    if not signed_fits(value, 32):
+        raise EncodingError(f"x86_64: immediate {value:#x} exceeds 32 bits")
+    return struct.pack("<i", value)
+
+
+def _i64(value: int) -> bytes:
+    return struct.pack("<q", to_signed(value, 64))
+
+
+def _rel32(instr: Instruction, instr_size: int) -> bytes:
+    if instr.addr is None:
+        raise EncodingError(f"x86_64: {instr.op} has no address assigned")
+    if not isinstance(instr.target, int):
+        raise EncodingError(
+            f"x86_64: unresolved branch target {instr.target!r}")
+    return _i32(instr.target - (instr.addr + instr_size))
+
+
+def x86_encode(instr: Instruction, isa: Isa) -> bytes:
+    op = instr.op
+    if op == "nop":
+        return bytes([OP_NOP])
+    if op == "trap":
+        return bytes([OP_TRAP])
+    if op == "ret":
+        return bytes([OP_RET])
+    if op == "push":
+        return bytes([OP_PUSH, check_reg(instr, "rd", isa)])
+    if op == "pop":
+        return bytes([OP_POP, check_reg(instr, "rd", isa)])
+    if op == "mov":
+        return bytes([OP_MOV_RR, check_reg(instr, "rd", isa),
+                      check_reg(instr, "rn", isa)])
+    if op in ("movi", "movi_full"):
+        return bytes([OP_MOVI, check_reg(instr, "rd", isa)]) + _i64(instr.imm)
+    if op == "load":
+        return bytes([OP_LOAD, check_reg(instr, "rd", isa),
+                      check_reg(instr, "rn", isa)]) + _i32(instr.imm or 0)
+    if op == "store":
+        return bytes([OP_STORE, check_reg(instr, "rn", isa),
+                      check_reg(instr, "rd", isa)]) + _i32(instr.imm or 0)
+    if op == "lea":
+        return bytes([OP_LEA, check_reg(instr, "rd", isa),
+                      check_reg(instr, "rn", isa)]) + _i32(instr.imm or 0)
+    if op in BINOP_TO_OPCODE:
+        rd = check_reg(instr, "rd", isa)
+        rn = check_reg(instr, "rn", isa)
+        if rd != rn:
+            raise EncodingError(
+                f"x86_64: two-operand {op} requires rd == rn "
+                f"(got rd={rd}, rn={rn})")
+        return bytes([BINOP_TO_OPCODE[op], rd, check_reg(instr, "rm", isa)])
+    if op == "addi":
+        rd = check_reg(instr, "rd", isa)
+        rn = check_reg(instr, "rn", isa)
+        if rd != rn:
+            raise EncodingError("x86_64: two-operand addi requires rd == rn")
+        return bytes([OP_ADDI, rd]) + _i32(instr.imm or 0)
+    if op == "cmp":
+        return bytes([OP_CMP, check_reg(instr, "rn", isa),
+                      check_reg(instr, "rm", isa)])
+    if op == "cmpi":
+        return bytes([OP_CMPI, check_reg(instr, "rn", isa), 0]) \
+            + _i32(instr.imm or 0)
+    if op == "b":
+        return bytes([OP_JMP]) + _rel32(instr, 5)
+    if op == "call":
+        return bytes([OP_CALL]) + _rel32(instr, 5)
+    if op == "bcc":
+        if instr.cond not in COND_TO_CC:
+            raise EncodingError(f"x86_64: unknown condition {instr.cond!r}")
+        return bytes([OP_PFX_0F, COND_TO_CC[instr.cond]]) + _rel32(instr, 6)
+    if op == "syscall":
+        return bytes([OP_PFX_0F, OP_SYSCALL2])
+    if op == "tlsload":
+        return bytes([OP_PFX_TLS, OP_LOAD, check_reg(instr, "rd", isa)]) \
+            + _i32(instr.imm or 0)
+    if op == "tlsstore":
+        return bytes([OP_PFX_TLS, OP_STORE, check_reg(instr, "rd", isa)]) \
+            + _i32(instr.imm or 0)
+    raise EncodingError(f"x86_64: cannot encode {op!r}")
+
+
+def _need(data: bytes, offset: int, count: int) -> None:
+    if offset + count > len(data):
+        raise DecodingError("x86_64: truncated instruction")
+
+
+def _read_i32(data: bytes, offset: int) -> int:
+    _need(data, offset, 4)
+    return struct.unpack_from("<i", data, offset)[0]
+
+
+def _dec_reg(data: bytes, offset: int, isa: Isa) -> int:
+    _need(data, offset, 1)
+    reg = data[offset]
+    if reg not in isa.registers.by_index:
+        raise DecodingError(f"x86_64: bad register byte {reg:#x}")
+    return reg
+
+
+def x86_decode(data: bytes, offset: int, addr: int, isa: Isa) -> Instruction:
+    _need(data, offset, 1)
+    opcode = data[offset]
+
+    def done(instr: Instruction, size: int) -> Instruction:
+        instr.addr = addr
+        instr.size = size
+        return instr
+
+    if opcode == OP_NOP:
+        return done(Instruction("nop"), 1)
+    if opcode == OP_TRAP:
+        return done(Instruction("trap"), 1)
+    if opcode == OP_RET:
+        return done(Instruction("ret"), 1)
+    if opcode == OP_PUSH:
+        return done(Instruction("push", rd=_dec_reg(data, offset + 1, isa)), 2)
+    if opcode == OP_POP:
+        return done(Instruction("pop", rd=_dec_reg(data, offset + 1, isa)), 2)
+    if opcode == OP_MOV_RR:
+        return done(Instruction("mov", rd=_dec_reg(data, offset + 1, isa),
+                                rn=_dec_reg(data, offset + 2, isa)), 3)
+    if opcode == OP_MOVI:
+        rd = _dec_reg(data, offset + 1, isa)
+        _need(data, offset + 2, 8)
+        imm = struct.unpack_from("<q", data, offset + 2)[0]
+        return done(Instruction("movi", rd=rd, imm=imm), 10)
+    if opcode in (OP_LOAD, OP_STORE, OP_LEA):
+        a = _dec_reg(data, offset + 1, isa)
+        b = _dec_reg(data, offset + 2, isa)
+        imm = _read_i32(data, offset + 3)
+        if opcode == OP_LOAD:
+            return done(Instruction("load", rd=a, rn=b, imm=imm), 7)
+        if opcode == OP_STORE:
+            return done(Instruction("store", rd=b, rn=a, imm=imm), 7)
+        return done(Instruction("lea", rd=a, rn=b, imm=imm), 7)
+    if opcode in OPCODE_TO_BINOP:
+        rd = _dec_reg(data, offset + 1, isa)
+        rm = _dec_reg(data, offset + 2, isa)
+        return done(Instruction(OPCODE_TO_BINOP[opcode], rd=rd, rn=rd, rm=rm), 3)
+    if opcode == OP_ADDI:
+        rd = _dec_reg(data, offset + 1, isa)
+        imm = _read_i32(data, offset + 2)
+        return done(Instruction("addi", rd=rd, rn=rd, imm=imm), 6)
+    if opcode == OP_CMP:
+        return done(Instruction("cmp", rn=_dec_reg(data, offset + 1, isa),
+                                rm=_dec_reg(data, offset + 2, isa)), 3)
+    if opcode == OP_CMPI:
+        rn = _dec_reg(data, offset + 1, isa)
+        imm = _read_i32(data, offset + 3)
+        return done(Instruction("cmpi", rn=rn, imm=imm), 7)
+    if opcode == OP_JMP:
+        rel = _read_i32(data, offset + 1)
+        return done(Instruction("b", target=addr + 5 + rel), 5)
+    if opcode == OP_CALL:
+        rel = _read_i32(data, offset + 1)
+        return done(Instruction("call", target=addr + 5 + rel), 5)
+    if opcode == OP_PFX_0F:
+        _need(data, offset, 2)
+        second = data[offset + 1]
+        if second == OP_SYSCALL2:
+            return done(Instruction("syscall"), 2)
+        if second in CC_TO_COND:
+            rel = _read_i32(data, offset + 2)
+            return done(Instruction("bcc", cond=CC_TO_COND[second],
+                                    target=addr + 6 + rel), 6)
+        raise DecodingError(f"x86_64: bad 0F-prefixed opcode {second:#x}")
+    if opcode == OP_PFX_TLS:
+        _need(data, offset, 3)
+        second = data[offset + 1]
+        reg = _dec_reg(data, offset + 2, isa)
+        imm = _read_i32(data, offset + 3)
+        if second == OP_LOAD:
+            return done(Instruction("tlsload", rd=reg, imm=imm), 7)
+        if second == OP_STORE:
+            return done(Instruction("tlsstore", rd=reg, imm=imm), 7)
+        raise DecodingError(f"x86_64: bad TLS-prefixed opcode {second:#x}")
+    raise DecodingError(f"x86_64: unknown opcode {opcode:#x}")
+
+
+X86_ABI = Abi(
+    stack_pointer="rsp",
+    frame_pointer="rbp",
+    link_register=None,
+    return_reg="rax",
+    arg_regs=("rdi", "rsi", "rdx", "rcx", "r8", "r9"),
+    scratch_regs=("rax", "r10", "r11", "rbx", "r12", "r13", "r14", "r15"),
+    syscall_number_reg="rax",
+    syscall_arg_regs=("rdi", "rsi", "rdx"),
+    callee_saved=("rbx", "r12", "r13", "r14", "r15"),
+    stack_alignment=16,
+    # Model of the glibc x86-64 TCB layout offset (TLS block follows the
+    # thread pointer at this displacement).
+    tls_block_offset=16,
+)
+
+X86_ISA = Isa(
+    name="x86_64",
+    wordsize=8,
+    registers=X86_REGISTERS,
+    abi=X86_ABI,
+    encode_fn=x86_encode,
+    decode_fn=x86_decode,
+    size_fn=x86_size,
+    nop_bytes=bytes([OP_NOP]),
+    trap_bytes=bytes([OP_TRAP]),
+    ret_bytes=bytes([OP_RET]),
+    fixed_width=None,
+    cost_table={"load": 2, "store": 2, "tlsload": 2, "tlsstore": 2,
+                "mul": 3, "sdiv": 12, "srem": 12, "call": 2, "syscall": 20},
+)

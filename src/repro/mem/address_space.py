@@ -1,0 +1,188 @@
+"""Per-process virtual address space.
+
+Pages are allocated lazily: a mapped-but-untouched page reads as zeros
+and owns no backing store until first written. This matters for CRIU
+fidelity — ``pagemap.img`` lists only *populated* regions, so the dump
+walks exactly the pages that have backing store.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import SegmentationFault, MemoryError_
+from .paging import PAGE_SIZE, page_align_down, pages_spanning
+from .vma import Prot, Vma
+
+
+class AddressSpace:
+    """A sparse 64-bit address space made of VMAs and lazily-backed pages."""
+
+    def __init__(self):
+        self.vmas: List[Vma] = []
+        self._pages: Dict[int, bytearray] = {}
+        #: post-copy restore support: called with a page-aligned address
+        #: on first touch of a page with no backing store; returning bytes
+        #: installs them (a remote page-server fetch), returning None
+        #: means the page really is zero. See repro.criu.lazy.
+        self.missing_page_hook: Optional[Callable[[int], Optional[bytes]]] = None
+
+    # -- mapping -----------------------------------------------------------
+
+    def map(self, vma: Vma) -> Vma:
+        """Insert a VMA; overlapping an existing mapping is an error."""
+        for existing in self.vmas:
+            if existing.overlaps(vma):
+                raise MemoryError_(
+                    f"mapping {vma!r} overlaps existing {existing!r}")
+        self.vmas.append(vma)
+        self.vmas.sort(key=lambda v: v.start)
+        return vma
+
+    def unmap(self, start: int, end: int) -> None:
+        """Remove VMAs fully inside ``[start, end)`` and drop their pages."""
+        kept = []
+        for vma in self.vmas:
+            if start <= vma.start and vma.end <= end:
+                for base in range(vma.start, vma.end, PAGE_SIZE):
+                    self._pages.pop(base, None)
+            else:
+                kept.append(vma)
+        self.vmas = kept
+
+    def find_vma(self, addr: int) -> Optional[Vma]:
+        for vma in self.vmas:
+            if vma.contains(addr):
+                return vma
+        return None
+
+    def vma_by_name(self, name: str) -> Optional[Vma]:
+        for vma in self.vmas:
+            if vma.name == name:
+                return vma
+        return None
+
+    # -- page-level access --------------------------------------------------
+
+    def page(self, base: int, create: bool = False) -> Optional[bytearray]:
+        """Backing store for the page at ``base`` (page-aligned)."""
+        store = self._pages.get(base)
+        if store is None and self.missing_page_hook is not None:
+            fetched = self.missing_page_hook(base)
+            if fetched is not None:
+                store = bytearray(fetched)
+                self._pages[base] = store
+                return store
+        if store is None and create:
+            store = bytearray(PAGE_SIZE)
+            self._pages[base] = store
+        return store
+
+    def populated_pages(self) -> Iterator[Tuple[int, bytearray]]:
+        """All pages that own backing store, in address order."""
+        for base in sorted(self._pages):
+            yield base, self._pages[base]
+
+    def drop_page(self, base: int) -> None:
+        self._pages.pop(base, None)
+
+    def install_page(self, base: int, data: bytes) -> None:
+        """Install raw page contents (restore path)."""
+        if len(data) != PAGE_SIZE:
+            raise MemoryError_(f"page data must be {PAGE_SIZE} bytes")
+        self._pages[base] = bytearray(data)
+
+    # -- byte-level access ----------------------------------------------------
+
+    def _check(self, addr: int, length: int, want: int) -> None:
+        # An access must fall entirely within one VMA with the right bits.
+        vma = self.find_vma(addr)
+        if vma is None:
+            raise SegmentationFault(addr)
+        if addr + length > vma.end:
+            raise SegmentationFault(addr + length - 1, "straddles mapping")
+        if vma.prot & want != want:
+            raise SegmentationFault(
+                addr, f"prot {Prot.describe(vma.prot)} lacks "
+                      f"{Prot.describe(want)}")
+
+    def read(self, addr: int, length: int, check: bool = True) -> bytes:
+        if check:
+            self._check(addr, length, Prot.READ)
+        out = bytearray()
+        remaining = length
+        cursor = addr
+        while remaining:
+            base = page_align_down(cursor)
+            offset = cursor - base
+            chunk = min(PAGE_SIZE - offset, remaining)
+            store = (self._pages.get(base) if self.missing_page_hook is None
+                     else self.page(base))
+            if store is None:
+                out += b"\x00" * chunk
+            else:
+                out += store[offset:offset + chunk]
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes, check: bool = True) -> None:
+        if check:
+            self._check(addr, len(data), Prot.WRITE)
+        cursor = addr
+        view = memoryview(data)
+        while view:
+            base = page_align_down(cursor)
+            offset = cursor - base
+            chunk = min(PAGE_SIZE - offset, len(view))
+            store = self.page(base, create=True)
+            store[offset:offset + chunk] = view[:chunk]
+            cursor += chunk
+            view = view[chunk:]
+
+    def write_code(self, addr: int, data: bytes) -> None:
+        """Privileged write ignoring protections (loader / rewriter use)."""
+        self.write(addr, data, check=False)
+
+    # -- word helpers ----------------------------------------------------------
+
+    def read_u64(self, addr: int) -> int:
+        return struct.unpack("<Q", self.read(addr, 8))[0]
+
+    def read_i64(self, addr: int) -> int:
+        return struct.unpack("<q", self.read(addr, 8))[0]
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, struct.pack("<Q", value & 0xFFFFFFFFFFFFFFFF))
+
+    def write_i64(self, addr: int, value: int) -> None:
+        self.write_u64(addr, value)
+
+    def read_cstr(self, addr: int, limit: int = 4096) -> str:
+        out = bytearray()
+        for i in range(limit):
+            byte = self.read(addr + i, 1)[0]
+            if byte == 0:
+                break
+            out.append(byte)
+        return out.decode("utf-8", errors="replace")
+
+    # -- instruction fetch ---------------------------------------------------
+
+    def fetch(self, addr: int, length: int) -> bytes:
+        """Read for execution: requires EXEC protection on the VMA."""
+        self._check(addr, 1, Prot.EXEC)
+        return self.read(addr, length, check=False)
+
+    def populated_bytes(self) -> int:
+        return len(self._pages) * PAGE_SIZE
+
+    def clone(self) -> "AddressSpace":
+        """Deep copy (used to snapshot for deterministic replay tests)."""
+        new = AddressSpace()
+        new.vmas = [Vma(v.start, v.end, v.prot, v.name, v.file_backed,
+                        v.file_path, v.file_offset) for v in self.vmas]
+        new._pages = {base: bytearray(data)
+                      for base, data in self._pages.items()}
+        return new

@@ -1,0 +1,31 @@
+"""Page-size constants and alignment helpers (4 KiB pages throughout)."""
+
+from __future__ import annotations
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+PAGE_MASK = PAGE_SIZE - 1
+
+
+def page_align_down(addr: int) -> int:
+    """Round ``addr`` down to a page boundary."""
+    return addr & ~PAGE_MASK
+
+
+def page_align_up(addr: int) -> int:
+    """Round ``addr`` up to a page boundary."""
+    return (addr + PAGE_MASK) & ~PAGE_MASK
+
+
+def page_number(addr: int) -> int:
+    return addr >> PAGE_SHIFT
+
+
+def pages_spanning(addr: int, length: int):
+    """Yield page-aligned base addresses covering ``[addr, addr+length)``."""
+    if length <= 0:
+        return
+    start = page_align_down(addr)
+    end = page_align_up(addr + length)
+    for base in range(start, end, PAGE_SIZE):
+        yield base

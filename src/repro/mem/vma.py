@@ -1,0 +1,75 @@
+"""Virtual memory areas, mirroring the entries CRIU stores in ``mm.img``."""
+
+from __future__ import annotations
+
+from ..errors import MemoryError_
+from .paging import PAGE_MASK
+
+
+class Prot:
+    """Protection flag bits (a subset of mmap's PROT_*)."""
+
+    READ = 1
+    WRITE = 2
+    EXEC = 4
+    RW = READ | WRITE
+    RX = READ | EXEC
+
+    @staticmethod
+    def describe(prot: int) -> str:
+        return "".join(flag if prot & bit else "-"
+                       for flag, bit in (("r", Prot.READ), ("w", Prot.WRITE),
+                                         ("x", Prot.EXEC)))
+
+
+class Vma:
+    """One contiguous mapping: ``[start, end)`` with protection and a name.
+
+    ``file_backed`` marks mappings whose clean pages CRIU does *not* dump
+    (code pages reload from the binary at restore; paper §III-C).
+    """
+
+    __slots__ = ("start", "end", "prot", "name", "file_backed", "file_path",
+                 "file_offset")
+
+    def __init__(self, start: int, end: int, prot: int, name: str = "",
+                 file_backed: bool = False, file_path: str = "",
+                 file_offset: int = 0):
+        if start & PAGE_MASK or end & PAGE_MASK:
+            raise MemoryError_(f"VMA [{start:#x}, {end:#x}) not page-aligned")
+        if end <= start:
+            raise MemoryError_(f"empty VMA [{start:#x}, {end:#x})")
+        self.start = start
+        self.end = end
+        self.prot = prot
+        self.name = name
+        self.file_backed = file_backed
+        self.file_path = file_path
+        self.file_offset = file_offset
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def overlaps(self, other: "Vma") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def to_dict(self) -> dict:
+        return {
+            "start": self.start, "end": self.end, "prot": self.prot,
+            "name": self.name, "file_backed": int(self.file_backed),
+            "file_path": self.file_path, "file_offset": self.file_offset,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Vma":
+        return cls(data["start"], data["end"], data["prot"],
+                   data.get("name", ""), bool(data.get("file_backed", 0)),
+                   data.get("file_path", ""), data.get("file_offset", 0))
+
+    def __repr__(self) -> str:
+        return (f"<Vma {self.start:#x}-{self.end:#x} "
+                f"{Prot.describe(self.prot)} {self.name}>")

@@ -1,0 +1,18 @@
+"""Security evaluation substrate (paper §IV-B, §IV-C).
+
+* :mod:`repro.security.gadgets` — ROP gadget scanner over DELF binaries
+  (both ISAs), used for the attack-surface comparison of Fig. 11.
+* :mod:`repro.security.attacker` — the shared attack model: an attacker
+  who learns stack-slot offsets from the unshuffled binary and replays
+  out-of-bounds write payloads against a (possibly shuffled) process.
+* :mod:`repro.security.dop` — Min-DOP-style data-oriented attack.
+* :mod:`repro.security.bopc` — BOPC-style payload synthesis and replay.
+* :mod:`repro.security.cves` — CVE-2015-4335 (Redis) and CVE-2013-2028
+  (Nginx) style exploit simulations.
+"""
+
+from .gadgets import count_gadgets, gadget_reduction
+from .attacker import AttackOutcome, StackAttack, run_attack_trials
+
+__all__ = ["count_gadgets", "gadget_reduction", "AttackOutcome",
+           "StackAttack", "run_attack_trials"]

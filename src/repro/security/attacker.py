@@ -1,0 +1,180 @@
+"""The shared attack model for §IV-B's security evaluation.
+
+All three attack families the paper evaluates (Min-DOP, BOPC payloads,
+and the Redis/Nginx CVE exploits) reduce to the same primitive: the
+attacker studies the *deployed binary's* layout offline to learn where
+exploit-sensitive stack allocations live relative to the frame pointer,
+then uses a memory-corruption primitive (out-of-bounds stack write /
+arbitrary read-write) to hit those offsets in the running process.
+
+Dapper's stack shuffling invalidates exactly that knowledge: the victim
+runs under a permuted frame layout the attacker has not seen, so the
+payload's writes land in the wrong slots (paper: "relocation of
+exploit-sensitive data around the overflowed buffer, resulting in
+incorrect gadget chaining and dispatching").
+
+:class:`StackAttack` reproduces this mechanically:
+
+1. learn target-slot offsets from the *reference* (unshuffled) binary,
+2. park a victim process at an equivalence point in the target function,
+3. optionally shuffle it with Dapper (unknown seed),
+4. apply the payload writes at the learned fp-relative offsets,
+5. succeed iff every targeted slot — located via the *actual* layout —
+   now holds the attacker's value.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..binfmt.delf import DelfBinary
+from ..compiler.driver import CompiledProgram
+from ..core.entropy import frame_entropy_bits, guess_probability
+from ..core.policies.stack_shuffle import StackShufflePolicy
+from ..core.rewriter import ImageMemory, ProcessRewriter
+from ..core.runtime import DapperRuntime
+from ..criu.restore import restore_process
+from ..errors import SecurityHarnessError
+from ..isa import get_isa
+from ..vm.kernel import Machine
+
+
+class AttackOutcome:
+    def __init__(self, *, succeeded: bool, slots_hit: int, slots_needed: int,
+                 shuffled: bool, entropy_bits: int):
+        self.succeeded = succeeded
+        self.slots_hit = slots_hit
+        self.slots_needed = slots_needed
+        self.shuffled = shuffled
+        self.entropy_bits = entropy_bits
+
+    def __repr__(self) -> str:
+        return (f"<AttackOutcome {'HIT' if self.succeeded else 'mitigated'} "
+                f"{self.slots_hit}/{self.slots_needed} "
+                f"{'shuffled' if self.shuffled else 'unprotected'}>")
+
+
+class StackAttack:
+    """One attack campaign against one function of one program."""
+
+    def __init__(self, program: CompiledProgram, arch: str,
+                 victim_func: str, target_slots: List[str],
+                 payload_values: Optional[List[int]] = None):
+        self.program = program
+        self.arch = arch
+        self.victim_func = victim_func
+        self.target_slots = list(target_slots)
+        self.payload_values = payload_values or [
+            0x41414141 + i for i in range(len(target_slots))]
+        if len(self.payload_values) != len(self.target_slots):
+            raise SecurityHarnessError("one payload value per target slot")
+        self.reference_binary = program.binary(arch)
+        # Offline phase: learn fp-relative offsets from the deployed binary.
+        record = self.reference_binary.frames.get(victim_func)
+        self.learned_offsets: Dict[str, int] = {}
+        for name in self.target_slots:
+            slot = record.slot_by_name(name)
+            if slot is None:
+                raise SecurityHarnessError(
+                    f"{victim_func} has no slot {name!r}")
+            self.learned_offsets[name] = slot.offset
+        self.entropy_bits = frame_entropy_bits(record)
+
+    # -- victim setup -------------------------------------------------------
+
+    def _park_victim(self, machine: Machine,
+                     max_steps: int = 20_000_000):
+        """Run the program until a thread parks at the victim function's
+        entry equivalence point."""
+        from ..core.migration import exe_path_for, install_program
+        install_program(machine, self.program)
+        process = machine.spawn_process(
+            exe_path_for(self.program.name, self.arch))
+        runtime = DapperRuntime(machine, process)
+        entry = self.reference_binary.stackmaps.entry_for(self.victim_func)
+        if entry is None:
+            raise SecurityHarnessError(
+                f"{self.victim_func} has no entry equivalence point")
+        # Park at successive equivalence points until one is the victim
+        # function's entry (the runtime lets the end-user pick when to
+        # transform, §III).
+        for _ in range(4096):
+            runtime.pause_at_equivalence_points(max_steps)
+            if any(t.pc == entry.addr for t in process.live_threads()):
+                return runtime, process
+            runtime.resume()
+        raise SecurityHarnessError("victim never reached the target function")
+
+    # -- one attack trial --------------------------------------------------------
+
+    def run_trial(self, shuffle_seed: Optional[int]) -> AttackOutcome:
+        """Execute one end-to-end trial; ``shuffle_seed=None`` attacks an
+        unprotected process."""
+        machine = Machine(get_isa(self.arch), name="victim-host")
+        runtime, process = self._park_victim(machine)
+        entry = self.reference_binary.stackmaps.entry_for(self.victim_func)
+
+        if shuffle_seed is None:
+            active_binary = self.reference_binary
+            victim = process
+            machine_live = machine
+            runtime_obj = runtime
+        else:
+            images = runtime.checkpoint()
+            runtime.kill_source()
+            policy = StackShufflePolicy(
+                self.reference_binary, seed=shuffle_seed,
+                dst_exe_path=f"/bin/{self.program.name}.{self.arch}.shuf")
+            ProcessRewriter().rewrite(images, policy)
+            machine.tmpfs.write(policy.dst_exe_path,
+                                policy.shuffled_binary.to_bytes())
+            victim = restore_process(machine, images)
+            active_binary = policy.shuffled_binary
+            machine_live = machine
+            runtime_obj = None
+
+        # The victim thread parked at the function entry.
+        thread = next(t for t in victim.live_threads()
+                      if t.pc == entry.addr)
+        fp = thread.fp
+
+        # Exploit phase: OOB writes at the offsets learned offline.
+        for name, value in zip(self.target_slots, self.payload_values):
+            victim.aspace.write_u64(fp + self.learned_offsets[name], value)
+
+        # Did the payload land? Check via the *actual* deployed layout.
+        actual = active_binary.frames.get(self.victim_func)
+        hits = 0
+        for name, value in zip(self.target_slots, self.payload_values):
+            slot = actual.slot_by_name(name)
+            if victim.aspace.read_u64(fp + slot.offset) == value:
+                hits += 1
+        # Clean up the parked victim.
+        if runtime_obj is not None:
+            runtime_obj.resume()
+        machine_live.kill(victim)
+        return AttackOutcome(
+            succeeded=(hits == len(self.target_slots)),
+            slots_hit=hits, slots_needed=len(self.target_slots),
+            shuffled=shuffle_seed is not None,
+            entropy_bits=self.entropy_bits)
+
+    def expected_success_probability(self) -> float:
+        """Paper's analytic estimate: (1/2n)^k for k targeted allocations."""
+        return guess_probability(self.entropy_bits) ** len(self.target_slots)
+
+
+def run_attack_trials(attack: StackAttack, trials: int,
+                      seed: int = 7) -> Tuple[int, float]:
+    """Run ``trials`` shuffled-victim attacks with fresh shuffle seeds.
+
+    Returns (successes, empirical success rate).
+    """
+    rng = random.Random(seed)
+    successes = 0
+    for _ in range(trials):
+        outcome = attack.run_trial(shuffle_seed=rng.randrange(1 << 30))
+        if outcome.succeeded:
+            successes += 1
+    return successes, successes / trials if trials else 0.0

@@ -1,0 +1,169 @@
+"""BOPC: block-oriented programming payload synthesis (paper §IV-B).
+
+The Block-Oriented Programming Compiler takes an attacker payload in a
+high-level language (SPL) and stitches it out of the victim's own basic
+blocks — "functional blocks" performing the payload's statements and
+"dispatcher blocks" connecting them. The paper runs BOPC against the
+Nginx server for memory/register read/write and ``execve`` payloads and
+shows Dapper's shuffling breaks the synthesized chains.
+
+This module reproduces the pipeline mechanically:
+
+1. **SPL payload** — a list of abstract statements,
+2. **gadget discovery** — scan the victim function's code for
+   fp-relative load/store instructions: stores are write-functional
+   blocks, loads are read-functional blocks, keyed by the slot they
+   touch,
+3. **synthesis** — bind each SPL statement to a discovered block,
+   yielding the concrete fp-relative offsets the chain dereferences,
+4. **replay** — drive the chain against a (possibly shuffled) victim:
+   the chain works iff every bound offset still addresses the slot it
+   was synthesized for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..binfmt.delf import DelfBinary, TEXT_BASE
+from ..compiler.driver import CompiledProgram
+from ..errors import SecurityHarnessError
+from ..isa import get_isa
+from .attacker import StackAttack
+
+#: SPL statement kinds the harness supports (a subset of BOPC's SPL).
+SPL_WRITE_MEM = "write_mem"
+SPL_READ_MEM = "read_mem"
+SPL_WRITE_REG = "write_reg"
+SPL_READ_REG = "read_reg"
+SPL_EXECVE = "execve"
+
+
+class SplStatement:
+    def __init__(self, kind: str, var: Optional[str] = None,
+                 value: int = 0):
+        self.kind = kind
+        self.var = var
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"<SPL {self.kind} {self.var or ''}>"
+
+
+class FunctionalBlock:
+    """One discovered block: an instruction touching a stack slot."""
+
+    def __init__(self, addr: int, kind: str, slot_name: str,
+                 fp_offset: int):
+        self.addr = addr
+        self.kind = kind            # 'write' or 'read'
+        self.slot_name = slot_name
+        self.fp_offset = fp_offset
+
+    def __repr__(self) -> str:
+        return (f"<Block {self.kind} {self.slot_name} fp{self.fp_offset:+d} "
+                f"@{self.addr:#x}>")
+
+
+def discover_blocks(binary: DelfBinary, func: str) -> List[FunctionalBlock]:
+    """Scan one function's code for slot-addressed functional blocks."""
+    isa = get_isa(binary.arch)
+    fp_index = isa.reg(isa.abi.frame_pointer)
+    record = binary.frames.get(func)
+    blocks: List[FunctionalBlock] = []
+    start = record.addr - TEXT_BASE
+    end = min(record.end_addr - TEXT_BASE, len(binary.text))
+    offset = start
+    while offset < end:
+        instr = isa.decode(binary.text, offset, TEXT_BASE + offset)
+        if instr.op in ("load", "store") and instr.rn == fp_index \
+                and instr.imm is not None and instr.imm < 0:
+            slot = record.slot_containing(instr.imm)
+            if slot is not None:
+                kind = "write" if instr.op == "store" else "read"
+                blocks.append(FunctionalBlock(instr.addr, kind, slot.name,
+                                              instr.imm))
+        offset += instr.size
+    return blocks
+
+
+class SynthesizedPayload:
+    """The output of BOPC synthesis: statements bound to blocks."""
+
+    def __init__(self, func: str,
+                 bindings: List[Tuple[SplStatement, FunctionalBlock]]):
+        self.func = func
+        self.bindings = bindings
+
+    def target_slots(self) -> List[str]:
+        return [block.slot_name for _stmt, block in self.bindings]
+
+    def learned_offsets(self) -> Dict[str, int]:
+        return {block.slot_name: block.fp_offset
+                for _stmt, block in self.bindings}
+
+    def __repr__(self) -> str:
+        return f"<SynthesizedPayload {self.func} x{len(self.bindings)}>"
+
+
+def synthesize(binary: DelfBinary, func: str,
+               payload: List[SplStatement]) -> SynthesizedPayload:
+    """Bind an SPL payload to functional blocks of ``func``.
+
+    Register statements bind to write blocks (registers are loaded from
+    stack references in the paper's chains); ``execve`` needs a write
+    block for the argument vector plus a read block for the dispatcher.
+    """
+    blocks = discover_blocks(binary, func)
+    writes = [b for b in blocks if b.kind == "write"]
+    reads = [b for b in blocks if b.kind == "read"]
+    used: set = set()
+
+    def take(pool: List[FunctionalBlock], var: Optional[str]
+             ) -> FunctionalBlock:
+        for block in pool:
+            if block.slot_name in used:
+                continue
+            if var is not None and block.slot_name != var:
+                continue
+            used.add(block.slot_name)
+            return block
+        raise SecurityHarnessError(
+            f"BOPC: no unbound functional block for {var!r} in {func}")
+
+    bindings: List[Tuple[SplStatement, FunctionalBlock]] = []
+    for stmt in payload:
+        if stmt.kind in (SPL_WRITE_MEM, SPL_WRITE_REG):
+            bindings.append((stmt, take(writes, stmt.var)))
+        elif stmt.kind in (SPL_READ_MEM, SPL_READ_REG):
+            bindings.append((stmt, take(reads, stmt.var)))
+        elif stmt.kind == SPL_EXECVE:
+            bindings.append((stmt, take(writes, None)))
+            bindings.append((SplStatement(SPL_READ_MEM), take(reads, None)))
+        else:
+            raise SecurityHarnessError(f"unknown SPL kind {stmt.kind!r}")
+    return SynthesizedPayload(func, bindings)
+
+
+def build_bopc_attack(program: CompiledProgram, arch: str, func: str,
+                      payload: List[SplStatement]) -> StackAttack:
+    """Synthesize a payload against the deployed binary and wrap it as a
+    replayable stack attack."""
+    synthesized = synthesize(program.binary(arch), func, payload)
+    slots = synthesized.target_slots()
+    return StackAttack(program, arch, victim_func=func, target_slots=slots,
+                       payload_values=[0xB0BC0000 + i
+                                       for i in range(len(slots))])
+
+
+def nginx_payloads() -> Dict[str, List[SplStatement]]:
+    """The payload set the paper runs against Nginx."""
+    return {
+        "mem_write": [SplStatement(SPL_WRITE_MEM, "status"),
+                      SplStatement(SPL_WRITE_MEM, "body")],
+        "mem_read": [SplStatement(SPL_READ_MEM, "status"),
+                     SplStatement(SPL_READ_MEM, "body")],
+        "reg_write": [SplStatement(SPL_WRITE_REG, "state"),
+                      SplStatement(SPL_WRITE_REG, "upstream")],
+        "execve": [SplStatement(SPL_EXECVE)],
+    }

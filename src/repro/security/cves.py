@@ -1,0 +1,41 @@
+"""CVE exploit simulations (paper §IV-B).
+
+* **CVE-2015-4335** (Redis ≤ 3.0.1 / the paper's v5.4.0 build): the
+  ``redis-rce`` exploit loads unsafe Lua bytecode through ``loadstring``
+  ROP gadgets, bootstrapped from arbitrary stack read/write. Against our
+  Redis-like server the exploit must control the command dispatcher's
+  frame — the operation selector, the normalized key, and the trace
+  word feeding the gadget chain.
+* **CVE-2013-2028** (Nginx 1.3.9): a stack buffer overflow in chunked
+  transfer decoding. The synthetic arbitrary-code-execution exploit
+  overflows the static handler's frame to control its response
+  descriptor fields.
+
+Both exploits are built from the deployed binary's layout and replayed
+through the shared :class:`~repro.security.attacker.StackAttack`
+machinery; Dapper's shuffling relocates the targeted allocations and
+breaks the chains.
+"""
+
+from __future__ import annotations
+
+from ..apps.registry import get_app
+from .attacker import StackAttack
+
+
+def build_redis_cve_2015_4335(arch: str = "x86_64") -> StackAttack:
+    """The redis-rce style exploit against the KV server's dispatcher."""
+    program = get_app("redis").compile("small")
+    return StackAttack(
+        program, arch, victim_func="dispatch",
+        target_slots=["kind", "normalized", "trace"],
+        payload_values=[9, 0x1C3, 0x6C75615F])   # force DEL path + gadget ids
+
+
+def build_nginx_cve_2013_2028(arch: str = "x86_64") -> StackAttack:
+    """The chunked-encoding stack overflow against the static handler."""
+    program = get_app("nginx").compile("small")
+    return StackAttack(
+        program, arch, victim_func="handle_static",
+        target_slots=["status", "body", "chunked", "ttl"],
+        payload_values=[200, 0x41414141, 1, 0x7FFF])

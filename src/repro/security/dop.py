@@ -1,0 +1,87 @@
+"""Min-DOP: a minimal data-oriented-programming attack (paper §IV-B).
+
+Mirrors the synthetic vulnerable server of the Min-DOP artifact the
+paper evaluates: a request loop whose handler holds exploit-sensitive
+non-control data (a privilege flag, a secret pointer, a length guard)
+adjacent to an overflowable buffer. The exploit uses an integer
+underflow to get an out-of-bounds stack write, then chains arbitrary
+reads/writes into a privilege-escalation + data-leak payload.
+
+The DOP payload needs **three** stack allocations placed correctly —
+the paper's headline number: with 4 bits of shuffle entropy the attack
+succeeds with probability 0.125³ ≈ 0.19 %.
+"""
+
+from __future__ import annotations
+
+from ..compiler import compile_source
+from .attacker import StackAttack
+
+#: The vulnerable server, DapperC port of the Min-DOP victim.
+MIN_DOP_SOURCE = """
+global int request_queue[64];
+global int leak_sink;
+global int lcg_state;
+
+func lcg_next() -> int {
+    lcg_state = (lcg_state * 1664525 + 1013904223) % 2147483648;
+    return lcg_state;
+}
+
+// The vulnerable request handler: `buffer` can be overflowed through the
+// unchecked `length` (integer underflow in the original), reaching the
+// exploit-sensitive locals around it.
+func handle_request(int req) -> int {
+    int buffer[4];
+    int is_admin;
+    int secret_ptr;
+    int length_guard;
+    int session_id;
+    int reply_code;
+    int audit_mark;
+    int scratch_a;
+    int scratch_b;
+    is_admin = 0;
+    secret_ptr = 7777;
+    length_guard = 4;
+    session_id = req % 1000;
+    reply_code = 200;
+    audit_mark = req % 17;
+    scratch_a = req / 3;
+    scratch_b = req / 5;
+    buffer[0] = req % 256;
+    buffer[1] = (req / 256) % 256;
+    buffer[2] = audit_mark;
+    buffer[3] = session_id % 256;
+    if (is_admin == 1) {
+        leak_sink = secret_ptr;
+    }
+    return reply_code + buffer[0] + scratch_a - scratch_a
+           + scratch_b - scratch_b + length_guard - length_guard;
+}
+
+func main() -> int {
+    int i; int acc;
+    lcg_state = 1337;
+    acc = 0;
+    i = 0;
+    while (i < 2000) {
+        request_queue[i % 64] = lcg_next();
+        acc = (acc + handle_request(request_queue[i % 64])) % 1000000007;
+        i = i + 1;
+    }
+    print(acc);
+    return 0;
+}
+"""
+
+#: The three allocations the DOP gadget chain must control: flip the
+#: privilege flag, redirect the secret pointer, disable the length guard.
+MIN_DOP_TARGETS = ["is_admin", "secret_ptr", "length_guard"]
+
+
+def build_min_dop_attack(arch: str = "x86_64") -> StackAttack:
+    program = compile_source(MIN_DOP_SOURCE, "min-dop")
+    return StackAttack(program, arch, victim_func="handle_request",
+                       target_slots=MIN_DOP_TARGETS,
+                       payload_values=[1, 0xDEAD, 0x7FFFFFFF])

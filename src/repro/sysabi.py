@@ -1,0 +1,54 @@
+"""Shared system ABI constants: syscall numbers and reserved names.
+
+These sit above the compiler *and* the simulated kernel, so they live in
+a leaf module both can import.
+"""
+
+from __future__ import annotations
+
+# Syscall numbers (same on both ISAs; the number register and argument
+# registers differ per ABI).
+SYS_PRINT_INT = 1
+SYS_EXIT = 2
+SYS_SBRK = 3
+SYS_SPAWN = 4
+SYS_TRY_JOIN = 5
+SYS_TRY_LOCK = 6
+SYS_UNLOCK = 7
+SYS_YIELD = 8
+SYS_THREAD_EXIT = 9
+SYS_PRINT_CHAR = 10
+SYS_GETTID = 11
+SYS_NOW = 12
+
+SYSCALL_NAMES = {
+    SYS_PRINT_INT: "print_int",
+    SYS_EXIT: "exit",
+    SYS_SBRK: "sbrk",
+    SYS_SPAWN: "spawn",
+    SYS_TRY_JOIN: "try_join",
+    SYS_TRY_LOCK: "try_lock",
+    SYS_UNLOCK: "unlock",
+    SYS_YIELD: "yield",
+    SYS_THREAD_EXIT: "thread_exit",
+    SYS_PRINT_CHAR: "print_char",
+    SYS_GETTID: "gettid",
+    SYS_NOW: "now",
+}
+
+#: Reserved global holding the Dapper transformation flag. The runtime
+#: monitor sets it with PTRACE_POKEDATA; every inline checker reads it.
+DAPPER_FLAG_SYMBOL = "__dapper_flag"
+
+#: Reserved TLS slot 0: per-thread checker-disable flag. A thread holding
+#: a lock has it set, so it is never parked inside a critical section
+#: (paper §III-B).
+TLS_DISABLE_OFFSET = 0
+
+#: First TLS offset available to user `tls` variables.
+TLS_USER_BASE = 8
+
+#: Names of the runtime-prelude functions the compiler injects.
+RT_START = "_start"
+RT_POLL = "__poll"
+RT_THREAD_EXIT = "__thread_exit"

@@ -1,0 +1,7 @@
+"""Testing utilities: a random DapperC program generator for
+differential testing of the whole stack (compiler → VM → CRIU → rewriter).
+"""
+
+from .generator import generate_program
+
+__all__ = ["generate_program"]

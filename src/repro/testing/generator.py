@@ -1,0 +1,233 @@
+"""Random DapperC program generator.
+
+Produces deterministic, terminating, division-safe programs exercising
+the whole language surface: globals, TLS variables, arrays, pointers
+into the stack, call DAGs, loops, branches and mixed expressions. Every
+generated program prints a stream of checksums, so differential runs
+(x86_64 vs aarch64, native vs migrated, shuffled vs unshuffled) can be
+compared byte-for-byte.
+
+Safety invariants the generator maintains:
+
+* all loops are ``while (i < N)`` with ``i`` incremented exactly once
+  per iteration and N ≤ a small bound → termination,
+* every division/modulo denominator has the form ``(expr % K + 1)`` or
+  a non-zero constant → no divide-by-zero faults,
+* array indices are always ``expr % size`` (sizes are powers of two and
+  indices are pre-masked into range via a temp) → no out-of-bounds,
+* calls form a DAG over previously generated functions → no unbounded
+  recursion,
+* functions stay within the 6-parameter ABI limit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+_BINOPS = ("+", "-", "*", "&", "|", "^")
+_CMPOPS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+class _FuncSpec:
+    def __init__(self, name: str, params: List[str]):
+        self.name = name
+        self.params = params
+
+
+class _Gen:
+    def __init__(self, seed: int, max_funcs: int = 4,
+                 max_stmts: int = 6):
+        self.rng = random.Random(seed)
+        self.max_funcs = max_funcs
+        self.max_stmts = max_stmts
+        self.globals: List[str] = []
+        self.global_arrays: List[tuple] = []     # (name, size)
+        self.tls_vars: List[str] = []
+        self.funcs: List[_FuncSpec] = []
+        self._allow_calls = True
+        # Per-function budget of call expressions: call fan-out compounds
+        # through the DAG, so keep it ≤ 2 per function body.
+        self._call_budget = 2
+
+    # -- expressions ------------------------------------------------------
+
+    def expr(self, scope: List[str], depth: int = 0) -> str:
+        choices = ["const", "var", "bin"]
+        if depth < 2:
+            choices += ["bin", "cmp", "div"]
+        # Calls are only generated outside loops (and at expression top
+        # level): nested call chains inside loops multiply running time.
+        if (self.funcs and depth == 0 and self._allow_calls
+                and self._call_budget > 0):
+            choices.append("call")
+        kind = self.rng.choice(choices)
+        if kind == "const" or not scope:
+            return str(self.rng.randrange(0, 1000))
+        if kind == "var":
+            return self.rng.choice(scope)
+        if kind == "bin":
+            op = self.rng.choice(_BINOPS)
+            return (f"({self.expr(scope, depth + 1)} {op} "
+                    f"{self.expr(scope, depth + 1)})")
+        if kind == "cmp":
+            op = self.rng.choice(_CMPOPS)
+            return (f"({self.expr(scope, depth + 1)} {op} "
+                    f"{self.expr(scope, depth + 1)})")
+        if kind == "div":
+            op = self.rng.choice(("/", "%"))
+            k = self.rng.randrange(2, 9)
+            return (f"({self.expr(scope, depth + 1)} {op} "
+                    f"({self.expr(scope, depth + 1)} % {k} + {k}))")
+        # call: any previously generated function (DAG property)
+        self._call_budget -= 1
+        callee = self.rng.choice(self.funcs)
+        args = ", ".join(self.expr(scope, 2)
+                         for _ in callee.params)
+        return f"{callee.name}({args})"
+
+    # -- statements ----------------------------------------------------------
+
+    def stmts(self, scope: List[str], indent: str, budget: int,
+              loop_depth: int) -> List[str]:
+        out: List[str] = []
+        for _ in range(self.rng.randrange(1, budget + 1)):
+            out.extend(self.stmt(scope, indent, loop_depth))
+        return out
+
+    def stmt(self, scope: List[str], indent: str,
+             loop_depth: int) -> List[str]:
+        kinds = ["assign", "assign", "global_assign"]
+        if self.tls_vars:
+            kinds.append("tls_assign")
+        if self.global_arrays:
+            kinds.append("array_write")
+        if loop_depth < 2:
+            kinds += ["loop", "if"]
+        kind = self.rng.choice(kinds)
+        # Loop counters (it*) are readable but never assignment targets —
+        # otherwise a body assignment could reset one and loop forever.
+        targets = [v for v in scope if not v.startswith("it")]
+        if kind == "assign" and targets:
+            target = self.rng.choice(targets)
+            return [f"{indent}{target} = {self.expr(scope)};"]
+        if kind == "global_assign" and self.globals:
+            target = self.rng.choice(self.globals)
+            return [f"{indent}{target} = ({target} + "
+                    f"{self.expr(scope)}) % 1000000007;"]
+        if kind == "tls_assign" and self.tls_vars:
+            target = self.rng.choice(self.tls_vars)
+            return [f"{indent}{target} = {target} + 1;"]
+        if kind == "array_write" and self.global_arrays and scope:
+            name, size = self.rng.choice(self.global_arrays)
+            index = self.rng.choice(scope)
+            value = self.expr(scope)
+            lines = [
+                f"{indent}{name}[({index} % {size} + {size}) % {size}] = "
+                f"{value};"]
+            return lines
+        if kind == "loop" and scope:
+            counter = f"it{loop_depth}_{self.rng.randrange(1000)}"
+            bound = self.rng.randrange(2, 7)
+            was_allowed = self._allow_calls
+            self._allow_calls = False
+            body = self.stmts(scope + [counter], indent + "    ",
+                              2, loop_depth + 1)
+            self._allow_calls = was_allowed
+            return ([f"{indent}int {counter};",
+                     f"{indent}{counter} = 0;",
+                     f"{indent}while ({counter} < {bound}) {{"]
+                    + body +
+                    [f"{indent}    {counter} = {counter} + 1;",
+                     f"{indent}}}"])
+        if kind == "if" and scope:
+            cond = self.expr(scope)
+            then = self.stmts(scope, indent + "    ", 2, loop_depth + 1)
+            other = self.stmts(scope, indent + "    ", 2, loop_depth + 1)
+            return ([f"{indent}if (({cond}) % 2 == 0) {{"] + then
+                    + [f"{indent}}} else {{"] + other + [f"{indent}}}"])
+        if targets:
+            return [f"{indent}{targets[0]} = {self.expr(scope)};"]
+        return []
+
+    # -- whole program ----------------------------------------------------------
+
+    def generate(self) -> str:
+        lines: List[str] = ["// generated by repro.testing.generator"]
+        for i in range(self.rng.randrange(1, 4)):
+            name = f"g{i}"
+            self.globals.append(name)
+            lines.append(f"global int {name};")
+        for i in range(self.rng.randrange(0, 3)):
+            size = self.rng.choice((4, 8, 16))
+            name = f"ga{i}"
+            self.global_arrays.append((name, size))
+            lines.append(f"global int {name}[{size}];")
+        for i in range(self.rng.randrange(0, 3)):
+            name = f"t{i}"
+            self.tls_vars.append(name)
+            lines.append(f"tls int {name};")
+        lines.append("")
+
+        for i in range(self.rng.randrange(1, self.max_funcs + 1)):
+            lines.extend(self._function(i))
+            lines.append("")
+        lines.extend(self._main())
+        return "\n".join(lines)
+
+    def _function(self, index: int) -> List[str]:
+        params = [f"p{j}" for j in range(self.rng.randrange(1, 4))]
+        name = f"fn{index}"
+        locals_ = [f"v{j}" for j in range(self.rng.randrange(1, 4))]
+        scope = params + locals_
+        self._call_budget = 2
+        lines = [f"func {name}({', '.join('int ' + p for p in params)})"
+                 f" -> int {{"]
+        for local in locals_:
+            lines.append(f"    int {local};")
+        for local in locals_:
+            lines.append(f"    {local} = {self.rng.randrange(0, 100)};")
+        # Optional stack-pointer pattern: a local array and a pointer.
+        if self.rng.random() < 0.5:
+            size = self.rng.choice((2, 4))
+            lines.append(f"    int buf[{size}];")
+            lines.append(f"    int *ptr;")
+            lines.append(f"    ptr = &buf[{self.rng.randrange(size)}];")
+            lines.append(f"    *ptr = {self.expr(scope)};")
+            lines.append(f"    {locals_[0]} = {locals_[0]} + *ptr;")
+        lines.extend(self.stmts(scope, "    ", self.max_stmts, 0))
+        lines.append(f"    return ({self.expr(scope)}) % 1000000007;")
+        lines.append("}")
+        self.funcs.append(_FuncSpec(name, params))
+        return lines
+
+    def _main(self) -> List[str]:
+        lines = ["func main() -> int {",
+                 "    int i;",
+                 "    int acc;",
+                 "    acc = 0;",
+                 "    i = 0;"]
+        bound = self.rng.randrange(5, 11)
+        lines.append(f"    while (i < {bound}) {{")
+        for func in self.funcs:
+            args = ", ".join(
+                self.rng.choice(("i", "acc % 97", str(self.rng.randrange(50))))
+                for _ in func.params)
+            lines.append(f"        acc = (acc * 31 + {func.name}({args}))"
+                         f" % 1000000007;")
+        lines.append("        print(acc);")
+        lines.append("        i = i + 1;")
+        lines.append("    }")
+        for name in self.globals:
+            lines.append(f"    print({name});")
+        for name in self.tls_vars:
+            lines.append(f"    print({name});")
+        lines.append("    return 0;")
+        lines.append("}")
+        return lines
+
+
+def generate_program(seed: int, max_funcs: int = 4,
+                     max_stmts: int = 6) -> str:
+    """Generate one deterministic random DapperC program for ``seed``."""
+    return _Gen(seed, max_funcs, max_stmts).generate()

@@ -1,0 +1,11 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.dapperc`` — compile DapperC source into DELF
+  binaries for both ISAs (the paper's modified LLVM/Clang + gold link).
+* ``python -m repro.tools.crit`` — decode / show CRIU-style image files
+  (the paper's CRIT tool).
+* ``python -m repro.tools.run`` — execute a DELF binary on a simulated
+  machine.
+* ``python -m repro.tools.migrate`` — compile, run, and live-migrate a
+  program across ISAs, printing the stage breakdown.
+"""

@@ -1,0 +1,98 @@
+"""dapperc — the DapperC compiler driver CLI.
+
+Examples::
+
+    python -m repro.tools.dapperc app.dc -o build/app
+    python -m repro.tools.dapperc app.dc --arch x86_64 --symbols
+    python -m repro.tools.dapperc app.dc --dump-ir
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from ..compiler import compile_source
+from ..compiler.irgen import lower
+from ..compiler.passes import run_middle_end
+from ..errors import ReproError
+from ..isa import ISAS, get_isa
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dapperc",
+        description="Compile DapperC source into DELF binaries with "
+                    "equivalence points, stackmaps and aligned symbols.")
+    parser.add_argument("source", help="DapperC source file")
+    parser.add_argument("-o", "--output",
+                        help="output path prefix (default: source stem); "
+                             "binaries land at <prefix>.<arch>.delf")
+    parser.add_argument("--arch", choices=sorted(ISAS), action="append",
+                        help="target only this ISA (repeatable; "
+                             "default: all)")
+    parser.add_argument("--name", help="program name (default: source stem)")
+    parser.add_argument("--no-arm-pairs", action="store_true",
+                        help="disable ldp/stp emission on aarch64 "
+                             "(maximizes shuffle entropy)")
+    parser.add_argument("--dump-ir", action="store_true",
+                        help="print the middle-end IR instead of compiling")
+    parser.add_argument("--symbols", action="store_true",
+                        help="print the (aligned) symbol table")
+    parser.add_argument("--stackmaps", action="store_true",
+                        help="print the equivalence-point records")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        with open(args.source) as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"dapperc: cannot read {args.source}: {exc}", file=sys.stderr)
+        return 2
+    stem = os.path.splitext(os.path.basename(args.source))[0]
+    name = args.name or stem
+    prefix = args.output or stem
+
+    try:
+        if args.dump_ir:
+            program = lower(source, name)
+            run_middle_end(program)
+            print(program.dump())
+            return 0
+        isas = None
+        if args.arch:
+            isas = {arch: get_isa(arch) for arch in args.arch}
+        compiled = compile_source(source, name, isas=isas,
+                                  arm_stack_pairs=not args.no_arm_pairs)
+    except ReproError as exc:
+        print(f"dapperc: error: {exc}", file=sys.stderr)
+        return 1
+
+    for arch, binary in sorted(compiled.binaries.items()):
+        out_path = f"{prefix}.{arch}.delf"
+        out_dir = os.path.dirname(out_path)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(out_path, "wb") as handle:
+            handle.write(binary.to_bytes())
+        print(f"wrote {out_path}: text={len(binary.text)}B "
+              f"data={len(binary.data)}B eqpoints={len(binary.stackmaps)}")
+        if args.symbols:
+            for symbol in binary.symtab:
+                print(f"  {symbol.addr:#010x} {symbol.kind:7s} "
+                      f"{symbol.size:6d} {symbol.name}")
+        if args.stackmaps:
+            for point in binary.stackmaps.eqpoints:
+                print(f"  eq#{point.eqpoint_id:<4d} {point.kind:9s} "
+                      f"{point.func:20s} @{point.addr:#x} "
+                      f"live={len(point.live)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

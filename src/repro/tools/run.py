@@ -1,0 +1,53 @@
+"""run — execute a DELF binary on a simulated machine.
+
+Examples::
+
+    python -m repro.tools.run build/app.x86_64.delf
+    python -m repro.tools.run build/app.aarch64.delf --max-steps 2000000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..binfmt.delf import DelfBinary
+from ..errors import ReproError
+from ..isa import get_isa
+from ..vm import Machine
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dapper-run",
+        description="Run a DELF binary on a simulated machine.")
+    parser.add_argument("binary", help="a .delf file produced by dapperc")
+    parser.add_argument("--max-steps", type=int, default=50_000_000)
+    parser.add_argument("--stats", action="store_true",
+                        help="print instruction/cycle counts to stderr")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        with open(args.binary, "rb") as handle:
+            binary = DelfBinary.from_bytes(handle.read())
+        machine = Machine(get_isa(binary.arch))
+        machine.tmpfs.write("/bin/app", binary.to_bytes())
+        process = machine.spawn_process("/bin/app")
+        machine.run_process(process, max_steps=args.max_steps)
+    except (ReproError, OSError) as exc:
+        print(f"dapper-run: error: {exc}", file=sys.stderr)
+        return 1
+    sys.stdout.write(process.stdout())
+    if args.stats:
+        print(f"[{binary.arch}] instructions={process.instr_total} "
+              f"cycles={process.cycle_total} exit={process.exit_code}",
+              file=sys.stderr)
+    return process.exit_code or 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,343 @@
+"""The simulated kernel: processes, threads, scheduler, syscalls, signals.
+
+One :class:`Machine` is one node with one ISA. Scheduling is round-robin
+over runnable threads with a fixed instruction quantum, which makes every
+execution deterministic — the cross-ISA migration tests rely on that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .. import sysabi
+from ..binfmt.delf import (DelfBinary, HEAP_BASE, STACK_TOP,
+                           THREAD_STACK_GAP, THREAD_STACK_SIZE)
+from ..errors import KernelError
+from ..mem import AddressSpace, Prot, Vma
+from ..mem.paging import PAGE_SIZE, page_align_up
+from .cpu import ThreadContext, ThreadStatus, to_u64
+from . import interp
+from .loader import load_binary, setup_tls
+from .tmpfs import TmpFs
+
+
+class Process:
+    """One simulated process."""
+
+    def __init__(self, pid: int, binary: DelfBinary, exe_path: str,
+                 machine: "Machine", aspace: Optional[AddressSpace] = None):
+        self.pid = pid
+        self.binary = binary
+        self.exe_path = exe_path
+        self.machine = machine
+        self.isa = machine.isa
+        self.aspace = aspace if aspace is not None else load_binary(
+            binary, exe_path)
+        self.threads: Dict[int, ThreadContext] = {}
+        self.next_tid = 1
+        self.exited = False
+        self.exit_code: Optional[int] = None
+        self.output: List[str] = []
+        self.heap_end = HEAP_BASE
+        self.locks: Dict[int, int] = {}        # lock addr -> holder tid
+        self.stopped = False                   # SIGSTOP state
+        self.instr_total = 0
+        self.cycle_total = 0
+        self.decode_cache: Dict[int, tuple] = {}
+        self.code_version = 0
+
+    # -- thread management -------------------------------------------------
+
+    def alloc_tid(self) -> int:
+        tid = self.next_tid
+        self.next_tid += 1
+        return tid
+
+    def live_threads(self) -> List[ThreadContext]:
+        return [t for t in self.threads.values()
+                if t.status != ThreadStatus.DEAD]
+
+    def runnable_threads(self) -> List[ThreadContext]:
+        if self.stopped or self.exited:
+            return []
+        return [t for t in self.threads.values() if t.runnable()]
+
+    def stdout(self) -> str:
+        return "".join(self.output)
+
+    def invalidate_code(self) -> None:
+        self.code_version += 1
+
+    def tls_disable_addr(self, thread: ThreadContext) -> int:
+        return (thread.tp + self.isa.abi.tls_block_offset
+                + sysabi.TLS_DISABLE_OFFSET)
+
+    def __repr__(self) -> str:
+        return (f"<Process {self.pid} {self.binary.source_name} "
+                f"[{self.isa.name}] threads={len(self.live_threads())}>")
+
+
+class Machine:
+    """One simulated node: an ISA, a kernel, a tmpfs, and processes."""
+
+    def __init__(self, isa, name: str = "node", quantum: int = 64):
+        self.isa = isa
+        self.name = name
+        self.quantum = quantum
+        self.tmpfs = TmpFs()
+        self.processes: Dict[int, Process] = {}
+        self.next_pid = 100
+        #: called on every SIGTRAP: (process, thread) -> None
+        self.trap_hooks: List[Callable] = []
+
+    # -- process lifecycle ---------------------------------------------------
+
+    def install_binary(self, binary: DelfBinary, path: str) -> str:
+        if binary.arch != self.isa.name:
+            raise KernelError(
+                f"binary is {binary.arch}, machine is {self.isa.name}")
+        self.tmpfs.write(path, binary.to_bytes())
+        return path
+
+    def spawn_process(self, path: str) -> Process:
+        """Load a DELF from tmpfs and start it (main thread at entry)."""
+        binary = DelfBinary.from_bytes(self.tmpfs.read(path))
+        if binary.arch != self.isa.name:
+            raise KernelError(
+                f"binary is {binary.arch}, machine is {self.isa.name}")
+        pid = self.next_pid
+        self.next_pid += 1
+        process = Process(pid, binary, path, self)
+        self.processes[pid] = process
+        self._create_thread(process, pc=binary.entry, arg=None,
+                            return_to=0)
+        return process
+
+    def adopt_process(self, process: Process) -> None:
+        """Register a process built externally (the CRIU restore path)."""
+        self.processes[process.pid] = process
+
+    def alloc_pid(self) -> int:
+        pid = self.next_pid
+        self.next_pid += 1
+        return pid
+
+    def _create_thread(self, process: Process, pc: int, arg: Optional[int],
+                       return_to: int) -> ThreadContext:
+        tid = process.alloc_tid()
+        thread = ThreadContext(tid, self.isa)
+        stack_top = thread_stack_top(tid)
+        stack_base = stack_top - THREAD_STACK_SIZE
+        process.aspace.map(Vma(stack_base, stack_top, Prot.RW,
+                               name=f"stack:{tid}"))
+        thread.sp = stack_top - 16
+        thread.fp = 0
+        thread.pc = pc
+        thread.tp = setup_tls(process, tid)
+        if self.isa.abi.link_register is None:
+            # x86-style: the return address sits on the stack at entry.
+            process.aspace.write_u64(to_u64(thread.sp), return_to)
+        else:
+            thread.set(self.isa.abi.link_register, return_to)
+        if arg is not None:
+            thread.set(self.isa.abi.arg_regs[0], arg)
+        process.threads[tid] = thread
+        return thread
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def step_all(self, budget: int) -> int:
+        """Round-robin all runnable threads; returns instructions executed."""
+        executed = 0
+        while executed < budget:
+            ran = False
+            for process in list(self.processes.values()):
+                for thread in sorted(process.runnable_threads(),
+                                     key=lambda t: t.tid):
+                    quantum = min(self.quantum, budget - executed)
+                    if quantum <= 0:
+                        return executed
+                    done = self._run_thread(process, thread, quantum)
+                    executed += done
+                    if done:
+                        ran = True
+            if not ran:
+                break
+        return executed
+
+    def _run_thread(self, process: Process, thread: ThreadContext,
+                    quantum: int) -> int:
+        count = 0
+        while (count < quantum and thread.runnable()
+               and not process.stopped and not process.exited):
+            interp.step(self, process, thread)
+            count += 1
+        return count
+
+    def run_process(self, process: Process, max_steps: int = 50_000_000) -> int:
+        """Run until the process exits. Returns its exit code."""
+        remaining = max_steps
+        while not process.exited and remaining > 0:
+            done = self.step_all(min(remaining, 100_000))
+            if done == 0:
+                raise KernelError(
+                    f"process {process.pid} wedged: no runnable threads "
+                    f"but not exited")
+            remaining -= done
+        if not process.exited:
+            raise KernelError(f"process {process.pid} exceeded {max_steps} steps")
+        return process.exit_code
+
+    def has_runnable(self) -> bool:
+        return any(p.runnable_threads() for p in self.processes.values())
+
+    # -- signals ----------------------------------------------------------------
+
+    def sigstop(self, process: Process) -> None:
+        process.stopped = True
+
+    def sigcont(self, process: Process) -> None:
+        process.stopped = False
+
+    def kill(self, process: Process) -> None:
+        for thread in process.threads.values():
+            thread.status = ThreadStatus.DEAD
+        process.exited = True
+        if process.exit_code is None:
+            process.exit_code = -9
+        self.processes.pop(process.pid, None)
+
+    def on_trap(self, process: Process, thread: ThreadContext) -> None:
+        for hook in self.trap_hooks:
+            hook(process, thread)
+
+    # -- syscalls -----------------------------------------------------------------
+
+    def dispatch_syscall(self, process: Process, thread: ThreadContext,
+                         number: int, args: List[int]) -> Optional[int]:
+        handler = _SYSCALLS.get(number)
+        if handler is None:
+            raise KernelError(f"unknown syscall {number}")
+        return handler(self, process, thread, args)
+
+
+def thread_stack_top(tid: int) -> int:
+    return STACK_TOP - (tid - 1) * (THREAD_STACK_SIZE + THREAD_STACK_GAP)
+
+
+# -- syscall handlers ----------------------------------------------------------
+
+def _sys_print_int(machine, process, thread, args):
+    process.output.append(f"{args[0]}\n")
+    return 0
+
+
+def _sys_print_char(machine, process, thread, args):
+    process.output.append(chr(args[0] & 0x10FFFF))
+    return 0
+
+
+def _sys_exit(machine, process, thread, args):
+    process.exited = True
+    process.exit_code = args[0]
+    for t in process.threads.values():
+        t.status = ThreadStatus.DEAD
+    return 0
+
+
+def _sys_sbrk(machine, process, thread, args):
+    size = args[0]
+    if size < 0:
+        raise KernelError("sbrk: negative size")
+    old = process.heap_end
+    new_end = old + size
+    mapped_end = page_align_up(process.heap_end)
+    need_end = page_align_up(new_end)
+    if need_end > mapped_end:
+        heap_vma = process.aspace.vma_by_name("heap")
+        if heap_vma is None:
+            process.aspace.map(Vma(HEAP_BASE, need_end, Prot.RW, name="heap"))
+        else:
+            heap_vma.end = need_end
+    process.heap_end = new_end
+    return old
+
+
+def _sys_spawn(machine, process, thread, args):
+    fn_addr, arg = args[0], args[1]
+    exit_stub = process.binary.symtab.address_of(sysabi.RT_THREAD_EXIT)
+    new = machine._create_thread(process, pc=fn_addr, arg=arg,
+                                 return_to=exit_stub)
+    return new.tid
+
+
+def _sys_try_join(machine, process, thread, args):
+    tid = args[0]
+    target = process.threads.get(tid)
+    if target is None or target.status == ThreadStatus.DEAD:
+        return 1
+    return 0
+
+
+def _sys_try_lock(machine, process, thread, args):
+    addr = to_u64(args[0])
+    holder = process.locks.get(addr)
+    if holder is not None:
+        return 0
+    process.locks[addr] = thread.tid
+    process.aspace.write_u64(addr, thread.tid)
+    # Disable the checker while inside the critical section (paper §III-B):
+    # the holder of a lock must never be parked at an equivalence point.
+    disable_addr = process.tls_disable_addr(thread)
+    count = process.aspace.read_u64(disable_addr)
+    process.aspace.write_u64(disable_addr, count + 1)
+    return 1
+
+
+def _sys_unlock(machine, process, thread, args):
+    addr = to_u64(args[0])
+    holder = process.locks.get(addr)
+    if holder != thread.tid:
+        raise KernelError(
+            f"thread {thread.tid} unlocking lock {addr:#x} held by {holder}")
+    del process.locks[addr]
+    process.aspace.write_u64(addr, 0)
+    disable_addr = process.tls_disable_addr(thread)
+    count = process.aspace.read_u64(disable_addr)
+    if count == 0:
+        raise KernelError("unlock: disable counter underflow")
+    process.aspace.write_u64(disable_addr, count - 1)
+    return 0
+
+
+def _sys_yield(machine, process, thread, args):
+    return 0
+
+
+def _sys_thread_exit(machine, process, thread, args):
+    thread.status = ThreadStatus.DEAD
+    return 0
+
+
+def _sys_gettid(machine, process, thread, args):
+    return thread.tid
+
+
+def _sys_now(machine, process, thread, args):
+    return process.instr_total
+
+
+_SYSCALLS = {
+    sysabi.SYS_PRINT_INT: _sys_print_int,
+    sysabi.SYS_PRINT_CHAR: _sys_print_char,
+    sysabi.SYS_EXIT: _sys_exit,
+    sysabi.SYS_SBRK: _sys_sbrk,
+    sysabi.SYS_SPAWN: _sys_spawn,
+    sysabi.SYS_TRY_JOIN: _sys_try_join,
+    sysabi.SYS_TRY_LOCK: _sys_try_lock,
+    sysabi.SYS_UNLOCK: _sys_unlock,
+    sysabi.SYS_YIELD: _sys_yield,
+    sysabi.SYS_THREAD_EXIT: _sys_thread_exit,
+    sysabi.SYS_GETTID: _sys_gettid,
+    sysabi.SYS_NOW: _sys_now,
+}

@@ -1,0 +1,62 @@
+"""DELF loader: map a binary into a fresh address space."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..binfmt.delf import DelfBinary
+from ..errors import LoaderError
+from ..mem import AddressSpace, Prot, Vma
+from ..mem.paging import PAGE_SIZE, page_align_up
+
+if TYPE_CHECKING:
+    from .kernel import Process
+
+#: Base of the per-thread TLS area region (one page per thread).
+TLS_REGION_BASE = 0x20000000
+TLS_AREA_SIZE = PAGE_SIZE
+
+
+def load_binary(binary: DelfBinary, exe_path: str) -> AddressSpace:
+    """Create an address space with the binary's segments mapped.
+
+    The ``.text`` mapping is file-backed: CRIU will not dump its clean
+    pages (they reload from ``exe_path`` at restore; paper §III-C).
+    """
+    aspace = AddressSpace()
+    for segment in binary.segments:
+        if segment.size == 0:
+            continue
+        end = page_align_up(segment.vaddr + segment.size)
+        file_backed = segment.section == ".text"
+        aspace.map(Vma(segment.vaddr, end, segment.prot,
+                       name=segment.section, file_backed=file_backed,
+                       file_path=exe_path if file_backed else "",
+                       file_offset=0))
+        data = binary.section_data(segment.section)
+        aspace.write_code(segment.vaddr, data)
+    return aspace
+
+
+def tls_area_for(tid: int) -> int:
+    """Virtual base address of thread ``tid``'s TLS area."""
+    return TLS_REGION_BASE + (tid - 1) * TLS_AREA_SIZE
+
+
+def setup_tls(process: "Process", tid: int) -> int:
+    """Map and initialize a TLS area; returns the thread pointer value.
+
+    The TLS *block* (template contents) is placed at
+    ``tp + abi.tls_block_offset`` — the per-ISA libc displacement the
+    Dapper rewriter adjusts on cross-ISA transformation (paper §III-C).
+    """
+    base = tls_area_for(tid)
+    block_offset = process.isa.abi.tls_block_offset
+    template = process.binary.tls_template
+    if block_offset + len(template) > TLS_AREA_SIZE:
+        raise LoaderError("TLS template too large for TLS area")
+    process.aspace.map(Vma(base, base + TLS_AREA_SIZE, Prot.RW,
+                           name=f"tls:{tid}"))
+    if template:
+        process.aspace.write(base + block_offset, template)
+    return base

@@ -1,0 +1,108 @@
+"""A ptrace-like tracer interface over the simulated kernel.
+
+Mirrors the subset the paper's runtime monitor uses (§III-D2a):
+``PTRACE_ATTACH``, ``PTRACE_POKEDATA`` (to flip the transformation
+flag), waiting for per-thread SIGTRAPs, and ``PTRACE_DETACH``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..errors import PtraceError
+from .cpu import ThreadContext, ThreadStatus
+from .kernel import Machine, Process
+
+
+class Tracer:
+    """One tracer; the Dapper runtime creates one *per target thread*
+    (the paper's "helper monitors"), all sharing this implementation."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.attached: Set[int] = set()
+        self._process: Process = None
+
+    # -- PTRACE_ATTACH ------------------------------------------------------
+
+    def attach(self, process: Process, tid: int) -> None:
+        if tid not in process.threads:
+            raise PtraceError(f"no thread {tid} in process {process.pid}")
+        if self._process is not None and self._process is not process:
+            raise PtraceError("tracer already attached to another process")
+        self._process = process
+        self.attached.add(tid)
+
+    def attach_all(self, process: Process) -> None:
+        live = process.live_threads()
+        if not live:
+            raise PtraceError(
+                f"process {process.pid} has no live threads to attach "
+                f"(already exited?)")
+        for thread in live:
+            self.attach(process, thread.tid)
+
+    # -- PTRACE_POKEDATA / PEEKDATA ---------------------------------------------
+
+    def poke_data(self, addr: int, value: int) -> None:
+        self._require_attached()
+        self._process.aspace.write_u64(addr, value)
+
+    def peek_data(self, addr: int) -> int:
+        self._require_attached()
+        return self._process.aspace.read_u64(addr)
+
+    def get_regs(self, tid: int) -> ThreadContext:
+        self._require_attached()
+        return self._process.threads[tid]
+
+    # -- waiting ------------------------------------------------------------------
+
+    def wait_all_trapped(self, max_steps: int = 20_000_000) -> List[int]:
+        """Run the machine until every live thread of the traced process
+        is TRAPPED (parked at an equivalence point). Threads created
+        while waiting are attached automatically.
+
+        Returns the list of trapped tids.
+        """
+        self._require_attached()
+        process = self._process
+        remaining = max_steps
+        while remaining > 0:
+            live = process.live_threads()
+            for thread in live:
+                if thread.tid not in self.attached:
+                    self.attach(process, thread.tid)
+            if process.exited:
+                raise PtraceError("traced process exited while waiting")
+            if live and all(t.status == ThreadStatus.TRAPPED for t in live):
+                return [t.tid for t in live]
+            done = self.machine.step_all(min(remaining, 10_000))
+            if done == 0:
+                live = process.live_threads()
+                if live and all(t.status == ThreadStatus.TRAPPED
+                                for t in live):
+                    return [t.tid for t in live]
+                raise PtraceError("no progress while waiting for traps")
+            remaining -= done
+        raise PtraceError(f"threads did not all trap in {max_steps} steps")
+
+    # -- resume / detach -------------------------------------------------------------
+
+    def cont(self, tid: int) -> None:
+        self._require_attached()
+        thread = self._process.threads[tid]
+        if thread.status == ThreadStatus.TRAPPED:
+            thread.status = ThreadStatus.RUNNING
+            thread.trap_pc = None
+
+    def detach(self, tid: int) -> None:
+        self.attached.discard(tid)
+
+    def detach_all(self) -> None:
+        self.attached.clear()
+        self._process = None
+
+    def _require_attached(self) -> None:
+        if self._process is None:
+            raise PtraceError("tracer not attached")

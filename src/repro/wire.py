@@ -1,0 +1,224 @@
+"""Protobuf-like wire format used by the CRIU-style image files.
+
+Real CRIU encodes most of its image files with Google protocol buffers.
+This module implements the subset of the protobuf wire format that the
+reproduction needs, from scratch:
+
+* base-128 varints (wire type 0),
+* length-delimited fields (wire type 2) for bytes, strings, nested
+  messages and packed repeated varints.
+
+Messages are represented as plain dictionaries ``{field_number: value}``
+on the low level, and the higher-level :class:`Message` helper maps field
+numbers to names so that images can be decoded into human-readable JSON
+(the CRIT ``decode`` operation) and re-encoded byte-identically (CRIT
+``encode``).
+
+Signed integers use zigzag encoding, mirroring protobuf's ``sint64``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple, Union
+
+from .errors import WireError
+
+WIRE_VARINT = 0
+WIRE_LEN = 2
+
+Scalar = Union[int, bytes, str]
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a base-128 varint."""
+    if value < 0:
+        raise WireError(f"varint must be non-negative, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a varint from ``data`` at ``offset``.
+
+    Returns ``(value, new_offset)``.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise WireError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise WireError("varint too long")
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed integer onto an unsigned one (protobuf sint64)."""
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_signed_varint(value: int) -> bytes:
+    return encode_varint(zigzag_encode(value))
+
+
+def decode_signed_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    raw, pos = decode_varint(data, offset)
+    return zigzag_decode(raw), pos
+
+
+def _encode_key(field: int, wire_type: int) -> bytes:
+    return encode_varint((field << 3) | wire_type)
+
+
+def encode_field(field: int, value: Scalar) -> bytes:
+    """Encode one field. ints → varint; bytes/str → length-delimited."""
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        return _encode_key(field, WIRE_VARINT) + encode_signed_varint(value)
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        return _encode_key(field, WIRE_LEN) + encode_varint(len(payload)) + payload
+    if isinstance(value, (bytes, bytearray)):
+        return _encode_key(field, WIRE_LEN) + encode_varint(len(value)) + bytes(value)
+    raise WireError(f"cannot encode value of type {type(value).__name__}")
+
+
+def iter_fields(data: bytes) -> Iterator[Tuple[int, int, Union[int, bytes]]]:
+    """Yield ``(field_number, wire_type, raw_value)`` for each field.
+
+    Varint fields yield the *zigzag-decoded* integer; length-delimited
+    fields yield raw bytes.
+    """
+    pos = 0
+    while pos < len(data):
+        key, pos = decode_varint(data, pos)
+        field = key >> 3
+        wire_type = key & 0x7
+        if wire_type == WIRE_VARINT:
+            value, pos = decode_signed_varint(data, pos)
+            yield field, wire_type, value
+        elif wire_type == WIRE_LEN:
+            length, pos = decode_varint(data, pos)
+            if pos + length > len(data):
+                raise WireError("truncated length-delimited field")
+            yield field, wire_type, data[pos:pos + length]
+            pos += length
+        else:
+            raise WireError(f"unsupported wire type {wire_type}")
+
+
+class FieldSpec:
+    """Schema entry for one message field."""
+
+    __slots__ = ("number", "name", "kind", "repeated", "message")
+
+    def __init__(self, number: int, name: str, kind: str,
+                 repeated: bool = False, message: "Schema" = None):
+        if kind not in ("int", "bytes", "str", "message"):
+            raise WireError(f"unknown field kind {kind!r}")
+        if kind == "message" and message is None:
+            raise WireError(f"field {name!r}: message kind needs a schema")
+        self.number = number
+        self.name = name
+        self.kind = kind
+        self.repeated = repeated
+        self.message = message
+
+
+class Schema:
+    """A named collection of :class:`FieldSpec` — one protobuf message type."""
+
+    def __init__(self, name: str, fields: List[FieldSpec]):
+        self.name = name
+        self.by_number: Dict[int, FieldSpec] = {}
+        self.by_name: Dict[str, FieldSpec] = {}
+        for spec in fields:
+            if spec.number in self.by_number:
+                raise WireError(f"{name}: duplicate field number {spec.number}")
+            if spec.name in self.by_name:
+                raise WireError(f"{name}: duplicate field name {spec.name}")
+            self.by_number[spec.number] = spec
+            self.by_name[spec.name] = spec
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self, obj: dict) -> bytes:
+        """Encode a dict keyed by field *names* into wire bytes."""
+        out = bytearray()
+        for name, value in obj.items():
+            spec = self.by_name.get(name)
+            if spec is None:
+                raise WireError(f"{self.name}: unknown field {name!r}")
+            values = value if spec.repeated else [value]
+            for item in values:
+                out += self._encode_one(spec, item)
+        return bytes(out)
+
+    def _encode_one(self, spec: FieldSpec, value) -> bytes:
+        if spec.kind == "message":
+            payload = spec.message.encode(value)
+            return (_encode_key(spec.number, WIRE_LEN)
+                    + encode_varint(len(payload)) + payload)
+        if spec.kind == "bytes" and isinstance(value, str):
+            # JSON round-trips bytes as latin-1 strings; accept both.
+            value = value.encode("latin-1")
+        return encode_field(spec.number, value)
+
+    # -- decoding ---------------------------------------------------------
+
+    def decode(self, data: bytes) -> dict:
+        """Decode wire bytes into a dict keyed by field names."""
+        obj: dict = {}
+        for number, wire_type, raw in iter_fields(data):
+            spec = self.by_number.get(number)
+            if spec is None:
+                raise WireError(f"{self.name}: unexpected field number {number}")
+            value = self._decode_one(spec, wire_type, raw)
+            if spec.repeated:
+                obj.setdefault(spec.name, []).append(value)
+            else:
+                obj[spec.name] = value
+        # Materialize empty lists for absent repeated fields so decoded
+        # images always have a stable shape.
+        for spec in self.by_number.values():
+            if spec.repeated and spec.name not in obj:
+                obj[spec.name] = []
+        return obj
+
+    def _decode_one(self, spec: FieldSpec, wire_type: int, raw):
+        if spec.kind == "int":
+            if wire_type != WIRE_VARINT:
+                raise WireError(f"{self.name}.{spec.name}: expected varint")
+            return raw
+        if wire_type != WIRE_LEN:
+            raise WireError(f"{self.name}.{spec.name}: expected length-delimited")
+        if spec.kind == "bytes":
+            return raw
+        if spec.kind == "str":
+            return raw.decode("utf-8")
+        return spec.message.decode(raw)
+
+
+def field(number: int, name: str, kind: str, repeated: bool = False,
+          message: Schema = None) -> FieldSpec:
+    """Convenience constructor mirroring a .proto field line."""
+    return FieldSpec(number, name, kind, repeated, message)

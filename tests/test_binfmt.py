@@ -1,0 +1,201 @@
+"""Tests for the DELF container and its metadata sections."""
+
+import pytest
+
+from repro.binfmt import (DelfBinary, EqPoint, FrameRecord, FrameSection,
+                          LiveValue, LOC_BOTH, LOC_REG, LOC_STACK, Slot,
+                          StackMapSection, Symbol, SymbolTable)
+from repro.binfmt.delf import TEXT_BASE
+from repro.errors import ImageFormatError, LinkError, LoaderError
+
+
+class TestSymbolTable:
+    def _table(self):
+        return SymbolTable([
+            Symbol("main", 0x400000, 0x100, "func", ".text"),
+            Symbol("helper", 0x400100, 0x80, "func", ".text"),
+            Symbol("g", 0x600000, 8, "object", ".data"),
+            Symbol("t", 8, 8, "tls", ".tls"),
+        ])
+
+    def test_lookup(self):
+        table = self._table()
+        assert table.address_of("main") == 0x400000
+        assert table.get("g").size == 8
+        assert "main" in table
+        assert "nope" not in table
+
+    def test_undefined_raises(self):
+        with pytest.raises(LinkError):
+            self._table().get("nope")
+
+    def test_duplicate_rejected(self):
+        table = self._table()
+        with pytest.raises(LinkError):
+            table.add(Symbol("main", 0, 0, "func"))
+
+    def test_find_containing(self):
+        table = self._table()
+        assert table.find_containing(0x400150).name == "helper"
+        assert table.find_containing(0x500000) is None
+
+    def test_functions_and_tls(self):
+        table = self._table()
+        assert {s.name for s in table.functions()} == {"main", "helper"}
+        assert [s.name for s in table.tls_symbols()] == ["t"]
+
+    def test_iteration_sorted_by_addr(self):
+        names = [s.name for s in self._table()]
+        assert names == ["t", "main", "helper", "g"]
+
+    def test_serialization_roundtrip(self):
+        table = self._table()
+        copy = SymbolTable.from_bytes(table.to_bytes())
+        assert len(copy) == len(table)
+        assert copy.address_of("helper") == 0x400100
+
+
+class TestStackMaps:
+    def _section(self):
+        live = [
+            LiveValue(0, "a", LOC_BOTH, dwarf_reg=5, stack_offset=-8,
+                      is_pointer=False, size=8),
+            LiveValue(1, "p", LOC_STACK, stack_offset=-16, is_pointer=True),
+        ]
+        return StackMapSection([
+            EqPoint(0, "main", "entry", 0x400020, trap_addr=0x40001F,
+                    live=live),
+            EqPoint(1, "main", "callsite", 0x400050, live=live),
+        ])
+
+    def test_lookups(self):
+        maps = self._section()
+        assert maps.by_id[0].kind == "entry"
+        assert maps.by_addr[0x400050].eqpoint_id == 1
+        assert maps.by_trap[0x40001F].eqpoint_id == 0
+        assert maps.entry_for("main").eqpoint_id == 0
+        assert len(maps.for_func("main")) == 2
+
+    def test_duplicate_id_rejected(self):
+        maps = self._section()
+        with pytest.raises(ImageFormatError):
+            maps.add(EqPoint(0, "x", "entry", 0x1000))
+
+    def test_live_value_validation(self):
+        with pytest.raises(ImageFormatError):
+            LiveValue(0, "a", LOC_REG)          # needs dwarf_reg
+        with pytest.raises(ImageFormatError):
+            LiveValue(0, "a", LOC_STACK)        # needs stack_offset
+        with pytest.raises(ImageFormatError):
+            LiveValue(0, "a", "nowhere")
+
+    def test_live_value_location_predicates(self):
+        both = LiveValue(0, "a", LOC_BOTH, dwarf_reg=1, stack_offset=-8)
+        assert both.in_register() and both.on_stack()
+        reg = LiveValue(0, "a", LOC_REG, dwarf_reg=1)
+        assert reg.in_register() and not reg.on_stack()
+
+    def test_serialization_roundtrip(self):
+        maps = self._section()
+        copy = StackMapSection.from_bytes(maps.to_bytes())
+        assert len(copy) == 2
+        point = copy.by_id[0]
+        assert point.trap_addr == 0x40001F
+        assert point.live[0].dwarf_reg == 5
+        assert point.live[1].is_pointer
+        assert point.live[1].stack_offset == -16
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ImageFormatError):
+            EqPoint(5, "f", "middle", 0x1000)
+
+
+class TestFrames:
+    def _record(self):
+        return FrameRecord("main", 0x400000, 0x400100, 48, 0, [
+            Slot(0, "a", -8, 8, "param"),
+            Slot(1, "arr", -40, 32, "array"),
+            Slot(2, "p", -48, 8, "local", is_pointer=True,
+                 pair_member=True),
+        ])
+
+    def test_slot_lookup(self):
+        record = self._record()
+        assert record.slot_by_id(1).name == "arr"
+        assert record.slot_by_name("p").is_pointer
+        assert record.slot_by_id(9) is None
+
+    def test_slot_containing(self):
+        record = self._record()
+        assert record.slot_containing(-8).name == "a"
+        assert record.slot_containing(-24).name == "arr"   # inside array
+        assert record.slot_containing(-9).name == "arr"
+        assert record.slot_containing(-100) is None
+
+    def test_positive_offset_rejected(self):
+        with pytest.raises(ImageFormatError):
+            Slot(0, "bad", 8, 8)
+
+    def test_section_lookup(self):
+        section = FrameSection([self._record()])
+        assert section.get("main").frame_size == 48
+        assert section.containing(0x400050).func == "main"
+        assert section.containing(0x500000) is None
+        with pytest.raises(ImageFormatError):
+            section.get("nope")
+
+    def test_duplicate_rejected(self):
+        section = FrameSection([self._record()])
+        with pytest.raises(ImageFormatError):
+            section.add(self._record())
+
+    def test_serialization_roundtrip(self):
+        section = FrameSection([self._record()])
+        copy = FrameSection.from_bytes(section.to_bytes())
+        record = copy.get("main")
+        assert record.frame_size == 48
+        assert record.slot_by_name("p").pair_member
+        assert record.slot_by_name("arr").size == 32
+
+
+class TestDelfBinary:
+    def _binary(self):
+        return DelfBinary(
+            arch="x86_64", entry=TEXT_BASE, source_name="t",
+            text=b"\x90" * 64, data=b"\x00" * 16,
+            symtab=SymbolTable([Symbol("main", TEXT_BASE, 64, "func")]),
+            stackmaps=StackMapSection([]),
+            frames=FrameSection([]),
+            tls_template=b"\x00" * 16,
+            extra_sections={".note": b"hello"})
+
+    def test_roundtrip(self):
+        binary = self._binary()
+        copy = DelfBinary.from_bytes(binary.to_bytes())
+        assert copy.arch == "x86_64"
+        assert copy.text == binary.text
+        assert copy.extra_sections[".note"] == b"hello"
+        assert copy.symtab.address_of("main") == TEXT_BASE
+        assert copy.tls_size == 16
+
+    def test_bad_magic(self):
+        with pytest.raises(LoaderError):
+            DelfBinary.from_bytes(b"NOPE" + b"\x00" * 10)
+
+    def test_code_at(self):
+        binary = self._binary()
+        assert binary.code_at(TEXT_BASE + 8, 4) == b"\x90" * 4
+        with pytest.raises(LoaderError):
+            binary.code_at(TEXT_BASE + 100, 8)
+
+    def test_section_data(self):
+        binary = self._binary()
+        assert binary.section_data(".text") == binary.text
+        assert binary.section_data(".note") == b"hello"
+        with pytest.raises(LoaderError):
+            binary.section_data(".bogus")
+
+    def test_default_segments(self):
+        binary = self._binary()
+        sections = {s.section for s in binary.segments}
+        assert sections == {".text", ".data"}

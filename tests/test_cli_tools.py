@@ -1,0 +1,157 @@
+"""Tests for the command-line tools (dapperc, crit, run, migrate)."""
+
+import json
+import os
+
+import pytest
+
+from repro.tools import crit as crit_cli
+from repro.tools import dapperc, migrate, run as run_cli
+
+SOURCE = """
+global int total;
+func square(int x) -> int { return x * x; }
+func main() -> int {
+    int i;
+    i = 0;
+    while (i < 40) {
+        total = (total + square(i)) % 100000;
+        print(total);
+        i = i + 1;
+    }
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "demo.dc"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestDapperc:
+    def test_compiles_both_isas(self, source_file, tmp_path, capsys):
+        prefix = str(tmp_path / "build" / "demo")
+        assert dapperc.main([source_file, "-o", prefix]) == 0
+        assert os.path.exists(f"{prefix}.x86_64.delf")
+        assert os.path.exists(f"{prefix}.aarch64.delf")
+        out = capsys.readouterr().out
+        assert "eqpoints=" in out
+
+    def test_single_arch(self, source_file, tmp_path):
+        prefix = str(tmp_path / "demo")
+        assert dapperc.main([source_file, "-o", prefix,
+                             "--arch", "aarch64"]) == 0
+        assert os.path.exists(f"{prefix}.aarch64.delf")
+        assert not os.path.exists(f"{prefix}.x86_64.delf")
+
+    def test_dump_ir(self, source_file, capsys):
+        assert dapperc.main([source_file, "--dump-ir"]) == 0
+        out = capsys.readouterr().out
+        assert "func main" in out
+        assert "eqpoint.entry" in out
+
+    def test_symbols_and_stackmaps(self, source_file, tmp_path, capsys):
+        prefix = str(tmp_path / "demo")
+        assert dapperc.main([source_file, "-o", prefix, "--symbols",
+                             "--stackmaps"]) == 0
+        out = capsys.readouterr().out
+        assert "main" in out and "entry" in out
+
+    def test_missing_file(self, capsys):
+        assert dapperc.main(["/nonexistent.dc"]) == 2
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.dc"
+        bad.write_text("func main() -> int { return undefined_var; }")
+        assert dapperc.main([str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_runs_binary(self, source_file, tmp_path, capsys):
+        prefix = str(tmp_path / "demo")
+        dapperc.main([source_file, "-o", prefix])
+        capsys.readouterr()
+        assert run_cli.main([f"{prefix}.x86_64.delf", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines()[0] == "0"
+        assert "instructions=" in captured.err
+
+    def test_both_archs_same_output(self, source_file, tmp_path, capsys):
+        prefix = str(tmp_path / "demo")
+        dapperc.main([source_file, "-o", prefix])
+        capsys.readouterr()
+        run_cli.main([f"{prefix}.x86_64.delf"])
+        x86_out = capsys.readouterr().out
+        run_cli.main([f"{prefix}.aarch64.delf"])
+        arm_out = capsys.readouterr().out
+        assert x86_out == arm_out
+
+    def test_missing_binary(self, capsys):
+        assert run_cli.main(["/nonexistent.delf"]) == 1
+
+
+class TestMigrate:
+    def test_end_to_end(self, source_file, tmp_path, capsys):
+        images_dir = str(tmp_path / "imgs")
+        code = migrate.main([source_file, "--warmup", "1200",
+                             "--keep-images", images_dir, "--quiet"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "output identical to native run: True" in captured.err
+        assert os.path.exists(os.path.join(images_dir, "core-1.img"))
+        assert os.path.exists(os.path.join(images_dir, "pages-1.img"))
+
+    def test_lazy_flag(self, source_file, capsys):
+        code = migrate.main([source_file, "--warmup", "1200", "--lazy",
+                             "--quiet"])
+        assert code == 0
+        assert "lazy" in capsys.readouterr().err
+
+    def test_same_arch_rejected(self, source_file, capsys):
+        assert migrate.main([source_file, "--from", "x86_64",
+                             "--to", "x86_64"]) == 2
+
+
+class TestCrit:
+    @pytest.fixture
+    def images_dir(self, source_file, tmp_path, capsys):
+        images = str(tmp_path / "imgs")
+        migrate.main([source_file, "--warmup", "1200",
+                      "--keep-images", images, "--quiet"])
+        capsys.readouterr()
+        return images
+
+    def test_show(self, images_dir, capsys):
+        assert crit_cli.main(["show", images_dir]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert "inventory.img" in parsed
+
+    def test_decode(self, images_dir, capsys):
+        path = os.path.join(images_dir, "files.img")
+        assert crit_cli.main(["decode", path]) == 0
+        decoded = json.loads(capsys.readouterr().out)
+        assert decoded["kind"] == "files"
+        assert decoded["exe_arch"] == "aarch64"
+
+    def test_encode_roundtrip(self, images_dir, tmp_path, capsys):
+        path = os.path.join(images_dir, "files.img")
+        crit_cli.main(["decode", path])
+        decoded = json.loads(capsys.readouterr().out)
+        decoded.pop("kind")
+        json_path = str(tmp_path / "files.json")
+        with open(json_path, "w") as handle:
+            json.dump(decoded, handle)
+        out_path = str(tmp_path / "files.img")
+        assert crit_cli.main(["encode", json_path, out_path]) == 0
+        with open(out_path, "rb") as handle:
+            re_encoded = handle.read()
+        with open(path, "rb") as handle:
+            original = handle.read()
+        assert re_encoded == original
+
+    def test_empty_directory(self, tmp_path, capsys):
+        assert crit_cli.main(["show", str(tmp_path)]) == 1

@@ -1,0 +1,232 @@
+"""Tests for the backends and the aligning linker."""
+
+import pytest
+
+from repro import sysabi
+from repro.binfmt.delf import DATA_BASE, TEXT_BASE
+from repro.binfmt.stackmaps import KIND_CALLSITE, KIND_ENTRY, LOC_BOTH
+from repro.compiler import compile_source
+from repro.compiler.linker import verify_alignment
+from repro.errors import LinkError
+from repro.isa import ARM_ISA, X86_ISA, get_isa
+
+SOURCE = """
+global int g;
+global int table[4];
+tls int t1;
+
+func add(int a, int b) -> int {
+    int c;
+    c = a + b;
+    return c;
+}
+
+func looped(int n) -> int {
+    int i; int acc; int buf[3];
+    acc = 0;
+    i = 0;
+    while (i < n) {
+        buf[i % 3] = add(acc, i);
+        acc = acc + buf[i % 3];
+        i = i + 1;
+    }
+    return acc;
+}
+
+func main() -> int {
+    g = looped(5);
+    print(g);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_source(SOURCE, "cg_test")
+
+
+class TestAlignment:
+    def test_symbols_aligned_across_isas(self, program):
+        verify_alignment(program.binaries)   # raises on violation
+        x86 = program.binary("x86_64").symtab
+        arm = program.binary("aarch64").symtab
+        for sym in x86:
+            assert arm.lookup(sym.name).addr == sym.addr
+
+    def test_dapper_flag_is_first_data_symbol(self, program):
+        for binary in program.binaries.values():
+            assert binary.symtab.address_of(
+                sysabi.DAPPER_FLAG_SYMBOL) == DATA_BASE
+
+    def test_text_sizes_equal_after_padding(self, program):
+        assert len(program.binary("x86_64").text) == \
+            len(program.binary("aarch64").text)
+
+    def test_functions_16_aligned(self, program):
+        for binary in program.binaries.values():
+            for sym in binary.symtab.functions():
+                assert sym.addr % 16 == 0
+
+    def test_entry_is_start(self, program):
+        for binary in program.binaries.values():
+            assert binary.entry == binary.symtab.address_of(sysabi.RT_START)
+
+    def test_padding_is_nops(self, program):
+        # The byte right before the next function must be a nop filler
+        # whenever the encoded body is shorter than the span.
+        binary = program.binary("x86_64")
+        funcs = binary.symtab.functions()
+        assert any(binary.text[sym.addr - TEXT_BASE + sym.size - 1] == 0x90
+                   for sym in funcs)
+
+
+class TestFrameLayouts:
+    def test_layouts_differ_across_isas(self, program):
+        x86 = program.binary("x86_64").frames.get("looped")
+        arm = program.binary("aarch64").frames.get("looped")
+        x86_offsets = {s.name: s.offset for s in x86.slots}
+        arm_offsets = {s.name: s.offset for s in arm.slots}
+        assert x86_offsets != arm_offsets, \
+            "the two backends must lay frames out differently"
+
+    def test_same_slot_ids_across_isas(self, program):
+        x86 = program.binary("x86_64").frames.get("looped")
+        arm = program.binary("aarch64").frames.get("looped")
+        assert {s.slot_id: s.name for s in x86.slots} == \
+            {s.slot_id: s.name for s in arm.slots}
+
+    def test_arm_param_pairs_marked(self, program):
+        arm = program.binary("aarch64").frames.get("add")
+        a = arm.slot_by_name("a")
+        b = arm.slot_by_name("b")
+        assert a.pair_member and b.pair_member
+        x86 = program.binary("x86_64").frames.get("add")
+        assert not x86.slot_by_name("a").pair_member
+
+    def test_frame_sizes_positive_and_aligned(self, program):
+        for binary in program.binaries.values():
+            for record in binary.frames.frames:
+                assert record.frame_size % 16 == 0
+
+    def test_slots_disjoint(self, program):
+        for binary in program.binaries.values():
+            for record in binary.frames.frames:
+                spans = sorted((s.offset, s.offset + s.size)
+                               for s in record.slots)
+                for (lo1, hi1), (lo2, hi2) in zip(spans, spans[1:]):
+                    assert hi1 <= lo2, f"{record.func}: overlapping slots"
+
+    def test_slots_inside_frame(self, program):
+        for binary in program.binaries.values():
+            for record in binary.frames.frames:
+                for slot in record.slots:
+                    assert -record.frame_size <= slot.offset < 0
+
+
+class TestStackmaps:
+    def test_entry_eqpoint_for_every_checked_function(self, program):
+        for binary in program.binaries.values():
+            for record in binary.frames.frames:
+                if record.func == sysabi.RT_THREAD_EXIT:
+                    continue
+                entry = binary.stackmaps.entry_for(record.func)
+                assert entry is not None
+                assert record.addr <= entry.addr < record.end_addr
+
+    def test_entry_params_live_in_arg_registers(self, program):
+        for arch in ("x86_64", "aarch64"):
+            binary = program.binary(arch)
+            isa = get_isa(arch)
+            entry = binary.stackmaps.entry_for("add")
+            by_name = {lv.name: lv for lv in entry.live}
+            assert by_name["a"].loc_type == LOC_BOTH
+            assert by_name["a"].dwarf_reg == isa.dwarf_of(isa.abi.arg_regs[0])
+            assert by_name["b"].dwarf_reg == isa.dwarf_of(isa.abi.arg_regs[1])
+
+    def test_paper_fig4_register_numbers_differ(self, program):
+        # Fig. 4: the same variable lives in different DWARF registers on
+        # the two ISAs (rdi=5 vs x0=0 for the first argument).
+        x86_entry = program.binary("x86_64").stackmaps.entry_for("add")
+        arm_entry = program.binary("aarch64").stackmaps.entry_for("add")
+        x86_a = x86_entry.live_by_id(0)
+        arm_a = arm_entry.live_by_id(0)
+        assert x86_a.dwarf_reg == 5     # rdi
+        assert arm_a.dwarf_reg == 0     # x0
+
+    def test_callsite_eqpoints_exist(self, program):
+        binary = program.binary("x86_64")
+        callsites = [p for p in binary.stackmaps.eqpoints
+                     if p.kind == KIND_CALLSITE and p.func == "looped"]
+        assert callsites, "looped calls add -> needs a callsite eqpoint"
+        for point in callsites:
+            for live in point.live:
+                assert live.on_stack()
+                assert not live.in_register()
+
+    def test_eqpoint_ids_pair_across_isas(self, program):
+        x86 = program.binary("x86_64").stackmaps
+        arm = program.binary("aarch64").stackmaps
+        assert set(x86.by_id) == set(arm.by_id)
+        for eq_id, point in x86.by_id.items():
+            peer = arm.by_id[eq_id]
+            assert point.func == peer.func
+            assert point.kind == peer.kind
+            assert ({lv.value_id for lv in point.live}
+                    == {lv.value_id for lv in peer.live})
+
+    def test_trap_addr_recorded_for_entries(self, program):
+        for arch in ("x86_64", "aarch64"):
+            binary = program.binary(arch)
+            isa = get_isa(arch)
+            for point in binary.stackmaps.eqpoints:
+                if point.kind != KIND_ENTRY:
+                    continue
+                trap = binary.code_at(point.trap_addr, len(isa.trap_bytes))
+                assert trap == isa.trap_bytes
+
+    def test_trap_precedes_resume(self, program):
+        for binary in program.binaries.values():
+            for point in binary.stackmaps.eqpoints:
+                if point.kind == KIND_ENTRY:
+                    assert point.trap_addr < point.addr
+
+
+class TestCheckerInstrumentation:
+    def test_checker_reads_flag_and_tls(self, program):
+        # Disassemble main's prologue region: must contain a tlsload (the
+        # disable flag) and a load of __dapper_flag before the trap.
+        for arch in ("x86_64", "aarch64"):
+            binary = program.binary(arch)
+            isa = get_isa(arch)
+            record = binary.frames.get("main")
+            entry = binary.stackmaps.entry_for("main")
+            code = binary.code_at(record.addr, entry.addr - record.addr)
+            ops = [i.op for i in isa.disassemble(code, record.addr)]
+            assert "tlsload" in ops
+            assert "trap" in ops
+
+    def test_thread_exit_has_no_trap(self, program):
+        for arch in ("x86_64", "aarch64"):
+            binary = program.binary(arch)
+            isa = get_isa(arch)
+            record = binary.frames.get(sysabi.RT_THREAD_EXIT)
+            code = binary.code_at(record.addr,
+                                  record.end_addr - record.addr)
+            ops = [i.op for i in isa.disassemble(code, record.addr)]
+            assert "trap" not in ops
+
+
+class TestLinkerErrors:
+    def test_verify_alignment_detects_mismatch(self, program):
+        import copy
+        binaries = dict(program.binaries)
+        # Clone the arm symtab with one shifted symbol.
+        from repro.binfmt import DelfBinary
+        arm = binaries["aarch64"]
+        tampered = DelfBinary.from_bytes(arm.to_bytes())
+        sym = tampered.symtab.get("main")
+        sym.addr += 16
+        binaries["aarch64"] = tampered
+        with pytest.raises(LinkError):
+            verify_alignment(binaries)

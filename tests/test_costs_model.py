@@ -1,0 +1,153 @@
+"""Tests for the calibrated cost model and interpreter corner cases."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.core.costs import (DEFAULT_PROFILES, ethernet_link,
+                              infiniband_link, profile_for_arch,
+                              rpi_profile, xeon_profile)
+from repro.core.migration import exe_path_for, install_program
+from repro.isa import ARM_ISA, X86_ISA
+from repro.mem.paging import PAGE_SIZE
+from repro.vm import Machine
+
+
+class TestNodeProfiles:
+    def test_paper_power_calibration(self):
+        # §IV: Xeon 108 W at 7 busy cores; Pi 5.1 W at 3 busy cores.
+        assert xeon_profile().power_watts(7) == pytest.approx(108.0)
+        assert rpi_profile().power_watts(3) == pytest.approx(5.1)
+
+    def test_power_capped_at_core_count(self):
+        pi = rpi_profile()
+        assert pi.power_watts(100) == pi.power_watts(pi.cores)
+
+    def test_recode_rate_gap_matches_paper(self):
+        # Paper: identical recode logic, ≈4× slower on the Pi.
+        ratio = (xeon_profile().recode_bytes_per_s
+                 / rpi_profile().recode_bytes_per_s)
+        assert 3.5 < ratio < 4.5
+
+    def test_recode_seconds_monotone_in_bytes_and_frames(self):
+        profile = xeon_profile()
+        assert profile.recode_seconds(2_000_000, 5) < \
+            profile.recode_seconds(4_000_000, 5)
+        assert profile.recode_seconds(2_000_000, 5) < \
+            profile.recode_seconds(2_000_000, 50)
+
+    def test_seconds_for_cycles(self):
+        xeon = xeon_profile()
+        assert xeon.seconds_for_cycles(xeon.freq_hz * xeon.ipc) == \
+            pytest.approx(1.0)
+
+    def test_profile_for_arch(self):
+        assert profile_for_arch("x86_64").arch == "x86_64"
+        assert profile_for_arch("aarch64").arch == "aarch64"
+        assert set(DEFAULT_PROFILES) == {"x86_64", "aarch64"}
+
+
+class TestLinks:
+    def test_transfer_includes_overhead(self):
+        link = infiniband_link()
+        assert link.transfer_seconds(0) >= link.scp_overhead_s
+
+    def test_page_fault_cost_scales(self):
+        link = ethernet_link()
+        assert link.page_fault_seconds(10) == \
+            pytest.approx(10 * link.page_fault_seconds(1))
+
+    def test_page_fault_includes_roundtrip(self):
+        link = ethernet_link()
+        assert link.page_fault_seconds(1) > 2 * link.latency_s
+        assert link.page_fault_seconds(1) > \
+            PAGE_SIZE / link.bandwidth_bytes_per_s
+
+
+class TestInterpreterCorners:
+    def _run(self, source, isa=X86_ISA):
+        program = compile_source(source, "corner")
+        machine = Machine(isa)
+        install_program(machine, program)
+        process = machine.spawn_process(exe_path_for("corner", isa.name))
+        machine.run_process(process)
+        return process
+
+    def test_signed_overflow_wraps_identically(self):
+        source = """
+        func main() -> int {
+            int big;
+            big = 0x7FFFFFFFFFFFFF;
+            big = big * 1000;
+            print(big);
+            print(big * big);
+            return 0;
+        }
+        """
+        x86 = self._run(source, X86_ISA).stdout()
+        arm = self._run(source, ARM_ISA).stdout()
+        assert x86 == arm
+
+    def test_shift_count_masked(self):
+        source = """
+        func main() -> int {
+            int x;
+            x = 1;
+            print(x << 70);
+            print((x << 63) >> 63);
+            return 0;
+        }
+        """
+        out = self._run(source).stdout()
+        assert out.splitlines()[0] == str(1 << (70 & 63))
+        assert out.splitlines()[1] == "1"
+
+    def test_negative_modulo_c_semantics(self):
+        source = """
+        func main() -> int {
+            print(-17 % 5);
+            print(17 % -5);
+            print(-17 / 5);
+            return 0;
+        }
+        """
+        assert self._run(source).stdout() == "-2\n2\n-3\n"
+
+    def test_deep_expression_spills(self):
+        # Forces the expression-temp pool past its register limit on
+        # both ISAs (x86 has only 5 pool registers).
+        source = """
+        func main() -> int {
+            int a;
+            a = ((((1 + 2) * (3 + 4)) + ((5 + 6) * (7 + 8)))
+                 + (((9 + 10) * (11 + 12)) + ((13 + 14) * (15 + 16))));
+            print(a);
+            return 0;
+        }
+        """
+        expected = (((1 + 2) * (3 + 4)) + ((5 + 6) * (7 + 8))) + \
+            (((9 + 10) * (11 + 12)) + ((13 + 14) * (15 + 16)))
+        for isa in (X86_ISA, ARM_ISA):
+            assert self._run(source, isa).stdout() == f"{expected}\n"
+
+    def test_large_frame_offsets_arm(self):
+        # Arrays larger than the ±1016-byte ldr/str immediate range force
+        # the arm backend's big-offset fallback path.
+        source = """
+        func main() -> int {
+            int big[300];
+            int i;
+            i = 0;
+            while (i < 300) {
+                big[i] = i;
+                i = i + 1;
+            }
+            print(big[0] + big[299]);
+            return 0;
+        }
+        """
+        assert self._run(source, ARM_ISA).stdout() == "299\n"
+        assert self._run(source, X86_ISA).stdout() == "299\n"
+
+    def test_cycle_accounting_nonzero(self):
+        process = self._run("func main() -> int { print(1); return 0; }")
+        assert process.cycle_total >= process.instr_total

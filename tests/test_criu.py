@@ -1,0 +1,227 @@
+"""Tests for the CRIU-style checkpoint/restore substrate and CRIT."""
+
+import pytest
+
+from repro.core.migration import exe_path_for, install_program
+from repro.core.runtime import DapperRuntime
+from repro.criu import crit
+from repro.criu.dump import dump_process
+from repro.criu.images import (CoreImage, FilesImage, ImageSet,
+                               InventoryImage, MmImage, PagemapEntry,
+                               PagemapImage)
+from repro.criu.lazy import dump_process_lazy, restore_process_lazy
+from repro.criu.restore import restore_process
+from repro.errors import (CheckpointError, ImageFormatError, RestoreError)
+from repro.isa import X86_ISA
+from repro.mem.paging import PAGE_SIZE, page_align_down
+from repro.vm import Machine
+
+
+@pytest.fixture
+def parked(counter_program):
+    """A counter process parked at an equivalence point, SIGSTOPped."""
+    machine = Machine(X86_ISA, name="src")
+    install_program(machine, counter_program)
+    process = machine.spawn_process(exe_path_for("counter", "x86_64"))
+    machine.step_all(2500)
+    assert not process.exited
+    runtime = DapperRuntime(machine, process)
+    runtime.pause_at_equivalence_points()
+    return machine, process, runtime
+
+
+class TestImageEncoding:
+    def test_inventory_roundtrip(self):
+        inv = InventoryImage(101, "x86_64", "app", [1, 2, 3], lazy=True)
+        copy = InventoryImage.from_bytes(inv.to_bytes())
+        assert (copy.pid, copy.arch, copy.tids, copy.lazy) == \
+            (101, "x86_64", [1, 2, 3], True)
+
+    def test_core_roundtrip(self):
+        core = CoreImage(2, "aarch64", 0x400100, -1, 0x20000000, "trapped",
+                         {0: -5, 31: 0x7FFE0000})
+        copy = CoreImage.from_bytes(core.to_bytes())
+        assert copy.regs == core.regs
+        assert copy.pc == 0x400100
+        assert copy.flags == -1
+
+    def test_bad_magic_rejected(self):
+        core = CoreImage(1, "x86_64", 0, 0, 0, "running", {})
+        blob = core.to_bytes()
+        with pytest.raises(ImageFormatError):
+            InventoryImage.from_bytes(blob)
+
+    def test_pagemap_page_addresses(self):
+        pm = PagemapImage([PagemapEntry(0x1000, 2), PagemapEntry(0x8000, 1)])
+        assert pm.total_pages() == 3
+        assert pm.page_addresses() == [0x1000, 0x2000, 0x8000]
+
+    def test_files_roundtrip(self):
+        files = FilesImage("/bin/app.x86_64", "x86_64")
+        copy = FilesImage.from_bytes(files.to_bytes())
+        assert copy.exe_path == "/bin/app.x86_64"
+
+
+class TestDump:
+    def test_requires_sigstop(self, counter_program):
+        machine = Machine(X86_ISA)
+        install_program(machine, counter_program)
+        process = machine.spawn_process(exe_path_for("counter", "x86_64"))
+        machine.step_all(100)
+        with pytest.raises(CheckpointError):
+            dump_process(process)
+
+    def test_dump_contents(self, parked):
+        _machine, process, runtime = parked
+        images = runtime.checkpoint()
+        names = set(images.files)
+        assert {"inventory.img", "mm.img", "files.img", "pagemap.img",
+                "pages-1.img"} <= names
+        assert f"core-{process.threads[1].tid}.img" in names
+        inv = images.inventory()
+        assert inv.arch == "x86_64"
+        assert inv.tids == [1]
+
+    def test_code_pages_limited_to_execution_context(self, parked):
+        _machine, process, runtime = parked
+        images = runtime.checkpoint()
+        text_vma = process.aspace.vma_by_name(".text")
+        code_pages = [e for e in images.pagemap().entries
+                      if text_vma.start <= e.vaddr < text_vma.end]
+        total_code_pages = sum(e.nr_pages for e in code_pages)
+        # Paper: "one or two code pages pointed by the program counter".
+        assert 1 <= total_code_pages <= 2
+        pc_page = page_align_down(process.threads[1].pc)
+        dumped = set(images.pagemap().page_addresses())
+        assert pc_page in dumped
+
+    def test_data_and_stack_pages_dumped(self, parked):
+        _machine, process, runtime = parked
+        images = runtime.checkpoint()
+        dumped = set(images.pagemap().page_addresses())
+        stack_vma = process.aspace.vma_by_name("stack:1")
+        assert any(stack_vma.start <= a < stack_vma.end for a in dumped)
+        data_vma = process.aspace.vma_by_name(".data")
+        assert any(data_vma.start <= a < data_vma.end for a in dumped)
+
+    def test_page_at_lookup(self, parked):
+        _machine, process, runtime = parked
+        images = runtime.checkpoint()
+        entry = images.pagemap().entries[0]
+        page = images.page_at(entry.vaddr)
+        assert page is not None and len(page) == PAGE_SIZE
+        assert images.page_at(0xDEAD000) is None
+
+    def test_dead_process_rejected(self, parked):
+        machine, process, _runtime = parked
+        machine.kill(process)
+        with pytest.raises(CheckpointError):
+            dump_process(process, require_stopped=False)
+
+
+class TestRestoreSameIsa:
+    def test_restore_continues_to_same_output(self, parked,
+                                              counter_reference_output):
+        machine, process, runtime = parked
+        before = process.stdout()
+        images = runtime.checkpoint()
+        runtime.kill_source()
+        restored = restore_process(machine, images)
+        machine.run_process(restored)
+        assert before + restored.stdout() == counter_reference_output
+        assert restored.exit_code == 0
+
+    def test_restore_on_wrong_arch_rejected(self, parked):
+        _machine, _process, runtime = parked
+        images = runtime.checkpoint()
+        from repro.isa import ARM_ISA
+        wrong = Machine(ARM_ISA, name="wrong")
+        with pytest.raises(RestoreError):
+            restore_process(wrong, images)
+
+    def test_restore_missing_binary_rejected(self, parked):
+        _machine, _process, runtime = parked
+        images = runtime.checkpoint()
+        empty = Machine(X86_ISA, name="empty")
+        with pytest.raises(RestoreError):
+            restore_process(empty, images)
+
+    def test_tmpfs_save_load_roundtrip(self, parked):
+        machine, _process, runtime = parked
+        images = runtime.checkpoint()
+        images.save(machine.tmpfs, "/images/ckpt")
+        loaded = ImageSet.load(machine.tmpfs, "/images/ckpt")
+        assert loaded.files.keys() == images.files.keys()
+        assert loaded.pages() == images.pages()
+
+
+class TestCrit:
+    def test_decode_all_images(self, parked):
+        _machine, _process, runtime = parked
+        images = runtime.checkpoint()
+        decoded = crit.decode_set(images)
+        assert decoded["inventory.img"]["kind"] == "inventory"
+        assert decoded["mm.img"]["kind"] == "mm"
+        assert decoded["pages-1.img"]["kind"] == "raw_pages"
+        core_name = next(n for n in decoded if n.startswith("core-"))
+        assert "regs" in decoded[core_name]
+
+    def test_roundtrip_lossless(self, parked):
+        _machine, _process, runtime = parked
+        images = runtime.checkpoint()
+        rebuilt = crit.roundtrip(images)
+        for name in images.files:
+            # Decoded views must agree (byte-level equality also holds for
+            # our canonical encoder, but semantic equality is the contract).
+            assert crit.decode_image(name, rebuilt.files[name]) == \
+                crit.decode_image(name, images.files[name])
+
+    def test_show_is_json(self, parked):
+        import json
+        _machine, _process, runtime = parked
+        images = runtime.checkpoint()
+        parsed = json.loads(crit.show(images))
+        assert "inventory.img" in parsed
+
+    def test_unknown_filename_rejected(self):
+        with pytest.raises(ImageFormatError):
+            crit.decode_image("bogus.img", b"")
+
+    def test_mm_vmas_decoded(self, parked):
+        _machine, _process, runtime = parked
+        images = runtime.checkpoint()
+        mm = crit.decode_image("mm.img", images.files["mm.img"])
+        names = {v["name"] for v in mm["vmas"]}
+        assert ".text" in names and "stack:1" in names
+
+
+class TestLazy:
+    def test_lazy_dump_leaves_pages_behind(self, parked):
+        _machine, _process, runtime = parked
+        images, server = runtime.checkpoint_lazy()
+        assert images.inventory().lazy
+        full = dump_process(runtime.process, require_stopped=False)
+        assert images.total_bytes() < full.total_bytes()
+        assert server.remaining_pages() > 0
+
+    def test_lazy_restore_faults_pages_in(self, parked,
+                                          counter_reference_output):
+        machine, process, runtime = parked
+        before = process.stdout()
+        images, server = runtime.checkpoint_lazy()
+        runtime.kill_source()
+        restored = restore_process_lazy(machine, images, server)
+        machine.run_process(restored)
+        assert before + restored.stdout() == counter_reference_output
+        assert server.requests > 0
+        assert server.pages_served > 0
+        assert server.log
+
+    def test_stack_pages_dumped_eagerly(self, parked):
+        _machine, process, runtime = parked
+        images, _server = runtime.checkpoint_lazy()
+        dumped = set(images.pagemap().page_addresses())
+        stack_vma = process.aspace.vma_by_name("stack:1")
+        fp_page = page_align_down(process.threads[1].fp)
+        assert stack_vma.start <= fp_page < stack_vma.end
+        assert fp_page in dumped

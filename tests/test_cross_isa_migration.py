@@ -1,0 +1,175 @@
+"""End-to-end cross-ISA migration tests — the paper's headline capability.
+
+A process starts on one ISA, is paused at an equivalence point, its
+CRIU images are rewritten, and it resumes on the *other* ISA. The
+combined output must be byte-identical to a native run.
+"""
+
+import pytest
+
+from repro.core.migration import (MigrationPipeline, exe_path_for,
+                                  install_program)
+from repro.core.policies.cross_isa import CrossIsaPolicy
+from repro.core.rewriter import ProcessRewriter
+from repro.core.runtime import DapperRuntime
+from repro.criu.restore import restore_process
+from repro.errors import RewriteError
+from repro.isa import ARM_ISA, X86_ISA, get_isa
+from repro.vm import Machine
+
+
+def migrate(program, src_arch, dst_arch, warmup, lazy=False):
+    src = Machine(get_isa(src_arch), name="src")
+    dst = Machine(get_isa(dst_arch), name="dst")
+    pipeline = MigrationPipeline(src, dst, program)
+    result = pipeline.run_and_migrate(warmup_steps=warmup, lazy=lazy)
+    return result
+
+
+class TestSingleThreaded:
+    @pytest.mark.parametrize("src_arch,dst_arch", [
+        ("x86_64", "aarch64"), ("aarch64", "x86_64")])
+    def test_both_directions(self, counter_program,
+                             counter_reference_output, src_arch, dst_arch):
+        result = migrate(counter_program, src_arch, dst_arch, warmup=2500)
+        assert result.combined_output() == counter_reference_output
+        assert result.process.exit_code == 0
+
+    @pytest.mark.parametrize("warmup", [500, 1500, 3000, 4500])
+    def test_many_migration_points(self, counter_program,
+                                   counter_reference_output, warmup):
+        result = migrate(counter_program, "x86_64", "aarch64", warmup)
+        assert result.combined_output() == counter_reference_output
+
+    def test_round_trip_migration(self, counter_program,
+                                  counter_reference_output):
+        """x86 → arm → x86: two migrations of the same process."""
+        m1 = Machine(X86_ISA, name="a")
+        m2 = Machine(ARM_ISA, name="b")
+        m3 = Machine(X86_ISA, name="c")
+        pipe1 = MigrationPipeline(m1, m2, counter_program)
+        process = pipe1.start()
+        m1.step_all(1200)
+        assert not process.exited
+        result1 = pipe1.migrate(process)
+        m2.step_all(1200)
+        assert not result1.process.exited
+        pipe2 = MigrationPipeline(m2, m3, counter_program)
+        result2 = pipe2.migrate(result1.process)
+        m3.run_process(result2.process)
+        combined = (result1.output_before + result2.combined_output())
+        assert combined == counter_reference_output
+
+    def test_stats_reported(self, counter_program):
+        result = migrate(counter_program, "x86_64", "aarch64", 2500)
+        assert result.stats["threads"] == 1
+        assert result.stats["frames"] >= 2
+        assert result.stats["code_pages_swapped"] >= 1
+        assert set(result.stage_seconds) == \
+            {"checkpoint", "recode", "scp", "restore"}
+        assert all(v > 0 for v in result.stage_seconds.values())
+
+
+class TestMultiThreaded:
+    @pytest.mark.parametrize("src_arch,dst_arch", [
+        ("x86_64", "aarch64"), ("aarch64", "x86_64")])
+    def test_threads_with_locks_and_pointers(
+            self, threaded_program, threaded_reference_output,
+            src_arch, dst_arch):
+        result = migrate(threaded_program, src_arch, dst_arch, warmup=4000)
+        assert result.combined_output() == threaded_reference_output
+        assert result.stats["threads"] >= 2
+        assert result.stats["pointers_remapped"] >= 1
+
+    def test_late_migration_fewer_threads(self, threaded_program,
+                                          threaded_reference_output):
+        result = migrate(threaded_program, "x86_64", "aarch64",
+                         warmup=8000)
+        assert result.combined_output() == threaded_reference_output
+
+
+class TestLazyMigration:
+    def test_lazy_output_matches(self, counter_program,
+                                 counter_reference_output):
+        result = migrate(counter_program, "x86_64", "aarch64", 2500,
+                         lazy=True)
+        assert result.combined_output() == counter_reference_output
+        assert result.page_server is not None
+        assert result.page_server.pages_served >= 1
+
+    def test_lazy_smaller_checkpoint_and_scp(self, counter_program):
+        vanilla = migrate(counter_program, "x86_64", "aarch64", 2500)
+        lazy = migrate(counter_program, "x86_64", "aarch64", 2500,
+                       lazy=True)
+        assert lazy.images.total_bytes() < vanilla.images.total_bytes()
+        assert lazy.stage_seconds["scp"] < vanilla.stage_seconds["scp"]
+        assert lazy.stage_seconds["restore"] < \
+            vanilla.stage_seconds["restore"]
+
+    def test_lazy_threaded(self, threaded_program,
+                           threaded_reference_output):
+        result = migrate(threaded_program, "x86_64", "aarch64", 4000,
+                         lazy=True)
+        assert result.combined_output() == threaded_reference_output
+
+
+class TestPolicyValidation:
+    def test_same_isa_rejected(self, counter_program):
+        with pytest.raises(RewriteError):
+            CrossIsaPolicy(counter_program.binary("x86_64"),
+                           counter_program.binary("x86_64"), "/bin/x")
+
+    def test_different_programs_rejected(self, counter_program,
+                                         threaded_program):
+        with pytest.raises(RewriteError):
+            CrossIsaPolicy(counter_program.binary("x86_64"),
+                           threaded_program.binary("aarch64"), "/bin/x")
+
+    def test_wrong_checkpoint_arch_rejected(self, counter_program):
+        machine = Machine(ARM_ISA, name="src")
+        install_program(machine, counter_program)
+        process = machine.spawn_process(exe_path_for("counter", "aarch64"))
+        machine.step_all(2500)
+        runtime = DapperRuntime(machine, process)
+        runtime.pause_at_equivalence_points()
+        images = runtime.checkpoint()
+        # Policy claims the checkpoint is x86_64 — it is aarch64.
+        policy = CrossIsaPolicy(counter_program.binary("x86_64"),
+                                counter_program.binary("aarch64"),
+                                "/bin/counter.aarch64")
+        with pytest.raises(RewriteError):
+            ProcessRewriter().rewrite(images, policy)
+
+
+class TestImagesAfterRewrite:
+    def test_cores_and_files_retargeted(self, counter_program):
+        result = migrate(counter_program, "x86_64", "aarch64", 2500)
+        images = result.images
+        assert images.inventory().arch == "aarch64"
+        assert images.files_img().exe_arch == "aarch64"
+        for core in images.cores():
+            assert core.arch == "aarch64"
+            # pc must be a valid destination eqpoint
+            point = counter_program.binary("aarch64").stackmaps.by_addr[
+                core.pc]
+            assert point is not None
+
+    def test_dst_code_page_contains_arm_code(self, counter_program):
+        result = migrate(counter_program, "x86_64", "aarch64", 2500)
+        images = result.images
+        core = images.cores()[0]
+        from repro.mem.paging import page_align_down
+        page = images.page_at(page_align_down(core.pc))
+        assert page is not None
+        offset = page_align_down(core.pc) - 0x400000
+        expected = counter_program.binary("aarch64").text[
+            offset:offset + 64]
+        assert page[:64] == expected
+
+    def test_restore_and_inspect_tls(self, counter_program):
+        result = migrate(counter_program, "x86_64", "aarch64", 2500)
+        thread = result.process.threads[1]
+        # After TLS adjustment, block address must match the ISA layout.
+        from repro.core.tlsmod import tls_block_address
+        block = tls_block_address(thread.tp, "aarch64")
+        assert block % 8 == 0

@@ -1,0 +1,40 @@
+"""Smoke tests: every shipped example must run clean end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "heterogeneous_cluster.py",
+    "stack_shuffle_defense.py",
+    "lazy_migration.py",
+    "live_update.py",
+]
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_clean(example):
+    path = os.path.join(EXAMPLES_DIR, example)
+    result = subprocess.run([sys.executable, path], capture_output=True,
+                            text=True, timeout=180)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate what they do"
+
+
+def test_quickstart_verifies_migration():
+    path = os.path.join(EXAMPLES_DIR, "quickstart.py")
+    result = subprocess.run([sys.executable, path], capture_output=True,
+                            text=True, timeout=180)
+    assert "identical to native run: True" in result.stdout
+
+
+def test_defense_example_reports_mitigation():
+    path = os.path.join(EXAMPLES_DIR, "stack_shuffle_defense.py")
+    result = subprocess.run([sys.executable, path], capture_output=True,
+                            text=True, timeout=180)
+    assert "successes: 0/" in result.stdout

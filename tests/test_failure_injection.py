@@ -1,0 +1,183 @@
+"""Failure injection: corrupted inputs must fail loudly and precisely,
+never silently mis-restore a process."""
+
+import pytest
+
+from repro.binfmt.delf import DelfBinary
+from repro.compiler import compile_source
+from repro.core.migration import exe_path_for, install_program
+from repro.core.policies.cross_isa import CrossIsaPolicy
+from repro.core.rewriter import ImageMemory, ProcessRewriter
+from repro.core.runtime import DapperRuntime
+from repro.criu.images import CoreImage, ImageSet
+from repro.criu.restore import restore_process
+from repro.errors import (ImageFormatError, LoaderError, ReproError,
+                          RestoreError, RewriteError, WireError)
+from repro.isa import ARM_ISA, X86_ISA
+from repro.vm import Machine
+from repro import wire
+
+
+@pytest.fixture
+def checkpoint_setup(counter_program):
+    machine = Machine(X86_ISA, name="src")
+    install_program(machine, counter_program)
+    process = machine.spawn_process(exe_path_for("counter", "x86_64"))
+    machine.step_all(2500)
+    runtime = DapperRuntime(machine, process)
+    runtime.pause_at_equivalence_points()
+    images = runtime.checkpoint()
+    return machine, runtime, images
+
+
+class TestCorruptImages:
+    def test_truncated_core_image(self, checkpoint_setup):
+        _machine, _runtime, images = checkpoint_setup
+        blob = images.files["core-1.img"]
+        full = images.core(1)
+        images.files["core-1.img"] = blob[: len(blob) // 2]
+        # Like protobuf, truncation either fails to decode (mid-field) or
+        # yields a visibly incomplete message (field-boundary cut) — it
+        # can never silently round-trip to the full register set.
+        try:
+            truncated = images.core(1)
+        except (ImageFormatError, WireError):
+            return
+        assert len(truncated.regs) < len(full.regs)
+
+    def test_wrong_magic(self, checkpoint_setup):
+        _machine, _runtime, images = checkpoint_setup
+        blob = bytearray(images.files["mm.img"])
+        blob[0] ^= 0xFF
+        images.files["mm.img"] = bytes(blob)
+        with pytest.raises(ImageFormatError):
+            images.mm()
+
+    def test_missing_image_file(self, checkpoint_setup):
+        machine, _runtime, images = checkpoint_setup
+        del images.files["pagemap.img"]
+        with pytest.raises(KeyError):
+            images.pagemap()
+
+    def test_pc_not_at_eqpoint_rejected_by_rewriter(self, checkpoint_setup,
+                                                    counter_program):
+        _machine, _runtime, images = checkpoint_setup
+        core = images.core(1)
+        core.pc += 1
+        images.set_core(core)
+        policy = CrossIsaPolicy(counter_program.binary("x86_64"),
+                                counter_program.binary("aarch64"),
+                                "/bin/counter.aarch64")
+        with pytest.raises(RewriteError):
+            ProcessRewriter().rewrite(images, policy)
+
+    def test_corrupted_fp_chain_rejected(self, checkpoint_setup,
+                                         counter_program):
+        _machine, _runtime, images = checkpoint_setup
+        memory = ImageMemory(images)
+        core = images.core(1)
+        fp = core.regs[X86_ISA.dwarf_of("rbp")]
+        # Smash the saved-fp word to a bogus non-zero value: the unwinder
+        # must fail (no call-site stackmap at the bogus return address)
+        # rather than wander off.
+        memory.write_u64(fp + 0, 0xDEAD000)
+        memory.write_u64(fp + 8, 0xDEAD008)
+        memory.flush()
+        policy = CrossIsaPolicy(counter_program.binary("x86_64"),
+                                counter_program.binary("aarch64"),
+                                "/bin/counter.aarch64")
+        with pytest.raises(RewriteError):
+            ProcessRewriter().rewrite(images, policy)
+
+    def test_restore_unrewritten_on_other_arch_rejected(
+            self, checkpoint_setup):
+        _machine, _runtime, images = checkpoint_setup
+        other = Machine(ARM_ISA, name="other")
+        with pytest.raises(RestoreError):
+            restore_process(other, images)
+
+    def test_empty_image_set_rejected(self):
+        from repro.vm.tmpfs import TmpFs
+        with pytest.raises(ImageFormatError):
+            ImageSet.load(TmpFs(), "/nothing")
+
+
+class TestCorruptBinaries:
+    def test_truncated_binary(self, counter_program):
+        blob = counter_program.binary("x86_64").to_bytes()
+        with pytest.raises((LoaderError, WireError, ReproError)):
+            DelfBinary.from_bytes(blob[: len(blob) // 3])
+
+    def test_bad_magic_binary(self, counter_program):
+        blob = bytearray(counter_program.binary("x86_64").to_bytes())
+        blob[:4] = b"EVIL"
+        with pytest.raises(LoaderError):
+            DelfBinary.from_bytes(bytes(blob))
+
+    def test_spawn_missing_binary(self):
+        machine = Machine(X86_ISA)
+        with pytest.raises(LoaderError):
+            machine.spawn_process("/bin/ghost")
+
+
+class TestRuntimeFaults:
+    def test_illegal_instruction_is_fatal(self):
+        # A program whose code page is zeroed must fault, not loop.
+        program = compile_source(
+            "func main() -> int { return 0; }", "faulty")
+        machine = Machine(X86_ISA)
+        install_program(machine, program)
+        process = machine.spawn_process(exe_path_for("faulty", "x86_64"))
+        # Zero out the entry code.
+        entry = program.binary("x86_64").entry
+        process.aspace.write_code(entry, b"\x06" * 16)
+        process.invalidate_code()
+        from repro.vm.interp import CpuFault
+        with pytest.raises(CpuFault):
+            machine.run_process(process)
+
+    def test_wild_pointer_write_faults(self):
+        source = """
+        func main() -> int {
+            int *p;
+            p = 1234567;
+            *p = 1;
+            return 0;
+        }
+        """
+        program = compile_source(source, "wild")
+        machine = Machine(X86_ISA)
+        install_program(machine, program)
+        process = machine.spawn_process(exe_path_for("wild", "x86_64"))
+        from repro.vm.interp import CpuFault
+        with pytest.raises(CpuFault):
+            machine.run_process(process)
+
+    def test_stack_overflow_faults(self):
+        # Unbounded recursion must hit the stack guard gap and fault.
+        source = """
+        func dive(int n) -> int { return dive(n + 1); }
+        func main() -> int { return dive(0); }
+        """
+        program = compile_source(source, "deep")
+        machine = Machine(X86_ISA)
+        install_program(machine, program)
+        process = machine.spawn_process(exe_path_for("deep", "x86_64"))
+        from repro.vm.interp import CpuFault
+        with pytest.raises(CpuFault):
+            machine.run_process(process, max_steps=10_000_000)
+
+
+class TestWireRobustness:
+    def test_garbage_bytes_never_crash_decoder(self):
+        import random
+        rng = random.Random(99)
+        schema = wire.Schema("t", [wire.field(1, "a", "int"),
+                                   wire.field(2, "b", "bytes")])
+        for _ in range(200):
+            blob = bytes(rng.randrange(256)
+                         for _ in range(rng.randrange(0, 40)))
+            try:
+                schema.decode(blob)
+            except WireError:
+                pass   # clean rejection is the contract

@@ -1,0 +1,212 @@
+"""Direct instruction-level interpreter tests.
+
+Hand-assembled code blocks (no compiler involved) exercise each
+mnemonic's semantics on both ISAs against the same expectations — the
+contract the shared interpreter must uphold for cross-ISA state
+equivalence to be possible at all.
+"""
+
+import pytest
+
+from repro.binfmt.delf import DelfBinary, TEXT_BASE
+from repro.binfmt.frames import FrameSection
+from repro.binfmt.stackmaps import StackMapSection
+from repro.binfmt.symtab import Symbol, SymbolTable
+from repro.isa import ARM_ISA, X86_ISA, Instruction
+from repro.isa.asm import AsmBlock
+from repro.vm import Machine
+from repro import sysabi
+
+
+def run_block(isa, instrs, data_size=64):
+    """Assemble ``instrs`` as _start, run it, return the finished process.
+
+    The block must end by placing an exit code in arg0 and issuing the
+    exit syscall (use the `exit_with` helper below).
+    """
+    block = AsmBlock(isa, list(instrs))
+    text = block.encode(TEXT_BASE, lambda name: TEXT_BASE)
+    binary = DelfBinary(
+        arch=isa.name, entry=TEXT_BASE, source_name="raw",
+        text=text, data=bytes(data_size),
+        symtab=SymbolTable([Symbol("_start", TEXT_BASE, len(text),
+                                   "func", ".text")]),
+        stackmaps=StackMapSection([]), frames=FrameSection([]),
+        tls_template=b"")
+    machine = Machine(isa)
+    machine.tmpfs.write("/bin/raw", binary.to_bytes())
+    process = machine.spawn_process("/bin/raw")
+    machine.run_process(process, max_steps=100_000)
+    return process
+
+
+def exit_with(isa, reg=None, imm=None):
+    """Instructions that exit with the value of ``reg`` (or ``imm``)."""
+    arg0 = isa.reg(isa.abi.syscall_arg_regs[0])
+    number = isa.reg(isa.abi.syscall_number_reg)
+    out = []
+    if imm is not None:
+        out.append(Instruction("movi", rd=arg0, imm=imm))
+    elif reg is not None and reg != arg0:
+        out.append(Instruction("mov", rd=arg0, rn=reg))
+    out.append(Instruction("movi", rd=number, imm=sysabi.SYS_EXIT))
+    out.append(Instruction("syscall"))
+    return out
+
+
+@pytest.mark.parametrize("isa", [X86_ISA, ARM_ISA], ids=lambda i: i.name)
+class TestArithmetic:
+    def test_add_sub_mul(self, isa):
+        r = isa.reg
+        a, b = (r("rbx"), r("rcx")) if isa is X86_ISA else (r("x1"), r("x2"))
+        process = run_block(isa, [
+            Instruction("movi", rd=a, imm=21),
+            Instruction("movi", rd=b, imm=2),
+            Instruction("mul", rd=a, rn=a, rm=b),
+            Instruction("addi", rd=a, rn=a, imm=5),
+            Instruction("sub", rd=a, rn=a, rm=b),
+        ] + exit_with(isa, reg=a))
+        assert process.exit_code == 21 * 2 + 5 - 2
+
+    def test_division_truncates_toward_zero(self, isa):
+        r = isa.reg
+        a, b = (r("rbx"), r("rcx")) if isa is X86_ISA else (r("x1"), r("x2"))
+        process = run_block(isa, [
+            Instruction("movi", rd=a, imm=-7),
+            Instruction("movi", rd=b, imm=2),
+            Instruction("sdiv", rd=a, rn=a, rm=b),
+        ] + exit_with(isa, reg=a))
+        assert process.exit_code == -3
+
+    def test_bitwise(self, isa):
+        r = isa.reg
+        a, b = (r("rbx"), r("rcx")) if isa is X86_ISA else (r("x1"), r("x2"))
+        process = run_block(isa, [
+            Instruction("movi", rd=a, imm=0b1100),
+            Instruction("movi", rd=b, imm=0b1010),
+            Instruction("eor", rd=a, rn=a, rm=b),
+        ] + exit_with(isa, reg=a))
+        assert process.exit_code == 0b0110
+
+
+@pytest.mark.parametrize("isa", [X86_ISA, ARM_ISA], ids=lambda i: i.name)
+class TestControlFlow:
+    def test_branch_taken_and_not(self, isa):
+        r = isa.reg
+        a = r("rbx") if isa is X86_ISA else r("x1")
+        skip = Instruction("movi", rd=a, imm=111)   # must be skipped
+        landing = Instruction("nop")
+        landing.label = "after"
+        process = run_block(isa, [
+            Instruction("movi", rd=a, imm=5),
+            Instruction("cmpi", rn=a, imm=5),
+            Instruction("bcc", cond="eq", target="after"),
+            skip,
+            landing,
+        ] + exit_with(isa, reg=a))
+        assert process.exit_code == 5
+
+    def test_loop_counts(self, isa):
+        r = isa.reg
+        a = r("rbx") if isa is X86_ISA else r("x1")
+        top = Instruction("addi", rd=a, rn=a, imm=1)
+        top.label = "top"
+        process = run_block(isa, [
+            Instruction("movi", rd=a, imm=0),
+            top,
+            Instruction("cmpi", rn=a, imm=10),
+            Instruction("bcc", cond="lt", target="top"),
+        ] + exit_with(isa, reg=a))
+        assert process.exit_code == 10
+
+    def test_call_and_ret(self, isa):
+        r = isa.reg
+        a = r("rbx") if isa is X86_ISA else r("x19")
+        callee = Instruction("movi", rd=a, imm=42)
+        callee.label = "callee"
+        process = run_block(isa, [
+            Instruction("b", target="entry"),
+            callee,
+            Instruction("ret"),
+            _labelled(Instruction("call", target="callee"), "entry"),
+        ] + exit_with(isa, reg=a))
+        assert process.exit_code == 42
+
+
+def _labelled(instr, label):
+    instr.label = label
+    return instr
+
+
+@pytest.mark.parametrize("isa", [X86_ISA, ARM_ISA], ids=lambda i: i.name)
+class TestMemory:
+    def test_data_load_store(self, isa):
+        from repro.binfmt.delf import DATA_BASE
+        r = isa.reg
+        a, b = (r("rbx"), r("rcx")) if isa is X86_ISA else (r("x1"), r("x2"))
+        process = run_block(isa, [
+            Instruction("movi", rd=b, imm=DATA_BASE),
+            Instruction("movi", rd=a, imm=77),
+            Instruction("store", rd=a, rn=b, imm=8),
+            Instruction("movi", rd=a, imm=0),
+            Instruction("load", rd=a, rn=b, imm=8),
+        ] + exit_with(isa, reg=a))
+        assert process.exit_code == 77
+
+    def test_stack_push_pop_or_pairs(self, isa):
+        r = isa.reg
+        if isa is X86_ISA:
+            a = r("rbx")
+            process = run_block(isa, [
+                Instruction("movi", rd=a, imm=9),
+                Instruction("push", rd=a),
+                Instruction("movi", rd=a, imm=0),
+                Instruction("pop", rd=a),
+            ] + exit_with(isa, reg=a))
+        else:
+            a, b = r("x1"), r("x2")
+            fp, sp = r("x29"), r("sp")
+            process = run_block(isa, [
+                Instruction("mov", rd=fp, rn=sp),
+                Instruction("movi", rd=a, imm=4),
+                Instruction("movi", rd=b, imm=5),
+                Instruction("stp", rd=a, rm=b, imm=-16),
+                Instruction("movi", rd=a, imm=0),
+                Instruction("movi", rd=b, imm=0),
+                Instruction("ldp", rd=a, rm=b, imm=-16),
+                Instruction("add", rd=a, rn=a, rm=b),
+            ] + exit_with(isa, reg=a))
+        assert process.exit_code == 9
+
+    def test_lea_computes_address_without_access(self, isa):
+        r = isa.reg
+        a, b = (r("rbx"), r("rcx")) if isa is X86_ISA else (r("x1"), r("x2"))
+        process = run_block(isa, [
+            Instruction("movi", rd=b, imm=1000),
+            Instruction("lea", rd=a, rn=b, imm=24),
+        ] + exit_with(isa, reg=a))
+        assert process.exit_code == 1024
+
+
+@pytest.mark.parametrize("isa", [X86_ISA, ARM_ISA], ids=lambda i: i.name)
+def test_trap_parks_thread(isa):
+    """Executing the trap must stop the thread with its pc *after* the
+    trap (int3 semantics) — the property restore relies on."""
+    block = AsmBlock(isa, [Instruction("nop"), Instruction("trap"),
+                           Instruction("nop"), Instruction("ret")])
+    text = block.encode(TEXT_BASE)
+    binary = DelfBinary(
+        arch=isa.name, entry=TEXT_BASE, source_name="trap",
+        text=text, data=b"", symtab=SymbolTable(
+            [Symbol("_start", TEXT_BASE, len(text), "func", ".text")]),
+        stackmaps=StackMapSection([]), frames=FrameSection([]))
+    machine = Machine(isa)
+    machine.tmpfs.write("/bin/t", binary.to_bytes())
+    process = machine.spawn_process("/bin/t")
+    machine.step_all(10)
+    thread = process.threads[1]
+    from repro.vm.cpu import ThreadStatus
+    assert thread.status == ThreadStatus.TRAPPED
+    trap_size = len(isa.trap_bytes)
+    nop_size = len(isa.nop_bytes)
+    assert thread.pc == TEXT_BASE + nop_size + trap_size

@@ -1,0 +1,233 @@
+"""Tests for IR generation and the equivalence-point middle-end pass."""
+
+import pytest
+
+from repro import sysabi
+from repro.compiler import ir, irgen
+from repro.compiler.passes import count_eqpoints, run_middle_end
+from repro.errors import CompileError
+
+
+def lower(source):
+    program = irgen.lower(source, "t")
+    run_middle_end(program)
+    return program
+
+
+class TestPrelude:
+    def test_runtime_functions_injected(self):
+        program = lower("func main() -> int { return 0; }")
+        names = [f.name for f in program.functions]
+        assert sysabi.RT_START in names
+        assert sysabi.RT_POLL in names
+        assert sysabi.RT_THREAD_EXIT in names
+
+    def test_thread_exit_has_no_checker(self):
+        program = lower("func main() -> int { return 0; }")
+        assert program.function(sysabi.RT_THREAD_EXIT).no_checker
+        assert not program.function("main").no_checker
+
+    def test_missing_main_rejected(self):
+        with pytest.raises(CompileError):
+            irgen.lower("func f() { }", "t")
+
+
+class TestSlots:
+    def test_params_then_locals(self):
+        program = lower("""
+        func f(int a, int b) -> int { int c; int d[3]; return a; }
+        func main() -> int { return f(1, 2); }
+        """)
+        slots = program.function("f").slots
+        assert [s.name for s in slots[:4]] == ["a", "b", "c", "d"]
+        assert slots[3].kind == ir.SLOT_ARRAY
+        assert slots[3].size == 24
+
+    def test_pointer_slots_marked(self):
+        program = lower("""
+        func f(int *p) -> int { int *q; q = p; return *q; }
+        func main() -> int { int x; return f(&x); }
+        """)
+        func = program.function("f")
+        assert func.slot_by_name("p").is_pointer
+        assert func.slot_by_name("q").is_pointer
+
+    def test_call_results_get_calltmp_slots(self):
+        program = lower("""
+        func g() -> int { return 1; }
+        func main() -> int { int x; x = g() + g(); return x; }
+        """)
+        main = program.function("main")
+        calltmps = [s for s in main.slots if s.kind == ir.SLOT_CALLTMP]
+        assert len(calltmps) == 2
+
+    def test_duplicate_local_rejected(self):
+        with pytest.raises(CompileError):
+            lower("func main() -> int { int a; int a; return 0; }")
+
+    def test_too_many_params_rejected(self):
+        with pytest.raises(CompileError):
+            lower("func f(int a, int b, int c, int d, int e, int f, int g)"
+                  " -> int { return 0; } func main() -> int { return 0; }")
+
+
+class TestHoisting:
+    def test_no_call_survives_inside_expression(self):
+        program = lower("""
+        func g(int x) -> int { return x; }
+        func main() -> int {
+            int y;
+            y = g(g(1) + 2) * g(3);
+            print(g(y));
+            return g(y) + 1;
+        }
+        """)
+        # Every CallIr must be a statement-level instruction; check that
+        # call args are temps computed from slot reads, not nested calls.
+        main = program.function("main")
+        calls = [i for i in main.body if isinstance(i, ir.CallIr)]
+        assert len(calls) == 5   # g(1), g(..+2), g(3), g(y), g(y)
+
+    def test_call_in_condition_reevaluated_in_loop(self):
+        program = lower("""
+        func check(int i) -> int { return i < 3; }
+        func main() -> int {
+            int i;
+            i = 0;
+            while (check(i)) { i = i + 1; }
+            return i;
+        }
+        """)
+        main = program.function("main")
+        body = main.body
+        # The call to check() must appear after the loop-top label so the
+        # condition is re-evaluated each iteration.
+        label_idx = next(i for i, instr in enumerate(body)
+                         if isinstance(instr, ir.Label)
+                         and instr.name.startswith(".Lwhile"))
+        call_idx = next(i for i, instr in enumerate(body)
+                        if isinstance(instr, ir.CallIr)
+                        and instr.func == "check")
+        assert call_idx > label_idx
+
+    def test_void_call_as_value_rejected(self):
+        with pytest.raises(CompileError):
+            lower("""
+            func v() { }
+            func main() -> int { int x; x = v() + 1; return x; }
+            """)
+
+
+class TestBuiltins:
+    def test_print_becomes_syscall(self):
+        program = lower("func main() -> int { print(1); return 0; }")
+        syscalls = [i for i in program.function("main").body
+                    if isinstance(i, ir.SyscallIr)]
+        assert any(s.number == sysabi.SYS_PRINT_INT for s in syscalls)
+
+    def test_lock_becomes_polling_loop(self):
+        program = lower("""
+        global int m;
+        func main() -> int { lock(&m); unlock(&m); return 0; }
+        """)
+        main = program.function("main")
+        numbers = [i.number for i in main.body
+                   if isinstance(i, ir.SyscallIr)]
+        assert sysabi.SYS_TRY_LOCK in numbers
+        assert sysabi.SYS_UNLOCK in numbers
+        polls = [i for i in main.body if isinstance(i, ir.CallIr)
+                 and i.func == sysabi.RT_POLL]
+        assert polls, "lock must poll through __poll (an eqpoint)"
+
+    def test_join_becomes_polling_loop(self):
+        program = lower("""
+        func w(int x) { }
+        func main() -> int { int t; t = spawn(w, 1); join(t); return 0; }
+        """)
+        main = program.function("main")
+        numbers = [i.number for i in main.body
+                   if isinstance(i, ir.SyscallIr)]
+        assert sysabi.SYS_SPAWN in numbers
+        assert sysabi.SYS_TRY_JOIN in numbers
+
+    def test_spawn_requires_function_name(self):
+        with pytest.raises(CompileError):
+            lower("func main() -> int { int x; spawn(x, 1); return 0; }")
+
+    def test_spawn_arg_limit(self):
+        with pytest.raises(CompileError):
+            lower("""
+            func w(int a, int b) { }
+            func main() -> int { spawn(w, 1); return 0; }
+            """)
+
+    def test_sbrk_result_is_pointer_calltmp(self):
+        program = lower("""
+        func main() -> int { int *p; p = sbrk(64) + 1; return *p; }
+        """)
+        main = program.function("main")
+        calltmps = [s for s in main.slots if s.kind == ir.SLOT_CALLTMP]
+        assert calltmps and calltmps[0].is_pointer
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(CompileError):
+            lower("func main() -> int { return nope; }")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(CompileError):
+            lower("""
+            func g(int a) -> int { return a; }
+            func main() -> int { return g(1, 2); }
+            """)
+
+
+class TestEqPointAssignment:
+    def test_every_function_has_entry_eqpoint(self):
+        program = lower("""
+        func a() -> int { return 1; }
+        func main() -> int { return a(); }
+        """)
+        for func in program.functions:
+            assert func.entry_eqpoint is not None
+
+    def test_callsites_get_unique_ids(self):
+        program = lower("""
+        func a() -> int { return 1; }
+        func main() -> int { return a() + a(); }
+        """)
+        ids = set()
+        for func in program.functions:
+            ids.add(func.entry_eqpoint)
+            for instr in func.body:
+                if isinstance(instr, ir.CallIr):
+                    assert instr.eqpoint_id is not None
+                    ids.add(instr.eqpoint_id)
+        total = count_eqpoints(program)
+        assert len(ids) == total
+
+    def test_ids_deterministic(self):
+        src = """
+        func a() -> int { return 1; }
+        func main() -> int { return a(); }
+        """
+        p1, p2 = lower(src), lower(src)
+        assert ([f.entry_eqpoint for f in p1.functions]
+                == [f.entry_eqpoint for f in p2.functions])
+
+
+class TestPointerArithmetic:
+    def test_pointer_plus_int_scales(self):
+        # p + 1 must advance by 8 bytes: verified behaviourally elsewhere;
+        # here check the IR contains the scaling multiply.
+        program = lower("""
+        func main() -> int {
+            int a[4]; int *p;
+            p = &a[0];
+            p = p + 1;
+            return *p;
+        }
+        """)
+        main = program.function("main")
+        muls = [i for i in main.body if isinstance(i, ir.Bin)
+                and i.op == "mul"]
+        assert muls

@@ -1,0 +1,326 @@
+"""Tests for the two simulated ISAs: encode/decode, sizes, ABI, DWARF."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.isa import ARM_ISA, ISAS, X86_ISA, Instruction, get_isa, other_isa
+from repro.isa.arm import expand_movi
+from repro.isa.registers import ARM_REGISTERS, X86_REGISTERS
+
+
+class TestRegisters:
+    def test_x86_dwarf_numbering_matches_sysv(self):
+        assert X86_REGISTERS.dwarf("rax") == 0
+        assert X86_REGISTERS.dwarf("rdx") == 1
+        assert X86_REGISTERS.dwarf("rbp") == 6
+        assert X86_REGISTERS.dwarf("rsp") == 7
+        assert X86_REGISTERS.dwarf("r15") == 15
+
+    def test_arm_dwarf_numbering(self):
+        assert ARM_REGISTERS.dwarf("x0") == 0
+        assert ARM_REGISTERS.dwarf("x30") == 30
+        assert ARM_REGISTERS.dwarf("sp") == 31
+
+    def test_register_counts_riscs_have_more(self):
+        # The paper's footnote: RISC architectures tend to have more GPRs.
+        assert len(ARM_REGISTERS) > len(X86_REGISTERS)
+
+    def test_lookup_by_index_and_name_agree(self):
+        for isa in (X86_ISA, ARM_ISA):
+            for reg in isa.registers:
+                assert isa.reg(reg.name) == reg.index
+                assert isa.reg_name(reg.index) == reg.name
+                assert isa.index_of_dwarf(reg.dwarf) == reg.index
+
+
+class TestLookup:
+    def test_get_isa(self):
+        assert get_isa("x86_64") is X86_ISA
+        assert get_isa("aarch64") is ARM_ISA
+
+    def test_get_isa_unknown(self):
+        with pytest.raises(KeyError):
+            get_isa("mips")
+
+    def test_other_isa(self):
+        assert other_isa("x86_64") is ARM_ISA
+        assert other_isa("aarch64") is X86_ISA
+
+
+class TestTrapEncodings:
+    def test_x86_trap_is_int3(self):
+        assert X86_ISA.trap_bytes == b"\xcc"
+
+    def test_arm_trap_is_paper_brk(self):
+        # Paper footnote 2: "the instruction of bytes 0xD4200000".
+        assert ARM_ISA.trap_bytes == bytes([0xD4, 0x20, 0x00, 0x00])
+
+    def test_x86_ret_is_c3(self):
+        assert X86_ISA.ret_bytes == b"\xc3"
+
+
+def _roundtrip(isa, instr):
+    instr.addr = instr.addr or 0x1000
+    data = isa.encode(instr)
+    decoded = isa.decode(data, 0, instr.addr)
+    assert decoded.size == len(data)
+    return decoded
+
+
+class TestX86Encoding:
+    def test_mov_roundtrip(self):
+        d = _roundtrip(X86_ISA, Instruction("mov", rd=3, rn=5))
+        assert (d.op, d.rd, d.rn) == ("mov", 3, 5)
+
+    def test_movi_negative(self):
+        d = _roundtrip(X86_ISA, Instruction("movi", rd=1, imm=-123456789))
+        assert d.imm == -123456789
+
+    def test_load_store_offsets(self):
+        d = _roundtrip(X86_ISA, Instruction("load", rd=2, rn=6, imm=-4096))
+        assert (d.op, d.rd, d.rn, d.imm) == ("load", 2, 6, -4096)
+        d = _roundtrip(X86_ISA, Instruction("store", rd=2, rn=6, imm=8))
+        assert (d.op, d.rd, d.rn, d.imm) == ("store", 2, 6, 8)
+
+    def test_binops_roundtrip(self):
+        for op in ("add", "sub", "mul", "sdiv", "srem", "and", "orr",
+                   "eor", "lsl", "lsr"):
+            d = _roundtrip(X86_ISA, Instruction(op, rd=4, rn=4, rm=7))
+            assert (d.op, d.rd, d.rm) == (op, 4, 7)
+
+    def test_two_operand_constraint(self):
+        with pytest.raises(EncodingError):
+            X86_ISA.encode(Instruction("add", rd=1, rn=2, rm=3))
+
+    def test_branch_rel32_forward_and_back(self):
+        for target in (0x1100, 0x0F00):
+            instr = Instruction("b", target=target)
+            instr.addr = 0x1000
+            d = X86_ISA.decode(X86_ISA.encode(instr), 0, 0x1000)
+            assert d.target == target
+
+    def test_conditional_branches(self):
+        for cond in ("eq", "ne", "lt", "le", "gt", "ge"):
+            instr = Instruction("bcc", cond=cond, target=0x2000)
+            instr.addr = 0x1000
+            d = X86_ISA.decode(X86_ISA.encode(instr), 0, 0x1000)
+            assert (d.op, d.cond, d.target) == ("bcc", cond, 0x2000)
+
+    def test_call_roundtrip(self):
+        instr = Instruction("call", target=0x400000)
+        instr.addr = 0x400100
+        d = X86_ISA.decode(X86_ISA.encode(instr), 0, 0x400100)
+        assert d.target == 0x400000
+
+    def test_tls_ops(self):
+        d = _roundtrip(X86_ISA, Instruction("tlsload", rd=0, imm=24))
+        assert (d.op, d.rd, d.imm) == ("tlsload", 0, 24)
+        d = _roundtrip(X86_ISA, Instruction("tlsstore", rd=3, imm=16))
+        assert (d.op, d.rd, d.imm) == ("tlsstore", 3, 16)
+
+    def test_push_pop(self):
+        assert _roundtrip(X86_ISA, Instruction("push", rd=6)).rd == 6
+        assert _roundtrip(X86_ISA, Instruction("pop", rd=6)).op == "pop"
+
+    def test_syscall(self):
+        assert _roundtrip(X86_ISA, Instruction("syscall")).op == "syscall"
+
+    def test_size_matches_encoding_for_all_ops(self):
+        samples = [
+            Instruction("nop"), Instruction("trap"), Instruction("ret"),
+            Instruction("push", rd=1), Instruction("pop", rd=1),
+            Instruction("mov", rd=1, rn=2),
+            Instruction("movi", rd=1, imm=99),
+            Instruction("load", rd=1, rn=6, imm=-8),
+            Instruction("store", rd=1, rn=6, imm=-8),
+            Instruction("lea", rd=1, rn=6, imm=-8),
+            Instruction("add", rd=1, rn=1, rm=2),
+            Instruction("addi", rd=1, rn=1, imm=5),
+            Instruction("cmp", rn=1, rm=2),
+            Instruction("cmpi", rn=1, imm=5),
+            Instruction("syscall"),
+            Instruction("tlsload", rd=1, imm=8),
+        ]
+        for instr in samples:
+            instr.addr = 0
+            assert len(X86_ISA.encode(instr)) == X86_ISA.size_of(instr)
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            X86_ISA.encode(Instruction("frobnicate"))
+
+    def test_arm_only_op_rejected(self):
+        with pytest.raises(EncodingError):
+            X86_ISA.size_of(Instruction("ldp", rd=0, rm=1, imm=0))
+
+    def test_bad_register_byte_decode(self):
+        with pytest.raises(DecodingError):
+            X86_ISA.decode(bytes([0x89, 99, 0]), 0, 0)
+
+    def test_unknown_opcode_decode(self):
+        with pytest.raises(DecodingError):
+            X86_ISA.decode(b"\x06", 0, 0)
+
+    def test_immediate_range_checked(self):
+        with pytest.raises(EncodingError):
+            X86_ISA.encode(Instruction("addi", rd=1, rn=1, imm=1 << 40))
+
+
+class TestArmEncoding:
+    def test_fixed_width(self):
+        assert ARM_ISA.fixed_width == 4
+
+    def test_mov_roundtrip(self):
+        d = _roundtrip(ARM_ISA, Instruction("mov", rd=29, rn=31))
+        assert (d.rd, d.rn) == (29, 31)
+
+    def test_ldp_stp_scaled_offsets(self):
+        d = _roundtrip(ARM_ISA, Instruction("stp", rd=0, rm=1, imm=-48))
+        assert (d.op, d.rd, d.rm, d.imm) == ("stp", 0, 1, -48)
+        d = _roundtrip(ARM_ISA, Instruction("ldp", rd=2, rm=3, imm=120))
+        assert (d.op, d.imm) == ("ldp", 120)
+
+    def test_load_offset_must_be_aligned(self):
+        with pytest.raises(EncodingError):
+            ARM_ISA.encode(Instruction("load", rd=0, rn=29, imm=-13))
+
+    def test_load_offset_range(self):
+        with pytest.raises(EncodingError):
+            ARM_ISA.encode(Instruction("load", rd=0, rn=29, imm=-2048))
+
+    def test_movi_expansion_minimal(self):
+        assert len(expand_movi(0, 0x1234)) == 1
+        assert len(expand_movi(0, 0x12345)) == 2
+        assert len(expand_movi(0, 0x123456789)) == 3
+        assert len(expand_movi(0, 1 << 60)) == 4
+
+    def test_movi_full_always_four_words(self):
+        instr = Instruction("movi_full", rd=0, imm=5)
+        assert ARM_ISA.size_of(instr) == 16
+        assert len(ARM_ISA.encode(instr)) == 16
+
+    def test_movi_negative_uses_full_chunks(self):
+        instr = Instruction("movi", rd=0, imm=-1)
+        instr.addr = 0
+        data = ARM_ISA.encode(instr)
+        assert len(data) == 16   # all four 16-bit chunks are 0xFFFF
+
+    def test_branch_roundtrip(self):
+        instr = Instruction("b", target=0x40_0000)
+        instr.addr = 0x40_1000
+        d = ARM_ISA.decode(ARM_ISA.encode(instr), 0, 0x40_1000)
+        assert d.target == 0x40_0000
+
+    def test_branch_misaligned_rejected(self):
+        instr = Instruction("b", target=0x1002)
+        instr.addr = 0x1000
+        with pytest.raises(EncodingError):
+            ARM_ISA.encode(instr)
+
+    def test_bcc_roundtrip(self):
+        for cond in ("eq", "ne", "lt", "le", "gt", "ge"):
+            instr = Instruction("bcc", cond=cond, target=0x1100)
+            instr.addr = 0x1000
+            d = ARM_ISA.decode(ARM_ISA.encode(instr), 0, 0x1000)
+            assert (d.cond, d.target) == (cond, 0x1100)
+
+    def test_addi_negative_becomes_subi(self):
+        d = _roundtrip(ARM_ISA, Instruction("addi", rd=1, rn=2, imm=-16))
+        assert (d.op, d.imm) == ("addi", -16)
+
+    def test_addi_range(self):
+        with pytest.raises(EncodingError):
+            ARM_ISA.encode(Instruction("addi", rd=1, rn=2, imm=300))
+
+    def test_x86_only_op_rejected(self):
+        with pytest.raises(EncodingError):
+            ARM_ISA.size_of(Instruction("push", rd=0))
+
+    def test_whole_word_decodes(self):
+        from repro.isa.arm import BYTES_NOP, BYTES_RET, BYTES_SVC
+        assert ARM_ISA.decode(BYTES_NOP, 0, 0).op == "nop"
+        assert ARM_ISA.decode(BYTES_RET, 0, 0).op == "ret"
+        assert ARM_ISA.decode(BYTES_SVC, 0, 0).op == "syscall"
+        assert ARM_ISA.decode(ARM_ISA.trap_bytes, 0, 0).op == "trap"
+
+    def test_truncated_word(self):
+        with pytest.raises(DecodingError):
+            ARM_ISA.decode(b"\x01\x02", 0, 0)
+
+
+class TestDisassembler:
+    def test_linear_sweep_with_junk(self):
+        code = (X86_ISA.encode_block(
+            [Instruction("nop"), Instruction("ret")], 0)
+            + b"\x06\x07"     # junk bytes
+            + b"\xc3")
+        instrs = X86_ISA.disassemble(code, 0)
+        ops = [i.op for i in instrs]
+        assert ops == ["nop", "ret", ".byte", ".byte", "ret"]
+
+    def test_addresses_assigned(self):
+        code = X86_ISA.encode_block(
+            [Instruction("movi", rd=0, imm=7), Instruction("ret")], 0x400000)
+        instrs = X86_ISA.disassemble(code, 0x400000)
+        assert instrs[0].addr == 0x400000
+        assert instrs[1].addr == 0x40000A
+
+    def test_arm_sweep(self):
+        block = [Instruction("mov", rd=0, rn=1), Instruction("ret")]
+        code = ARM_ISA.encode_block(block, 0)
+        instrs = ARM_ISA.disassemble(code, 0)
+        assert [i.op for i in instrs] == ["mov", "ret"]
+
+
+class TestCostModel:
+    def test_default_cost_is_one(self):
+        assert X86_ISA.cost(Instruction("nop")) == 1
+
+    def test_memory_ops_cost_more(self):
+        assert X86_ISA.cost(Instruction("load", rd=0, rn=6, imm=0)) > 1
+        assert ARM_ISA.cost(Instruction("sdiv", rd=0, rn=1, rm=2)) > 4
+
+
+@given(st.sampled_from(["add", "sub", "mul", "and", "orr", "eor"]),
+       st.integers(min_value=0, max_value=15),
+       st.integers(min_value=0, max_value=15))
+def test_x86_binop_roundtrip_property(op, rd, rm):
+    instr = Instruction(op, rd=rd, rn=rd, rm=rm)
+    instr.addr = 0
+    decoded = X86_ISA.decode(X86_ISA.encode(instr), 0, 0)
+    assert (decoded.op, decoded.rd, decoded.rm) == (op, rd, rm)
+
+
+@given(st.integers(min_value=0, max_value=31),
+       st.integers(min_value=0, max_value=31),
+       st.integers(min_value=-128, max_value=127))
+def test_arm_load_roundtrip_property(rt, rn, scaled):
+    instr = Instruction("load", rd=rt, rn=rn, imm=scaled * 8)
+    instr.addr = 0
+    decoded = ARM_ISA.decode(ARM_ISA.encode(instr), 0, 0)
+    assert (decoded.rd, decoded.rn, decoded.imm) == (rt, rn, scaled * 8)
+
+
+@given(st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1))
+def test_movi_roundtrip_both_isas_property(value):
+    for isa in ISAS.values():
+        instr = Instruction("movi", rd=0, imm=value)
+        instr.addr = 0
+        data = isa.encode(instr)
+        if isa.fixed_width:
+            # movz/movk sequence: execute it mentally via decode sweep.
+            acc = 0
+            offset = 0
+            while offset < len(data):
+                part = isa.decode(data, offset, offset)
+                if part.op == "movz":
+                    acc = part.imm
+                else:
+                    shift = {"movk1": 16, "movk2": 32, "movk3": 48}[part.op]
+                    acc |= part.imm << shift
+                offset += part.size
+            signed = acc - (1 << 64) if acc >> 63 else acc
+            assert signed == value
+        else:
+            assert isa.decode(data, 0, 0).imm == value

@@ -1,0 +1,206 @@
+"""Tests for the DapperC lexer and parser."""
+
+import pytest
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.lexer import tokenize
+from repro.compiler.parser import parse
+from repro.errors import CompileError
+
+
+class TestLexer:
+    def test_numbers(self):
+        tokens = tokenize("42 0x1F 0")
+        assert [t.value for t in tokens[:-1]] == [42, 0x1F, 0]
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("func foo while int returnish")
+        kinds = [(t.kind, t.value) for t in tokens[:-1]]
+        assert kinds == [("keyword", "func"), ("ident", "foo"),
+                         ("keyword", "while"), ("keyword", "int"),
+                         ("ident", "returnish")]
+
+    def test_operators_longest_match(self):
+        tokens = tokenize("a <= b == c << 2")
+        ops = [t.value for t in tokens if t.kind == "op"]
+        assert ops == ["<=", "==", "<<"]
+
+    def test_arrow_is_punct(self):
+        tokens = tokenize("-> -")
+        assert tokens[0].kind == "punct" and tokens[0].value == "->"
+        assert tokens[1].kind == "op" and tokens[1].value == "-"
+
+    def test_line_comments(self):
+        tokens = tokenize("a // comment here\nb")
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+
+    def test_block_comments(self):
+        tokens = tokenize("a /* multi\nline */ b")
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CompileError):
+            tokenize("a /* never ends")
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+        assert tokens[2].column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(CompileError):
+            tokenize("a @ b")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestParser:
+    def test_global_declarations(self):
+        prog = parse("global int g; global int arr[10]; global int *p;")
+        assert len(prog.globals) == 3
+        assert prog.globals[0].count == 1
+        assert prog.globals[1].count == 10
+        assert prog.globals[2].is_pointer
+
+    def test_tls_declaration(self):
+        prog = parse("tls int counter;")
+        assert prog.tls_vars[0].name == "counter"
+
+    def test_function_with_params(self):
+        prog = parse("func f(int a, int *b) -> int { return a; }")
+        func = prog.functions[0]
+        assert func.name == "f"
+        assert [p.name for p in func.params] == ["a", "b"]
+        assert func.params[1].is_pointer
+        assert func.returns_value
+
+    def test_void_function(self):
+        prog = parse("func f() { }")
+        assert not prog.functions[0].returns_value
+
+    def test_locals_hoisted_from_nested_blocks(self):
+        prog = parse("""
+        func f() {
+            int a;
+            if (a) { int b; b = 1; }
+            while (a) { int c; c = 2; }
+        }
+        """)
+        names = [l.name for l in prog.functions[0].locals]
+        assert names == ["a", "b", "c"]
+
+    def test_precedence(self):
+        prog = parse("func f() -> int { return 1 + 2 * 3; }")
+        expr = prog.functions[0].body[0].expr
+        assert isinstance(expr, ast.BinOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinOp) and expr.right.op == "*"
+
+    def test_comparison_precedence(self):
+        prog = parse("func f() -> int { return 1 + 2 < 3 * 4; }")
+        expr = prog.functions[0].body[0].expr
+        assert expr.op == "<"
+
+    def test_parenthesized(self):
+        prog = parse("func f() -> int { return (1 + 2) * 3; }")
+        expr = prog.functions[0].body[0].expr
+        assert expr.op == "*"
+
+    def test_assignment_forms(self):
+        prog = parse("""
+        func f() {
+            int x; int a[4]; int *p;
+            x = 1;
+            a[2] = x;
+            *p = 3;
+        }
+        """)
+        body = prog.functions[0].body
+        assert isinstance(body[0].target, ast.Var)
+        assert isinstance(body[1].target, ast.Index)
+        assert isinstance(body[2].target, ast.Deref)
+
+    def test_addr_of(self):
+        prog = parse("func f() { int x; int *p; p = &x; }")
+        assign = prog.functions[0].body[0]
+        assert isinstance(assign.expr, ast.AddrOf)
+
+    def test_addr_of_element(self):
+        prog = parse("func f() { int a[4]; int *p; p = &a[2]; }")
+        assign = prog.functions[0].body[0]
+        assert isinstance(assign.expr.target, ast.Index)
+
+    def test_addr_of_literal_rejected(self):
+        with pytest.raises(CompileError):
+            parse("func f() { int *p; p = &5; }")
+
+    def test_if_else_chain(self):
+        prog = parse("""
+        func f(int x) -> int {
+            if (x == 1) { return 1; }
+            else if (x == 2) { return 2; }
+            else { return 3; }
+        }
+        """)
+        node = prog.functions[0].body[0]
+        assert isinstance(node, ast.If)
+        assert isinstance(node.else_body[0], ast.If)
+
+    def test_while_break_continue(self):
+        prog = parse("""
+        func f() {
+            while (1) { break; continue; }
+        }
+        """)
+        loop = prog.functions[0].body[0]
+        assert isinstance(loop.body[0], ast.Break)
+        assert isinstance(loop.body[1], ast.Continue)
+
+    def test_call_expression(self):
+        prog = parse("func g() -> int { return 0; } "
+                     "func f() -> int { return g() + 1; }")
+        expr = prog.functions[1].body[0].expr
+        assert isinstance(expr.left, ast.Call)
+
+    def test_builtin_flag(self):
+        prog = parse("func f() { print(1); }")
+        call = prog.functions[0].body[0].expr
+        assert call.is_builtin
+
+    def test_expression_statement_with_binop(self):
+        prog = parse("func f() { int a; a * 3; }")
+        stmt = prog.functions[0].body[0]
+        assert isinstance(stmt, ast.ExprStmt)
+        assert stmt.expr.op == "*"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CompileError):
+            parse("func f() { int x }")
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(CompileError):
+            parse("func f() { 5 = 3; }")
+
+    def test_zero_size_array_rejected(self):
+        with pytest.raises(CompileError):
+            parse("func f() { int a[0]; }")
+
+    def test_unary_operators(self):
+        prog = parse("func f(int x) -> int { return -x + !x; }")
+        expr = prog.functions[0].body[0].expr
+        assert isinstance(expr.left, ast.UnaryOp)
+        assert expr.left.op == "-"
+        assert expr.right.op == "!"
+
+    def test_logical_operators(self):
+        prog = parse("func f(int x) -> int { return x > 1 && x < 5 || !x; }")
+        expr = prog.functions[0].body[0].expr
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_index_chains(self):
+        prog = parse("func f(int *p) -> int { return p[1]; }")
+        expr = prog.functions[0].body[0].expr
+        assert isinstance(expr, ast.Index)

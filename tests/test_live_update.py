@@ -1,0 +1,224 @@
+"""Tests for the live-update policy (DSU over Dapper's rewriter)."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.core.migration import exe_path_for, install_program
+from repro.core.policies.live_update import LiveUpdatePolicy
+from repro.core.rewriter import ProcessRewriter
+from repro.core.runtime import DapperRuntime
+from repro.criu.restore import restore_process
+from repro.errors import PolicyError
+from repro.isa import ARM_ISA, X86_ISA, get_isa
+from repro.vm import Machine
+
+# v1: a long-running server computing a per-request "price" with a buggy
+# formula. v2 patches the formula (no new calls), adds a new local and a
+# new global counter — a classic hotfix.
+V1_SOURCE = """
+global int served;
+
+func price(int amount) -> int {
+    int fee;
+    fee = amount / 10;
+    return amount + fee;
+}
+
+func serve(int request) -> int {
+    int quote;
+    quote = price(request);
+    served = served + 1;
+    return quote;
+}
+
+func main() -> int {
+    int i; int acc;
+    acc = 0;
+    i = 1;
+    while (i <= 60) {
+        acc = (acc + serve(i * 7)) % 1000000007;
+        print(serve(i));
+        i = i + 1;
+    }
+    print(acc);
+    print(served);
+    return 0;
+}
+"""
+
+# The patch: fee becomes 15% with a new rounding local, and a new global
+# audit counter is introduced (grows .data).
+V2_SOURCE = """
+global int served;
+global int audited;
+
+func price(int amount) -> int {
+    int fee;
+    int rounded;
+    fee = (amount * 15) / 100;
+    rounded = fee - fee % 1;
+    audited = audited + 1;
+    return amount + rounded;
+}
+
+func serve(int request) -> int {
+    int quote;
+    quote = price(request);
+    served = served + 1;
+    return quote;
+}
+
+func main() -> int {
+    int i; int acc;
+    acc = 0;
+    i = 1;
+    while (i <= 60) {
+        acc = (acc + serve(i * 7)) % 1000000007;
+        print(serve(i));
+        i = i + 1;
+    }
+    print(acc);
+    print(served);
+    return 0;
+}
+"""
+
+# An incompatible update: price() gains a *call*, shifting every later
+# equivalence-point id.
+V3_INCOMPATIBLE = """
+global int served;
+
+func audit(int x) -> int { return x; }
+
+func price(int amount) -> int {
+    int fee;
+    fee = audit(amount) / 10;
+    return amount + fee;
+}
+
+func serve(int request) -> int {
+    int quote;
+    quote = price(request);
+    served = served + 1;
+    return quote;
+}
+
+func main() -> int {
+    int i; int acc;
+    acc = 0;
+    i = 1;
+    while (i <= 60) {
+        acc = (acc + serve(i * 7)) % 1000000007;
+        print(serve(i));
+        i = i + 1;
+    }
+    print(acc);
+    print(served);
+    return 0;
+}
+"""
+
+
+def park_mid_run(arch, program, steps=3000):
+    machine = Machine(get_isa(arch), name="host")
+    install_program(machine, program)
+    process = machine.spawn_process(exe_path_for(program.name, arch))
+    machine.step_all(steps)
+    assert not process.exited
+    runtime = DapperRuntime(machine, process)
+    runtime.pause_at_equivalence_points()
+    return machine, process, runtime
+
+
+@pytest.fixture(scope="module")
+def v1():
+    return compile_source(V1_SOURCE, "pricing")
+
+
+@pytest.fixture(scope="module")
+def v2():
+    return compile_source(V2_SOURCE, "pricing")
+
+
+@pytest.mark.parametrize("arch", ["x86_64", "aarch64"])
+def test_live_update_mid_run(v1, v2, arch):
+    machine, process, runtime = park_mid_run(arch, v1)
+    before = process.stdout()
+    images = runtime.checkpoint()
+    runtime.kill_source()
+
+    policy = LiveUpdatePolicy(v1.binary(arch), v2.binary(arch),
+                              f"/bin/pricing.{arch}.v2")
+    report = ProcessRewriter().rewrite(images, policy)[0]
+    machine.tmpfs.write(policy.dst_exe_path, v2.binary(arch).to_bytes())
+    updated = restore_process(machine, images)
+    machine.run_process(updated)
+    assert updated.exit_code == 0
+    # The new global grew the data segment.
+    assert report.stats["data_bytes_added"] == 8
+
+    # Output before the update follows v1 pricing; output after follows
+    # v2 pricing: splice the expected stream at the update point.
+    lines_before = before.count("\n")
+    full_v2 = _native_output(v2, arch)
+    expected = before + "".join(
+        full_v2.splitlines(keepends=True)[lines_before:-2])
+    got = before + updated.stdout()
+    got_lines = got.splitlines()
+    exp_lines = expected.splitlines()
+    # Every post-update quote must match v2's formula.
+    assert got_lines[lines_before:len(exp_lines)] == \
+        exp_lines[lines_before:]
+
+
+def _native_output(program, arch):
+    machine = Machine(get_isa(arch))
+    install_program(machine, program)
+    process = machine.spawn_process(exe_path_for(program.name, arch))
+    machine.run_process(process)
+    return process.stdout()
+
+
+def test_update_changes_behaviour(v1, v2):
+    # Sanity: the two versions really price differently.
+    assert _native_output(v1, "x86_64") != _native_output(v2, "x86_64")
+
+
+def test_incompatible_update_rejected(v1):
+    v3 = compile_source(V3_INCOMPATIBLE, "pricing")
+    machine, _process, runtime = park_mid_run("x86_64", v1)
+    images = runtime.checkpoint()
+    policy = LiveUpdatePolicy(v1.binary("x86_64"), v3.binary("x86_64"),
+                              "/bin/pricing.v3")
+    with pytest.raises(PolicyError):
+        ProcessRewriter().rewrite(images, policy)
+
+
+def test_cross_isa_update_rejected(v1, v2):
+    with pytest.raises(PolicyError):
+        LiveUpdatePolicy(v1.binary("x86_64"), v2.binary("aarch64"),
+                         "/bin/x")
+
+
+def test_different_program_rejected(v1, counter_program):
+    with pytest.raises(PolicyError):
+        LiveUpdatePolicy(v1.binary("x86_64"),
+                         counter_program.binary("x86_64"), "/bin/x")
+
+
+def test_update_at_every_pause_point(v1, v2):
+    """The update must be applicable at any equivalence point the
+    runtime happens to park on (v2 preserves the call structure)."""
+    for steps in (800, 2000, 5000, 9000):
+        machine, process, runtime = park_mid_run("x86_64", v1, steps)
+        images = runtime.checkpoint()
+        runtime.kill_source()
+        policy = LiveUpdatePolicy(v1.binary("x86_64"),
+                                  v2.binary("x86_64"),
+                                  "/bin/pricing.v2")
+        ProcessRewriter().rewrite(images, policy)
+        machine.tmpfs.write(policy.dst_exe_path,
+                            v2.binary("x86_64").to_bytes())
+        updated = restore_process(machine, images)
+        machine.run_process(updated)
+        assert updated.exit_code == 0

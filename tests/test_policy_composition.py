@@ -1,0 +1,150 @@
+"""Composing transformation policies — the extensibility the paper
+claims (§III): shuffle + cross-ISA in one rewrite pass, and architecture
+transformation as a defence in itself."""
+
+import pytest
+
+from repro.core.migration import exe_path_for, install_program
+from repro.core.policies.cross_isa import CrossIsaPolicy
+from repro.core.policies.stack_shuffle import StackShufflePolicy
+from repro.core.rewriter import ProcessRewriter
+from repro.core.runtime import DapperRuntime
+from repro.criu.restore import restore_process
+from repro.isa import ARM_ISA, X86_ISA, get_isa
+from repro.vm import Machine
+
+
+def checkpoint_mid_run(program, arch, steps):
+    machine = Machine(get_isa(arch), name="src")
+    install_program(machine, program)
+    process = machine.spawn_process(exe_path_for(program.name, arch))
+    machine.step_all(steps)
+    assert not process.exited
+    runtime = DapperRuntime(machine, process)
+    runtime.pause_at_equivalence_points()
+    before = process.stdout()
+    images = runtime.checkpoint()
+    runtime.kill_source()
+    return machine, images, before
+
+
+class TestShuffleThenMigrate:
+    def test_sequential_policies_one_rewriter(self, counter_program,
+                                              counter_reference_output):
+        """Shuffle on the source ISA, then migrate the shuffled process
+        to the other ISA — two policies applied back to back."""
+        _src, images, before = checkpoint_mid_run(counter_program,
+                                                  "x86_64", 2500)
+        shuffle = StackShufflePolicy(
+            counter_program.binary("x86_64"), seed=77,
+            dst_exe_path="/bin/counter.x86_64.shuf")
+        migrate = CrossIsaPolicy(
+            shuffle.shuffled_binary, counter_program.binary("aarch64"),
+            exe_path_for("counter", "aarch64"))
+        rewriter = ProcessRewriter([shuffle, migrate])
+        reports = rewriter.rewrite(images)
+        assert [r.policy for r in reports] == ["stack-shuffle", "cross-isa"]
+
+        dst = Machine(ARM_ISA, name="dst")
+        install_program(dst, counter_program)
+        restored = restore_process(dst, images)
+        dst.run_process(restored)
+        assert before + restored.stdout() == counter_reference_output
+
+    def test_migrate_then_shuffle_on_target(self, counter_program,
+                                            counter_reference_output):
+        """Cross-ISA migration followed by a shuffle under the target
+        ISA's binary — the other composition order."""
+        _src, images, before = checkpoint_mid_run(counter_program,
+                                                  "x86_64", 2500)
+        migrate = CrossIsaPolicy(
+            counter_program.binary("x86_64"),
+            counter_program.binary("aarch64"),
+            exe_path_for("counter", "aarch64"))
+        shuffle = StackShufflePolicy(
+            counter_program.binary("aarch64"), seed=21,
+            dst_exe_path="/bin/counter.aarch64.shuf")
+        ProcessRewriter().rewrite(images, migrate)
+        ProcessRewriter().rewrite(images, shuffle)
+
+        dst = Machine(ARM_ISA, name="dst")
+        dst.tmpfs.write(shuffle.dst_exe_path,
+                        shuffle.shuffled_binary.to_bytes())
+        restored = restore_process(dst, images)
+        dst.run_process(restored)
+        assert before + restored.stdout() == counter_reference_output
+
+
+class TestMigrationAsDefence:
+    """Paper §IV-B: "by transparently transforming the architecture
+    state, DAPPER prevents the payload from succeeding since live values
+    on the stack and registers are completely relocated"."""
+
+    def test_x86_layout_knowledge_useless_after_migration(self):
+        from repro.compiler import compile_source
+        from repro.security.dop import MIN_DOP_SOURCE, MIN_DOP_TARGETS
+
+        program = compile_source(MIN_DOP_SOURCE, "min-dop")
+        x86_record = program.binary("x86_64").frames.get("handle_request")
+        arm_record = program.binary("aarch64").frames.get("handle_request")
+        # The attacker's x86-learned offsets must not coincide with the
+        # aarch64 layout for the targeted allocations.
+        moved = 0
+        for name in MIN_DOP_TARGETS:
+            x86_off = x86_record.slot_by_name(name).offset
+            arm_off = arm_record.slot_by_name(name).offset
+            if x86_off != arm_off:
+                moved += 1
+        assert moved >= 2, ("cross-ISA transformation must relocate the "
+                            "exploit-sensitive allocations")
+
+    def test_attack_fails_across_migration(self):
+        """Learn offsets on x86-64, migrate the victim to aarch64, replay
+        the payload at the learned offsets: every targeted slot must end
+        up unaffected under the aarch64 layout."""
+        from repro.compiler import compile_source
+        from repro.security.dop import MIN_DOP_SOURCE, MIN_DOP_TARGETS
+
+        program = compile_source(MIN_DOP_SOURCE, "min-dop")
+        x86_record = program.binary("x86_64").frames.get("handle_request")
+        learned = {name: x86_record.slot_by_name(name).offset
+                   for name in MIN_DOP_TARGETS}
+
+        # Park a victim at the vulnerable function on x86, migrate it.
+        machine = Machine(X86_ISA, name="src")
+        install_program(machine, program)
+        process = machine.spawn_process(exe_path_for("min-dop", "x86_64"))
+        runtime = DapperRuntime(machine, process)
+        entry = program.binary("x86_64").stackmaps.entry_for(
+            "handle_request")
+        for _ in range(4096):
+            runtime.pause_at_equivalence_points()
+            if any(t.pc == entry.addr for t in process.live_threads()):
+                break
+            runtime.resume()
+        images = runtime.checkpoint()
+        runtime.kill_source()
+        migrate = CrossIsaPolicy(program.binary("x86_64"),
+                                 program.binary("aarch64"),
+                                 exe_path_for("min-dop", "aarch64"))
+        ProcessRewriter().rewrite(images, migrate)
+        dst = Machine(ARM_ISA, name="dst")
+        install_program(dst, program)
+        victim = restore_process(dst, images)
+
+        thread = victim.threads[1]
+        arm_entry = program.binary("aarch64").stackmaps.entry_for(
+            "handle_request")
+        assert thread.pc == arm_entry.addr
+        fp = thread.fp
+        payload = {name: 0x41410000 + i
+                   for i, name in enumerate(MIN_DOP_TARGETS)}
+        for name, value in payload.items():
+            victim.aspace.write_u64(fp + learned[name], value)
+        # Check against the *actual* aarch64 layout.
+        arm_record = program.binary("aarch64").frames.get("handle_request")
+        hits = sum(
+            1 for name, value in payload.items()
+            if victim.aspace.read_u64(
+                fp + arm_record.slot_by_name(name).offset) == value)
+        assert hits < len(MIN_DOP_TARGETS), "payload must not fully land"

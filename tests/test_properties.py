@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.binfmt.delf import DelfBinary
+from repro.compiler import compile_source
+from repro.core.policies.stack_shuffle import shuffle_binary
+from repro.core.rewriter import ImageMemory
+from repro.criu.images import ImageSet, PagemapEntry, PagemapImage
+from repro.isa import ARM_ISA, X86_ISA, Instruction
+from repro.mem.paging import PAGE_SIZE
+from repro.testing import generate_program
+
+
+# -- ImageMemory: arbitrary write/read sequences over sparse pages -------------
+
+def _empty_image_set():
+    images = ImageSet()
+    images.set_pagemap(PagemapImage([]))
+    images.set_pages(b"")
+    return images
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=0x40000),
+                          st.binary(min_size=1, max_size=64)),
+                min_size=1, max_size=20))
+def test_image_memory_write_read_property(writes):
+    memory = ImageMemory(_empty_image_set())
+    # Last write to an address wins; verify via a shadow model.
+    shadow = {}
+    for addr, data in writes:
+        memory.write(addr, data)
+        for i, byte in enumerate(data):
+            shadow[addr + i] = byte
+    for addr, byte in list(shadow.items())[:200]:
+        assert memory.read(addr, 1)[0] == byte
+
+
+@given(st.sets(st.integers(min_value=0, max_value=200), max_size=24))
+def test_pagemap_runlength_roundtrip_property(page_numbers):
+    """flush() run-length-encodes pages; reloading must see the same set."""
+    images = _empty_image_set()
+    memory = ImageMemory(images)
+    for number in page_numbers:
+        memory.add_page(number * PAGE_SIZE,
+                        bytes([number % 256]) * PAGE_SIZE)
+    memory.flush()
+    reloaded = ImageMemory(images)
+    assert set(reloaded.page_bases()) == \
+        {n * PAGE_SIZE for n in page_numbers}
+    for number in page_numbers:
+        assert reloaded.read(number * PAGE_SIZE, 1)[0] == number % 256
+    # pagemap entries are maximal runs: consecutive entries never abut.
+    entries = images.pagemap().entries
+    for first, second in zip(entries, entries[1:]):
+        assert first.vaddr + first.nr_pages * PAGE_SIZE < second.vaddr
+
+
+# -- encode/decode totality over both ISAs ---------------------------------------
+
+@given(st.binary(min_size=0, max_size=64))
+def test_disassembler_total_on_garbage(blob):
+    """Linear sweep must terminate and cover every byte on any input."""
+    for isa in (X86_ISA, ARM_ISA):
+        instrs = isa.disassemble(blob, 0)
+        assert sum(i.size for i in instrs) >= len(blob) - 16
+        offset = 0
+        for instr in instrs:
+            assert instr.addr == offset
+            offset += instr.size
+
+
+@given(st.integers(min_value=0, max_value=15),
+       st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+def test_x86_load_store_roundtrip_property(reg, offset):
+    for op in ("load", "store", "lea"):
+        instr = Instruction(op, rd=reg, rn=6, imm=offset)
+        instr.addr = 0
+        decoded = X86_ISA.decode(X86_ISA.encode(instr), 0, 0)
+        assert (decoded.op, decoded.rd, decoded.rn, decoded.imm) == \
+            (op, reg, 6, offset)
+
+
+# -- shuffle invariants over generated programs ------------------------------------
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("arch", ["x86_64", "aarch64"])
+def test_shuffle_preserves_structure(seed, arch):
+    program = compile_source(generate_program(seed + 300), f"prop{seed}")
+    original = program.binary(arch)
+    shuffled, _stats = shuffle_binary(original, seed=seed * 13 + 1)
+    # 1. code length and symbol addresses identical
+    assert len(shuffled.text) == len(original.text)
+    for symbol in original.symtab:
+        assert shuffled.symtab.lookup(symbol.name).addr == symbol.addr
+    # 2. per-function: same slot-id set, same offset multiset, same size
+    for record in original.frames.frames:
+        peer = shuffled.frames.get(record.func)
+        assert peer.frame_size == record.frame_size
+        assert {s.slot_id for s in peer.slots} == \
+            {s.slot_id for s in record.slots}
+        assert sorted(s.offset for s in peer.slots) == \
+            sorted(s.offset for s in record.slots)
+        # 3. pair-excluded slots never move
+        for slot in record.slots:
+            if slot.pair_member:
+                assert peer.slot_by_id(slot.slot_id).offset == slot.offset
+    # 4. eqpoint addresses unchanged (only locations move)
+    for point in original.stackmaps.eqpoints:
+        peer = shuffled.stackmaps.by_id[point.eqpoint_id]
+        assert peer.addr == point.addr
+        assert peer.trap_addr == point.trap_addr
+    # 5. serialization round-trips
+    rebuilt = DelfBinary.from_bytes(shuffled.to_bytes())
+    assert rebuilt.text == shuffled.text
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_double_shuffle_composes(seed):
+    """Shuffling a shuffled binary must still be valid and runnable."""
+    from repro.core.migration import exe_path_for, install_program
+    from repro.vm import Machine
+
+    program = compile_source(generate_program(seed + 700), f"dbl{seed}")
+    once, _ = shuffle_binary(program.binary("x86_64"), seed=1)
+    twice, _ = shuffle_binary(once, seed=2)
+    machine = Machine(X86_ISA)
+    machine.tmpfs.write("/bin/t", twice.to_bytes())
+    process = machine.spawn_process("/bin/t")
+    machine.run_process(process, max_steps=3_000_000)
+    assert process.exit_code == 0
+
+    reference = Machine(X86_ISA)
+    install_program(reference, program)
+    ref_proc = reference.spawn_process(exe_path_for(f"dbl{seed}", "x86_64"))
+    reference.run_process(ref_proc, max_steps=3_000_000)
+    assert process.stdout() == ref_proc.stdout()
+
+
+# -- wire format fuzz (beyond the unit tests) -----------------------------------------
+
+@given(st.binary(max_size=128))
+@settings(suppress_health_check=[HealthCheck.filter_too_much])
+def test_image_decoders_never_crash_on_garbage(blob):
+    from repro.criu import crit
+    from repro.errors import ReproError
+    for name in ("inventory.img", "core-1.img", "mm.img", "files.img",
+                 "pagemap.img"):
+        try:
+            crit.decode_image(name, blob)
+        except ReproError:
+            pass    # clean rejection
+        except (KeyError, UnicodeDecodeError):
+            pass    # decoded shape missing required fields — acceptable

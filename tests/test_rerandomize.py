@@ -1,0 +1,66 @@
+"""Tests for the periodic re-randomization driver."""
+
+import pytest
+
+from repro.core.migration import exe_path_for, install_program
+from repro.core.rerandomize import PeriodicRerandomizer
+from repro.isa import ARM_ISA, X86_ISA, get_isa
+from repro.vm import Machine
+
+
+def start(program, arch):
+    machine = Machine(get_isa(arch), name="host")
+    install_program(machine, program)
+    process = machine.spawn_process(exe_path_for(program.name, arch))
+    return machine, process
+
+
+@pytest.mark.parametrize("arch", ["x86_64", "aarch64"])
+def test_output_preserved_across_epochs(counter_program,
+                                        counter_reference_output, arch):
+    machine, process = start(counter_program, arch)
+    rerandomizer = PeriodicRerandomizer(
+        machine, process, counter_program.binary(arch),
+        interval_steps=900, seed=5)
+    exit_code = rerandomizer.run_to_completion()
+    assert exit_code == 0
+    assert rerandomizer.output() == counter_reference_output
+    assert len(rerandomizer.epochs) >= 2, "should have shuffled repeatedly"
+
+
+def test_layout_changes_every_epoch(counter_program):
+    machine, process = start(counter_program, "x86_64")
+    rerandomizer = PeriodicRerandomizer(
+        machine, process, counter_program.binary("x86_64"),
+        interval_steps=700, seed=9)
+    layouts = []
+    while rerandomizer.run_epoch():
+        record = rerandomizer.active_binary.frames.get("work")
+        layouts.append(tuple(sorted((s.slot_id, s.offset)
+                                    for s in record.slots)))
+        if len(layouts) >= 3:
+            break
+    assert len(set(layouts)) >= 2, "layouts must actually move"
+
+
+def test_threaded_rerandomization(threaded_program,
+                                  threaded_reference_output):
+    machine, process = start(threaded_program, "x86_64")
+    rerandomizer = PeriodicRerandomizer(
+        machine, process, threaded_program.binary("x86_64"),
+        interval_steps=4000, seed=3)
+    exit_code = rerandomizer.run_to_completion()
+    assert exit_code == 0
+    assert rerandomizer.output() == threaded_reference_output
+
+
+def test_epoch_records(counter_program):
+    machine, process = start(counter_program, "x86_64")
+    rerandomizer = PeriodicRerandomizer(
+        machine, process, counter_program.binary("x86_64"),
+        interval_steps=900, seed=1)
+    rerandomizer.run_to_completion()
+    for i, epoch in enumerate(rerandomizer.epochs, start=1):
+        assert epoch.epoch == i
+        assert epoch.pairs > 0
+        assert epoch.instructions_patched > 0

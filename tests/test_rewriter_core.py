@@ -1,0 +1,171 @@
+"""Tests for ImageMemory, unwinding, register mapping and TLS adjustment."""
+
+import pytest
+
+from repro.core.migration import exe_path_for, install_program
+from repro.core.regmap import register_mapping, translate_registers
+from repro.core.rewriter import ImageMemory, ProcessRewriter
+from repro.core.runtime import DapperRuntime
+from repro.core.stack_rewrite import unwind_thread
+from repro.core.tlsmod import tls_block_address, translate_tls_base
+from repro.errors import RewriteError
+from repro.isa import ARM_ISA, X86_ISA
+from repro.mem.paging import PAGE_SIZE
+from repro.vm import Machine
+
+
+@pytest.fixture
+def checkpoint(counter_program):
+    machine = Machine(X86_ISA)
+    install_program(machine, counter_program)
+    process = machine.spawn_process(exe_path_for("counter", "x86_64"))
+    machine.step_all(2500)
+    runtime = DapperRuntime(machine, process)
+    runtime.pause_at_equivalence_points()
+    return runtime.checkpoint()
+
+
+class TestImageMemory:
+    def test_read_write_words(self, checkpoint):
+        memory = ImageMemory(checkpoint)
+        base = memory.page_bases()[0]
+        memory.write_u64(base + 8, 0xABCDEF0102030405)
+        assert memory.read_u64(base + 8) == 0xABCDEF0102030405
+        memory.write_i64(base + 16, -7)
+        assert memory.read_i64(base + 16) == -7
+
+    def test_write_materializes_missing_page(self, checkpoint):
+        memory = ImageMemory(checkpoint)
+        fresh = 0x7000000
+        assert not memory.has_page(fresh)
+        memory.write_u64(fresh + 24, 99)
+        assert memory.has_page(fresh)
+        assert memory.read_u64(fresh + 24) == 99
+
+    def test_read_missing_page_is_zero(self, checkpoint):
+        memory = ImageMemory(checkpoint)
+        assert memory.read(0x7100000, 16) == bytes(16)
+
+    def test_add_drop_page(self, checkpoint):
+        memory = ImageMemory(checkpoint)
+        memory.add_page(0x7200000, b"\xAA" * PAGE_SIZE)
+        assert memory.read(0x7200000, 2) == b"\xAA\xAA"
+        memory.drop_page(0x7200000)
+        assert not memory.has_page(0x7200000)
+        with pytest.raises(RewriteError):
+            memory.add_page(0x7200000, b"short")
+
+    def test_flush_roundtrips_through_images(self, checkpoint):
+        memory = ImageMemory(checkpoint)
+        base = memory.page_bases()[0]
+        memory.write_u64(base, 0x1122334455667788)
+        memory.flush()
+        memory2 = ImageMemory(checkpoint)
+        assert memory2.read_u64(base) == 0x1122334455667788
+
+    def test_cross_page_write(self, checkpoint):
+        memory = ImageMemory(checkpoint)
+        base = memory.page_bases()[0]
+        data = bytes(range(256))
+        memory.write(base + PAGE_SIZE - 100, data)
+        assert memory.read(base + PAGE_SIZE - 100, 256) == data
+
+    def test_rewriter_requires_policy(self, checkpoint):
+        with pytest.raises(RewriteError):
+            ProcessRewriter().rewrite(checkpoint)
+
+
+class TestUnwinding:
+    def test_unwind_reaches_start(self, checkpoint, counter_program):
+        memory = ImageMemory(checkpoint)
+        core = checkpoint.cores()[0]
+        unwound = unwind_thread(memory, core,
+                                counter_program.binary("x86_64"))
+        funcs = [f.func for f in unwound.frames]
+        # Innermost is whatever parked; outermost must be _start.
+        assert funcs[-1] == "_start"
+        assert unwound.frames[-1].saved_fp == 0
+
+    def test_innermost_is_entry_eqpoint(self, checkpoint, counter_program):
+        memory = ImageMemory(checkpoint)
+        core = checkpoint.cores()[0]
+        unwound = unwind_thread(memory, core,
+                                counter_program.binary("x86_64"))
+        assert unwound.frames[0].eqpoint.kind == "entry"
+        for frame in unwound.frames[1:]:
+            assert frame.eqpoint.kind == "callsite"
+
+    def test_live_values_read(self, checkpoint, counter_program):
+        memory = ImageMemory(checkpoint)
+        core = checkpoint.cores()[0]
+        unwound = unwind_thread(memory, core,
+                                counter_program.binary("x86_64"))
+        for frame in unwound.frames:
+            assert set(frame.values) == \
+                {lv.value_id for lv in frame.eqpoint.live}
+
+    def test_bad_pc_rejected(self, checkpoint, counter_program):
+        memory = ImageMemory(checkpoint)
+        core = checkpoint.cores()[0]
+        core.pc = 0x400001   # not an eqpoint
+        with pytest.raises(RewriteError):
+            unwind_thread(memory, core, counter_program.binary("x86_64"))
+
+
+class TestRegisterMapping:
+    def test_fig4_style_mapping(self, counter_program):
+        x86_entry = counter_program.binary("x86_64").stackmaps.entry_for(
+            "work")
+        arm_entry = counter_program.binary("aarch64").stackmaps.entry_for(
+            "work")
+        mapping = register_mapping(x86_entry, arm_entry)
+        assert mapping, "parameters must map register-to-register"
+        name, src_dwarf, dst_dwarf = mapping[0]
+        assert name == "i"
+        assert src_dwarf == 5      # rdi
+        assert dst_dwarf == 0      # x0
+
+    def test_translate_concrete_values(self, counter_program):
+        x86_entry = counter_program.binary("x86_64").stackmaps.entry_for(
+            "work")
+        arm_entry = counter_program.binary("aarch64").stackmaps.entry_for(
+            "work")
+        translated = translate_registers({5: 1234}, x86_entry, arm_entry)
+        assert translated == {0: 1234}
+
+    def test_mismatched_eqpoints_rejected(self, counter_program):
+        maps = counter_program.binary("x86_64").stackmaps
+        entry_a = maps.entry_for("work")
+        entry_b = maps.entry_for("main")
+        with pytest.raises(RewriteError):
+            register_mapping(entry_a, entry_b)
+
+    def test_missing_source_register_rejected(self, counter_program):
+        x86_entry = counter_program.binary("x86_64").stackmaps.entry_for(
+            "work")
+        arm_entry = counter_program.binary("aarch64").stackmaps.entry_for(
+            "work")
+        with pytest.raises(RewriteError):
+            translate_registers({}, x86_entry, arm_entry)
+
+
+class TestTlsTranslation:
+    def test_block_address_invariant(self):
+        # The TLS block must stay at the same virtual address after the
+        # thread-pointer adjustment (paper §III-C).
+        tp_src = 0x20000000
+        block = tls_block_address(tp_src, "x86_64")
+        tp_dst = translate_tls_base(tp_src, "x86_64", "aarch64")
+        assert tls_block_address(tp_dst, "aarch64") == block
+
+    def test_roundtrip_identity(self):
+        tp = 0x20000000
+        there = translate_tls_base(tp, "x86_64", "aarch64")
+        back = translate_tls_base(there, "aarch64", "x86_64")
+        assert back == tp
+
+    def test_same_arch_is_identity(self):
+        assert translate_tls_base(0x1234000, "x86_64", "x86_64") == 0x1234000
+
+    def test_offsets_actually_differ(self):
+        assert X86_ISA.abi.tls_block_offset != ARM_ISA.abi.tls_block_offset

@@ -1,0 +1,122 @@
+"""Tests for the Dapper runtime monitor (pausing at equivalence points)."""
+
+import pytest
+
+from repro import sysabi
+from repro.compiler import compile_source
+from repro.core.migration import exe_path_for, install_program
+from repro.core.runtime import DapperRuntime
+from repro.isa import X86_ISA
+from repro.vm import Machine
+from repro.vm.cpu import ThreadStatus
+
+
+def setup(program, steps=2000):
+    machine = Machine(X86_ISA)
+    install_program(machine, program)
+    process = machine.spawn_process(
+        exe_path_for(program.name, "x86_64"))
+    machine.step_all(steps)
+    assert not process.exited
+    return machine, process
+
+
+class TestPausing:
+    def test_all_threads_park_at_entry_eqpoints(self, threaded_program):
+        machine, process = setup(threaded_program)
+        runtime = DapperRuntime(machine, process)
+        tids = runtime.pause_at_equivalence_points()
+        assert len(tids) == len(process.live_threads())
+        stackmaps = threaded_program.binary("x86_64").stackmaps
+        for tid in tids:
+            thread = process.threads[tid]
+            assert thread.status == ThreadStatus.TRAPPED
+            point = stackmaps.by_addr[thread.pc]
+            assert point.kind == "entry"
+        assert process.stopped
+
+    def test_flag_poked_through_ptrace(self, counter_program):
+        machine, process = setup(counter_program)
+        flag_addr = counter_program.binary("x86_64").symtab.address_of(
+            sysabi.DAPPER_FLAG_SYMBOL)
+        assert process.aspace.read_u64(flag_addr) == 0
+        runtime = DapperRuntime(machine, process)
+        runtime.pause_at_equivalence_points()
+        assert process.aspace.read_u64(flag_addr) == 1
+
+    def test_resume_continues_execution(self, counter_program,
+                                         counter_reference_output):
+        machine, process = setup(counter_program)
+        runtime = DapperRuntime(machine, process)
+        runtime.pause_at_equivalence_points()
+        runtime.resume()
+        machine.run_process(process)
+        assert process.stdout() == counter_reference_output
+
+    def test_repeated_pause_resume(self, counter_program,
+                                   counter_reference_output):
+        machine, process = setup(counter_program, steps=500)
+        runtime = DapperRuntime(machine, process)
+        for _ in range(5):
+            runtime.pause_at_equivalence_points()
+            runtime.resume()
+            machine.step_all(200)
+            if process.exited:
+                break
+        if not process.exited:
+            machine.run_process(process)
+        assert process.stdout() == counter_reference_output
+
+    def test_checkpoint_clears_flag_in_dump(self, counter_program):
+        machine, process = setup(counter_program)
+        runtime = DapperRuntime(machine, process)
+        runtime.pause_at_equivalence_points()
+        images = runtime.checkpoint()
+        flag_addr = counter_program.binary("x86_64").symtab.address_of(
+            sysabi.DAPPER_FLAG_SYMBOL)
+        from repro.core.rewriter import ImageMemory
+        memory = ImageMemory(images)
+        assert memory.read_u64(flag_addr) == 0
+
+
+class TestLockInteraction:
+    LOCKED_SOURCE = """
+    global int m;
+    global int progress;
+
+    func tick() { progress = progress + 1; }
+
+    func main() -> int {
+        int i;
+        lock(&m);
+        i = 0;
+        while (i < 2000) {
+            tick();
+            i = i + 1;
+        }
+        unlock(&m);
+        i = 0;
+        while (i < 2000) {
+            tick();
+            i = i + 1;
+        }
+        print(progress);
+        return 0;
+    }
+    """
+
+    def test_holder_never_parks_inside_critical_section(self):
+        program = compile_source(self.LOCKED_SOURCE, "locked")
+        machine = Machine(X86_ISA)
+        install_program(machine, program)
+        process = machine.spawn_process(exe_path_for("locked", "x86_64"))
+        # Step into the critical section: the lock is taken early.
+        machine.step_all(300)
+        assert process.locks, "main should hold the lock by now"
+        runtime = DapperRuntime(machine, process)
+        runtime.pause_at_equivalence_points()
+        # The thread must have run past unlock before parking.
+        assert not process.locks, "parked while holding a lock"
+        runtime.resume()
+        machine.run_process(process)
+        assert process.stdout() == "4000\n"

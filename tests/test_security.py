@@ -1,0 +1,147 @@
+"""Tests for the security evaluation: gadgets, DOP, BOPC, CVE sims."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.baselines import hcontainer_program, popcorn_program
+from repro.errors import SecurityHarnessError
+from repro.security import count_gadgets, gadget_reduction, run_attack_trials
+from repro.security.bopc import (SplStatement, SPL_EXECVE, SPL_WRITE_MEM,
+                                 build_bopc_attack, discover_blocks,
+                                 nginx_payloads, synthesize)
+from repro.security.cves import (build_nginx_cve_2013_2028,
+                                 build_redis_cve_2015_4335)
+from repro.security.dop import MIN_DOP_TARGETS, build_min_dop_attack
+
+
+class TestGadgetCounting:
+    def test_counts_positive(self, counter_program):
+        for arch in ("x86_64", "aarch64"):
+            assert count_gadgets(counter_program.binary(arch)) > 0
+
+    def test_popcorn_inflates_attack_surface(self):
+        spec = get_app("cg")
+        dapper = spec.compile("small")
+        popcorn = popcorn_program(spec)
+        hcontainer = hcontainer_program(spec)
+        for arch in ("x86_64", "aarch64"):
+            d = count_gadgets(dapper.binary(arch))
+            h = count_gadgets(hcontainer.binary(arch))
+            p = count_gadgets(popcorn.binary(arch))
+            assert d < h < p, \
+                "dapper < h-container < popcorn attack surface"
+
+    def test_reduction_in_paper_band(self):
+        # Paper Fig. 11: avg 59.28 % (x86-64) and 71.91 % (aarch64).
+        reductions = {"x86_64": [], "aarch64": []}
+        for name in ("cg", "mg", "nginx", "redis", "dhrystone"):
+            spec = get_app(name)
+            dapper = spec.compile("small")
+            popcorn = popcorn_program(spec)
+            for arch in reductions:
+                reductions[arch].append(
+                    gadget_reduction(dapper.binary(arch),
+                                     popcorn.binary(arch)))
+        x86_avg = sum(reductions["x86_64"]) / len(reductions["x86_64"])
+        arm_avg = sum(reductions["aarch64"]) / len(reductions["aarch64"])
+        assert 45.0 < x86_avg < 75.0
+        assert 60.0 < arm_avg < 85.0
+        assert arm_avg > x86_avg, "aarch64 reduction exceeds x86-64's"
+
+    def test_reduction_zero_for_identical(self, counter_program):
+        binary = counter_program.binary("x86_64")
+        assert gadget_reduction(binary, binary) == pytest.approx(0.0)
+
+
+class TestMinDop:
+    @pytest.fixture(scope="class")
+    def attack(self):
+        return build_min_dop_attack("x86_64")
+
+    def test_unprotected_attack_succeeds(self, attack):
+        outcome = attack.run_trial(shuffle_seed=None)
+        assert outcome.succeeded
+        assert outcome.slots_hit == len(MIN_DOP_TARGETS) == 3
+
+    def test_paper_entropy_and_probability(self, attack):
+        # The handler frame is built to carry the paper's 4 bits; the
+        # analytic success probability is then 0.125³ ≈ 0.19 %.
+        assert attack.entropy_bits == 4
+        assert attack.expected_success_probability() == \
+            pytest.approx(0.001953125)
+
+    def test_shuffled_attacks_mitigated(self, attack):
+        successes, rate = run_attack_trials(attack, trials=10)
+        # 10 trials at P≈0.002: any success at all would be suspicious.
+        assert successes == 0
+
+    def test_unknown_slot_rejected(self):
+        from repro.security.attacker import StackAttack
+        from repro.compiler import compile_source
+        from repro.security.dop import MIN_DOP_SOURCE
+        program = compile_source(MIN_DOP_SOURCE, "min-dop")
+        with pytest.raises(SecurityHarnessError):
+            StackAttack(program, "x86_64", "handle_request", ["nonexistent"])
+
+
+class TestBopc:
+    @pytest.fixture(scope="class")
+    def nginx_program(self):
+        return get_app("nginx").compile("small")
+
+    def test_block_discovery(self, nginx_program):
+        blocks = discover_blocks(nginx_program.binary("x86_64"),
+                                 "handle_dynamic")
+        kinds = {b.kind for b in blocks}
+        assert "write" in kinds and "read" in kinds
+        slots = {b.slot_name for b in blocks}
+        assert "status" in slots
+
+    def test_synthesis_binds_blocks(self, nginx_program):
+        payload = [SplStatement(SPL_WRITE_MEM, "status"),
+                   SplStatement(SPL_WRITE_MEM, "body")]
+        synthesized = synthesize(nginx_program.binary("x86_64"),
+                                 "handle_dynamic", payload)
+        assert synthesized.target_slots() == ["status", "body"]
+        offsets = synthesized.learned_offsets()
+        assert all(off < 0 for off in offsets.values())
+
+    def test_execve_needs_write_and_dispatch(self, nginx_program):
+        synthesized = synthesize(nginx_program.binary("x86_64"),
+                                 "handle_dynamic",
+                                 [SplStatement(SPL_EXECVE)])
+        assert len(synthesized.bindings) == 2
+
+    def test_unbindable_payload_rejected(self, nginx_program):
+        with pytest.raises(SecurityHarnessError):
+            synthesize(nginx_program.binary("x86_64"), "handle_dynamic",
+                       [SplStatement(SPL_WRITE_MEM, "no_such_var")])
+
+    def test_all_paper_payloads_synthesize(self, nginx_program):
+        for name, payload in nginx_payloads().items():
+            synthesized = synthesize(nginx_program.binary("x86_64"),
+                                     "handle_dynamic", payload)
+            assert synthesized.bindings, name
+
+    def test_bopc_attack_end_to_end(self, nginx_program):
+        attack = build_bopc_attack(
+            nginx_program, "x86_64", "handle_dynamic",
+            nginx_payloads()["mem_write"])
+        unprotected = attack.run_trial(shuffle_seed=None)
+        assert unprotected.succeeded
+        successes, _rate = run_attack_trials(attack, trials=6)
+        assert successes == 0
+
+
+class TestCves:
+    def test_redis_cve_2015_4335(self):
+        attack = build_redis_cve_2015_4335("x86_64")
+        assert attack.run_trial(shuffle_seed=None).succeeded
+        successes, _ = run_attack_trials(attack, trials=6)
+        assert successes == 0
+
+    def test_nginx_cve_2013_2028(self):
+        attack = build_nginx_cve_2013_2028("x86_64")
+        assert attack.run_trial(shuffle_seed=None).succeeded
+        successes, _ = run_attack_trials(attack, trials=6)
+        assert successes == 0

@@ -1,0 +1,216 @@
+"""Tests for the stack-shuffling policy, SBI code patching and entropy."""
+
+import pytest
+
+from repro.core.entropy import (attack_success_probability,
+                                binary_entropy_bits,
+                                binary_entropy_by_function,
+                                double_factorial, frame_entropy_bits,
+                                guess_probability, possible_frames,
+                                shuffleable_slots)
+from repro.core.migration import exe_path_for, install_program
+from repro.core.policies.stack_shuffle import (StackShufflePolicy,
+                                               shuffle_binary)
+from repro.core.rewriter import ProcessRewriter
+from repro.core.runtime import DapperRuntime
+from repro.criu.restore import restore_process
+from repro.isa import ARM_ISA, X86_ISA, get_isa
+from repro.vm import Machine
+
+
+class TestEntropyMath:
+    def test_double_factorial(self):
+        assert double_factorial(-1) == 1
+        assert double_factorial(1) == 1
+        assert double_factorial(3) == 3
+        assert double_factorial(5) == 15
+        assert double_factorial(7) == 105
+
+    def test_paper_example_four_bits(self):
+        # Paper: 4 bits → 1 + 7!! = 106 frames, 1/8 guess probability,
+        # 0.125³ ≈ 0.19 % for a 3-allocation DOP payload.
+        assert possible_frames(4) == 106
+        assert guess_probability(4) == 0.125
+        assert abs(attack_success_probability(4, 3) - 0.001953125) < 1e-12
+
+    def test_zero_bits(self):
+        assert possible_frames(0) == 1
+        assert guess_probability(0) == 1.0
+
+
+class TestShuffledBinary:
+    def _shuffle(self, program, arch, seed=99):
+        return shuffle_binary(program.binary(arch), seed)
+
+    def test_layout_permuted_but_valid(self, counter_program):
+        shuffled, stats = self._shuffle(counter_program, "x86_64")
+        original = counter_program.binary("x86_64")
+        assert stats.pairs > 0
+        changed = 0
+        for record in shuffled.frames.frames:
+            base = original.frames.get(record.func)
+            assert record.frame_size == base.frame_size
+            base_offsets = {s.slot_id: s.offset for s in base.slots}
+            new_offsets = {s.slot_id: s.offset for s in record.slots}
+            assert sorted(base_offsets.values()) == \
+                sorted(new_offsets.values())
+            if base_offsets != new_offsets:
+                changed += 1
+        assert changed > 0
+
+    def test_code_addresses_unchanged(self, counter_program):
+        shuffled, _stats = self._shuffle(counter_program, "x86_64")
+        original = counter_program.binary("x86_64")
+        assert len(shuffled.text) == len(original.text)
+        for sym in original.symtab:
+            assert shuffled.symtab.lookup(sym.name).addr == sym.addr
+
+    def test_stackmaps_follow_slots(self, counter_program):
+        shuffled, _stats = self._shuffle(counter_program, "x86_64")
+        for record in shuffled.frames.frames:
+            for point in shuffled.stackmaps.for_func(record.func):
+                for live in point.live:
+                    if live.on_stack():
+                        slot = record.slot_by_id(live.value_id)
+                        if slot is not None:
+                            assert live.stack_offset == slot.offset
+
+    def test_shuffled_binary_runs_natively(self, counter_program,
+                                           counter_reference_output):
+        for arch in ("x86_64", "aarch64"):
+            shuffled, _stats = self._shuffle(counter_program, arch)
+            machine = Machine(get_isa(arch))
+            machine.tmpfs.write("/bin/shuf", shuffled.to_bytes())
+            process = machine.spawn_process("/bin/shuf")
+            machine.run_process(process)
+            assert process.stdout() == counter_reference_output
+
+    def test_deterministic_for_seed(self, counter_program):
+        a, _ = self._shuffle(counter_program, "x86_64", seed=5)
+        b, _ = self._shuffle(counter_program, "x86_64", seed=5)
+        assert a.text == b.text
+        c, _ = self._shuffle(counter_program, "x86_64", seed=6)
+        assert c.text != a.text
+
+    def test_arm_pair_slots_excluded(self, threaded_program):
+        arm = threaded_program.binary("aarch64")
+        record = arm.frames.get("bump")      # two params → stp pair
+        eligible = shuffleable_slots(record)
+        names = {s.name for s in eligible}
+        assert "q" not in names and "k" not in names
+
+    def test_arm_entropy_lower_than_x86(self):
+        # The paper's Fig. 10 asymmetry, on a function with many params.
+        from repro.compiler import compile_source
+        src = """
+        func busy(int a, int b, int c, int d) -> int {
+            int e; int f; int g; int h;
+            e = a + b; f = c + d; g = e * f; h = g - a;
+            return h;
+        }
+        func main() -> int { print(busy(1, 2, 3, 4)); return 0; }
+        """
+        program = compile_source(src, "busy")
+        x86_bits = frame_entropy_bits(
+            program.binary("x86_64").frames.get("busy"))
+        arm_bits = frame_entropy_bits(
+            program.binary("aarch64").frames.get("busy"))
+        assert arm_bits < x86_bits
+
+    def test_entropy_accounting(self, counter_program):
+        bits = binary_entropy_bits(counter_program.binary("x86_64"))
+        per_func = binary_entropy_by_function(
+            counter_program.binary("x86_64"))
+        assert bits == pytest.approx(
+            sum(per_func.values()) / len(per_func))
+        assert "_start" not in per_func   # prelude excluded
+
+    def test_patch_stats_recorded(self, counter_program):
+        _shuffled, stats = self._shuffle(counter_program, "x86_64")
+        assert stats.instructions_patched > 0
+        assert stats.code_bytes > 0
+        assert stats.stackmap_records_updated > 0
+
+
+class TestShufflePolicyEndToEnd:
+    @pytest.mark.parametrize("arch", ["x86_64", "aarch64"])
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_shuffled_process_completes_correctly(
+            self, counter_program, counter_reference_output, arch, seed):
+        machine = Machine(get_isa(arch), name="host")
+        install_program(machine, counter_program)
+        process = machine.spawn_process(exe_path_for("counter", arch))
+        machine.step_all(2500)
+        assert not process.exited
+        runtime = DapperRuntime(machine, process)
+        runtime.pause_at_equivalence_points()
+        before = process.stdout()   # capture only once fully parked
+        images = runtime.checkpoint()
+        runtime.kill_source()
+        policy = StackShufflePolicy(
+            counter_program.binary(arch), seed=seed,
+            dst_exe_path=f"/bin/counter.{arch}.shuf")
+        reports = ProcessRewriter().rewrite(images, policy)
+        machine.tmpfs.write(policy.dst_exe_path,
+                            policy.shuffled_binary.to_bytes())
+        restored = restore_process(machine, images)
+        machine.run_process(restored)
+        assert before + restored.stdout() == counter_reference_output
+        assert reports[0].stats["pairs"] > 0
+
+    def test_threaded_shuffle(self, threaded_program,
+                              threaded_reference_output):
+        machine = Machine(X86_ISA, name="host")
+        install_program(machine, threaded_program)
+        process = machine.spawn_process(exe_path_for("threaded", "x86_64"))
+        machine.step_all(5000)
+        assert not process.exited
+        runtime = DapperRuntime(machine, process)
+        runtime.pause_at_equivalence_points()
+        before = process.stdout()   # capture only once fully parked
+        images = runtime.checkpoint()
+        runtime.kill_source()
+        policy = StackShufflePolicy(
+            threaded_program.binary("x86_64"), seed=11,
+            dst_exe_path="/bin/threaded.x86_64.shuf")
+        report = ProcessRewriter().rewrite(images, policy)[0]
+        machine.tmpfs.write(policy.dst_exe_path,
+                            policy.shuffled_binary.to_bytes())
+        restored = restore_process(machine, images)
+        machine.run_process(restored)
+        assert before + restored.stdout() == threaded_reference_output
+        assert report.stats["pointers_remapped"] >= 1
+
+    def test_periodic_rerandomization(self, counter_program,
+                                      counter_reference_output):
+        """Shuffle the same process repeatedly with different seeds —
+        the paper's periodic re-randomization scenario."""
+        arch = "x86_64"
+        machine = Machine(get_isa(arch), name="host")
+        install_program(machine, counter_program)
+        process = machine.spawn_process(exe_path_for("counter", arch))
+        output = ""
+        active_binary = counter_program.binary(arch)
+        for round_no in range(3):
+            machine.step_all(900)
+            if process.exited:
+                break
+            output += process.stdout()[len(output):] if False else ""
+            runtime = DapperRuntime(machine, process)
+            runtime.pause_at_equivalence_points()
+            images = runtime.checkpoint()
+            prefix = process.stdout()
+            runtime.kill_source()
+            policy = StackShufflePolicy(
+                active_binary, seed=100 + round_no,
+                dst_exe_path=f"/bin/counter.{arch}.shuf{round_no}")
+            ProcessRewriter().rewrite(images, policy)
+            machine.tmpfs.write(policy.dst_exe_path,
+                                policy.shuffled_binary.to_bytes())
+            new_process = restore_process(machine, images)
+            # Carry forward accumulated output.
+            new_process.output = [prefix]
+            process = new_process
+            active_binary = policy.shuffled_binary
+        machine.run_process(process)
+        assert process.stdout() == counter_reference_output

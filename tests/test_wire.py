@@ -1,0 +1,157 @@
+"""Tests for the protobuf-like wire format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import wire
+from repro.errors import WireError
+
+
+class TestVarint:
+    def test_zero(self):
+        assert wire.encode_varint(0) == b"\x00"
+
+    def test_small_values_single_byte(self):
+        for value in range(128):
+            assert len(wire.encode_varint(value)) == 1
+
+    def test_128_takes_two_bytes(self):
+        assert wire.encode_varint(128) == b"\x80\x01"
+
+    def test_decode_roundtrip_specific(self):
+        for value in (0, 1, 127, 128, 300, 2 ** 32, 2 ** 63):
+            data = wire.encode_varint(value)
+            decoded, pos = wire.decode_varint(data)
+            assert decoded == value
+            assert pos == len(data)
+
+    def test_negative_rejected(self):
+        with pytest.raises(WireError):
+            wire.encode_varint(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(WireError):
+            wire.decode_varint(b"\x80")
+
+    def test_decode_with_offset(self):
+        data = b"\xff" + wire.encode_varint(300)
+        value, pos = wire.decode_varint(data, 1)
+        assert value == 300
+        assert pos == len(data)
+
+    @given(st.integers(min_value=0, max_value=2 ** 64 - 1))
+    def test_roundtrip_property(self, value):
+        decoded, _ = wire.decode_varint(wire.encode_varint(value))
+        assert decoded == value
+
+
+class TestZigzag:
+    def test_known_values(self):
+        assert wire.zigzag_encode(0) == 0
+        assert wire.zigzag_encode(-1) == 1
+        assert wire.zigzag_encode(1) == 2
+        assert wire.zigzag_encode(-2) == 3
+
+    @given(st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1))
+    def test_roundtrip_property(self, value):
+        assert wire.zigzag_decode(wire.zigzag_encode(value)) == value
+
+    @given(st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1))
+    def test_signed_varint_roundtrip(self, value):
+        data = wire.encode_signed_varint(value)
+        decoded, _ = wire.decode_signed_varint(data)
+        assert decoded == value
+
+
+class TestFields:
+    def test_int_field_roundtrip(self):
+        data = wire.encode_field(3, -42)
+        fields = list(wire.iter_fields(data))
+        assert fields == [(3, wire.WIRE_VARINT, -42)]
+
+    def test_bytes_field_roundtrip(self):
+        data = wire.encode_field(5, b"hello")
+        fields = list(wire.iter_fields(data))
+        assert fields == [(5, wire.WIRE_LEN, b"hello")]
+
+    def test_str_field_encodes_utf8(self):
+        data = wire.encode_field(1, "héllo")
+        fields = list(wire.iter_fields(data))
+        assert fields[0][2] == "héllo".encode("utf-8")
+
+    def test_bool_encodes_as_int(self):
+        data = wire.encode_field(1, True)
+        assert list(wire.iter_fields(data))[0][2] == 1
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(WireError):
+            wire.encode_field(1, 3.14)
+
+    def test_truncated_length_delimited(self):
+        data = wire.encode_field(1, b"hello")[:-2]
+        with pytest.raises(WireError):
+            list(wire.iter_fields(data))
+
+
+NESTED = wire.Schema("inner", [
+    wire.field(1, "x", "int"),
+    wire.field(2, "tag", "str"),
+])
+
+OUTER = wire.Schema("outer", [
+    wire.field(1, "name", "str"),
+    wire.field(2, "count", "int"),
+    wire.field(3, "blob", "bytes"),
+    wire.field(4, "items", "message", repeated=True, message=NESTED),
+    wire.field(5, "numbers", "int", repeated=True),
+])
+
+
+class TestSchema:
+    def test_roundtrip(self):
+        obj = {"name": "abc", "count": -7, "blob": b"\x00\x01",
+               "items": [{"x": 1, "tag": "a"}, {"x": -2, "tag": "b"}],
+               "numbers": [1, 2, 3]}
+        decoded = OUTER.decode(OUTER.encode(obj))
+        assert decoded == obj
+
+    def test_absent_repeated_decodes_empty(self):
+        decoded = OUTER.decode(OUTER.encode({"name": "x"}))
+        assert decoded["items"] == []
+        assert decoded["numbers"] == []
+
+    def test_unknown_field_name_raises(self):
+        with pytest.raises(WireError):
+            OUTER.encode({"bogus": 1})
+
+    def test_unknown_field_number_raises(self):
+        data = wire.encode_field(99, 1)
+        with pytest.raises(WireError):
+            OUTER.decode(data)
+
+    def test_duplicate_field_number_rejected(self):
+        with pytest.raises(WireError):
+            wire.Schema("bad", [wire.field(1, "a", "int"),
+                                wire.field(1, "b", "int")])
+
+    def test_duplicate_field_name_rejected(self):
+        with pytest.raises(WireError):
+            wire.Schema("bad", [wire.field(1, "a", "int"),
+                                wire.field(2, "a", "int")])
+
+    def test_message_kind_requires_schema(self):
+        with pytest.raises(WireError):
+            wire.field(1, "m", "message")
+
+    def test_wrong_wire_type_raises(self):
+        # field 2 ("count") is an int; feed it a length-delimited value
+        data = wire.encode_field(2, b"oops")
+        with pytest.raises(WireError):
+            OUTER.decode(data)
+
+    @given(st.lists(st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1),
+                    max_size=20),
+           st.binary(max_size=64), st.text(max_size=32))
+    def test_roundtrip_property(self, numbers, blob, name):
+        obj = {"name": name, "blob": blob, "numbers": numbers, "items": []}
+        assert OUTER.decode(OUTER.encode(obj)) == obj
