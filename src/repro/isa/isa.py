@@ -54,6 +54,14 @@ CONDITIONS = ("eq", "ne", "lt", "le", "gt", "ge")
 #: Mnemonics whose ``target`` operand is a code address (branch-like).
 BRANCH_OPS = ("b", "bcc", "call")
 
+#: Mnemonics that end a superblock (see ``repro.vm.blocks``): control
+#: flow leaves the straight line, enters the kernel, or parks the
+#: thread. ``trap`` in particular MUST terminate a block — it is the
+#: eqpoint checker's parking instruction, and a block spanning it would
+#: change where the Dapper runtime observes the thread stop.
+BLOCK_TERMINATOR_OPS = frozenset(("b", "bcc", "call", "ret", "trap",
+                                  "syscall", ".byte"))
+
 
 class Operand:
     """Marker namespace for operand kinds (documentation aid)."""
@@ -228,6 +236,35 @@ class Isa:
     def cost(self, instr: Instruction) -> int:
         """Abstract cycle cost (used by the node timing model)."""
         return self.cost_table.get(instr.op, 1)
+
+    # -- superblock decode hooks -------------------------------------------
+
+    def is_block_terminator(self, instr: Instruction) -> bool:
+        """True if ``instr`` must end a predecoded superblock."""
+        return instr.op in BLOCK_TERMINATOR_OPS
+
+    def decode_straight_line(self, fetch: Callable[[int], Instruction],
+                             pc: int, max_instrs: int) -> List[Instruction]:
+        """Decode the straight-line run starting at ``pc``.
+
+        ``fetch`` decodes (or serves from cache) one instruction at an
+        address and may raise on unmapped/undecodable bytes — the run
+        simply ends there and the interpreter's one-step path reports
+        the fault with the exact faulting pc. The returned list never
+        contains a block terminator.
+        """
+        out: List[Instruction] = []
+        cursor = pc
+        for _ in range(max_instrs):
+            try:
+                instr = fetch(cursor)
+            except Exception:
+                break
+            if instr.op in BLOCK_TERMINATOR_OPS:
+                break
+            out.append(instr)
+            cursor += instr.size
+        return out
 
     def __repr__(self) -> str:
         return f"<Isa {self.name}>"

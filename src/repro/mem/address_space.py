@@ -4,16 +4,30 @@ Pages are allocated lazily: a mapped-but-untouched page reads as zeros
 and owns no backing store until first written. This matters for CRIU
 fidelity — ``pagemap.img`` lists only *populated* regions, so the dump
 walks exactly the pages that have backing store.
+
+VMA lookup is O(log n): the VMA list is kept sorted and searched by
+bisection, with a one-entry last-hit cache in front of it (the
+interpreter's loads/stores overwhelmingly hit the same stack or heap
+VMA repeatedly). ``read_u64``/``write_u64`` additionally take a
+non-allocating fast path that indexes straight into the page store
+whenever the access does not straddle a page boundary — these two
+word-sized entry points are what the superblock execution engine
+(:mod:`repro.vm.blocks`) drives for every guest load and store.
 """
 
 from __future__ import annotations
 
 import struct
+from bisect import bisect_right
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import SegmentationFault, MemoryError_
-from .paging import PAGE_SIZE, page_align_down, pages_spanning
+from .paging import (LAST_U64_SLOT, PAGE_MASK, PAGE_SIZE, page_align_down,
+                     pages_spanning)
 from .vma import Prot, Vma
+
+_U64 = struct.Struct("<Q")
+_U64_MASK = 0xFFFFFFFFFFFFFFFF
 
 
 class AddressSpace:
@@ -22,13 +36,24 @@ class AddressSpace:
     def __init__(self):
         self.vmas: List[Vma] = []
         self._pages: Dict[int, bytearray] = {}
+        self._starts: List[int] = []      # sorted VMA starts, parallel to vmas
+        self._hot_vma: Optional[Vma] = None
         #: post-copy restore support: called with a page-aligned address
         #: on first touch of a page with no backing store; returning bytes
         #: installs them (a remote page-server fetch), returning None
         #: means the page really is zero. See repro.criu.lazy.
         self.missing_page_hook: Optional[Callable[[int], Optional[bytes]]] = None
+        #: called after every privileged code write (``write_code``); the
+        #: owning Process hooks this to bump its code version so stale
+        #: decoded instructions and superblocks are discarded.
+        self.code_write_hook: Optional[Callable[[], None]] = None
 
     # -- mapping -----------------------------------------------------------
+
+    def _reindex(self) -> None:
+        self.vmas.sort(key=lambda v: v.start)
+        self._starts = [v.start for v in self.vmas]
+        self._hot_vma = None
 
     def map(self, vma: Vma) -> Vma:
         """Insert a VMA; overlapping an existing mapping is an error."""
@@ -37,23 +62,39 @@ class AddressSpace:
                 raise MemoryError_(
                     f"mapping {vma!r} overlaps existing {existing!r}")
         self.vmas.append(vma)
-        self.vmas.sort(key=lambda v: v.start)
+        self._reindex()
         return vma
 
     def unmap(self, start: int, end: int) -> None:
-        """Remove VMAs fully inside ``[start, end)`` and drop their pages."""
+        """Remove VMAs fully inside ``[start, end)`` and drop their pages.
+
+        A VMA that only *partially* overlaps the range is an error: the
+        simulated kernel has no VMA-splitting, so a partial unmap would
+        silently leave the whole mapping in place and let bugs hide.
+        """
         kept = []
         for vma in self.vmas:
             if start <= vma.start and vma.end <= end:
                 for base in range(vma.start, vma.end, PAGE_SIZE):
                     self._pages.pop(base, None)
+            elif vma.start < end and start < vma.end:
+                raise MemoryError_(
+                    f"unmap [{start:#x}, {end:#x}) partially overlaps "
+                    f"{vma!r}; whole-VMA unmaps only")
             else:
                 kept.append(vma)
         self.vmas = kept
+        self._reindex()
 
     def find_vma(self, addr: int) -> Optional[Vma]:
-        for vma in self.vmas:
-            if vma.contains(addr):
+        vma = self._hot_vma
+        if vma is not None and vma.start <= addr < vma.end:
+            return vma
+        index = bisect_right(self._starts, addr) - 1
+        if index >= 0:
+            vma = self.vmas[index]
+            if addr < vma.end:
+                self._hot_vma = vma
                 return vma
         return None
 
@@ -107,6 +148,19 @@ class AddressSpace:
                 addr, f"prot {Prot.describe(vma.prot)} lacks "
                       f"{Prot.describe(want)}")
 
+    def _check_word(self, addr: int, want_write: bool) -> None:
+        """The u64 fast-path access check (same faults as ``_check``)."""
+        vma = self.find_vma(addr)
+        if vma is None:
+            raise SegmentationFault(addr)
+        if addr + 8 > vma.end:
+            raise SegmentationFault(addr + 7, "straddles mapping")
+        if not (vma.writable if want_write else vma.readable):
+            want = Prot.WRITE if want_write else Prot.READ
+            raise SegmentationFault(
+                addr, f"prot {Prot.describe(vma.prot)} lacks "
+                      f"{Prot.describe(want)}")
+
     def read(self, addr: int, length: int, check: bool = True) -> bytes:
         if check:
             self._check(addr, length, Prot.READ)
@@ -144,28 +198,68 @@ class AddressSpace:
     def write_code(self, addr: int, data: bytes) -> None:
         """Privileged write ignoring protections (loader / rewriter use)."""
         self.write(addr, data, check=False)
+        if self.code_write_hook is not None:
+            self.code_write_hook()
 
     # -- word helpers ----------------------------------------------------------
 
     def read_u64(self, addr: int) -> int:
-        return struct.unpack("<Q", self.read(addr, 8))[0]
+        offset = addr & PAGE_MASK
+        if offset <= LAST_U64_SLOT:
+            vma = self._hot_vma
+            if (vma is None or addr < vma.start or addr + 8 > vma.end
+                    or not vma.readable):
+                self._check_word(addr, want_write=False)
+            store = self._pages.get(addr - offset)
+            if store is None:
+                if self.missing_page_hook is None:
+                    return 0
+                store = self.page(addr - offset)
+                if store is None:
+                    return 0
+            return _U64.unpack_from(store, offset)[0]
+        return _U64.unpack(self.read(addr, 8))[0]
 
     def read_i64(self, addr: int) -> int:
-        return struct.unpack("<q", self.read(addr, 8))[0]
+        value = self.read_u64(addr)
+        return value - (1 << 64) if value >> 63 else value
 
     def write_u64(self, addr: int, value: int) -> None:
-        self.write(addr, struct.pack("<Q", value & 0xFFFFFFFFFFFFFFFF))
+        offset = addr & PAGE_MASK
+        if offset <= LAST_U64_SLOT:
+            vma = self._hot_vma
+            if (vma is None or addr < vma.start or addr + 8 > vma.end
+                    or not vma.writable):
+                self._check_word(addr, want_write=True)
+            store = self._pages.get(addr - offset)
+            if store is None:
+                store = self.page(addr - offset, create=True)
+            _U64.pack_into(store, offset, value & _U64_MASK)
+            return
+        self.write(addr, _U64.pack(value & _U64_MASK))
 
     def write_i64(self, addr: int, value: int) -> None:
         self.write_u64(addr, value)
 
     def read_cstr(self, addr: int, limit: int = 4096) -> str:
+        """Read a NUL-terminated string, page-sized chunks at a time."""
         out = bytearray()
-        for i in range(limit):
-            byte = self.read(addr + i, 1)[0]
-            if byte == 0:
+        cursor = addr
+        remaining = limit
+        while remaining > 0:
+            vma = self.find_vma(cursor)
+            if vma is None:
+                raise SegmentationFault(cursor)
+            chunk_len = min(PAGE_SIZE - (cursor & PAGE_MASK), remaining,
+                            vma.end - cursor)
+            chunk = self.read(cursor, chunk_len)
+            nul = chunk.find(0)
+            if nul >= 0:
+                out += chunk[:nul]
                 break
-            out.append(byte)
+            out += chunk
+            cursor += chunk_len
+            remaining -= chunk_len
         return out.decode("utf-8", errors="replace")
 
     # -- instruction fetch ---------------------------------------------------
@@ -185,4 +279,5 @@ class AddressSpace:
                         v.file_path, v.file_offset) for v in self.vmas]
         new._pages = {base: bytearray(data)
                       for base, data in self._pages.items()}
+        new._reindex()
         return new

@@ -6,6 +6,11 @@ PAGE_SIZE = 4096
 PAGE_SHIFT = 12
 PAGE_MASK = PAGE_SIZE - 1
 
+#: Highest in-page offset at which an aligned-or-not 8-byte access still
+#: fits entirely inside one page — the gate for the non-allocating u64
+#: fast paths in :mod:`repro.mem.address_space`.
+LAST_U64_SLOT = PAGE_SIZE - 8
+
 
 def page_align_down(addr: int) -> int:
     """Round ``addr`` down to a page boundary."""

@@ -29,8 +29,8 @@ class Vma:
     (code pages reload from the binary at restore; paper §III-C).
     """
 
-    __slots__ = ("start", "end", "prot", "name", "file_backed", "file_path",
-                 "file_offset")
+    __slots__ = ("start", "end", "_prot", "name", "file_backed", "file_path",
+                 "file_offset", "readable", "writable", "executable")
 
     def __init__(self, start: int, end: int, prot: int, name: str = "",
                  file_backed: bool = False, file_path: str = "",
@@ -46,6 +46,19 @@ class Vma:
         self.file_backed = file_backed
         self.file_path = file_path
         self.file_offset = file_offset
+
+    @property
+    def prot(self) -> int:
+        return self._prot
+
+    @prot.setter
+    def prot(self, prot: int) -> None:
+        # The per-bit flags are precomputed so the memory fast paths test
+        # one bool instead of masking on every access.
+        self._prot = prot
+        self.readable = bool(prot & Prot.READ)
+        self.writable = bool(prot & Prot.WRITE)
+        self.executable = bool(prot & Prot.EXEC)
 
     @property
     def size(self) -> int:

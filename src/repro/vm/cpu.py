@@ -30,7 +30,16 @@ class ThreadStatus:
 
 
 class ThreadContext:
-    """Registers + pc + flags + TLS pointer of one simulated thread."""
+    """Registers + pc + flags + TLS pointer of one simulated thread.
+
+    ``__slots__`` matters here: the superblock engine's generated code
+    reads and writes ``pc``/``flags``/``instr_count`` on every trace,
+    so attribute access on threads is one of the hottest operations in
+    the interpreter.
+    """
+
+    __slots__ = ("tid", "isa", "regs", "pc", "flags", "tp", "status",
+                 "instr_count", "trap_pc")
 
     def __init__(self, tid: int, isa: Isa):
         self.tid = tid

@@ -22,6 +22,16 @@ if TYPE_CHECKING:
 
 _MAX_INSTR_LEN = 10
 
+#: (isa name, pc, raw bytes) -> decoded Instruction, shared by every
+#: process. Content-addressed, so live-update rewrites are naturally
+#: correct (changed bytes are a different key), and each binary's
+#: instructions decode once per interpreter lifetime rather than once
+#: per process — re-spawns and CRIU restores skip the decoder entirely.
+#: Decoded Instructions are immutable after decode, which is what makes
+#: sharing them across processes (and baking them into superblocks,
+#: see ``repro.vm.blocks``) safe.
+_GLOBAL_DECODE: dict = {}
+
 
 class CpuFault(KernelError):
     """Raised when a thread performs an illegal operation; kills the process."""
@@ -36,7 +46,11 @@ def fetch_decode(process: "Process", pc: int) -> Instruction:
     if cached is not None and cached[0] == process.code_version:
         return cached[1]
     window = process.aspace.fetch(pc, _MAX_INSTR_LEN)
-    instr = process.isa.decode(window, 0, pc)
+    key = (process.isa.name, pc, window)
+    instr = _GLOBAL_DECODE.get(key)
+    if instr is None:
+        instr = process.isa.decode(window, 0, pc)
+        _GLOBAL_DECODE[key] = instr
     process.decode_cache[pc] = (process.code_version, instr)
     return instr
 

@@ -16,7 +16,7 @@ from ..errors import KernelError
 from ..mem import AddressSpace, Prot, Vma
 from ..mem.paging import PAGE_SIZE, page_align_up
 from .cpu import ThreadContext, ThreadStatus, to_u64
-from . import interp
+from . import blocks, interp
 from .loader import load_binary, setup_tls
 from .tmpfs import TmpFs
 
@@ -44,7 +44,15 @@ class Process:
         self.instr_total = 0
         self.cycle_total = 0
         self.decode_cache: Dict[int, tuple] = {}
+        self.block_cache: Dict[int, "blocks.Block"] = {}
         self.code_version = 0
+        # Content hash of the executable pages, computed lazily by the
+        # superblock engine to share decoded traces across processes
+        # running identical code (see blocks._content_key).
+        self.trace_content_key: Optional[bytes] = None
+        # Any privileged code write (failure injection, in-place live
+        # patches) must discard predecoded instructions and superblocks.
+        self.aspace.code_write_hook = self.invalidate_code
 
     # -- thread management -------------------------------------------------
 
@@ -67,6 +75,8 @@ class Process:
 
     def invalidate_code(self) -> None:
         self.code_version += 1
+        self.decode_cache.clear()
+        self.block_cache.clear()
 
     def tls_disable_addr(self, thread: ThreadContext) -> int:
         return (thread.tp + self.isa.abi.tls_block_offset
@@ -80,10 +90,15 @@ class Process:
 class Machine:
     """One simulated node: an ISA, a kernel, a tmpfs, and processes."""
 
-    def __init__(self, isa, name: str = "node", quantum: int = 64):
+    def __init__(self, isa, name: str = "node", quantum: int = 64,
+                 block_engine: bool = True):
         self.isa = isa
         self.name = name
         self.quantum = quantum
+        #: execute via predecoded superblocks (repro.vm.blocks); False
+        #: falls back to per-instruction interp.step — semantics are
+        #: identical, this exists for the speed benchmark and debugging.
+        self.block_engine = block_engine
         self.tmpfs = TmpFs()
         self.processes: Dict[int, Process] = {}
         self.next_pid = 100
@@ -152,8 +167,10 @@ class Machine:
         while executed < budget:
             ran = False
             for process in list(self.processes.values()):
-                for thread in sorted(process.runnable_threads(),
-                                     key=lambda t: t.tid):
+                threads = process.runnable_threads()
+                if len(threads) > 1:       # deterministic round-robin order
+                    threads.sort(key=_BY_TID)
+                for thread in threads:
                     quantum = min(self.quantum, budget - executed)
                     if quantum <= 0:
                         return executed
@@ -167,6 +184,8 @@ class Machine:
 
     def _run_thread(self, process: Process, thread: ThreadContext,
                     quantum: int) -> int:
+        if self.block_engine:
+            return blocks.run_thread(self, process, thread, quantum)
         count = 0
         while (count < quantum and thread.runnable()
                and not process.stopped and not process.exited):
@@ -219,6 +238,10 @@ class Machine:
         if handler is None:
             raise KernelError(f"unknown syscall {number}")
         return handler(self, process, thread, args)
+
+
+def _BY_TID(thread: ThreadContext) -> int:
+    return thread.tid
 
 
 def thread_stack_top(tid: int) -> int:

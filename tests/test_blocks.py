@@ -1,0 +1,246 @@
+"""Tests for the superblock execution engine (``repro.vm.blocks``).
+
+Covers the engine's three safety-critical contracts:
+
+1. invalidation — code rewrites (stack shuffle, live update, in-place
+   patches) must discard predecoded superblocks, and the rewritten code
+   must actually execute;
+2. eqpoint boundaries — a block never spans an equivalence-point
+   checker, so a parked thread's pc equals the eqpoint pc exactly;
+3. parity — the generated tier (forced hot, including the partial
+   quantum-boundary variant) is bit-identical to the per-step engine.
+"""
+
+import pytest
+
+from repro.binfmt.stackmaps import KIND_ENTRY
+from repro.compiler import compile_source
+from repro.core.migration import exe_path_for, install_program
+from repro.core.policies.live_update import LiveUpdatePolicy
+from repro.core.policies.stack_shuffle import StackShufflePolicy
+from repro.core.rewriter import ProcessRewriter
+from repro.core.runtime import DapperRuntime
+from repro.criu.restore import restore_process
+from repro.isa import get_isa
+from repro.vm import Machine, blocks
+from repro.vm.cpu import ThreadStatus
+from repro.vm.interp import CpuFault
+
+ARCHES = ["x86_64", "aarch64"]
+
+
+def _spawn(program, arch, name=None):
+    machine = Machine(get_isa(arch), name="host")
+    install_program(machine, program)
+    process = machine.spawn_process(
+        exe_path_for(name or program.name, arch))
+    return machine, process
+
+
+def _fingerprint(process):
+    return (process.stdout(), process.exit_code,
+            process.instr_total, process.cycle_total)
+
+
+class TestInvalidation:
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_stack_shuffle_discards_superblocks(self, arch, counter_program,
+                                                counter_reference_output):
+        machine, process = _spawn(counter_program, arch, "counter")
+        machine.step_all(2500)
+        assert not process.exited
+        # The source ran under the block engine: its cache is warm and
+        # its executable pages have a content key for trace sharing.
+        assert process.block_cache
+        source_key = process.trace_content_key
+        assert source_key is not None
+
+        runtime = DapperRuntime(machine, process)
+        runtime.pause_at_equivalence_points()
+        before = process.stdout()
+        images = runtime.checkpoint()
+        runtime.kill_source()
+        policy = StackShufflePolicy(
+            counter_program.binary(arch), seed=11,
+            dst_exe_path=f"/bin/counter.{arch}.blkshuf")
+        ProcessRewriter().rewrite(images, policy)
+        machine.tmpfs.write(policy.dst_exe_path,
+                            policy.shuffled_binary.to_bytes())
+        restored = restore_process(machine, images)
+        # The rewritten process must not inherit a single predecoded
+        # superblock from the source.
+        assert restored.block_cache == {}
+        machine.run_process(restored)
+        # ... and the *shuffled* code really executed, correctly.
+        assert before + restored.stdout() == counter_reference_output
+        assert restored.block_cache
+        # Shuffled text hashes differently, so the global trace cache
+        # cannot alias the source's traces onto the restored process.
+        assert restored.trace_content_key != source_key
+
+    def test_live_update_swap_discards_superblocks(self):
+        v1 = compile_source(V1_SOURCE, "doubler")
+        v2 = compile_source(V2_SOURCE, "doubler")
+        machine, process = _spawn(v1, "x86_64")
+        machine.step_all(2000)
+        assert not process.exited
+        assert process.block_cache
+        source_key = process.trace_content_key
+
+        runtime = DapperRuntime(machine, process)
+        runtime.pause_at_equivalence_points()
+        lines_before = process.stdout().count("\n")
+        images = runtime.checkpoint()
+        runtime.kill_source()
+        policy = LiveUpdatePolicy(v1.binary("x86_64"), v2.binary("x86_64"),
+                                  "/bin/doubler.v2")
+        ProcessRewriter().rewrite(images, policy)
+        machine.tmpfs.write(policy.dst_exe_path,
+                            v2.binary("x86_64").to_bytes())
+        updated = restore_process(machine, images)
+        assert updated.block_cache == {}
+        machine.run_process(updated)
+        assert updated.exit_code == 0
+        # Every post-update line follows v2's tripling formula — stale
+        # v1 superblocks would keep doubling.
+        got = [int(line) for line in updated.stdout().splitlines()]
+        expected = [3 * i for i in range(lines_before + 1, 201)]
+        assert got == expected
+        assert updated.trace_content_key != source_key
+
+    def test_in_place_code_write_bumps_version(self, counter_program):
+        machine, process = _spawn(counter_program, "x86_64", "counter")
+        machine.step_all(2000)
+        assert not process.exited
+        assert process.block_cache
+        version = process.code_version
+        thread = next(iter(process.threads.values()))
+        # Patch illegal bytes at the thread's very next pc: if any stale
+        # superblock survived the write, execution would sail past them.
+        process.aspace.write_code(thread.pc, b"\x06" * 16)
+        assert process.code_version == version + 1
+        assert process.block_cache == {}
+        assert process.decode_cache == {}
+        with pytest.raises(CpuFault):
+            machine.run_process(process)
+
+
+class TestEqpointBoundary:
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_park_pc_is_eqpoint_pc(self, arch, counter_program):
+        """Regression: a superblock must never span an eqpoint checker.
+
+        If a trace ran through the trap, the thread would park with its
+        pc somewhere past the equivalence point and the stackmap check
+        would reject it (or worse, state transformation would read the
+        wrong frame).
+        """
+        machine, process = _spawn(counter_program, arch, "counter")
+        machine.step_all(2500)       # warm superblocks before arming
+        assert not process.exited
+        runtime = DapperRuntime(machine, process)
+        # This raises NotAtEquivalencePoint if any park pc is off.
+        tids = runtime.pause_at_equivalence_points()
+        stackmaps = process.binary.stackmaps
+        for tid in tids:
+            thread = process.threads[tid]
+            assert thread.status == ThreadStatus.TRAPPED
+            assert thread.pc == thread.trap_pc
+            assert stackmaps.by_addr[thread.pc].kind == KIND_ENTRY
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_no_block_contains_kernel_entry(self, arch, counter_program,
+                                            threaded_program):
+        """Structural invariant: trap and syscall terminate trace decode,
+        so no predecoded block body (or specialized terminator) can
+        contain a kernel entry."""
+        for program, name in ((counter_program, "counter"),
+                              (threaded_program, "threaded")):
+            machine, process = _spawn(program, arch, name)
+            machine.run_process(process)
+            assert process.block_cache
+            for block in process.block_cache.values():
+                ops = [instr.op for instr in block.instrs]
+                assert "trap" not in ops and "syscall" not in ops
+                if block.term_instr is not None:
+                    assert block.term_instr.op in ("bcc", "ret")
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("arch", ARCHES)
+    @pytest.mark.parametrize("name", ["counter", "threaded"])
+    def test_forced_hot_parity(self, arch, name, counter_program,
+                               threaded_program, monkeypatch):
+        """With HOT_THRESHOLD forced to 0 every block tiers up on first
+        dispatch, so the generated specializations (not tier 0) carry
+        the whole run — and must match the per-step engine exactly."""
+        program = counter_program if name == "counter" else threaded_program
+        isa = get_isa(arch)
+        base = Machine(isa, block_engine=False)
+        install_program(base, program)
+        ref = base.spawn_process(exe_path_for(name, arch))
+        base.run_process(ref)
+
+        monkeypatch.setattr(blocks, "HOT_THRESHOLD", 0)
+        machine, process = _spawn(program, arch, name)
+        machine.run_process(process)
+        assert _fingerprint(process) == _fingerprint(ref)
+
+    @pytest.mark.parametrize("quantum", [1, 3, 7])
+    def test_partial_variant_parity_at_odd_quanta(self, quantum,
+                                                  counter_program,
+                                                  monkeypatch):
+        """Tiny quanta end inside nearly every trace, exercising the
+        partial (quantum-boundary) variant; results must still be
+        bit-identical to per-step execution at the same quantum."""
+        monkeypatch.setattr(blocks, "HOT_THRESHOLD", 0)
+        isa = get_isa("x86_64")
+        base = Machine(isa, quantum=quantum, block_engine=False)
+        install_program(base, counter_program)
+        ref = base.spawn_process(exe_path_for("counter", "x86_64"))
+        base.run_process(ref)
+
+        machine = Machine(isa, quantum=quantum)
+        install_program(machine, counter_program)
+        process = machine.spawn_process(exe_path_for("counter", "x86_64"))
+        machine.run_process(process)
+        assert _fingerprint(process) == _fingerprint(ref)
+
+
+# v1 doubles, v2 triples; identical call structure so the live-update
+# policy accepts the patch at any equivalence point.
+V1_SOURCE = """
+func f(int x) -> int {
+    int y;
+    y = x * 2;
+    return y;
+}
+
+func main() -> int {
+    int i;
+    i = 1;
+    while (i <= 200) {
+        print(f(i));
+        i = i + 1;
+    }
+    return 0;
+}
+"""
+
+V2_SOURCE = """
+func f(int x) -> int {
+    int y;
+    y = x * 3;
+    return y;
+}
+
+func main() -> int {
+    int i;
+    i = 1;
+    while (i <= 200) {
+        print(f(i));
+        i = i + 1;
+    }
+    return 0;
+}
+"""
