@@ -16,6 +16,10 @@ class EventQueue:
         self._heap: list = []
         self._counter = itertools.count()
         self.now = 0.0
+        #: optional observer called as ``on_fire(when, label)`` just
+        #: before each event's action runs — the flight recorder hooks
+        #: this to journal the exact firing order the replay must match.
+        self.on_fire: Optional[Callable[[float, str], None]] = None
 
     def schedule(self, when: float, action: Callable[[], None],
                  label: str = "") -> None:
@@ -40,6 +44,8 @@ class EventQueue:
             raise ClusterError("event queue is empty")
         when, _seq, label, action = heapq.heappop(self._heap)
         self.now = when
+        if self.on_fire is not None:
+            self.on_fire(when, label)
         action()
         return when, label
 

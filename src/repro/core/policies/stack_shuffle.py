@@ -16,7 +16,6 @@ which is why aarch64 shows fewer bits of entropy in Fig. 10.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, Optional, Tuple
 
 from ...binfmt.delf import DelfBinary
@@ -28,6 +27,7 @@ from ...isa import get_isa
 from ..entropy import frame_entropy_bits, shuffleable_slots
 from ..policy import TransformationPolicy
 from ..rewriter import ImageMemory
+from ..rng import RngService
 from .cross_isa import retarget_images
 
 
@@ -57,15 +57,23 @@ class ShuffleStats:
 
 
 def shuffle_binary(binary: DelfBinary, seed: int,
-                   new_exe_suffix: str = ".shuffled"
+                   new_exe_suffix: str = ".shuffled",
+                   rng: Optional[RngService] = None
                    ) -> Tuple[DelfBinary, ShuffleStats]:
     """Produce a same-ISA binary with permuted frame layouts.
 
     Returns the transformed binary and the shuffle statistics. Instruction
     sizes never change (the offset fields are fixed-width), so code
     addresses — and therefore symbols and stackmap pcs — are unchanged.
+
+    All randomness flows through one :class:`~repro.core.rng.RngService`
+    seeded with ``seed`` (pass ``rng`` to observe the draws — the flight
+    recorder does, making every shuffle reproducible from its journal).
+    The permutation sequence is bit-identical to the historical ad-hoc
+    ``random.Random(seed)`` behaviour.
     """
-    rng = random.Random(seed)
+    if rng is None:
+        rng = RngService(seed, name="stack-shuffle")
     isa = get_isa(binary.arch)
     fp_index = isa.reg(isa.abi.frame_pointer)
     stats = ShuffleStats()
@@ -83,7 +91,7 @@ def shuffle_binary(binary: DelfBinary, seed: int,
             continue
         # Pair allocations of equal size and permute every pair (§IV-B).
         order = list(candidates)
-        rng.shuffle(order)
+        rng.shuffle(order, label=f"frame:{record.func}")
         offset_moves: Dict[int, int] = {}
         for i in range(0, len(order) - 1, 2):
             a, b = order[i], order[i + 1]
@@ -158,10 +166,12 @@ class StackShufflePolicy(TransformationPolicy):
 
     name = "stack-shuffle"
 
-    def __init__(self, binary: DelfBinary, seed: int, dst_exe_path: str):
+    def __init__(self, binary: DelfBinary, seed: int, dst_exe_path: str,
+                 rng: Optional[RngService] = None):
         self.src_binary = binary
         self.dst_exe_path = dst_exe_path
-        self.shuffled_binary, self.shuffle_stats = shuffle_binary(binary, seed)
+        self.shuffled_binary, self.shuffle_stats = shuffle_binary(
+            binary, seed, rng=rng)
 
     def apply(self, images: ImageSet, memory: ImageMemory) -> Dict:
         stats = retarget_images(images, memory, self.src_binary,

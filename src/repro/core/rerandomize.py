@@ -12,7 +12,6 @@ process is never running while its layout moves (§III-C).
 
 from __future__ import annotations
 
-import random
 from typing import List, Optional
 
 from ..binfmt.delf import DelfBinary
@@ -21,6 +20,7 @@ from ..errors import RewriteError
 from ..vm.kernel import Machine, Process
 from .policies.stack_shuffle import StackShufflePolicy
 from .rewriter import ProcessRewriter
+from .rng import RngService
 from .runtime import DapperRuntime
 
 
@@ -45,12 +45,17 @@ class PeriodicRerandomizer:
 
     def __init__(self, machine: Machine, process: Process,
                  base_binary: DelfBinary, interval_steps: int,
-                 seed: int = 0):
+                 seed: int = 0, rng: Optional[RngService] = None):
         self.machine = machine
         self.process = process
         self.base_binary = base_binary
         self.interval_steps = interval_steps
-        self._rng = random.Random(seed)
+        # All epoch-seed draws flow through the RNG service so a flight
+        # recorder observing it can journal (and a replay re-derive)
+        # every shuffle. Draw-for-draw identical to the historical
+        # ad-hoc random.Random(seed).
+        self._rng = rng if rng is not None else RngService(
+            seed, name="rerandomize")
         self._active_binary = base_binary
         self._accumulated_output = ""
         self.epochs: List[ShuffleEpoch] = []
@@ -99,7 +104,7 @@ class PeriodicRerandomizer:
 
     def _shuffle_now(self) -> None:
         epoch_no = len(self.epochs) + 1
-        seed = self._rng.randrange(1 << 30)
+        seed = self._rng.randrange(1 << 30, label=f"epoch-seed:{epoch_no}")
         runtime = DapperRuntime(self.machine, self.process)
         runtime.pause_at_equivalence_points()
         self._accumulated_output = self.process.stdout()
@@ -109,7 +114,8 @@ class PeriodicRerandomizer:
 
         policy = StackShufflePolicy(
             self._active_binary, seed=seed,
-            dst_exe_path=f"{self.process.exe_path}.e{epoch_no}")
+            dst_exe_path=f"{self.process.exe_path}.e{epoch_no}",
+            rng=self._rng.child(seed, f"stack-shuffle:e{epoch_no}"))
         report = ProcessRewriter().rewrite(images, policy)[0]
         self.machine.tmpfs.write(policy.dst_exe_path,
                                  policy.shuffled_binary.to_bytes())

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import struct
 import time
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..criu.images import ImageSet, PagemapEntry, PagemapImage
 from ..errors import RewriteError
@@ -145,10 +145,18 @@ class RewriteReport:
 
 
 class ProcessRewriter:
-    """Applies transformation policies to checkpointed image sets."""
+    """Applies transformation policies to checkpointed image sets.
 
-    def __init__(self, policies: Optional[List[TransformationPolicy]] = None):
+    ``clock`` is the wall-clock source for :class:`RewriteReport`
+    timings. It defaults to ``time.perf_counter``; replayed and tested
+    runs inject a deterministic clock so the recorded metadata is
+    identical from run to run.
+    """
+
+    def __init__(self, policies: Optional[List[TransformationPolicy]] = None,
+                 clock: Callable[[], float] = time.perf_counter):
         self.policies: List[TransformationPolicy] = list(policies or [])
+        self.clock = clock
 
     def add_policy(self, policy: TransformationPolicy) -> None:
         self.policies.append(policy)
@@ -162,12 +170,12 @@ class ProcessRewriter:
             raise RewriteError("no transformation policy given")
         reports = []
         for item in todo:
-            start = time.perf_counter()
+            start = self.clock()
             before = images.total_bytes()
             memory = ImageMemory(images)
             stats = item.apply(images, memory)
             memory.flush()
-            wall = time.perf_counter() - start
+            wall = self.clock() - start
             reports.append(RewriteReport(item.name, stats or {}, wall,
                                          before, images.total_bytes()))
         return reports

@@ -1,0 +1,79 @@
+"""One seeded, journal-aware RNG service for every randomized policy.
+
+Dapper's policies used to draw randomness from ad-hoc ``random.Random``
+instances scattered across the codebase (stack shuffling, periodic
+re-randomization). That is fine until a run must be *reproduced*: the
+flight recorder needs to see every draw, and a replay must be able to
+verify that the same draws happened in the same order.
+
+:class:`RngService` wraps one ``random.Random(seed)`` (so existing
+seeded behaviour is bit-identical to the old ad-hoc instances) and
+notifies an optional observer of every draw — ``(service name, draw
+label, value)``. Shuffles are reported as a content hash of the
+resulting permutation, which is enough to journal-diff two runs without
+recording the permutation itself. Child services inherit the observer,
+so a policy that derives a per-epoch RNG from an epoch seed keeps the
+whole tree observable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Callable, List, Optional, Sequence
+
+#: Observer signature: (service name, draw label, drawn value).
+RngObserver = Callable[[str, str, int], None]
+
+
+def _permutation_fingerprint(seq: Sequence) -> int:
+    """A stable 63-bit fingerprint of the order of ``seq``."""
+    h = hashlib.blake2b(digest_size=8)
+    for item in seq:
+        h.update(repr(item).encode())
+        h.update(b"\x00")
+    return int.from_bytes(h.digest(), "little") >> 1
+
+
+class RngService:
+    """A seeded random source whose every draw is observable."""
+
+    def __init__(self, seed: int = 0, observer: Optional[RngObserver] = None,
+                 name: str = "rng"):
+        self.seed = seed
+        self.name = name
+        self.observer = observer
+        self._rng = random.Random(seed)
+
+    def child(self, seed: int, name: str) -> "RngService":
+        """Derive a service for a sub-task; inherits the observer."""
+        return RngService(seed, self.observer, name)
+
+    def _notify(self, label: str, value: int) -> None:
+        if self.observer is not None:
+            self.observer(self.name, label, value)
+
+    # -- draws ------------------------------------------------------------
+
+    def randrange(self, stop: int, label: str = "randrange") -> int:
+        value = self._rng.randrange(stop)
+        self._notify(label, value)
+        return value
+
+    def randint(self, a: int, b: int, label: str = "randint") -> int:
+        value = self._rng.randint(a, b)
+        self._notify(label, value)
+        return value
+
+    def shuffle(self, seq: List, label: str = "shuffle") -> None:
+        """In-place shuffle; journals a fingerprint of the new order."""
+        self._rng.shuffle(seq)
+        self._notify(label, _permutation_fingerprint(seq))
+
+    def choice(self, seq: Sequence, label: str = "choice"):
+        index = self._rng.randrange(len(seq))
+        self._notify(label, index)
+        return seq[index]
+
+    def __repr__(self) -> str:
+        return f"<RngService {self.name} seed={self.seed}>"

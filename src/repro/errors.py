@@ -101,3 +101,7 @@ class ClusterError(ReproError):
 
 class SecurityHarnessError(ReproError):
     """Attack harness misconfiguration (not an attack failure)."""
+
+
+class JournalError(ReproError):
+    """A flight-recorder journal is malformed or cannot be replayed."""

@@ -1,0 +1,140 @@
+"""Whole-machine state digests for the flight recorder.
+
+A digest folds every piece of architecturally-visible state the
+simulated kernel owns into 16 bytes: for each process (in deterministic
+order) the kernel-visible fields (exit state, heap break, lock table,
+instruction/cycle totals, accumulated stdout), every thread's registers
++ pc + flags + TLS pointer + status, the VMA layout, and a content hash
+of every *populated, non-zero* page of the address space. Zero pages
+are skipped so that a page lazily materialized as zeros digests the
+same as an untouched one — vanilla and post-copy restores, and both
+execution engines, therefore produce identical streams for identical
+executions.
+
+Digests are engine-independent by construction (the superblock engine
+retires instruction-for-instruction identical state to the per-step
+interpreter at every scheduling-slice boundary) and are compared
+per-segment across a cross-ISA migration (the pre-migration segment of
+record and replay runs on the source ISA, the post-migration segment on
+the destination ISA, so like is always compared with like).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple
+
+from ..mem.paging import PAGE_SIZE
+
+if TYPE_CHECKING:
+    from ..vm.kernel import Machine, Process
+
+DIGEST_SIZE = 16
+
+_ZERO_PAGE = bytes(PAGE_SIZE)
+_U64 = 0xFFFFFFFFFFFFFFFF
+_STATUS_CODES = {"running": 0, "trapped": 1, "stopped": 2, "dead": 3}
+
+
+def _fold_process(h, process: "Process", output_hash: bytes) -> None:
+    pack = struct.pack
+    h.update(pack("<QqqQQ", process.pid, process.heap_end,
+                  -1 if process.exit_code is None else process.exit_code,
+                  process.instr_total, process.cycle_total))
+    h.update(b"X" if process.exited else b"r")
+    h.update(process.isa.name.encode())
+    h.update(output_hash)
+    for addr in sorted(process.locks):
+        h.update(pack("<QQ", addr & _U64, process.locks[addr] & _U64))
+    for tid in sorted(process.threads):
+        thread = process.threads[tid]
+        h.update(pack("<QBQqQQ", thread.tid,
+                      _STATUS_CODES[thread.status],
+                      thread.pc & _U64, thread.flags, thread.tp & _U64,
+                      thread.instr_count))
+        regs = thread.regs
+        h.update(pack(f"<{len(regs)}q", *regs))
+    for vma in sorted(process.aspace.vmas, key=lambda v: v.start):
+        h.update(pack("<QQB", vma.start, vma.end, int(vma.prot)))
+        h.update(vma.name.encode())
+    pages = process.aspace._pages
+    for base in sorted(pages):
+        store = pages[base]
+        if store == _ZERO_PAGE:
+            continue
+        h.update(pack("<Q", base))
+        h.update(hashlib.blake2b(store, digest_size=DIGEST_SIZE).digest())
+
+
+def machine_digest(machines: Iterable["Machine"],
+                   output_hashes: Dict[int, bytes]) -> bytes:
+    """Digest the full state of ``machines`` (in the given order).
+
+    ``output_hashes`` maps ``id(process)`` to an (incrementally
+    maintained) hash of the process's accumulated stdout — the recorder
+    owns those so digesting is O(state), not O(total output).
+    """
+    h = hashlib.blake2b(digest_size=DIGEST_SIZE)
+    for machine in machines:
+        h.update(machine.isa.name.encode())
+        h.update(b"|")
+        for pid in sorted(machine.processes):
+            process = machine.processes[pid]
+            _fold_process(h, process,
+                          output_hashes.get(id(process), b""))
+    return h.digest()
+
+
+# -- full state snapshots (for byte-exact divergence diffs) -------------------
+
+
+def capture_state(machines: Iterable["Machine"]) -> Dict:
+    """Deep-copy the architecturally-visible state of ``machines``.
+
+    The returned structure is what :func:`repro.replay.divergence.
+    diff_states` consumes: per (machine-index, pid) — registers and pc
+    per thread, and the populated non-zero pages as immutable bytes.
+    """
+    snapshot: Dict = {}
+    for index, machine in enumerate(machines):
+        for pid in sorted(machine.processes):
+            process = machine.processes[pid]
+            threads = {}
+            for tid in sorted(process.threads):
+                t = process.threads[tid]
+                threads[tid] = {
+                    "regs": list(t.regs), "pc": t.pc, "flags": t.flags,
+                    "tp": t.tp, "status": t.status,
+                    "instr_count": t.instr_count,
+                }
+            pages = {base: bytes(store)
+                     for base, store in process.aspace._pages.items()
+                     if store != _ZERO_PAGE}
+            snapshot[(index, pid)] = {
+                "isa": process.isa.name,
+                "threads": threads,
+                "pages": pages,
+                "heap_end": process.heap_end,
+                "exited": process.exited,
+                "exit_code": process.exit_code,
+                "output": process.stdout(),
+                "instr_total": process.instr_total,
+                "cycle_total": process.cycle_total,
+            }
+    return snapshot
+
+
+def page_diff(a: bytes, b: bytes, base: int,
+              limit: int = 32) -> List[Tuple[int, int, int]]:
+    """Byte-level differences between two page images.
+
+    Returns up to ``limit`` ``(address, byte_a, byte_b)`` tuples.
+    """
+    out: List[Tuple[int, int, int]] = []
+    for offset, (ba, bb) in enumerate(zip(a, b)):
+        if ba != bb:
+            out.append((base + offset, ba, bb))
+            if len(out) >= limit:
+                break
+    return out

@@ -1,0 +1,268 @@
+"""Replay engine: scenarios reconstructed from journal headers.
+
+A journal header is a complete, self-contained description of a run —
+including the DapperC source text — so any journal can be re-executed
+from scratch. Three scenario shapes are supported:
+
+* ``run`` — spawn the program on one machine and run it to exit,
+* ``migrate`` — run, pause at equivalence points after a warmup,
+  cross-ISA migrate via the full pipeline, finish on the destination,
+* ``rerandomize`` — run under the periodic stack re-randomizer, with
+  every epoch-seed and frame-shuffle draw journaled via the RNG
+  service.
+
+The :class:`Replayer` re-executes a journal's scenario with optional
+overrides (a different execution engine — digests must not change — a
+different digest cadence, an injected fault) and optional stop points
+(used by the divergence detector to reconstruct the machine state at
+an arbitrary digest index).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional
+
+from ..compiler import compile_source
+from ..core.migration import (MigrationPipeline, exe_path_for,
+                              install_program)
+from ..core.rerandomize import PeriodicRerandomizer
+from ..core.rng import RngService
+from ..errors import JournalError
+from ..isa import get_isa
+from ..vm.kernel import Machine
+from . import journal as jn
+from .journal import Journal
+from .recorder import BitFlip, FlightRecorder, ReplayStop
+
+DEFAULT_MAX_STEPS = 50_000_000
+
+
+@lru_cache(maxsize=32)
+def _compile(source: str, name: str):
+    return compile_source(source, name)
+
+
+class ReplayResult:
+    """Outcome of one (possibly partial) scenario execution."""
+
+    def __init__(self, journal: Journal, recorder: FlightRecorder,
+                 stopped: bool, exit_code: Optional[int]):
+        self.journal = journal
+        self.recorder = recorder
+        self.stopped = stopped
+        self.exit_code = exit_code
+        #: byte-exact machine state at the stop point (None if the run
+        #: completed without hitting a stop condition)
+        self.snapshot = recorder.snapshot
+
+    def __repr__(self) -> str:
+        state = "stopped" if self.stopped else f"exit={self.exit_code}"
+        return (f"<ReplayResult {state} slices={self.recorder.slices} "
+                f"digests={self.recorder.digest_count}>")
+
+
+def _machine(header: Dict, arch: str, name: str = "node") -> Machine:
+    return Machine(get_isa(arch), name=name,
+                   quantum=header.get("quantum", 64),
+                   block_engine=header.get("engine", "blocks") == "blocks")
+
+
+def _execute_run(header: Dict, recorder: FlightRecorder) -> Optional[int]:
+    program = _compile(header["source"], header["program"])
+    arch = header["src_arch"]
+    machine = _machine(header, arch)
+    recorder.attach(machine)
+    install_program(machine, program)
+    process = machine.spawn_process(exe_path_for(program.name, arch))
+    machine.run_process(process,
+                        header.get("max_steps", DEFAULT_MAX_STEPS))
+    return process.exit_code
+
+
+def _execute_migrate(header: Dict, recorder: FlightRecorder
+                     ) -> Optional[int]:
+    program = _compile(header["source"], header["program"])
+    src_arch, dst_arch = header["src_arch"], header["dst_arch"]
+    src = _machine(header, src_arch, name="src")
+    dst = _machine(header, dst_arch, name="dst")
+    recorder.attach(src)
+    recorder.attach(dst)
+    pipeline = MigrationPipeline(src, dst, program)
+    process = pipeline.start()
+    src.step_all(header.get("warmup", 5000))
+    if process.exited:
+        raise JournalError("process exited before the migration point; "
+                           "lower warmup")
+    result = pipeline.migrate(process, lazy=bool(header.get("lazy", 0)))
+    recorder.on_event(jn.EV_CHECKPOINT, pid=process.pid,
+                      a=result.images.total_bytes())
+    recorder.on_event(jn.EV_REWRITE, label="cross-isa",
+                      a=result.stats.get("frames", 0))
+    recorder.on_event(jn.EV_MIGRATE, label=f"{src_arch}->{dst_arch}",
+                      pid=result.process.pid)
+    dst.run_process(result.process,
+                    header.get("max_steps", DEFAULT_MAX_STEPS))
+    return result.process.exit_code
+
+
+def _execute_rerandomize(header: Dict, recorder: FlightRecorder
+                         ) -> Optional[int]:
+    program = _compile(header["source"], header["program"])
+    arch = header["src_arch"]
+    machine = _machine(header, arch)
+    recorder.attach(machine)
+    install_program(machine, program)
+    process = machine.spawn_process(exe_path_for(program.name, arch))
+    rng = RngService(header.get("seed", 0), observer=recorder.on_rng,
+                     name="rerandomize")
+    rerand = PeriodicRerandomizer(machine, process, program.binary(arch),
+                                  interval_steps=header.get("interval",
+                                                            2000),
+                                  rng=rng)
+    for _ in range(1000):
+        if not rerand.run_epoch():
+            break
+        epoch = rerand.epochs[-1]
+        recorder.on_event(jn.EV_REWRITE, label="stack-shuffle",
+                          a=epoch.seed, b=epoch.pairs)
+    else:
+        raise JournalError("process still running after 1000 epochs")
+    return rerand.process.exit_code
+
+
+_SCENARIOS = {
+    "run": _execute_run,
+    "migrate": _execute_migrate,
+    "rerandomize": _execute_rerandomize,
+}
+
+
+def execute(header: Dict, recorder: FlightRecorder) -> ReplayResult:
+    """Run the scenario ``header`` describes under ``recorder``."""
+    scenario = header.get("scenario", "run")
+    runner = _SCENARIOS.get(scenario)
+    if runner is None:
+        raise JournalError(f"unknown scenario {scenario!r}; "
+                           f"known: {sorted(_SCENARIOS)}")
+    recorder.journal.header.update(header)
+    try:
+        exit_code = runner(header, recorder)
+    except ReplayStop:
+        return ReplayResult(recorder.journal, recorder, True, None)
+    finally:
+        recorder.detach_all()
+    recorder.finalize(exit_code)
+    return ReplayResult(recorder.journal, recorder, False, exit_code)
+
+
+def _make_header(scenario: str, source: str, name: str, arch: str,
+                 engine: str, quantum: int, digest_every: int,
+                 max_steps: int, record_syscalls: bool,
+                 fault: Optional[BitFlip], **extra) -> Dict:
+    if engine not in ("blocks", "interp"):
+        raise JournalError(f"unknown engine {engine!r}")
+    header = {
+        "scenario": scenario, "program": name, "source": source,
+        "src_arch": arch, "engine": engine, "quantum": quantum,
+        "digest_every": digest_every, "max_steps": max_steps,
+        "record_syscalls": int(record_syscalls),
+    }
+    header.update({k: v for k, v in extra.items() if v is not None})
+    if fault is not None:
+        header.update(fault.header_fields())
+    return header
+
+
+def _record(header: Dict, fault: Optional[BitFlip]) -> ReplayResult:
+    recorder = FlightRecorder(
+        digest_every=header.get("digest_every", 1),
+        record_syscalls=bool(header.get("record_syscalls", 1)),
+        fault=fault)
+    return execute(header, recorder)
+
+
+def record_run(source: str, name: str, arch: str = "x86_64",
+               engine: str = "blocks", quantum: int = 64,
+               digest_every: int = 1, max_steps: int = DEFAULT_MAX_STEPS,
+               record_syscalls: bool = True,
+               fault: Optional[BitFlip] = None) -> ReplayResult:
+    """Record one plain run; returns the completed :class:`ReplayResult`."""
+    header = _make_header("run", source, name, arch, engine, quantum,
+                          digest_every, max_steps, record_syscalls, fault)
+    return _record(header, fault)
+
+
+def record_migrate(source: str, name: str, src_arch: str = "x86_64",
+                   dst_arch: str = "aarch64", warmup: int = 5000,
+                   lazy: bool = False, engine: str = "blocks",
+                   quantum: int = 64, digest_every: int = 1,
+                   max_steps: int = DEFAULT_MAX_STEPS,
+                   record_syscalls: bool = True,
+                   fault: Optional[BitFlip] = None) -> ReplayResult:
+    """Record a run that live-migrates across ISAs mid-execution."""
+    header = _make_header("migrate", source, name, src_arch, engine,
+                          quantum, digest_every, max_steps,
+                          record_syscalls, fault, dst_arch=dst_arch,
+                          warmup=warmup, lazy=int(lazy))
+    return _record(header, fault)
+
+
+def record_rerandomize(source: str, name: str, arch: str = "x86_64",
+                       interval: int = 2000, seed: int = 0,
+                       engine: str = "blocks", quantum: int = 64,
+                       digest_every: int = 1,
+                       max_steps: int = DEFAULT_MAX_STEPS,
+                       record_syscalls: bool = True,
+                       fault: Optional[BitFlip] = None) -> ReplayResult:
+    """Record a run under periodic stack re-randomization."""
+    header = _make_header("rerandomize", source, name, arch, engine,
+                          quantum, digest_every, max_steps,
+                          record_syscalls, fault, interval=interval,
+                          seed=seed)
+    return _record(header, fault)
+
+
+class Replayer:
+    """Re-executes a journal's scenario, with optional overrides.
+
+    ``engine`` switches the execution engine (``"blocks"`` /
+    ``"interp"``); a correct engine produces a bit-identical digest
+    stream, which is exactly what the CI replay-smoke job asserts.
+    ``fault`` injects a deterministic bit flip; by default the fault
+    recorded in the journal's own header (if any) is re-injected, so a
+    divergent run reproduces from its own journal.
+    """
+
+    def __init__(self, journal: Journal, engine: Optional[str] = None,
+                 digest_every: Optional[int] = None,
+                 fault: Optional[BitFlip] = "inherit"):
+        self.header = dict(journal.header)
+        if engine is not None:
+            if engine not in ("blocks", "interp"):
+                raise JournalError(f"unknown engine {engine!r}")
+            self.header["engine"] = engine
+        if digest_every is not None:
+            self.header["digest_every"] = digest_every
+        if fault == "inherit":
+            fault = BitFlip.from_header(self.header)
+        elif fault is not None:
+            self.header.update(fault.header_fields())
+        self._fault_spec = fault
+
+    def _fresh_fault(self) -> Optional[BitFlip]:
+        # BitFlip carries `fired` state; every run needs its own copy.
+        spec = self._fault_spec
+        if spec is None:
+            return None
+        return BitFlip(spec.at_slice, spec.addr, spec.bit)
+
+    def run(self, stop_at_digest: Optional[int] = None,
+            stop_at_instr: Optional[int] = None) -> ReplayResult:
+        recorder = FlightRecorder(
+            digest_every=self.header.get("digest_every", 1),
+            record_syscalls=bool(self.header.get("record_syscalls", 1)),
+            fault=self._fresh_fault(),
+            stop_at_digest=stop_at_digest,
+            stop_at_instr=stop_at_instr)
+        return execute(dict(self.header), recorder)

@@ -1,0 +1,257 @@
+"""The flight recorder: journaling hooks, fault injection, stop points.
+
+A :class:`FlightRecorder` is attached to one or more
+:class:`~repro.vm.kernel.Machine` instances. The kernel notifies it —
+only when one is attached; the disabled path is a single ``is None``
+test per scheduling slice — after every scheduling slice, syscall,
+trap, spawn, restore and kill. The recorder appends events to its
+:class:`~repro.replay.journal.Journal` and, every ``digest_every``
+slices, folds the full machine state into a digest event.
+
+Two extra facilities make the recorder the replay/divergence engine's
+workhorse:
+
+* **Deterministic fault injection** — a :class:`BitFlip` flips one bit
+  of guest memory at an exact scheduling-slice boundary. Slice indices
+  are engine-independent, so an injected fault reproduces exactly on
+  either engine, which is what lets the divergence detector re-execute
+  a faulty run to any digest point.
+* **Stop conditions** — ``stop_at_digest`` / ``stop_at_instr`` raise
+  :class:`ReplayStop` at a slice boundary, after capturing a byte-exact
+  state snapshot. Replays use this to reconstruct the machine state at
+  an arbitrary quantum (the ``seek`` operation and the byte-level
+  divergence diff).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..errors import ReproError
+from ..mem.paging import PAGE_SIZE, page_align_down
+from . import journal as jn
+from .digest import DIGEST_SIZE, capture_state, machine_digest
+
+if TYPE_CHECKING:
+    from ..vm.cpu import ThreadContext
+    from ..vm.kernel import Machine, Process
+
+
+class ReplayStop(ReproError):
+    """Raised by the recorder when a requested stop point is reached."""
+
+    def __init__(self, slice_index: int, digest_index: int):
+        super().__init__(f"replay stopped at slice {slice_index} "
+                         f"(digest {digest_index})")
+        self.slice_index = slice_index
+        self.digest_index = digest_index
+
+
+class BitFlip:
+    """Flip bit ``bit`` of the byte at ``addr`` after slice ``at_slice``.
+
+    The flip is applied directly to the page store (bypassing VMA
+    protection checks, like a cosmic ray would) at the scheduling-slice
+    boundary, which is a deterministic, engine-independent point.
+    """
+
+    def __init__(self, at_slice: int, addr: int, bit: int = 0):
+        if not 0 <= bit <= 7:
+            raise ValueError(f"bit must be 0..7, got {bit}")
+        self.at_slice = at_slice
+        self.addr = addr
+        self.bit = bit
+        self.fired = False
+
+    def fire(self, machines: List["Machine"]) -> bool:
+        base = page_align_down(self.addr)
+        for machine in machines:
+            for pid in sorted(machine.processes):
+                process = machine.processes[pid]
+                store = process.aspace._pages.get(base)
+                if store is None:
+                    # Materialize a mapped-but-untouched page so the
+                    # flip lands even on lazily-backed zero pages.
+                    if process.aspace.find_vma(self.addr) is None:
+                        continue
+                    store = bytearray(PAGE_SIZE)
+                    process.aspace._pages[base] = store
+                store[self.addr - base] ^= 1 << self.bit
+                self.fired = True
+                return True
+        return False
+
+    def header_fields(self) -> Dict[str, int]:
+        return {"fault_slice": self.at_slice, "fault_addr": self.addr,
+                "fault_bit": self.bit}
+
+    @classmethod
+    def from_header(cls, header: Dict) -> Optional["BitFlip"]:
+        if "fault_slice" not in header:
+            return None
+        return cls(header["fault_slice"], header.get("fault_addr", 0),
+                   header.get("fault_bit", 0))
+
+
+class _OutputHash:
+    """Incrementally maintained hash of one process's stdout stream."""
+
+    __slots__ = ("h", "consumed")
+
+    def __init__(self):
+        self.h = hashlib.blake2b(digest_size=DIGEST_SIZE)
+        self.consumed = 0
+
+    def fold(self, chunks: List[str]) -> bytes:
+        if len(chunks) > self.consumed:
+            for chunk in chunks[self.consumed:]:
+                self.h.update(chunk.encode("utf-8", "surrogatepass"))
+            self.consumed = len(chunks)
+        return self.h.copy().digest()
+
+
+class FlightRecorder:
+    """Journals one run of one or more machines.
+
+    ``digest_every`` is the digest cadence in scheduling slices (0
+    disables periodic digests; a final digest is always emitted by
+    :meth:`finalize`). ``record_syscalls`` journals every syscall's
+    number, arguments and result — cheap, and it turns a divergence in
+    kernel interaction into an immediately visible journal diff.
+    """
+
+    def __init__(self, journal: Optional[jn.Journal] = None,
+                 digest_every: int = 1, record_syscalls: bool = True,
+                 fault: Optional[BitFlip] = None,
+                 stop_at_digest: Optional[int] = None,
+                 stop_at_instr: Optional[int] = None):
+        self.journal = journal if journal is not None else jn.Journal()
+        self.digest_every = digest_every
+        self.record_syscalls = record_syscalls
+        self.fault = fault
+        self.stop_at_digest = stop_at_digest
+        self.stop_at_instr = stop_at_instr
+        self.machines: List["Machine"] = []
+        self.slices = 0
+        self.instructions = 0
+        self.digest_count = 0
+        self.snapshot: Optional[Dict] = None
+        self.finalized = False
+        self._output_hashes: Dict[int, bytes] = {}
+        self._output_state: Dict["Process", _OutputHash] = {}
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, machine: "Machine") -> "FlightRecorder":
+        if machine.recorder is not None and machine.recorder is not self:
+            raise ReproError(f"machine {machine.name} already has a recorder")
+        machine.recorder = self
+        self.machines.append(machine)
+        return self
+
+    def detach_all(self) -> None:
+        for machine in self.machines:
+            if machine.recorder is self:
+                machine.recorder = None
+
+    # -- kernel hooks -----------------------------------------------------
+
+    def on_slice(self, machine: "Machine", process: "Process",
+                 thread: "ThreadContext", budget: int,
+                 executed: int) -> None:
+        """One scheduling slice retired ``executed`` instructions."""
+        self.slices += 1
+        self.instructions += executed
+        self.journal.append(jn.EV_SCHED, pid=process.pid, tid=thread.tid,
+                            instr=self.instructions, a=budget, b=executed)
+        fault = self.fault
+        if fault is not None and not fault.fired \
+                and self.slices >= fault.at_slice:
+            if fault.fire(self.machines):
+                self.journal.append(jn.EV_FAULT, instr=self.instructions,
+                                    a=fault.addr, b=fault.bit)
+        if self.digest_every and self.slices % self.digest_every == 0:
+            self._emit_digest()
+        if (self.stop_at_instr is not None
+                and self.instructions >= self.stop_at_instr):
+            self._stop()
+
+    def on_syscall(self, machine: "Machine", process: "Process",
+                   thread: "ThreadContext", number: int, args: List[int],
+                   result: Optional[int]) -> None:
+        if self.record_syscalls:
+            self.journal.append(
+                jn.EV_SYSCALL, pid=process.pid, tid=thread.tid, a=number,
+                payload=jn.pack_args(args),
+                b=result if result is not None else 0)
+
+    def on_trap(self, machine: "Machine", process: "Process",
+                thread: "ThreadContext") -> None:
+        self.journal.append(jn.EV_TRAP, pid=process.pid, tid=thread.tid,
+                            instr=self.instructions)
+
+    def on_spawn(self, machine: "Machine", process: "Process") -> None:
+        self.journal.append(jn.EV_SPAWN, pid=process.pid,
+                            label=process.exe_path)
+
+    def on_restore(self, machine: "Machine", process: "Process") -> None:
+        self.journal.append(jn.EV_RESTORE, pid=process.pid,
+                            label=machine.isa.name,
+                            instr=self.instructions)
+
+    def on_kill(self, machine: "Machine", process: "Process") -> None:
+        self.journal.append(jn.EV_EXIT, pid=process.pid,
+                            a=process.exit_code
+                            if process.exit_code is not None else -9)
+
+    # -- non-kernel event sources -----------------------------------------
+
+    def on_rng(self, service: str, label: str, value: int) -> None:
+        self.journal.append(jn.EV_RNG, label=f"{service}/{label}", a=value)
+
+    def on_cluster_event(self, when: float, label: str) -> None:
+        self.journal.append(jn.EV_CLUSTER, a=int(round(when * 1e9)),
+                            label=label)
+
+    def on_event(self, kind: int, **fields) -> None:
+        """Journal a scenario-level event (checkpoint/rewrite/migrate)."""
+        fields.setdefault("instr", self.instructions)
+        self.journal.append(kind, **fields)
+
+    # -- digests and stop points ------------------------------------------
+
+    def _fold_outputs(self) -> Dict[int, bytes]:
+        for machine in self.machines:
+            for process in machine.processes.values():
+                state = self._output_state.get(process)
+                if state is None:
+                    state = self._output_state[process] = _OutputHash()
+                self._output_hashes[id(process)] = state.fold(process.output)
+        return self._output_hashes
+
+    def current_digest(self) -> bytes:
+        return machine_digest(self.machines, self._fold_outputs())
+
+    def _emit_digest(self) -> None:
+        digest = self.current_digest()
+        index = self.digest_count
+        self.digest_count += 1
+        self.journal.append(jn.EV_DIGEST, a=index, instr=self.instructions,
+                            payload=digest)
+        if self.stop_at_digest is not None \
+                and self.digest_count > self.stop_at_digest:
+            self._stop()
+
+    def _stop(self) -> None:
+        self.snapshot = capture_state(self.machines)
+        raise ReplayStop(self.slices, self.digest_count - 1)
+
+    def finalize(self, exit_code: Optional[int] = None) -> jn.Journal:
+        """Emit the final digest + end marker; returns the journal."""
+        if not self.finalized:
+            self.finalized = True
+            self._emit_digest()
+            self.journal.append(jn.EV_END, instr=self.instructions,
+                                a=exit_code if exit_code is not None else 0)
+        return self.journal

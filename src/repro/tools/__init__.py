@@ -8,4 +8,8 @@
   machine.
 * ``python -m repro.tools.migrate`` — compile, run, and live-migrate a
   program across ISAs, printing the stage breakdown.
+* ``python -m repro.tools.replay`` — flight recorder: record a run into
+  a journal, replay it bit-identically (either engine), diff two
+  journals down to the first diverging quantum, seek to an instruction
+  count, or summarize a journal.
 """

@@ -104,6 +104,10 @@ class Machine:
         self.next_pid = 100
         #: called on every SIGTRAP: (process, thread) -> None
         self.trap_hooks: List[Callable] = []
+        #: attached flight recorder (repro.replay.recorder) or None.
+        #: Zero-overhead when off: the kernel tests ``is None`` once per
+        #: scheduling slice / syscall, never per instruction.
+        self.recorder = None
 
     # -- process lifecycle ---------------------------------------------------
 
@@ -126,11 +130,15 @@ class Machine:
         self.processes[pid] = process
         self._create_thread(process, pc=binary.entry, arg=None,
                             return_to=0)
+        if self.recorder is not None:
+            self.recorder.on_spawn(self, process)
         return process
 
     def adopt_process(self, process: Process) -> None:
         """Register a process built externally (the CRIU restore path)."""
         self.processes[process.pid] = process
+        if self.recorder is not None:
+            self.recorder.on_restore(self, process)
 
     def alloc_pid(self) -> int:
         pid = self.next_pid
@@ -185,12 +193,18 @@ class Machine:
     def _run_thread(self, process: Process, thread: ThreadContext,
                     quantum: int) -> int:
         if self.block_engine:
-            return blocks.run_thread(self, process, thread, quantum)
-        count = 0
-        while (count < quantum and thread.runnable()
-               and not process.stopped and not process.exited):
-            interp.step(self, process, thread)
-            count += 1
+            count = blocks.run_thread(self, process, thread, quantum)
+        else:
+            count = 0
+            while (count < quantum and thread.runnable()
+                   and not process.stopped and not process.exited):
+                interp.step(self, process, thread)
+                count += 1
+        # The recorder sees identical slice streams from both engines:
+        # the superblock engine retires instruction-for-instruction
+        # identical counts to the per-step loop at every slice boundary.
+        if self.recorder is not None and count:
+            self.recorder.on_slice(self, process, thread, quantum, count)
         return count
 
     def run_process(self, process: Process, max_steps: int = 50_000_000) -> int:
@@ -225,8 +239,12 @@ class Machine:
         if process.exit_code is None:
             process.exit_code = -9
         self.processes.pop(process.pid, None)
+        if self.recorder is not None:
+            self.recorder.on_kill(self, process)
 
     def on_trap(self, process: Process, thread: ThreadContext) -> None:
+        if self.recorder is not None:
+            self.recorder.on_trap(self, process, thread)
         for hook in self.trap_hooks:
             hook(process, thread)
 
@@ -237,7 +255,11 @@ class Machine:
         handler = _SYSCALLS.get(number)
         if handler is None:
             raise KernelError(f"unknown syscall {number}")
-        return handler(self, process, thread, args)
+        result = handler(self, process, thread, args)
+        if self.recorder is not None:
+            self.recorder.on_syscall(self, process, thread, number, args,
+                                     result)
+        return result
 
 
 def _BY_TID(thread: ThreadContext) -> int:

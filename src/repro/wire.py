@@ -214,7 +214,11 @@ class Schema:
         if spec.kind == "bytes":
             return raw
         if spec.kind == "str":
-            return raw.decode("utf-8")
+            try:
+                return raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise WireError(
+                    f"{self.name}.{spec.name}: invalid utf-8") from exc
         return spec.message.decode(raw)
 
 

@@ -155,3 +155,83 @@ class TestSchema:
     def test_roundtrip_property(self, numbers, blob, name):
         obj = {"name": name, "blob": blob, "numbers": numbers, "items": []}
         assert OUTER.decode(OUTER.encode(obj)) == obj
+
+
+class TestDecoderFuzz:
+    """Truncated and garbage input must raise WireError — never hang,
+    never read past the buffer, never leak a non-wire exception.
+
+    The flight-recorder journal decoder sits on top of this layer, so a
+    corrupt journal file must surface as a clean error."""
+
+    def _decode_all(self, data):
+        # Force the iter_fields generator to completion.
+        return list(wire.iter_fields(data))
+
+    def test_truncated_varint_every_prefix(self):
+        data = wire.encode_varint(2 ** 56 - 1)
+        for cut in range(len(data)):
+            with pytest.raises(WireError):
+                wire.decode_varint(data[:cut] if cut else b"")
+
+    def test_overlong_varint_rejected(self):
+        # 11 continuation bytes exceed the 70-bit shift limit.
+        with pytest.raises(WireError):
+            wire.decode_varint(b"\x80" * 11 + b"\x01")
+
+    def test_length_prefix_beyond_buffer(self):
+        # claims an on-wire length far past the end of the data
+        data = wire._encode_key(1, wire.WIRE_LEN) + wire.encode_varint(1000)
+        with pytest.raises(WireError):
+            self._decode_all(data + b"short")
+
+    def test_huge_length_prefix_does_not_allocate(self):
+        data = wire._encode_key(1, wire.WIRE_LEN) \
+            + wire.encode_varint(2 ** 62)
+        with pytest.raises(WireError):
+            self._decode_all(data)
+
+    def test_unsupported_wire_types_rejected(self):
+        for wire_type in (1, 3, 4, 5, 6, 7):
+            with pytest.raises(WireError):
+                self._decode_all(wire.encode_varint((1 << 3) | wire_type))
+
+    def test_truncated_message_every_prefix(self):
+        full = OUTER.encode({"name": "hello", "count": 7,
+                             "blob": b"\x01\x02\x03",
+                             "numbers": [1, -2, 3]})
+        for cut in range(len(full)):
+            try:
+                OUTER.decode(full[:cut])
+            except WireError:
+                pass  # rejecting a truncation is always acceptable
+
+    def test_invalid_utf8_in_str_field_raises_wire_error(self):
+        data = wire._encode_key(1, wire.WIRE_LEN) \
+            + wire.encode_varint(2) + b"\xff\xfe"
+        with pytest.raises(WireError):
+            OUTER.decode(data)
+
+    @given(st.binary(max_size=256))
+    def test_garbage_never_escapes_wire_error(self, data):
+        try:
+            self._decode_all(data)
+        except WireError:
+            pass
+
+    @given(st.binary(max_size=256))
+    def test_schema_decode_garbage_never_escapes_wire_error(self, data):
+        try:
+            OUTER.decode(data)
+        except WireError:
+            pass
+
+    @given(st.binary(max_size=128), st.integers(0, 127))
+    def test_corrupted_valid_message(self, noise, position):
+        base = OUTER.encode({"name": "seed", "count": 1,
+                             "blob": b"abc", "numbers": [5, 6]})
+        data = base[:position % (len(base) + 1)] + noise
+        try:
+            OUTER.decode(data)
+        except WireError:
+            pass
