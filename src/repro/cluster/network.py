@@ -16,9 +16,34 @@ class Network:
         self.default_link = default_link or infiniband_link()
         self._links: Dict[Tuple[str, str], LinkProfile] = {}
 
-    def connect(self, a: str, b: str, link: LinkProfile) -> None:
+    def connect(self, a: str, b: str, link: LinkProfile,
+                symmetric: bool = True) -> None:
+        """Register a link between two nodes.
+
+        ``symmetric=True`` (the default) installs both directions;
+        pass ``False`` to model asymmetric paths (e.g. a throttled
+        uplink from an edge board). Re-registering a direction with a
+        *different* link is a configuration conflict and raises
+        :class:`ClusterError`; re-registering the same profile is
+        idempotent.
+        """
+        self._install(a, b, link)
+        if symmetric:
+            self._install(b, a, link)
+
+    def _install(self, a: str, b: str, link: LinkProfile) -> None:
+        existing = self._links.get((a, b))
+        if existing is not None and not self._same_link(existing, link):
+            raise ClusterError(
+                f"conflicting link registration {a}->{b}: "
+                f"{existing!r} already installed, got {link!r}")
         self._links[(a, b)] = link
-        self._links[(b, a)] = link
+
+    @staticmethod
+    def _same_link(a: LinkProfile, b: LinkProfile) -> bool:
+        if a is b:
+            return True
+        return vars(a) == vars(b)
 
     def link_between(self, a: str, b: str) -> LinkProfile:
         return self._links.get((a, b), self.default_link)

@@ -25,6 +25,8 @@ from ..criu.images import ImageSet
 from ..criu.lazy import PageServer, restore_process_lazy
 from ..criu.restore import restore_process
 from ..errors import MigrationError
+from ..store import (CheckpointStore, StorePageServer, plan_transfer,
+                     ship)
 from ..vm.kernel import Machine, Process
 from .costs import LinkProfile, NodeProfile, infiniband_link, profile_for_arch
 from .policies.cross_isa import CrossIsaPolicy
@@ -88,7 +90,11 @@ class MigrationPipeline:
                  dst_profile: Optional[NodeProfile] = None,
                  recode_profile: Optional[NodeProfile] = None,
                  byte_scale: float = 1.0,
-                 target_footprint_bytes: Optional[float] = None):
+                 target_footprint_bytes: Optional[float] = None,
+                 use_store: bool = False,
+                 src_store: Optional[CheckpointStore] = None,
+                 dst_store: Optional[CheckpointStore] = None,
+                 store_codec: str = "zlib"):
         self.src_machine = src_machine
         self.dst_machine = dst_machine
         self.program = program
@@ -110,6 +116,21 @@ class MigrationPipeline:
         # derived from the process's actual populated memory at pause
         # time — consistent between vanilla and lazy runs.
         self.target_footprint_bytes = target_footprint_bytes
+        # Content-addressed transfer: when on, recoded images are put
+        # into the source node's checkpoint store and only the chunks
+        # the destination store is missing cross the link. Pass
+        # long-lived stores to model warm nodes — a destination that
+        # has seen the program (or one sharing pages with it) receives
+        # a small fraction of a full image copy.
+        self.use_store = use_store
+        if use_store:
+            self.src_store = src_store or CheckpointStore(
+                codec=store_codec)
+            self.dst_store = dst_store or CheckpointStore(
+                codec=store_codec)
+        else:
+            self.src_store = src_store
+            self.dst_store = dst_store
         install_program(src_machine, program)
         install_program(dst_machine, program)
 
@@ -156,10 +177,18 @@ class MigrationPipeline:
         stage_seconds["recode"] = self.recode_profile.recode_seconds(
             scaled(report.bytes_before), report.stats["frames"])
 
-        # 3. scp
-        images.save(self.dst_machine.tmpfs, f"/images/{process.pid}")
-        stage_seconds["scp"] = self.link.transfer_seconds(
-            scaled(images.total_bytes()))
+        # 3. transfer — plain scp of the images, or (use_store) a
+        # content-addressed delta: put into the source store, ship only
+        # the chunks missing at the destination, materialize there.
+        stats = dict(report.stats)
+        if self.use_store:
+            images, page_server = self._store_transfer(
+                process, images, page_server, stage_seconds, scaled,
+                stats)
+        else:
+            images.save(self.dst_machine.tmpfs, f"/images/{process.pid}")
+            stage_seconds["scp"] = self.link.transfer_seconds(
+                scaled(images.total_bytes()))
 
         # 4. restore (+ tear down the source)
         runtime.kill_source()
@@ -178,8 +207,66 @@ class MigrationPipeline:
 
         return MigrationResult(
             process=restored, images=images, stage_seconds=stage_seconds,
-            stats=report.stats, output_before=output_before,
+            stats=stats, output_before=output_before,
             page_server=page_server, lazy=lazy)
+
+    def _store_transfer(self, process: Process, images: ImageSet,
+                        page_server: Optional[PageServer],
+                        stage_seconds: Dict[str, float], scaled,
+                        stats: Dict):
+        """Store-backed stage 3. Returns the (materialized) image set
+        the destination restores from and the (possibly store-backed)
+        page server."""
+        full_bytes = images.total_bytes()
+        put = self.src_store.put(images)
+        # Chunking + hashing runs at checkpoint-write speed on the
+        # source node; it replaces writing the image files out twice.
+        stage_seconds["store"] = (scaled(full_bytes)
+                                  / self.src_profile.checkpoint_bytes_per_s)
+        plan = plan_transfer(self.src_store, self.dst_store,
+                             put.checkpoint_id, self.link)
+        shipped = ship(self.src_store, self.dst_store, plan)
+        stage_seconds["scp"] = self.link.transfer_seconds(scaled(shipped))
+
+        images_dst = self.dst_store.materialize(put.checkpoint_id)
+        images_dst.save(self.dst_machine.tmpfs, f"/images/{process.pid}")
+
+        if page_server is not None:
+            # Post-copy + store: the left-behind pages live in the
+            # source store too, so the page server serves by digest and
+            # shares physical pages with every checkpoint.
+            digests = {vaddr: self.src_store.chunks.put(data)
+                       for vaddr, data in page_server.pending_pages().items()}
+            page_server = StorePageServer(
+                digests, self.src_store,
+                node_name=page_server.node_name,
+                log_limit=page_server.log_limit)
+
+        stats["store"] = {
+            "checkpoint": put.checkpoint_id,
+            "new_chunks": put.new_chunks,
+            "dup_chunks": put.dup_chunks,
+            "chunks_total": plan.chunks_total,
+            "chunks_shipped": len(plan.chunks_needed),
+            "bytes_shipped": shipped,
+            "bytes_full_copy": full_bytes,
+            "savings": 1.0 - (shipped / full_bytes) if full_bytes else 0.0,
+            "dedup_ratio": self.src_store.stats()["dedup_ratio"],
+        }
+        recorder = getattr(self.src_machine, "recorder", None)
+        if recorder is not None:
+            # Store events are content-derived, hence deterministic:
+            # replayed store-backed migrations journal identically.
+            from ..replay.journal import EV_STORE
+            recorder.on_event(EV_STORE, pid=process.pid,
+                              label=f"put:{put.checkpoint_id[:16]}",
+                              a=put.new_chunks,
+                              b=put.new_physical_bytes)
+            recorder.on_event(EV_STORE, pid=process.pid,
+                              label=(f"plan:{self.src_machine.name}->"
+                                     f"{self.dst_machine.name}"),
+                              a=len(plan.chunks_needed), b=shipped)
+        return images_dst, page_server
 
     # -- convenience ----------------------------------------------------------------
 

@@ -31,6 +31,11 @@ class ImageMemory:
         blob = images.pages()
         index = 0
         for entry in pagemap.entries:
+            if entry.in_parent:
+                raise RewriteError(
+                    f"pagemap run at {entry.vaddr:#x} lives in a parent "
+                    f"checkpoint; materialize the delta through the "
+                    f"checkpoint store before rewriting")
             for i in range(entry.nr_pages):
                 base = entry.vaddr + i * PAGE_SIZE
                 offset = index * PAGE_SIZE

@@ -80,12 +80,16 @@ class DapperRuntime:
         self._clear_flag()
         return dump_process_lazy(self.process)
 
-    def _clear_flag(self) -> None:
+    def clear_flag(self) -> None:
         """Zero ``__dapper_flag`` in the paused process before dumping so
         neither the dump nor the lazy page server carries a set flag —
         otherwise the restored process would immediately re-trap at its
-        next equivalence point."""
+        next equivalence point. Public because external dumpers (the
+        checkpoint store's :class:`~repro.store.IncrementalCheckpointer`)
+        must do the same before calling ``dump_process`` directly."""
         self.process.aspace.write_u64(self._flag_addr, 0)
+
+    _clear_flag = clear_flag
 
     # -- resuming the (source) process -----------------------------------------
 

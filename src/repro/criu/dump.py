@@ -4,27 +4,47 @@ Page-dump policy mirrors CRIU (paper §III-C): file-backed (code) VMAs
 contribute only the *execution context* — the page(s) each thread's
 program counter points into — because clean code pages reload from the
 binary at restore. All other populated pages are dumped.
+
+Incremental dumps (like CRIU's ``--prev-images-dir``): given a parent
+checkpoint id, the set of page addresses the parent chain can resolve,
+and the process's dirty-page set (``Process.harvest_dirty_pages``),
+pages that are clean *and* available from the parent are emitted as
+:data:`~repro.criu.images.PE_PARENT` pagemap runs with no data — the
+checkpoint store (:mod:`repro.store`) resolves them by walking the
+parent chain at materialize time.
 """
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import FrozenSet, List, Optional, Set
 
 from ..errors import CheckpointError
 from ..mem.paging import PAGE_SIZE, page_align_down
 from ..vm.cpu import ThreadStatus
 from ..vm.kernel import Process
-from .images import (CoreImage, FilesImage, ImageSet, InventoryImage,
-                     MmImage, PagemapEntry, PagemapImage)
+from .images import (PE_PARENT, CoreImage, FilesImage, ImageSet,
+                     InventoryImage, MmImage, PagemapEntry, PagemapImage)
 
 
-def dump_process(process: Process, require_stopped: bool = True) -> ImageSet:
-    """Dump ``process`` into a fresh image set."""
+def dump_process(process: Process, require_stopped: bool = True,
+                 parent: Optional[str] = None,
+                 parent_pages: Optional[Set[int]] = None,
+                 dirty_pages: Optional[Set[int]] = None) -> ImageSet:
+    """Dump ``process`` into a fresh image set.
+
+    With ``parent`` (a checkpoint id), ``parent_pages`` (addresses the
+    parent chain holds data for) and ``dirty_pages`` (written since the
+    parent dump), the result is a *delta* dump: unchanged pages present
+    in the parent become PE_PARENT runs and ship no data.
+    """
     if require_stopped and not process.stopped:
         raise CheckpointError(
             f"process {process.pid} must be SIGSTOPped before dumping")
     if process.exited:
         raise CheckpointError(f"process {process.pid} has exited")
+    if parent is not None and (parent_pages is None or dirty_pages is None):
+        raise CheckpointError(
+            "delta dump needs both parent_pages and dirty_pages")
 
     images = ImageSet()
     live = [t for t in process.threads.values()
@@ -35,7 +55,8 @@ def dump_process(process: Process, require_stopped: bool = True) -> ImageSet:
     images.set_inventory(InventoryImage(
         pid=process.pid, arch=process.isa.name,
         source_name=process.binary.source_name,
-        tids=sorted(t.tid for t in live)))
+        tids=sorted(t.tid for t in live),
+        parent=parent if parent is not None else ""))
 
     for thread in live:
         regs = {process.isa.dwarf_of_index(i): value
@@ -49,7 +70,16 @@ def dump_process(process: Process, require_stopped: bool = True) -> ImageSet:
     images.set_files_img(FilesImage(process.exe_path, process.isa.name))
 
     dump_pages = _select_pages(process)
-    _write_pages(process, sorted(dump_pages), images)
+    in_parent: FrozenSet[int] = frozenset()
+    if parent is not None:
+        # A page stays behind only if the parent chain actually holds
+        # it AND it has not been written since — a page that is clean
+        # but newly selected (e.g. the pc moved into a fresh code page)
+        # still ships its data.
+        in_parent = frozenset(base for base in dump_pages
+                              if base in parent_pages
+                              and base not in dirty_pages)
+    _write_pages(process, sorted(dump_pages), images, in_parent)
     return images
 
 
@@ -73,23 +103,28 @@ def _select_pages(process: Process) -> Set[int]:
     return selected
 
 
-def _write_pages(process: Process, pages: List[int],
-                 images: ImageSet) -> None:
+def _write_pages(process: Process, pages: List[int], images: ImageSet,
+                 in_parent: FrozenSet[int] = frozenset()) -> None:
     entries: List[PagemapEntry] = []
     blob = bytearray()
     run_start = None
     run_len = 0
+    run_flags = 0
     for base in pages:
-        data = process.aspace.page(base)
-        blob += bytes(data) if data is not None else bytes(PAGE_SIZE)
-        if run_start is not None and base == run_start + run_len * PAGE_SIZE:
+        flags = PE_PARENT if base in in_parent else 0
+        if flags == 0:
+            data = process.aspace.page(base)
+            blob += bytes(data) if data is not None else bytes(PAGE_SIZE)
+        if (run_start is not None and flags == run_flags
+                and base == run_start + run_len * PAGE_SIZE):
             run_len += 1
         else:
             if run_start is not None:
-                entries.append(PagemapEntry(run_start, run_len))
+                entries.append(PagemapEntry(run_start, run_len, run_flags))
             run_start = base
             run_len = 1
+            run_flags = flags
     if run_start is not None:
-        entries.append(PagemapEntry(run_start, run_len))
+        entries.append(PagemapEntry(run_start, run_len, run_flags))
     images.set_pagemap(PagemapImage(entries))
     images.set_pages(bytes(blob))

@@ -6,9 +6,14 @@ import struct
 from typing import Dict, List, Optional
 
 from .. import wire
-from ..errors import ImageFormatError
+from ..errors import ImageFormatError, MemoryError_, WireError
 from ..mem.paging import PAGE_SIZE
 from ..mem.vma import Vma
+
+#: pagemap-entry flag: the run's page data lives in the *parent*
+#: checkpoint, not in this image set's pages-1.img (incremental dumps,
+#: like CRIU's PE_PARENT).
+PE_PARENT = 1
 
 #: magic values at the head of each encoded image (like CRIU's magics)
 MAGIC_INVENTORY = 0x58313116
@@ -41,6 +46,23 @@ def _unwrap(kind: str, blob: bytes) -> bytes:
     return blob[4:]
 
 
+def _decode(kind: str, schema: wire.Schema, blob: bytes,
+            required=()) -> dict:
+    """Unwrap + decode an image, folding every malformed-input failure
+    (bad magic, truncated wire data, missing required fields) into
+    :class:`ImageFormatError` so callers need exactly one except."""
+    payload = _unwrap(kind, blob)
+    try:
+        data = schema.decode(payload)
+    except WireError as exc:
+        raise ImageFormatError(f"{kind}: corrupt image: {exc}") from exc
+    for name in required:
+        if name not in data:
+            raise ImageFormatError(
+                f"{kind}: missing required field {name!r}")
+    return data
+
+
 # -- inventory ---------------------------------------------------------------
 
 _INVENTORY_SCHEMA = wire.Schema("inventory", [
@@ -49,29 +71,34 @@ _INVENTORY_SCHEMA = wire.Schema("inventory", [
     wire.field(3, "source_name", "str"),
     wire.field(4, "tids", "int", repeated=True),
     wire.field(5, "lazy", "int"),
+    wire.field(6, "parent", "str"),
 ])
 
 
 class InventoryImage:
     def __init__(self, pid: int, arch: str, source_name: str,
-                 tids: List[int], lazy: bool = False):
+                 tids: List[int], lazy: bool = False, parent: str = ""):
         self.pid = pid
         self.arch = arch
         self.source_name = source_name
         self.tids = list(tids)
         self.lazy = lazy
+        #: checkpoint id this dump is a delta against ("" = full dump)
+        self.parent = parent
 
     def to_bytes(self) -> bytes:
         return _wrap("inventory", _INVENTORY_SCHEMA.encode({
             "pid": self.pid, "arch": self.arch,
             "source_name": self.source_name, "tids": self.tids,
-            "lazy": int(self.lazy)}))
+            "lazy": int(self.lazy), "parent": self.parent}))
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "InventoryImage":
-        data = _INVENTORY_SCHEMA.decode(_unwrap("inventory", blob))
+        data = _decode("inventory", _INVENTORY_SCHEMA, blob,
+                       required=("pid", "arch"))
         return cls(data["pid"], data["arch"], data.get("source_name", ""),
-                   data.get("tids", []), bool(data.get("lazy", 0)))
+                   data.get("tids", []), bool(data.get("lazy", 0)),
+                   data.get("parent", ""))
 
 
 # -- core (per thread) ----------------------------------------------------------
@@ -115,7 +142,8 @@ class CoreImage:
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "CoreImage":
-        data = _CORE_SCHEMA.decode(_unwrap("core", blob))
+        data = _decode("core", _CORE_SCHEMA, blob,
+                       required=("tid", "arch", "pc", "flags", "tls_base"))
         regs = dict(zip(data.get("reg_dwarf", []),
                         data.get("reg_value", [])))
         return cls(data["tid"], data["arch"], data["pc"], data["flags"],
@@ -152,9 +180,15 @@ class MmImage:
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "MmImage":
-        data = _MM_SCHEMA.decode(_unwrap("mm", blob))
-        return cls([Vma.from_dict(v) for v in data.get("vmas", [])],
-                   data.get("heap_end", 0))
+        data = _decode("mm", _MM_SCHEMA, blob)
+        try:
+            vmas = [Vma.from_dict(v) for v in data.get("vmas", [])]
+        except KeyError as exc:
+            raise ImageFormatError(
+                f"mm: vma entry missing field {exc}") from exc
+        except MemoryError_ as exc:
+            raise ImageFormatError(f"mm: invalid vma: {exc}") from exc
+        return cls(vmas, data.get("heap_end", 0))
 
 
 # -- files ----------------------------------------------------------------------
@@ -179,7 +213,8 @@ class FilesImage:
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "FilesImage":
-        data = _FILES_SCHEMA.decode(_unwrap("files", blob))
+        data = _decode("files", _FILES_SCHEMA, blob,
+                       required=("exe_path",))
         return cls(data["exe_path"], data.get("exe_arch", ""))
 
 
@@ -188,6 +223,7 @@ class FilesImage:
 _PAGEMAP_ENTRY_SCHEMA = wire.Schema("pagemap_entry", [
     wire.field(1, "vaddr", "int"),
     wire.field(2, "nr_pages", "int"),
+    wire.field(3, "flags", "int"),
 ])
 
 _PAGEMAP_SCHEMA = wire.Schema("pagemap", [
@@ -197,31 +233,54 @@ _PAGEMAP_SCHEMA = wire.Schema("pagemap", [
 
 
 class PagemapEntry:
-    __slots__ = ("vaddr", "nr_pages")
+    __slots__ = ("vaddr", "nr_pages", "flags")
 
-    def __init__(self, vaddr: int, nr_pages: int):
+    def __init__(self, vaddr: int, nr_pages: int, flags: int = 0):
         self.vaddr = vaddr
         self.nr_pages = nr_pages
+        self.flags = flags
+
+    @property
+    def in_parent(self) -> bool:
+        return bool(self.flags & PE_PARENT)
 
     def to_dict(self) -> dict:
-        return {"vaddr": self.vaddr, "nr_pages": self.nr_pages}
+        return {"vaddr": self.vaddr, "nr_pages": self.nr_pages,
+                "flags": self.flags}
 
     @classmethod
     def from_dict(cls, data: dict) -> "PagemapEntry":
-        return cls(data["vaddr"], data["nr_pages"])
+        return cls(data["vaddr"], data["nr_pages"],
+                   data.get("flags", 0))
 
     def __repr__(self) -> str:
-        return f"<PagemapEntry {self.vaddr:#x} x{self.nr_pages}>"
+        tag = " parent" if self.in_parent else ""
+        return f"<PagemapEntry {self.vaddr:#x} x{self.nr_pages}{tag}>"
 
 
 class PagemapImage:
-    """Index into ``pages-1.img``: runs of dumped pages in file order."""
+    """Index into ``pages-1.img``: runs of dumped pages in file order.
+
+    Runs flagged :data:`PE_PARENT` are listed (the page *exists* in the
+    checkpoint) but carry no data here — their contents live in the
+    parent checkpoint, and only the checkpoint store can resolve them.
+    """
 
     def __init__(self, entries: List[PagemapEntry]):
         self.entries = list(entries)
 
     def total_pages(self) -> int:
         return sum(e.nr_pages for e in self.entries)
+
+    def data_pages(self) -> int:
+        """Pages whose contents are in this image set's pages-1.img."""
+        return sum(e.nr_pages for e in self.entries if not e.in_parent)
+
+    def parent_pages(self) -> int:
+        return sum(e.nr_pages for e in self.entries if e.in_parent)
+
+    def is_delta(self) -> bool:
+        return any(e.in_parent for e in self.entries)
 
     def page_addresses(self) -> List[int]:
         out = []
@@ -236,9 +295,14 @@ class PagemapImage:
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "PagemapImage":
-        data = _PAGEMAP_SCHEMA.decode(_unwrap("pagemap", blob))
-        return cls([PagemapEntry.from_dict(e)
-                    for e in data.get("entries", [])])
+        data = _decode("pagemap", _PAGEMAP_SCHEMA, blob)
+        try:
+            entries = [PagemapEntry.from_dict(e)
+                       for e in data.get("entries", [])]
+        except KeyError as exc:
+            raise ImageFormatError(
+                f"pagemap: entry missing field {exc}") from exc
+        return cls(entries)
 
 
 # -- the image set ------------------------------------------------------------------
@@ -293,15 +357,27 @@ class ImageSet:
     # page lookup helpers
 
     def page_at(self, vaddr: int) -> Optional[bytes]:
-        """Dumped page contents for a page-aligned address, if present."""
-        index = 0
+        """Dumped page contents for a page-aligned address, if present.
+
+        Pages flagged :data:`PE_PARENT` have no data in this image set
+        (it is a delta dump) and return None — resolve them through the
+        checkpoint store's parent chain instead.
+        """
+        index = 0           # counts only pages with data in pages-1.img
         for entry in self.pagemap().entries:
             span = entry.nr_pages * PAGE_SIZE
             if entry.vaddr <= vaddr < entry.vaddr + span:
+                if entry.in_parent:
+                    return None
                 offset = (index * PAGE_SIZE) + (vaddr - entry.vaddr)
                 return self.pages()[offset:offset + PAGE_SIZE]
-            index += entry.nr_pages
+            if not entry.in_parent:
+                index += entry.nr_pages
         return None
+
+    def is_delta(self) -> bool:
+        """True when this image set is an incremental (delta) dump."""
+        return self.pagemap().is_delta()
 
     def total_bytes(self) -> int:
         return sum(len(v) for v in self.files.values())

@@ -29,15 +29,34 @@ class PageServer:
     torn down after migration). Records a request log — the paper reads
     the page server's log to estimate the indirect restoration cost for
     long-running servers like Redis.
+
+    The log is capped at ``log_limit`` entries (pass ``0`` for
+    unlimited): a long-running restored server faulting for hours would
+    otherwise grow it without bound. Requests past the cap stop being
+    *recorded* but are still *counted* — ``requests``, ``pages_served``
+    and ``bytes_served`` stay exact, and ``log_dropped`` says how many
+    entries the cap swallowed.
     """
 
-    def __init__(self, pages: Dict[int, bytes], node_name: str = "source"):
+    #: default cap on the request log's length
+    DEFAULT_LOG_LIMIT = 4096
+
+    def __init__(self, pages: Dict[int, bytes], node_name: str = "source",
+                 log_limit: int = DEFAULT_LOG_LIMIT):
         self._pages = dict(pages)
         self.node_name = node_name
         self.requests = 0
         self.pages_served = 0
         self.bytes_served = 0
         self.log: List[Tuple[int, int]] = []   # (request index, vaddr)
+        self.log_limit = log_limit
+        self.log_dropped = 0
+
+    def _record(self, vaddr: int) -> None:
+        if self.log_limit and len(self.log) >= self.log_limit:
+            self.log_dropped += 1
+        else:
+            self.log.append((self.requests, vaddr))
 
     def remaining_pages(self) -> int:
         return len(self._pages)
@@ -45,9 +64,14 @@ class PageServer:
     def remaining_bytes(self) -> int:
         return len(self._pages) * PAGE_SIZE
 
+    def pending_pages(self) -> Dict[int, bytes]:
+        """Copy of the not-yet-served pages (the store-backed migration
+        path rehomes them into the source node's chunk store)."""
+        return dict(self._pages)
+
     def fetch(self, vaddr: int) -> Optional[bytes]:
         self.requests += 1
-        self.log.append((self.requests, vaddr))
+        self._record(vaddr)
         data = self._pages.pop(vaddr, None)
         if data is not None:
             self.pages_served += 1

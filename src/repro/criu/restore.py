@@ -82,6 +82,11 @@ def _build_address_space(images: ImageSet, binary: DelfBinary) -> AddressSpace:
     pages = images.pages()
     index = 0
     for entry in pagemap.entries:
+        if entry.in_parent:
+            raise RestoreError(
+                f"pagemap run at {entry.vaddr:#x} references a parent "
+                f"checkpoint — materialize the delta through the "
+                f"checkpoint store first")
         for i in range(entry.nr_pages):
             offset = index * PAGE_SIZE
             aspace.install_page(entry.vaddr + i * PAGE_SIZE,

@@ -105,3 +105,7 @@ class SecurityHarnessError(ReproError):
 
 class JournalError(ReproError):
     """A flight-recorder journal is malformed or cannot be replayed."""
+
+
+class StoreError(ReproError):
+    """Checkpoint-store failure (missing chunk, corruption, bad ref)."""

@@ -47,6 +47,33 @@ class AddressSpace:
         #: owning Process hooks this to bump its code version so stale
         #: decoded instructions and superblocks are discarded.
         self.code_write_hook: Optional[Callable[[], None]] = None
+        #: incremental-checkpoint support: page-aligned addresses written
+        #: since tracking started, or None when tracking is off. Like the
+        #: recorder hooks, the disabled path costs one ``is None`` test
+        #: on the store slow paths and nothing on superblock site-cache
+        #: hits (the owning Process resets its block cache when tracking
+        #: starts, so every site's first write re-enters the slow path
+        #: and marks its page). See repro.store.
+        self._dirty: Optional[set] = None
+
+    # -- dirty-page tracking ------------------------------------------------
+
+    def start_dirty_tracking(self) -> None:
+        """Begin recording written page addresses (empty set)."""
+        self._dirty = set()
+
+    def stop_dirty_tracking(self) -> None:
+        self._dirty = None
+
+    @property
+    def dirty_tracking(self) -> bool:
+        return self._dirty is not None
+
+    def harvest_dirty(self) -> set:
+        """Return the dirty set and start a fresh tracking epoch."""
+        dirty = self._dirty if self._dirty is not None else set()
+        self._dirty = set()
+        return dirty
 
     # -- mapping -----------------------------------------------------------
 
@@ -133,6 +160,8 @@ class AddressSpace:
         if len(data) != PAGE_SIZE:
             raise MemoryError_(f"page data must be {PAGE_SIZE} bytes")
         self._pages[base] = bytearray(data)
+        if self._dirty is not None:
+            self._dirty.add(base)
 
     # -- byte-level access ----------------------------------------------------
 
@@ -192,6 +221,8 @@ class AddressSpace:
             chunk = min(PAGE_SIZE - offset, len(view))
             store = self.page(base, create=True)
             store[offset:offset + chunk] = view[:chunk]
+            if self._dirty is not None:
+                self._dirty.add(base)
             cursor += chunk
             view = view[chunk:]
 
@@ -234,6 +265,8 @@ class AddressSpace:
             store = self._pages.get(addr - offset)
             if store is None:
                 store = self.page(addr - offset, create=True)
+            if self._dirty is not None:
+                self._dirty.add(addr - offset)
             _U64.pack_into(store, offset, value & _U64_MASK)
             return
         self.write(addr, _U64.pack(value & _U64_MASK))

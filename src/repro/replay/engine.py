@@ -88,7 +88,8 @@ def _execute_migrate(header: Dict, recorder: FlightRecorder
     dst = _machine(header, dst_arch, name="dst")
     recorder.attach(src)
     recorder.attach(dst)
-    pipeline = MigrationPipeline(src, dst, program)
+    pipeline = MigrationPipeline(src, dst, program,
+                                 use_store=bool(header.get("store", 0)))
     process = pipeline.start()
     src.step_all(header.get("warmup", 5000))
     if process.exited:
@@ -195,16 +196,22 @@ def record_run(source: str, name: str, arch: str = "x86_64",
 
 def record_migrate(source: str, name: str, src_arch: str = "x86_64",
                    dst_arch: str = "aarch64", warmup: int = 5000,
-                   lazy: bool = False, engine: str = "blocks",
+                   lazy: bool = False, store: bool = False,
+                   engine: str = "blocks",
                    quantum: int = 64, digest_every: int = 1,
                    max_steps: int = DEFAULT_MAX_STEPS,
                    record_syscalls: bool = True,
                    fault: Optional[BitFlip] = None) -> ReplayResult:
-    """Record a run that live-migrates across ISAs mid-execution."""
+    """Record a run that live-migrates across ISAs mid-execution.
+
+    ``store=True`` routes the transfer through the content-addressed
+    checkpoint store (EV_STORE events land in the journal; they are
+    content-derived, so record and replay stay bit-identical)."""
     header = _make_header("migrate", source, name, src_arch, engine,
                           quantum, digest_every, max_steps,
                           record_syscalls, fault, dst_arch=dst_arch,
-                          warmup=warmup, lazy=int(lazy))
+                          warmup=warmup, lazy=int(lazy),
+                          store=int(store) if store else None)
     return _record(header, fault)
 
 

@@ -53,13 +53,16 @@ EV_MIGRATE = 11     #: cross-ISA migration completed: label = "src->dst"
 EV_CLUSTER = 12     #: cluster EventQueue firing: label, a = time (ns)
 EV_FAULT = 13       #: injected fault fired: a = address, b = bit
 EV_END = 14         #: run finished: a = exit code of the last process
+EV_STORE = 15       #: checkpoint-store op: label = "put:<id>"/"plan:...",
+                    #: a = chunks, b = bytes (content-derived, so
+                    #: deterministic across record/replay)
 
 KIND_NAMES = {
     EV_SCHED: "sched", EV_DIGEST: "digest", EV_SYSCALL: "syscall",
     EV_RNG: "rng", EV_SPAWN: "spawn", EV_EXIT: "exit", EV_TRAP: "trap",
     EV_CHECKPOINT: "checkpoint", EV_REWRITE: "rewrite",
     EV_RESTORE: "restore", EV_MIGRATE: "migrate", EV_CLUSTER: "cluster",
-    EV_FAULT: "fault", EV_END: "end",
+    EV_FAULT: "fault", EV_END: "end", EV_STORE: "store",
 }
 
 HEADER_SCHEMA = wire.Schema("JournalHeader", [
@@ -81,6 +84,7 @@ HEADER_SCHEMA = wire.Schema("JournalHeader", [
     wire.field(16, "fault_slice", "int"),
     wire.field(17, "fault_addr", "int"),
     wire.field(18, "fault_bit", "int"),
+    wire.field(19, "store", "int"),
 ])
 
 EVENT_SCHEMA = wire.Schema("JournalEvent", [

@@ -1,0 +1,26 @@
+"""Content-addressed checkpoint store (dedup, incremental, delta transfer).
+
+Three layers:
+
+* :mod:`repro.store.chunks` — a blake2b-keyed chunk store with
+  refcounted garbage collection, pluggable compression codecs and an
+  fsck-style ``verify()``.
+* :mod:`repro.store.checkpoints` — checkpoints as manifests of chunk
+  digests, with parent chains for incremental dumps and
+  ``materialize()`` back into a full :class:`~repro.criu.images.ImageSet`.
+* :mod:`repro.store.transfer` — the delta-transfer planner: ship only
+  the chunks the destination store is missing, measured against a
+  :class:`~repro.core.costs.LinkProfile`; plus a store-backed post-copy
+  :class:`~repro.criu.lazy.PageServer`.
+"""
+
+from .chunks import CODECS, ChunkStore, chunk_digest, register_codec
+from .checkpoints import (CheckpointStore, IncrementalCheckpointer,
+                          PutResult)
+from .transfer import StorePageServer, TransferPlan, plan_transfer, ship
+
+__all__ = [
+    "CODECS", "ChunkStore", "chunk_digest", "register_codec",
+    "CheckpointStore", "IncrementalCheckpointer", "PutResult",
+    "StorePageServer", "TransferPlan", "plan_transfer", "ship",
+]

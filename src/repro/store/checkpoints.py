@@ -1,0 +1,464 @@
+"""Checkpoints as manifests of content-addressed chunks.
+
+A checkpoint is stored as a *manifest*: canonical JSON naming the
+chunk digest of every meta image (inventory, cores, mm, files,
+pagemap) plus ``[vaddr, digest]`` pairs for each memory page whose
+data this checkpoint carries. The manifest blob is itself a chunk, and
+its digest is the **checkpoint id** — identical checkpoints collapse
+to one entry automatically.
+
+Incremental dumps store only dirty pages; unchanged pages are
+:data:`~repro.criu.images.PE_PARENT` runs in the pagemap and resolve
+through the ``parent`` chain at :meth:`CheckpointStore.materialize`
+time. Reference counts on the chunk layer mirror manifest references
+exactly, so :meth:`CheckpointStore.verify` can audit the books and
+:meth:`ChunkStore.gc` reclaims whatever :meth:`delete` unpins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from ..criu.dump import dump_process
+from ..criu.images import ImageSet, PagemapEntry, PagemapImage
+from ..errors import StoreError
+from ..mem.paging import PAGE_SIZE
+from .chunks import ChunkStore
+
+#: every image file except the page data itself
+_PAGES_FILE = "pages-1.img"
+
+
+def _canon(obj) -> bytes:
+    """Canonical JSON — byte-stable across runs, so manifest digests
+    (and therefore checkpoint ids and replay journals) are too."""
+    return json.dumps(obj, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+class PutResult:
+    """What one :meth:`CheckpointStore.put` did."""
+
+    __slots__ = ("checkpoint_id", "created", "delta", "new_chunks",
+                 "dup_chunks", "new_physical_bytes", "logical_bytes",
+                 "pages_total", "pages_carried")
+
+    def __init__(self, checkpoint_id: str, created: bool, delta: bool,
+                 new_chunks: int, dup_chunks: int,
+                 new_physical_bytes: int, logical_bytes: int,
+                 pages_total: int, pages_carried: int):
+        self.checkpoint_id = checkpoint_id
+        self.created = created
+        self.delta = delta
+        self.new_chunks = new_chunks
+        self.dup_chunks = dup_chunks
+        self.new_physical_bytes = new_physical_bytes
+        self.logical_bytes = logical_bytes
+        self.pages_total = pages_total
+        self.pages_carried = pages_carried
+
+    @property
+    def dedup_ratio(self) -> float:
+        """logical : physical for this put (>= 1 means savings)."""
+        if self.new_physical_bytes <= 0:
+            return float("inf") if self.logical_bytes else 1.0
+        return self.logical_bytes / self.new_physical_bytes
+
+    def __repr__(self) -> str:
+        kind = "delta" if self.delta else "full"
+        return (f"<PutResult {self.checkpoint_id[:12]} {kind} "
+                f"+{self.new_chunks}/{self.dup_chunks}dup chunks "
+                f"+{self.new_physical_bytes}B phys "
+                f"({self.logical_bytes}B logical)>")
+
+
+class CheckpointStore:
+    """Checkpoint manifests over a :class:`ChunkStore`."""
+
+    def __init__(self, codec: str = "zlib"):
+        self.chunks = ChunkStore(codec=codec)
+        # checkpoint id -> manifest dict, in registration order
+        self._checkpoints: Dict[str, dict] = {}
+
+    # -- ingest -----------------------------------------------------------
+
+    def put(self, images: ImageSet, parent: Optional[str] = None
+            ) -> PutResult:
+        """Store an image set; returns the checkpoint id + metrics.
+
+        ``parent`` must be given iff ``images`` is a delta dump, and
+        every PE_PARENT page in it must resolve through the parent
+        chain.
+        """
+        delta = images.is_delta()
+        if delta and parent is None:
+            raise StoreError("delta image set needs a parent checkpoint")
+        if parent is not None and parent not in self._checkpoints:
+            raise StoreError(f"unknown parent checkpoint {parent[:12]}")
+
+        pagemap = images.pagemap()
+        if parent is not None:
+            resolvable = self.resolve_pages(parent)
+            for entry in pagemap.entries:
+                if not entry.in_parent:
+                    continue
+                for i in range(entry.nr_pages):
+                    base = entry.vaddr + i * PAGE_SIZE
+                    if base not in resolvable:
+                        raise StoreError(
+                            f"delta references page {base:#x} that "
+                            f"parent chain {parent[:12]} cannot resolve")
+
+        new_chunks = 0
+        dup_chunks = 0
+        new_physical = 0
+
+        def _ensure(data: bytes) -> str:
+            nonlocal new_chunks, dup_chunks, new_physical
+            digest, created = self.chunks.ensure(data)
+            if created:
+                new_chunks += 1
+                new_physical += self.chunks.stored_size(digest)
+            else:
+                dup_chunks += 1
+            return digest
+
+        meta = {name: _ensure(blob)
+                for name, blob in sorted(images.files.items())
+                if name != _PAGES_FILE}
+
+        pages: List[List] = []
+        blob = images.pages()
+        index = 0
+        for entry in pagemap.entries:
+            if entry.in_parent:
+                continue
+            for i in range(entry.nr_pages):
+                offset = index * PAGE_SIZE
+                digest = _ensure(blob[offset:offset + PAGE_SIZE])
+                pages.append([entry.vaddr + i * PAGE_SIZE, digest])
+                index += 1
+        pages.sort(key=lambda item: item[0])
+
+        manifest = {
+            "parent": parent or "",
+            "arch": images.inventory().arch,
+            "pid": images.inventory().pid,
+            "meta": meta,
+            "pages": pages,
+        }
+        manifest_blob = _canon(manifest)
+        checkpoint_id = _ensure(manifest_blob)
+
+        logical = (sum(len(b) for n, b in images.files.items()
+                       if n != _PAGES_FILE)
+                   + pagemap.total_pages() * PAGE_SIZE)
+
+        if checkpoint_id in self._checkpoints:
+            # Identical content put twice: one checkpoint, no extra refs.
+            return PutResult(checkpoint_id, False, delta, new_chunks,
+                             dup_chunks, new_physical, logical,
+                             pagemap.total_pages(), len(pages))
+
+        self._register(checkpoint_id, manifest)
+        return PutResult(checkpoint_id, True, delta, new_chunks,
+                         dup_chunks, new_physical, logical,
+                         pagemap.total_pages(), len(pages))
+
+    def adopt_manifest(self, manifest_blob: bytes) -> str:
+        """Register a manifest whose chunks are already present (the
+        receive side of a delta transfer). Idempotent."""
+        digest, _created = self.chunks.ensure(manifest_blob)
+        if digest in self._checkpoints:
+            return digest
+        try:
+            manifest = json.loads(manifest_blob)
+        except ValueError as exc:
+            raise StoreError(f"manifest {digest[:12]} is not JSON: "
+                             f"{exc}") from exc
+        parent = manifest.get("parent", "")
+        if parent and parent not in self._checkpoints:
+            raise StoreError(f"manifest {digest[:12]} parent "
+                             f"{parent[:12]} not registered — ship the "
+                             f"chain root first")
+        for ref in self._manifest_refs(digest, manifest):
+            if not self.chunks.has(ref):
+                raise StoreError(f"manifest {digest[:12]} references "
+                                 f"missing chunk {ref[:12]}")
+        self._register(digest, manifest)
+        return digest
+
+    def _manifest_refs(self, checkpoint_id: str, manifest: dict
+                       ) -> List[str]:
+        """Every chunk reference a registered manifest pins (with
+        multiplicity): its own blob, metas, pages, parent manifest."""
+        refs = [checkpoint_id]
+        refs.extend(manifest["meta"].values())
+        refs.extend(digest for _vaddr, digest in manifest["pages"])
+        if manifest.get("parent"):
+            refs.append(manifest["parent"])
+        return refs
+
+    def _register(self, checkpoint_id: str, manifest: dict) -> None:
+        for ref in self._manifest_refs(checkpoint_id, manifest):
+            self.chunks.incref(ref)
+        self._checkpoints[checkpoint_id] = manifest
+
+    # -- lookup -----------------------------------------------------------
+
+    def __contains__(self, checkpoint_id: str) -> bool:
+        return checkpoint_id in self._checkpoints
+
+    def checkpoint_ids(self) -> List[str]:
+        return list(self._checkpoints)
+
+    def manifest(self, checkpoint_id: str) -> dict:
+        try:
+            return self._checkpoints[checkpoint_id]
+        except KeyError:
+            raise StoreError(
+                f"unknown checkpoint {checkpoint_id[:12]}") from None
+
+    def parent_of(self, checkpoint_id: str) -> Optional[str]:
+        parent = self.manifest(checkpoint_id).get("parent", "")
+        return parent or None
+
+    def chain(self, checkpoint_id: str) -> List[str]:
+        """Ancestry, root first, ``checkpoint_id`` last."""
+        out = []
+        cursor: Optional[str] = checkpoint_id
+        while cursor is not None:
+            if cursor in out:
+                raise StoreError(f"parent cycle at {cursor[:12]}")
+            out.append(cursor)
+            cursor = self.parent_of(cursor)
+        out.reverse()
+        return out
+
+    def children(self, checkpoint_id: str) -> List[str]:
+        return [cid for cid, man in self._checkpoints.items()
+                if man.get("parent", "") == checkpoint_id]
+
+    def resolve_pages(self, checkpoint_id: str) -> Dict[int, str]:
+        """vaddr -> chunk digest for every page of the checkpoint,
+        resolved through the parent chain (child wins), restricted to
+        the pages the leaf's pagemap actually maps (a page unmapped
+        since an ancestor does not resurface)."""
+        resolved: Dict[int, str] = {}
+        for cid in self.chain(checkpoint_id):
+            resolved.update({vaddr: digest for vaddr, digest
+                             in self.manifest(cid)["pages"]})
+        live = set(self._pagemap(checkpoint_id).page_addresses())
+        return {vaddr: digest for vaddr, digest in resolved.items()
+                if vaddr in live}
+
+    def _pagemap(self, checkpoint_id: str) -> PagemapImage:
+        digest = self.manifest(checkpoint_id)["meta"]["pagemap.img"]
+        return PagemapImage.from_bytes(self.chunks.get(digest))
+
+    def logical_bytes(self, checkpoint_id: str) -> int:
+        """Size of the checkpoint as a *full* (non-delta) image set —
+        what a plain scp copy of it would ship."""
+        manifest = self.manifest(checkpoint_id)
+        meta_bytes = sum(self.chunks.chunk(d).logical_size
+                         for d in manifest["meta"].values())
+        return (meta_bytes
+                + self._pagemap(checkpoint_id).total_pages() * PAGE_SIZE)
+
+    # -- materialize ------------------------------------------------------
+
+    def materialize(self, checkpoint_id: str) -> ImageSet:
+        """Rebuild a full :class:`ImageSet` (no PE_PARENT runs left).
+
+        For a full checkpoint this reproduces the stored image set
+        byte-for-byte; for a delta it folds the parent chain in.
+        """
+        manifest = self.manifest(checkpoint_id)
+        files = {name: self.chunks.get(digest)
+                 for name, digest in manifest["meta"].items()}
+        pagemap = PagemapImage.from_bytes(files["pagemap.img"])
+        pages = self.resolve_pages(checkpoint_id)
+
+        blob = bytearray()
+        entries: List[PagemapEntry] = []
+        for entry in pagemap.entries:
+            # Canonical full form: flags cleared, and runs that were
+            # only split at a PE_PARENT boundary merged back — a
+            # materialized delta is byte-identical to the full dump a
+            # plain dump_process would have produced.
+            if (entries and entry.vaddr == entries[-1].vaddr
+                    + entries[-1].nr_pages * PAGE_SIZE):
+                entries[-1].nr_pages += entry.nr_pages
+            else:
+                entries.append(PagemapEntry(entry.vaddr,
+                                            entry.nr_pages, 0))
+            for i in range(entry.nr_pages):
+                base = entry.vaddr + i * PAGE_SIZE
+                digest = pages.get(base)
+                if digest is None:
+                    raise StoreError(
+                        f"checkpoint {checkpoint_id[:12]}: page "
+                        f"{base:#x} unresolvable (broken chain?)")
+                blob += self.chunks.get(digest)
+        images = ImageSet(files)
+        inventory = images.inventory()
+        if inventory.parent:
+            inventory.parent = ""
+            images.set_inventory(inventory)
+        images.set_pagemap(PagemapImage(entries))
+        images.set_pages(bytes(blob))
+        return images
+
+    # -- lifecycle --------------------------------------------------------
+
+    def delete(self, checkpoint_id: str) -> None:
+        """Unregister a checkpoint (children must go first); chunk data
+        is reclaimed by the next :meth:`ChunkStore.gc`."""
+        manifest = self.manifest(checkpoint_id)
+        kids = self.children(checkpoint_id)
+        if kids:
+            raise StoreError(
+                f"checkpoint {checkpoint_id[:12]} has "
+                f"{len(kids)} dependent child(ren); delete those first")
+        for ref in self._manifest_refs(checkpoint_id, manifest):
+            self.chunks.decref(ref)
+        del self._checkpoints[checkpoint_id]
+
+    def gc(self) -> Tuple[int, int]:
+        return self.chunks.gc()
+
+    # -- fsck -------------------------------------------------------------
+
+    def verify(self) -> List[str]:
+        """Chunk-level fsck plus referential audit of the manifests."""
+        problems = self.chunks.verify()
+        expected: Counter = Counter()
+        for cid, manifest in self._checkpoints.items():
+            parent = manifest.get("parent", "")
+            if parent and parent not in self._checkpoints:
+                problems.append(f"checkpoint {cid[:12]}: parent "
+                                f"{parent[:12]} not registered")
+            for ref in self._manifest_refs(cid, manifest):
+                expected[ref] += 1
+                if not self.chunks.has(ref):
+                    problems.append(f"checkpoint {cid[:12]}: missing "
+                                    f"chunk {ref[:12]}")
+        for digest, want in expected.items():
+            if self.chunks.has(digest) and \
+                    self.chunks.chunk(digest).refs < want:
+                problems.append(
+                    f"chunk {digest[:12]}: under-referenced "
+                    f"({self.chunks.chunk(digest).refs} < {want})")
+        return problems
+
+    # -- metrics ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        logical = sum(self.logical_bytes(cid)
+                      for cid in self._checkpoints)
+        physical = self.chunks.physical_bytes()
+        return {
+            "checkpoints": len(self._checkpoints),
+            "chunks": len(self.chunks),
+            "logical_bytes": logical,
+            "unique_bytes": self.chunks.unique_bytes(),
+            "physical_bytes": physical,
+            "dedup_ratio": (logical / physical) if physical else 1.0,
+            "puts": self.chunks.puts,
+            "dup_puts": self.chunks.dup_puts,
+        }
+
+    # -- directory persistence (the CLI's on-disk format) -----------------
+
+    def save_dir(self, path: str) -> None:
+        chunk_dir = os.path.join(path, "chunks")
+        os.makedirs(chunk_dir, exist_ok=True)
+        index = {"codec": self.chunks.codec_name, "chunks": {},
+                 "checkpoints": list(self._checkpoints)}
+        for chunk in self.chunks:
+            with open(os.path.join(chunk_dir, chunk.digest), "wb") as fh:
+                fh.write(chunk.payload)
+            index["chunks"][chunk.digest] = {
+                "codec": chunk.codec,
+                "logical": chunk.logical_size,
+                "refs": chunk.refs,
+            }
+        # prune chunk files dropped since the last save (gc'd chunks)
+        for stale in os.listdir(chunk_dir):
+            if stale not in index["chunks"]:
+                os.unlink(os.path.join(chunk_dir, stale))
+        with open(os.path.join(path, "index.json"), "w") as fh:
+            json.dump(index, fh, indent=1, sort_keys=True)
+
+    @classmethod
+    def load_dir(cls, path: str) -> "CheckpointStore":
+        index_path = os.path.join(path, "index.json")
+        try:
+            with open(index_path) as fh:
+                index = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise StoreError(f"cannot load store at {path!r}: "
+                             f"{exc}") from exc
+        store = cls(codec=index.get("codec", "zlib"))
+        for digest, info in index.get("chunks", {}).items():
+            try:
+                with open(os.path.join(path, "chunks", digest),
+                          "rb") as fh:
+                    payload = fh.read()
+            except OSError as exc:
+                raise StoreError(f"missing chunk file {digest[:12]}: "
+                                 f"{exc}") from exc
+            store.chunks.adopt(digest, info["codec"], payload,
+                               info["logical"])
+            store.chunks.chunk(digest).refs = int(info.get("refs", 0))
+        for cid in index.get("checkpoints", []):
+            try:
+                manifest = json.loads(store.chunks.get(cid))
+            except ValueError as exc:
+                raise StoreError(f"checkpoint {cid[:12]}: manifest is "
+                                 f"not JSON: {exc}") from exc
+            # refs were persisted; register without increfing again
+            store._checkpoints[cid] = manifest
+        return store
+
+
+class IncrementalCheckpointer:
+    """Drives incremental dumps of one process into a store.
+
+    The first :meth:`checkpoint` is a full dump and switches the
+    process's dirty-page tracking on; every later call harvests the
+    dirty set and emits a delta against the previous checkpoint.
+    Tracking costs nothing until the first checkpoint is taken.
+    """
+
+    def __init__(self, store: CheckpointStore, process, runtime=None):
+        self.store = store
+        self.process = process
+        #: optional :class:`~repro.core.runtime.DapperRuntime` — when
+        #: given, ``__dapper_flag`` is zeroed before each dump exactly
+        #: like ``DapperRuntime.checkpoint`` does, so restored images
+        #: do not re-trap at the next equivalence point.
+        self.runtime = runtime
+        self.last_id: Optional[str] = None
+        self.last_images: Optional[ImageSet] = None
+
+    def checkpoint(self) -> PutResult:
+        if self.runtime is not None:
+            self.runtime.clear_flag()
+        if self.last_id is None:
+            images = dump_process(self.process)
+            result = self.store.put(images)
+            self.process.start_dirty_tracking()
+        else:
+            dirty = self.process.harvest_dirty_pages()
+            parent_pages = set(self.store.resolve_pages(self.last_id))
+            images = dump_process(self.process, parent=self.last_id,
+                                  parent_pages=parent_pages,
+                                  dirty_pages=dirty)
+            result = self.store.put(images, parent=self.last_id)
+        self.last_id = result.checkpoint_id
+        self.last_images = images
+        return result

@@ -1,0 +1,251 @@
+"""Content-addressed chunk store: the byte layer of the checkpoint store.
+
+Chunks are keyed by the blake2b-128 digest of their *uncompressed*
+contents, so identical pages — across checkpoints, across processes,
+across nodes, even across ISAs (the aligning linker gives both
+architectures' images the same read-only data pages) — occupy storage
+exactly once. Each chunk carries a reference count maintained by the
+checkpoint layer; ``gc()`` sweeps unreferenced chunks, and ``verify()``
+is the fsck: it re-hashes every chunk and reports any whose stored
+payload no longer decompresses to its digest.
+
+Compression codecs are pluggable (``register_codec``); ``raw`` and
+``zlib`` ship built in. A chunk that does not shrink under the store's
+codec is kept raw, deterministically, so journals of store-backed runs
+stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import StoreError
+
+#: digest width in bytes (blake2b-128, matching the replay digests)
+DIGEST_SIZE = 16
+
+
+def chunk_digest(data: bytes) -> str:
+    """Content address of ``data`` (hex, 32 chars)."""
+    return hashlib.blake2b(data, digest_size=DIGEST_SIZE).hexdigest()
+
+
+class Codec:
+    """One compression codec; subclass and ``register_codec`` to extend."""
+
+    name = "?"
+
+    def compress(self, data: bytes) -> bytes:
+        raise NotImplementedError
+
+    def decompress(self, blob: bytes) -> bytes:
+        raise NotImplementedError
+
+
+class RawCodec(Codec):
+    name = "raw"
+
+    def compress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decompress(self, blob: bytes) -> bytes:
+        return bytes(blob)
+
+
+class ZlibCodec(Codec):
+    name = "zlib"
+
+    def __init__(self, level: int = 6):
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decompress(self, blob: bytes) -> bytes:
+        try:
+            return zlib.decompress(blob)
+        except zlib.error as exc:
+            raise StoreError(f"zlib chunk does not decompress: {exc}") \
+                from exc
+
+
+CODECS: Dict[str, Codec] = {"raw": RawCodec(), "zlib": ZlibCodec()}
+
+
+def register_codec(codec: Codec) -> None:
+    CODECS[codec.name] = codec
+
+
+class Chunk:
+    """One stored blob: compressed payload + bookkeeping."""
+
+    __slots__ = ("digest", "codec", "payload", "logical_size", "refs")
+
+    def __init__(self, digest: str, codec: str, payload: bytes,
+                 logical_size: int, refs: int = 0):
+        self.digest = digest
+        self.codec = codec
+        self.payload = payload
+        self.logical_size = logical_size
+        self.refs = refs
+
+    def __repr__(self) -> str:
+        return (f"<Chunk {self.digest[:12]} {self.codec} "
+                f"{len(self.payload)}B refs={self.refs}>")
+
+
+class ChunkStore:
+    """Digest-keyed chunk storage with refcounts and GC."""
+
+    def __init__(self, codec: str = "zlib"):
+        if codec not in CODECS:
+            raise StoreError(f"unknown codec {codec!r}; "
+                             f"known: {sorted(CODECS)}")
+        self.codec_name = codec
+        self._chunks: Dict[str, Chunk] = {}
+        self.puts = 0       # ensure/put calls
+        self.dup_puts = 0   # calls that hit an existing chunk
+
+    # -- insertion --------------------------------------------------------
+
+    def ensure(self, data: bytes) -> Tuple[str, bool]:
+        """Insert ``data`` if absent (refcount untouched).
+
+        Returns ``(digest, created)``. The checkpoint layer uses this,
+        then increfs once per manifest *reference*, so refcounts always
+        equal the number of live references and ``verify()`` can check
+        the books.
+        """
+        self.puts += 1
+        digest = chunk_digest(data)
+        if digest in self._chunks:
+            self.dup_puts += 1
+            return digest, False
+        codec_name = self.codec_name
+        payload = CODECS[codec_name].compress(data)
+        if len(payload) >= len(data):
+            # Incompressible: keep raw. Deterministic, so store-backed
+            # replay journals stay bit-identical.
+            codec_name = "raw"
+            payload = bytes(data)
+        self._chunks[digest] = Chunk(digest, codec_name, payload,
+                                     len(data))
+        return digest, True
+
+    def put(self, data: bytes) -> str:
+        """Insert ``data`` and take one reference (raw-blob use)."""
+        digest, _created = self.ensure(data)
+        self._chunks[digest].refs += 1
+        return digest
+
+    def adopt(self, digest: str, codec: str, payload: bytes,
+              logical_size: int) -> None:
+        """Install an already-compressed chunk (the transfer path).
+
+        The payload is decompressed and re-hashed before acceptance —
+        a corrupted wire transfer must not poison the store.
+        """
+        if digest in self._chunks:
+            return
+        if codec not in CODECS:
+            raise StoreError(f"adopt: unknown codec {codec!r}")
+        data = CODECS[codec].decompress(payload)
+        if chunk_digest(data) != digest or len(data) != logical_size:
+            raise StoreError(f"adopt: chunk {digest[:12]} does not match "
+                             f"its digest")
+        self._chunks[digest] = Chunk(digest, codec, bytes(payload),
+                                     logical_size)
+
+    # -- retrieval --------------------------------------------------------
+
+    def get(self, digest: str) -> bytes:
+        chunk = self._chunks.get(digest)
+        if chunk is None:
+            raise StoreError(f"no chunk {digest[:12]} in store")
+        return CODECS[chunk.codec].decompress(chunk.payload)
+
+    def has(self, digest: str) -> bool:
+        return digest in self._chunks
+
+    def chunk(self, digest: str) -> Chunk:
+        chunk = self._chunks.get(digest)
+        if chunk is None:
+            raise StoreError(f"no chunk {digest[:12]} in store")
+        return chunk
+
+    def stored_size(self, digest: str) -> int:
+        """On-the-wire (compressed) size of one chunk."""
+        return len(self.chunk(digest).payload)
+
+    def digests(self) -> List[str]:
+        return sorted(self._chunks)
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def __iter__(self) -> Iterator[Chunk]:
+        for digest in sorted(self._chunks):
+            yield self._chunks[digest]
+
+    # -- refcounting + GC -------------------------------------------------
+
+    def incref(self, digest: str, count: int = 1) -> None:
+        self.chunk(digest).refs += count
+
+    def decref(self, digest: str, count: int = 1) -> None:
+        chunk = self.chunk(digest)
+        if chunk.refs < count:
+            raise StoreError(f"refcount underflow on {digest[:12]} "
+                             f"({chunk.refs} - {count})")
+        chunk.refs -= count
+
+    def gc(self) -> Tuple[int, int]:
+        """Drop unreferenced chunks; returns (chunks, bytes) reclaimed."""
+        dead = [d for d, c in self._chunks.items() if c.refs <= 0]
+        freed = 0
+        for digest in dead:
+            freed += len(self._chunks[digest].payload)
+            del self._chunks[digest]
+        return len(dead), freed
+
+    # -- fsck -------------------------------------------------------------
+
+    def verify(self) -> List[str]:
+        """Re-hash every chunk; returns human-readable problem list."""
+        problems: List[str] = []
+        for digest in sorted(self._chunks):
+            chunk = self._chunks[digest]
+            codec = CODECS.get(chunk.codec)
+            if codec is None:
+                problems.append(f"chunk {digest[:12]}: unknown codec "
+                                f"{chunk.codec!r}")
+                continue
+            try:
+                data = codec.decompress(chunk.payload)
+            except StoreError as exc:
+                problems.append(f"chunk {digest[:12]}: {exc}")
+                continue
+            if chunk_digest(data) != digest:
+                problems.append(f"chunk {digest[:12]}: payload does not "
+                                f"hash to its digest (corrupt)")
+            elif len(data) != chunk.logical_size:
+                problems.append(f"chunk {digest[:12]}: logical size "
+                                f"mismatch ({len(data)} != "
+                                f"{chunk.logical_size})")
+        return problems
+
+    # -- metrics ----------------------------------------------------------
+
+    def physical_bytes(self) -> int:
+        """Bytes actually stored (compressed, deduplicated)."""
+        return sum(len(c.payload) for c in self._chunks.values())
+
+    def unique_bytes(self) -> int:
+        """Uncompressed bytes of the unique chunk set."""
+        return sum(c.logical_size for c in self._chunks.values())
+
+    def __repr__(self) -> str:
+        return (f"<ChunkStore {len(self._chunks)} chunks "
+                f"{self.physical_bytes()}B [{self.codec_name}]>")

@@ -1,0 +1,150 @@
+"""Delta migration transfer: ship only the chunks the peer is missing.
+
+``plan_transfer`` computes the chunk closure of a checkpoint's parent
+chain and subtracts whatever the destination store already holds —
+warm destinations (a node that has seen this program, or any program
+sharing pages with it) receive a small fraction of a full image copy.
+``ship`` moves the plan's chunks (compressed, verified on arrival) and
+registers the chain's manifests root-first on the far side.
+
+:class:`StorePageServer` is the post-copy complement: instead of
+holding private page copies, it serves left-behind pages straight out
+of the source's chunk store by digest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..criu.lazy import PageServer
+from ..errors import StoreError
+from .checkpoints import CheckpointStore
+
+
+class TransferPlan:
+    """What a delta transfer will ship (before shipping it)."""
+
+    __slots__ = ("checkpoint_id", "chunks_needed", "bytes_to_ship",
+                 "chunks_total", "full_bytes")
+
+    def __init__(self, checkpoint_id: str, chunks_needed: List[str],
+                 bytes_to_ship: int, chunks_total: int, full_bytes: int):
+        self.checkpoint_id = checkpoint_id
+        #: digests missing at the destination, in ship order
+        self.chunks_needed = list(chunks_needed)
+        #: compressed bytes that will cross the wire
+        self.bytes_to_ship = bytes_to_ship
+        #: chunk count of the full chain closure
+        self.chunks_total = chunks_total
+        #: what a full (non-store) image copy would ship instead
+        self.full_bytes = full_bytes
+
+    @property
+    def savings(self) -> float:
+        """Fraction of the full-copy bytes this plan avoids."""
+        if self.full_bytes <= 0:
+            return 0.0
+        return 1.0 - (self.bytes_to_ship / self.full_bytes)
+
+    def seconds(self, link) -> float:
+        """Wire time over a :class:`~repro.core.costs.LinkProfile`."""
+        return link.transfer_seconds(self.bytes_to_ship)
+
+    def __repr__(self) -> str:
+        return (f"<TransferPlan {self.checkpoint_id[:12]} "
+                f"{len(self.chunks_needed)}/{self.chunks_total} chunks "
+                f"{self.bytes_to_ship}B (full copy {self.full_bytes}B, "
+                f"savings {self.savings:.0%})>")
+
+
+def _chain_closure(store: CheckpointStore, checkpoint_id: str
+                   ) -> List[str]:
+    """Every chunk digest the checkpoint's chain references, in a
+    deterministic ship order (root manifest first, metas, then pages by
+    address), deduplicated on first occurrence."""
+    seen = set()
+    order: List[str] = []
+
+    def _add(digest: str) -> None:
+        if digest not in seen:
+            seen.add(digest)
+            order.append(digest)
+
+    for cid in store.chain(checkpoint_id):
+        manifest = store.manifest(cid)
+        _add(cid)
+        for name in sorted(manifest["meta"]):
+            _add(manifest["meta"][name])
+        for _vaddr, digest in manifest["pages"]:
+            _add(digest)
+    return order
+
+
+def plan_transfer(src: CheckpointStore, dst: CheckpointStore,
+                  checkpoint_id: str, link=None) -> TransferPlan:
+    """Plan shipping ``checkpoint_id`` from ``src`` to ``dst``."""
+    if checkpoint_id not in src:
+        raise StoreError(f"source store has no checkpoint "
+                         f"{checkpoint_id[:12]}")
+    closure = _chain_closure(src, checkpoint_id)
+    needed = [d for d in closure if not dst.chunks.has(d)]
+    bytes_to_ship = sum(src.chunks.stored_size(d) for d in needed)
+    return TransferPlan(checkpoint_id, needed, bytes_to_ship,
+                        len(closure), src.logical_bytes(checkpoint_id))
+
+
+def ship(src: CheckpointStore, dst: CheckpointStore,
+         plan: TransferPlan) -> int:
+    """Execute a plan: move chunks, register the chain at ``dst``.
+
+    Returns the compressed bytes actually shipped (0 for a fully warm
+    destination). Chunks are re-hashed on arrival by
+    :meth:`~repro.store.chunks.ChunkStore.adopt`.
+    """
+    shipped = 0
+    for digest in plan.chunks_needed:
+        chunk = src.chunks.chunk(digest)
+        if not dst.chunks.has(digest):
+            dst.chunks.adopt(chunk.digest, chunk.codec, chunk.payload,
+                             chunk.logical_size)
+            shipped += len(chunk.payload)
+    for cid in src.chain(plan.checkpoint_id):
+        dst.adopt_manifest(src.chunks.get(cid))
+    return shipped
+
+
+class StorePageServer(PageServer):
+    """Post-copy page server backed by a chunk store.
+
+    Holds ``vaddr -> digest`` instead of page copies: the pages it
+    serves are exactly the checkpoint's chunks, so a store-backed lazy
+    migration keeps one physical copy of every page no matter how many
+    in-flight migrations reference it.
+    """
+
+    def __init__(self, page_digests: Dict[int, str], store: CheckpointStore,
+                 node_name: str = "source", log_limit: Optional[int] = None):
+        if log_limit is None:
+            super().__init__({}, node_name=node_name)
+        else:
+            super().__init__({}, node_name=node_name, log_limit=log_limit)
+        self._digests = dict(page_digests)
+        self._store = store
+
+    def remaining_pages(self) -> int:
+        return len(self._digests)
+
+    def remaining_bytes(self) -> int:
+        return sum(self._store.chunks.chunk(d).logical_size
+                   for d in self._digests.values())
+
+    def fetch(self, vaddr: int) -> Optional[bytes]:
+        self.requests += 1
+        self._record(vaddr)
+        digest = self._digests.pop(vaddr, None)
+        if digest is None:
+            return None
+        data = self._store.chunks.get(digest)
+        self.pages_served += 1
+        self.bytes_served += len(data)
+        return data

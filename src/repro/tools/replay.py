@@ -75,6 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="instructions before migrating (migrate)")
     rec.add_argument("--lazy", action="store_true",
                      help="post-copy restore (migrate)")
+    rec.add_argument("--store", action="store_true",
+                     help="route the transfer through the "
+                          "content-addressed checkpoint store (migrate)")
     rec.add_argument("--interval", type=int, default=2000,
                      help="instructions per shuffle epoch (rerandomize)")
     rec.add_argument("--seed", type=int, default=0,
@@ -136,7 +139,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
     elif args.scenario == "migrate":
         result = record_migrate(source, name, src_arch=args.src_arch,
                                 dst_arch=args.dst_arch, warmup=args.warmup,
-                                lazy=args.lazy, **common)
+                                lazy=args.lazy, store=args.store, **common)
     else:
         result = record_rerandomize(source, name, arch=args.src_arch,
                                     interval=args.interval, seed=args.seed,

@@ -1,0 +1,158 @@
+"""store — checkpoint-store CLI (put / get / ls / stat / gc / verify).
+
+Operates on an on-disk store directory (``chunks/`` + ``index.json``,
+as written by :meth:`repro.store.CheckpointStore.save_dir`) and on
+checkpoint image directories of ``.img`` files (the format ``crit``
+and ``migrate --keep-images`` use).
+
+Examples::
+
+    python -m repro.tools.store put  mystore/ images/
+    python -m repro.tools.store ls   mystore/
+    python -m repro.tools.store get  mystore/ <checkpoint-id> out-images/
+    python -m repro.tools.store stat mystore/
+    python -m repro.tools.store gc   mystore/
+    python -m repro.tools.store verify mystore/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from ..errors import ReproError
+from ..store import CheckpointStore
+from .crit import load_image_set
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="store",
+        description="Content-addressed checkpoint store tool.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    put = sub.add_parser("put", help="store an image directory as a "
+                                     "checkpoint")
+    put.add_argument("store_dir")
+    put.add_argument("image_dir")
+    put.add_argument("--parent", default=None,
+                     help="checkpoint id this dump is a delta against")
+    put.add_argument("--codec", default="zlib",
+                     help="codec when creating a new store "
+                          "(default: zlib)")
+
+    get = sub.add_parser("get", help="materialize a checkpoint into an "
+                                     "image directory")
+    get.add_argument("store_dir")
+    get.add_argument("checkpoint")
+    get.add_argument("out_dir")
+
+    ls = sub.add_parser("ls", help="list checkpoints")
+    ls.add_argument("store_dir")
+
+    stat = sub.add_parser("stat", help="dedup/compression statistics")
+    stat.add_argument("store_dir")
+
+    gc = sub.add_parser("gc", help="delete a checkpoint (optional) and "
+                                   "sweep unreferenced chunks")
+    gc.add_argument("store_dir")
+    gc.add_argument("--delete", default=None, metavar="CHECKPOINT",
+                    help="unregister this checkpoint first")
+
+    verify = sub.add_parser("verify", help="fsck: re-hash every chunk "
+                                           "and audit the refcounts")
+    verify.add_argument("store_dir")
+    return parser
+
+
+def _open_store(path: str, codec: str = "zlib",
+                create: bool = False) -> CheckpointStore:
+    if os.path.exists(os.path.join(path, "index.json")):
+        return CheckpointStore.load_dir(path)
+    if not create:
+        raise ReproError(f"no store at {path!r} (missing index.json)")
+    return CheckpointStore(codec=codec)
+
+
+def _resolve_id(store: CheckpointStore, prefix: str) -> str:
+    matches = [cid for cid in store.checkpoint_ids()
+               if cid.startswith(prefix)]
+    if not matches:
+        raise ReproError(f"no checkpoint matching {prefix!r}")
+    if len(matches) > 1:
+        raise ReproError(f"ambiguous checkpoint prefix {prefix!r} "
+                         f"({len(matches)} matches)")
+    return matches[0]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "put":
+            store = _open_store(args.store_dir, codec=args.codec,
+                                create=True)
+            images = load_image_set(args.image_dir)
+            parent = (_resolve_id(store, args.parent)
+                      if args.parent else None)
+            result = store.put(images, parent=parent)
+            store.save_dir(args.store_dir)
+            kind = "delta" if result.delta else "full"
+            print(f"{result.checkpoint_id} {kind} "
+                  f"new_chunks={result.new_chunks} "
+                  f"dup_chunks={result.dup_chunks} "
+                  f"physical+={result.new_physical_bytes}B "
+                  f"logical={result.logical_bytes}B")
+        elif args.command == "get":
+            store = _open_store(args.store_dir)
+            cid = _resolve_id(store, args.checkpoint)
+            images = store.materialize(cid)
+            os.makedirs(args.out_dir, exist_ok=True)
+            for name, blob in sorted(images.files.items()):
+                with open(os.path.join(args.out_dir, name), "wb") as fh:
+                    fh.write(blob)
+            print(f"materialized {cid} -> {args.out_dir} "
+                  f"({images.total_bytes()}B, "
+                  f"{len(images.files)} files)")
+        elif args.command == "ls":
+            store = _open_store(args.store_dir)
+            for cid in store.checkpoint_ids():
+                manifest = store.manifest(cid)
+                parent = manifest.get("parent", "") or "-"
+                print(f"{cid} arch={manifest.get('arch', '?')} "
+                      f"pages={len(manifest['pages'])} "
+                      f"parent={parent[:12] if parent != '-' else '-'}")
+            if not store.checkpoint_ids():
+                print("(no checkpoints)")
+        elif args.command == "stat":
+            stats = _open_store(args.store_dir).stats()
+            for key in ("checkpoints", "chunks", "logical_bytes",
+                        "unique_bytes", "physical_bytes"):
+                print(f"{key:15} {stats[key]}")
+            print(f"{'dedup_ratio':15} {stats['dedup_ratio']:.2f}x")
+        elif args.command == "gc":
+            store = _open_store(args.store_dir)
+            if args.delete:
+                cid = _resolve_id(store, args.delete)
+                store.delete(cid)
+                print(f"deleted {cid}")
+            count, freed = store.gc()
+            store.save_dir(args.store_dir)
+            print(f"gc: reclaimed {count} chunks, {freed}B")
+        elif args.command == "verify":
+            problems = _open_store(args.store_dir).verify()
+            for problem in problems:
+                print(problem)
+            if problems:
+                print(f"FAILED: {len(problems)} problem(s)")
+                return 1
+            print("store is clean")
+    except ReproError as exc:
+        print(f"store: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

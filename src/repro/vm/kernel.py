@@ -78,6 +78,31 @@ class Process:
         self.decode_cache.clear()
         self.block_cache.clear()
 
+    # -- dirty-page tracking (incremental checkpoints) ----------------------
+
+    def start_dirty_tracking(self) -> None:
+        """Record pages written from now on (see repro.store).
+
+        The superblock engine's generated memory sites cache a (page
+        base, page store) pair and bypass the address-space slow path on
+        a hit, so the block cache is reset here: every site's first
+        access after this point re-enters the slow path, which marks the
+        page, and later in-place hits cannot dirty a page the slow path
+        has not already marked. Decoded traces are untouched
+        (``code_version`` does not move), so re-binding is cheap.
+        """
+        self.aspace.start_dirty_tracking()
+        self.block_cache.clear()
+
+    def stop_dirty_tracking(self) -> None:
+        self.aspace.stop_dirty_tracking()
+
+    def harvest_dirty_pages(self) -> set:
+        """Dirty pages since tracking started; begins a fresh epoch."""
+        dirty = self.aspace.harvest_dirty()
+        self.block_cache.clear()
+        return dirty
+
     def tls_disable_addr(self, thread: ThreadContext) -> int:
         return (thread.tp + self.isa.abi.tls_block_offset
                 + sysabi.TLS_DISABLE_OFFSET)

@@ -1,0 +1,159 @@
+"""Property/fuzz tests for the CRIU image codecs.
+
+Two invariants for every image kind:
+
+1. *Roundtrip*: ``from_bytes(to_bytes(x))`` reproduces the image.
+2. *Total decoding*: for arbitrary, truncated, or bit-flipped input,
+   ``from_bytes`` either succeeds or raises :class:`ImageFormatError` —
+   never ``KeyError``/``IndexError``/``struct.error``/``WireError``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.criu.images import (PE_PARENT, CoreImage, FilesImage,
+                               ImageSet, InventoryImage, MmImage,
+                               PagemapEntry, PagemapImage)
+from repro.errors import ImageFormatError
+from repro.mem.vma import Vma
+
+u32 = st.integers(min_value=0, max_value=2 ** 32 - 1)
+u48 = st.integers(min_value=0, max_value=2 ** 48 - 1)
+i64 = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+name = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=24)
+
+IMAGE_KINDS = [InventoryImage, CoreImage, MmImage, FilesImage,
+               PagemapImage]
+
+
+def sample_images():
+    """One representative instance per image kind."""
+    return [
+        InventoryImage(42, "x86_64", "app", [1, 2, 3], lazy=True,
+                       parent="ab" * 16),
+        CoreImage(2, "aarch64", 0x400100, -1, 0x20000000, "trapped",
+                  {7: 123, 16: -1}),
+        MmImage([Vma(0x1000, 0x3000, 0b101, "code", True, "/bin/a", 0),
+                 Vma(0x7000, 0x9000, 0b110, "stack:1", False, "", 0)],
+                0x500000),
+        FilesImage("/bin/app.x86_64", "x86_64"),
+        PagemapImage([PagemapEntry(0x1000, 2),
+                      PagemapEntry(0x5000, 3, PE_PARENT)]),
+    ]
+
+
+class TestRoundtrips:
+    @given(pid=u32, tids=st.lists(u32, max_size=6), parent=name,
+           lazy=st.booleans())
+    def test_inventory(self, pid, tids, parent, lazy):
+        image = InventoryImage(pid, "x86_64", "prog", tids, lazy=lazy,
+                               parent=parent)
+        copy = InventoryImage.from_bytes(image.to_bytes())
+        assert (copy.pid, copy.tids, copy.parent, copy.lazy) == \
+            (pid, tids, parent, lazy)
+
+    @given(tid=u32, pc=u48, flags=i64, tls=u48,
+           regs=st.dictionaries(st.integers(0, 64), i64, max_size=8))
+    def test_core(self, tid, pc, flags, tls, regs):
+        image = CoreImage(tid, "aarch64", pc, flags, tls, "running",
+                          regs)
+        copy = CoreImage.from_bytes(image.to_bytes())
+        assert (copy.tid, copy.pc, copy.flags, copy.tls_base) == \
+            (tid, pc, flags, tls)
+        assert copy.regs == regs
+
+    @given(heap=u48, starts=st.lists(u32, min_size=0, max_size=4,
+                                     unique=True))
+    def test_mm(self, heap, starts):
+        vmas = [Vma(s * 0x1000, s * 0x1000 + 0x2000, 0b110,
+                    f"vma{i}", False, "", 0)
+                for i, s in enumerate(sorted(starts))]
+        copy = MmImage.from_bytes(MmImage(vmas, heap).to_bytes())
+        assert copy.heap_end == heap
+        assert [(v.start, v.end, v.name) for v in copy.vmas] == \
+            [(v.start, v.end, v.name) for v in vmas]
+
+    @given(path=name, arch=name)
+    def test_files(self, path, arch):
+        copy = FilesImage.from_bytes(FilesImage(path, arch).to_bytes())
+        assert (copy.exe_path, copy.exe_arch) == (path, arch)
+
+    @given(entries=st.lists(
+        st.tuples(u48, st.integers(1, 16),
+                  st.sampled_from([0, PE_PARENT])),
+        max_size=6))
+    def test_pagemap(self, entries):
+        image = PagemapImage([PagemapEntry(v * 0x1000, n, f)
+                              for v, n, f in entries])
+        copy = PagemapImage.from_bytes(image.to_bytes())
+        assert [(e.vaddr, e.nr_pages, e.flags) for e in copy.entries] \
+            == [(e.vaddr, e.nr_pages, e.flags)
+                for e in image.entries]
+        assert copy.total_pages() == image.total_pages()
+        assert copy.data_pages() + copy.parent_pages() == \
+            copy.total_pages()
+
+
+class TestMalformedInputsAreContained:
+    """Arbitrary bytes must produce ImageFormatError, nothing rawer."""
+
+    def _assert_contained(self, kind, blob):
+        try:
+            kind.from_bytes(blob)
+        except ImageFormatError:
+            pass  # the contract: exactly this error for bad input
+
+    @pytest.mark.parametrize("kind", IMAGE_KINDS)
+    @given(blob=st.binary(max_size=64))
+    def test_random_bytes(self, kind, blob):
+        self._assert_contained(kind, blob)
+
+    @pytest.mark.parametrize("image", sample_images(),
+                             ids=lambda i: type(i).__name__)
+    def test_truncations(self, image):
+        blob = image.to_bytes()
+        kind = type(image)
+        for cut in range(len(blob)):
+            self._assert_contained(kind, blob[:cut])
+
+    @pytest.mark.parametrize("image", sample_images(),
+                             ids=lambda i: type(i).__name__)
+    def test_bit_flips(self, image):
+        blob = image.to_bytes()
+        kind = type(image)
+        for pos in range(len(blob)):
+            for bit in (0, 3, 7):
+                flipped = bytearray(blob)
+                flipped[pos] ^= 1 << bit
+                self._assert_contained(kind, bytes(flipped))
+
+    @pytest.mark.parametrize("image", sample_images(),
+                             ids=lambda i: type(i).__name__)
+    def test_bad_magic_rejected(self, image):
+        blob = bytearray(image.to_bytes())
+        blob[0] ^= 0xFF
+        with pytest.raises(ImageFormatError):
+            type(image).from_bytes(bytes(blob))
+
+    def test_wrong_kind_magic_rejected(self):
+        """Feeding one kind's bytes to another kind's decoder fails
+        cleanly at the magic check."""
+        images = sample_images()
+        for image in images:
+            for other in IMAGE_KINDS:
+                if isinstance(image, other):
+                    continue
+                with pytest.raises(ImageFormatError):
+                    other.from_bytes(image.to_bytes())
+
+    def test_missing_required_fields_rejected(self):
+        from repro.criu.images import (_INVENTORY_SCHEMA, _wrap)
+        # an inventory with no pid: structurally valid wire data but
+        # semantically incomplete
+        payload = _INVENTORY_SCHEMA.encode({"arch": "x86_64"})
+        with pytest.raises(ImageFormatError):
+            InventoryImage.from_bytes(_wrap("inventory", payload))
