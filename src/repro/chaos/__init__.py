@@ -1,0 +1,13 @@
+"""Chaos engine: seeded, journal-replayable fault injection.
+
+A :class:`FaultPlan` says *what can go wrong and how often*; a
+:class:`FaultInjector` draws every fault decision from a seeded
+:class:`~repro.core.rng.RngService`, so chaos runs are deterministic and
+— with a flight recorder attached — replay bit-identically from their
+own journals.
+"""
+
+from .faults import BP, KINDS, FaultPlan
+from .injector import FaultInjector, FiredFault
+
+__all__ = ["BP", "KINDS", "FaultPlan", "FaultInjector", "FiredFault"]

@@ -1,0 +1,209 @@
+"""Chaos trial harness: complete-or-rollback, never half-migrated.
+
+One :class:`ChaosHarness` owns a fault-free *reference* migration of an
+app (its final output and settled memory digest are the oracle) and
+runs seeded chaos trials against it. Every trial must land in exactly
+one of two states:
+
+* **completed** — the migrated process ran to exit on the destination
+  with output identical to the reference and byte-identical settled
+  memory (a post-copy trial whose page server was killed must still
+  match, via the pre-copy fallback), the source torn down;
+* **rolled-back** — :class:`~repro.errors.MigrationRollback` was
+  raised, the destination holds *no* image files, *no* adopted
+  checkpoint, *no* orphan chunks (store verify clean), no restored
+  process — and the source process resumed and ran to completion with
+  the reference output.
+
+Anything else — a half-migrated process, divergent output, leaked
+destination state — fails the trial. ``tools/chaos.py`` drives this
+over many seeds; ``tests/test_chaos.py`` pins specific ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional
+
+from ..apps.registry import get_app
+from ..core.migration import MigrationPipeline
+from ..errors import MigrationRollback
+from ..isa import get_isa
+from ..vm.kernel import Machine, Process
+from .faults import FaultPlan
+from .injector import FaultInjector
+
+
+def settle_lazy_pages(process: Process, page_server) -> None:
+    """Install every page still pending at the server into the process
+    address space and detach the fault-in hook.
+
+    This puts lazy, fallback-completed and vanilla migrations on the
+    same footing before hashing memory: whatever the serving history
+    was, settled memory must be byte-identical.
+    """
+    aspace = process.aspace
+    if page_server is not None:
+        # pending_pages() works on a dead server too — death stops
+        # *serving*, not the snapshot this harness audits against.
+        for vaddr, data in page_server.pending_pages().items():
+            # _pages membership, not page(): page() would re-enter the
+            # fault-in hook.
+            if (vaddr not in aspace._pages
+                    and aspace.find_vma(vaddr) is not None):
+                aspace.install_page(vaddr, data)
+    aspace.missing_page_hook = None
+
+
+def memory_digest(process: Process) -> str:
+    """blake2b-128 over every mapped byte, VMAs in address order.
+
+    Reads with the fault-in hook detached (settle first), so holes read
+    as zeros identically on both sides of the comparison.
+    """
+    aspace = process.aspace
+    hook, aspace.missing_page_hook = aspace.missing_page_hook, None
+    try:
+        h = hashlib.blake2b(digest_size=16)
+        for vma in sorted(aspace.vmas, key=lambda v: v.start):
+            h.update(aspace.read(vma.start, vma.end - vma.start,
+                                 check=False))
+        return h.hexdigest()
+    finally:
+        aspace.missing_page_hook = hook
+
+
+class TrialResult:
+    """One seeded chaos trial's verdict."""
+
+    __slots__ = ("seed", "outcome", "ok", "detail", "faults", "attempts",
+                 "fallback")
+
+    def __init__(self, seed: int, outcome: str, ok: bool, detail: str,
+                 faults: Dict[str, int], attempts: Dict[str, int],
+                 fallback: bool):
+        self.seed = seed
+        #: "completed" | "rolled-back"
+        self.outcome = outcome
+        #: did the complete-or-rollback invariant hold?
+        self.ok = ok
+        self.detail = detail
+        self.faults = dict(faults)
+        self.attempts = dict(attempts)
+        self.fallback = fallback
+
+    def __repr__(self) -> str:
+        mark = "ok" if self.ok else "FAIL"
+        return (f"<Trial seed={self.seed} {self.outcome} [{mark}] "
+                f"faults={self.faults}>")
+
+
+class ChaosHarness:
+    def __init__(self, app: str = "kmeans", *, lazy: bool = False,
+                 use_store: bool = False, warmup: int = 5000,
+                 retry_budget: int = 3, size: str = "small",
+                 src_arch: str = "x86_64", dst_arch: str = "aarch64"):
+        self.app = app
+        self.lazy = lazy
+        self.use_store = use_store
+        self.warmup = warmup
+        self.retry_budget = retry_budget
+        self.src_arch = src_arch
+        self.dst_arch = dst_arch
+        self.program = get_app(app).compile(size)
+        # The oracle: one fault-free migration of the same shape.
+        result, pipeline = self._migrate(None)
+        settle_lazy_pages(result.process, result.page_server)
+        self.expected_output = result.combined_output()
+        self.expected_memory = memory_digest(result.process)
+
+    def _pipeline(self, injector: Optional[FaultInjector]
+                  ) -> MigrationPipeline:
+        return MigrationPipeline(
+            Machine(get_isa(self.src_arch), name="src"),
+            Machine(get_isa(self.dst_arch), name="dst"),
+            self.program, use_store=self.use_store, injector=injector,
+            retry_budget=self.retry_budget)
+
+    def _migrate(self, injector: Optional[FaultInjector]):
+        pipeline = self._pipeline(injector)
+        result = pipeline.run_and_migrate(warmup_steps=self.warmup,
+                                          lazy=self.lazy)
+        return result, pipeline
+
+    # -- one trial ---------------------------------------------------------
+
+    def run_trial(self, plan: FaultPlan) -> TrialResult:
+        """Run one seeded trial and audit the invariant."""
+        injector = FaultInjector(plan)
+        pipeline = self._pipeline(injector)
+        process = pipeline.start()
+        pipeline.src_machine.step_all(self.warmup)
+        problems = []
+        try:
+            result = pipeline.migrate(process, lazy=self.lazy)
+        except MigrationRollback as exc:
+            outcome = "rolled-back"
+            attempts = dict(exc.txn.get("attempts", {}))
+            fallback = False
+            problems += self._audit_rollback(pipeline, process)
+        else:
+            outcome = "completed"
+            pipeline.dst_machine.run_process(result.process)
+            # Read the transaction record only after the destination ran
+            # to exit: the pre-copy fallback fires (and marks the txn)
+            # at fault-in time, mid-execution.
+            txn = result.stats.get("txn", {})
+            attempts = dict(txn.get("attempts", {}))
+            fallback = bool(txn.get("fallback"))
+            problems += self._audit_completed(pipeline, process, result)
+        return TrialResult(plan.seed, outcome, not problems,
+                           "; ".join(problems), injector.counts(),
+                           attempts, fallback)
+
+    def _audit_completed(self, pipeline: MigrationPipeline,
+                         source: Process, result) -> list:
+        problems = []
+        if not result.process.exited:
+            problems.append("destination process did not run to exit")
+        if result.combined_output() != self.expected_output:
+            problems.append("output differs from fault-free reference")
+        settle_lazy_pages(result.process, result.page_server)
+        if memory_digest(result.process) != self.expected_memory:
+            problems.append("settled memory differs from reference")
+        if not source.exited:
+            problems.append("source process still alive after completion")
+        return problems
+
+    def _audit_rollback(self, pipeline: MigrationPipeline,
+                        source: Process) -> list:
+        problems = []
+        dst = pipeline.dst_machine
+        leftover = dst.tmpfs.listdir(f"/images/{source.pid}")
+        if leftover:
+            problems.append(f"destination image tree not swept: "
+                            f"{leftover}")
+        if dst.processes:
+            problems.append("destination has a (half-)restored process")
+        if pipeline.dst_store is not None:
+            orphans = pipeline.dst_store.chunks.orphans()
+            if orphans:
+                problems.append(f"{len(orphans)} orphan chunk(s) leaked")
+            fsck = pipeline.dst_store.verify()
+            if fsck:
+                problems.append(f"destination store fsck: {fsck}")
+        if source.stopped or source.exited:
+            problems.append("source did not resume after rollback")
+        pipeline.src_machine.run_process(source)
+        if source.stdout() != self.expected_output:
+            problems.append("resumed source output differs from "
+                            "reference")
+        return problems
+
+    # -- many trials -------------------------------------------------------
+
+    def run_trials(self, nseeds: int, seed0: int = 0,
+                   **probabilities) -> list:
+        """One trial per seed in ``[seed0, seed0 + nseeds)``."""
+        return [self.run_trial(FaultPlan(seed, **probabilities))
+                for seed in range(seed0, seed0 + nseeds)]

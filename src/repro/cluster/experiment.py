@@ -52,13 +52,17 @@ class BatchExperiment:
     def __init__(self, template: JobTemplate, duration_s: float = 1800.0,
                  server_profile: Optional[NodeProfile] = None,
                  pi_profile: Optional[NodeProfile] = None,
-                 server_slots: int = 7, pi_slots: int = 3):
+                 server_slots: int = 7, pi_slots: int = 3,
+                 injector=None):
         self.template = template
         self.duration_s = duration_s
         self.server_profile = server_profile or xeon_profile()
         self.pi_profile = pi_profile or rpi_profile()
         self.server_slots = server_slots
         self.pi_slots = pi_slots
+        #: optional chaos FaultInjector: eviction migrations can fail
+        #: mid-flight and the scheduler's supervisor loop re-queues them
+        self.injector = injector
 
     def run(self, pis: int) -> BatchResult:
         queue = EventQueue()
@@ -68,7 +72,8 @@ class BatchExperiment:
                             job_slots=self.pi_slots) for i in range(pis)]
         meter = EnergyMeter([server] + pi_nodes)
         scheduler = EvictionScheduler(queue, server, pi_nodes,
-                                      self.template, meter)
+                                      self.template, meter,
+                                      injector=self.injector)
         scheduler.start()
         queue.run_until(self.duration_s)
         meter.advance_to(self.duration_s)

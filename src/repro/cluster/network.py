@@ -2,19 +2,31 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from ..core.costs import LinkProfile, ethernet_link, infiniband_link
-from ..errors import ClusterError
+from ..errors import ClusterError, LinkDropFault
 from ..vm.kernel import Machine
 
 
 class Network:
-    """Links between named nodes, with a tmpfs-to-tmpfs scp primitive."""
+    """Links between named nodes, with a tmpfs-to-tmpfs scp primitive.
 
-    def __init__(self, default_link: Optional[LinkProfile] = None):
+    ``strict=True`` makes :meth:`link_between` raise for node pairs no
+    link was registered for instead of silently falling back to
+    ``default_link`` — topology typos fail loudly. ``injector`` (a
+    :class:`~repro.chaos.FaultInjector`) schedules link faults; faults
+    and partitions are consulted *before* any bytes are copied, so a
+    failed scp never leaves partial state at the destination.
+    """
+
+    def __init__(self, default_link: Optional[LinkProfile] = None,
+                 strict: bool = False, injector=None):
         self.default_link = default_link or infiniband_link()
+        self.strict = strict
+        self.injector = injector
         self._links: Dict[Tuple[str, str], LinkProfile] = {}
+        self._partitioned: Set[Tuple[str, str]] = set()
 
     def connect(self, a: str, b: str, link: LinkProfile,
                 symmetric: bool = True) -> None:
@@ -45,20 +57,64 @@ class Network:
             return True
         return vars(a) == vars(b)
 
-    def link_between(self, a: str, b: str) -> LinkProfile:
-        return self._links.get((a, b), self.default_link)
+    def link_between(self, a: str, b: str,
+                     strict: Optional[bool] = None) -> LinkProfile:
+        """The registered link ``a``→``b``.
+
+        In strict mode (per-call ``strict=True``, or the network-wide
+        default) an unregistered pair raises :class:`ClusterError`
+        instead of silently using ``default_link``.
+        """
+        link = self._links.get((a, b))
+        if link is not None:
+            return link
+        if strict if strict is not None else self.strict:
+            raise ClusterError(
+                f"no link registered between {a!r} and {b!r} "
+                f"(strict mode; known: "
+                f"{sorted(set(x for pair in self._links for x in pair))})")
+        return self.default_link
+
+    # -- partitions -------------------------------------------------------
+
+    def partition(self, a: str, b: str, symmetric: bool = True) -> None:
+        """Cut the path between two nodes; scp raises until healed."""
+        self._partitioned.add((a, b))
+        if symmetric:
+            self._partitioned.add((b, a))
+
+    def heal(self, a: str, b: str, symmetric: bool = True) -> None:
+        self._partitioned.discard((a, b))
+        if symmetric:
+            self._partitioned.discard((b, a))
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        return (a, b) in self._partitioned
+
+    # -- transfer ---------------------------------------------------------
 
     def scp(self, src: Machine, dst: Machine, prefix: str,
             dest_prefix: Optional[str] = None) -> Tuple[int, float]:
         """Copy a tmpfs subtree between machines.
 
-        Returns (bytes copied, simulated seconds).
+        Returns (bytes copied, simulated seconds). The link — and any
+        injected fault or standing partition — is consulted *before*
+        the copy mutates the destination tmpfs: a dropped transfer
+        leaves no partial subtree behind.
         """
         if src is dst:
             raise ClusterError("scp between a machine and itself")
-        nbytes = src.tmpfs.copy_tree(prefix, dst.tmpfs, dest_prefix)
         link = self.link_between(src.name, dst.name)
-        return nbytes, link.transfer_seconds(nbytes)
+        if self.is_partitioned(src.name, dst.name):
+            raise LinkDropFault(
+                f"{src.name}->{dst.name} is partitioned",
+                kind="partition", site="scp")
+        factor = 1.0
+        if self.injector is not None:
+            factor = self.injector.link_fault(src.name, dst.name,
+                                              site="scp")
+        nbytes = src.tmpfs.copy_tree(prefix, dst.tmpfs, dest_prefix)
+        return nbytes, link.transfer_seconds(nbytes) * factor
 
 
 def paper_testbed_network() -> Network:

@@ -10,11 +10,21 @@ started server job (the one with the most remaining work, so migration
 overhead amortizes best) is evicted to the Pi via a Dapper migration —
 paying the measured migration latency — and the freed server slot
 immediately takes the next queued job.
+
+**Supervisor loop.** With a chaos ``injector`` attached, an eviction
+migration can fail mid-flight. A failed eviction rolls the job back to
+the head of the queue (its remaining work preserved — the next free
+server slot resumes it), docks the target node's health, and — after
+``max_node_failures`` consecutive failures — marks the node *unhealthy*:
+the scheduler stops evicting toward it and probes it again after a
+deterministic exponential backoff. A successful eviction resets the
+node's failure count. Without an injector none of this draws RNG or
+changes scheduling decisions.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Set
 
 from .energy import EnergyMeter
 from .events import EventQueue
@@ -26,7 +36,9 @@ class EvictionScheduler:
     def __init__(self, queue: EventQueue, server: SimNode,
                  pis: List[SimNode], template: JobTemplate,
                  meter: EnergyMeter,
-                 min_remaining_fraction: float = 0.25):
+                 min_remaining_fraction: float = 0.25,
+                 injector=None, max_node_failures: int = 3,
+                 retry_backoff_s: float = 1.0):
         self.queue = queue
         self.server = server
         self.pis = pis
@@ -36,8 +48,17 @@ class EvictionScheduler:
         #: overhead would not pay off
         self.min_remaining_fraction = min_remaining_fraction
         self.completed = 0
-        self.evictions = 0
+        self.evictions = 0           # successful evictions only
         self._server_jobs: List[tuple] = []     # (job, slot, finish_time)
+        # -- supervisor state --
+        self.injector = injector
+        self.max_node_failures = max(1, int(max_node_failures))
+        self.retry_backoff_s = retry_backoff_s
+        self.failed_evictions = 0
+        self.node_failures: Dict[str, int] = {}
+        self.unhealthy: Set[str] = set()
+        #: rolled-back jobs waiting for a server slot, oldest first
+        self._requeue: List[Job] = []
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -47,8 +68,13 @@ class EvictionScheduler:
         self._try_evictions()
 
     def _start_server_job(self) -> None:
-        job = Job(self.template)
-        job.started_at = self.queue.now
+        if self._requeue:
+            # A rolled-back eviction resumes first, with the remaining
+            # fraction it had when its migration failed.
+            job = self._requeue.pop(0)
+        else:
+            job = Job(self.template)
+            job.started_at = self.queue.now
         job.node_name = self.server.name
         slot = self.server.place(job)
         finish = self.queue.now + job.remaining_seconds_on(
@@ -73,7 +99,9 @@ class EvictionScheduler:
 
     def _try_evictions(self) -> None:
         for pi in self.pis:
-            while pi.free_slots() > 0:
+            if pi.name in self.unhealthy:
+                continue
+            while pi.free_slots() > 0 and pi.name not in self.unhealthy:
                 entry = self._pick_eviction_candidate()
                 if entry is None:
                     return
@@ -99,6 +127,17 @@ class EvictionScheduler:
         job.remaining_fraction = max(0.0, (finish - self.queue.now) / total)
         self._server_jobs.remove(entry)
         self.server.release(slot)
+        if (self.injector is not None
+                and self.injector.eviction_fault(pi.name)):
+            # The migration toward the Pi failed mid-flight: roll the
+            # job back to the queue (the freed server slot resumes it
+            # immediately) and dock the node's health.
+            self.failed_evictions += 1
+            self._requeue.append(job)
+            self._node_failed(pi)
+            self._start_server_job()
+            return
+        self._node_recovered(pi)
         self.evictions += 1
         # The freed server slot takes the next queued job immediately.
         self._start_server_job()
@@ -115,4 +154,31 @@ class EvictionScheduler:
         self.meter.advance_to(self.queue.now)
         pi.release(slot)
         self.completed += 1
+        self._try_evictions()
+
+    # -- node health (supervisor) -------------------------------------------------
+
+    def _node_failed(self, pi: SimNode) -> None:
+        failures = self.node_failures.get(pi.name, 0) + 1
+        self.node_failures[pi.name] = failures
+        if failures >= self.max_node_failures \
+                and pi.name not in self.unhealthy:
+            self.unhealthy.add(pi.name)
+            # Probe again after a deterministic exponential backoff; a
+            # node that keeps failing re-trips with a doubled delay.
+            delay = self.retry_backoff_s * (
+                2 ** (failures - self.max_node_failures))
+            self.queue.schedule_in(delay, lambda: self._probe_node(pi),
+                                   f"probe-{pi.name}")
+
+    def _node_recovered(self, pi: SimNode) -> None:
+        if self.node_failures.get(pi.name):
+            self.node_failures[pi.name] = 0
+        self.unhealthy.discard(pi.name)
+
+    def _probe_node(self, pi: SimNode) -> None:
+        # Half-open: allow evictions toward the node again; the next
+        # failure re-trips the breaker (with a longer backoff), the
+        # next success resets it.
+        self.unhealthy.discard(pi.name)
         self._try_evictions()

@@ -14,6 +14,20 @@ and executes the four stages the paper measures:
 Each stage reports a simulated wall-clock latency from the calibrated
 cost model, driven by the *measured* image sizes / frame counts / page
 counts of the run.
+
+**Transactional semantics.** With a chaos ``injector`` attached,
+``migrate`` becomes a staged transaction: every stage retries under a
+deterministic exponential backoff when an injected fault (or an
+integrity failure it provokes) fires, arriving images are re-verified
+against the source content digest, a post-copy page-server death
+degrades gracefully to a pre-copy of the remaining pages, and an
+exhausted retry budget **rolls back to the source** — the destination's
+partial state is swept (image tree removed, orphan store chunks GC'd)
+and the paused source process resumes as if the migration was never
+attempted. The source is only torn down *after* a successful restore,
+so at every instant exactly one runnable copy of the process exists.
+Without an injector none of this machinery runs and the pipeline is
+byte-identical to the fault-free fast path.
 """
 
 from __future__ import annotations
@@ -24,7 +38,9 @@ from ..compiler.driver import CompiledProgram
 from ..criu.images import ImageSet
 from ..criu.lazy import PageServer, restore_process_lazy
 from ..criu.restore import restore_process
-from ..errors import MigrationError
+from ..errors import (InjectedFault, IntegrityError, MigrationError,
+                      MigrationRollback, PageServerDead, ReproError,
+                      StoreError)
 from ..store import (CheckpointStore, StorePageServer, plan_transfer,
                      ship)
 from ..vm.kernel import Machine, Process
@@ -32,6 +48,9 @@ from .costs import LinkProfile, NodeProfile, infiniband_link, profile_for_arch
 from .policies.cross_isa import CrossIsaPolicy
 from .rewriter import ProcessRewriter
 from .runtime import DapperRuntime
+
+#: exception classes one transactional stage attempt may absorb and retry
+RETRYABLE = (InjectedFault, IntegrityError, StoreError)
 
 
 class MigrationResult:
@@ -94,11 +113,25 @@ class MigrationPipeline:
                  use_store: bool = False,
                  src_store: Optional[CheckpointStore] = None,
                  dst_store: Optional[CheckpointStore] = None,
-                 store_codec: str = "zlib"):
+                 store_codec: str = "zlib",
+                 network=None,
+                 injector=None,
+                 retry_budget: int = 3,
+                 backoff_base_s: float = 0.05):
         self.src_machine = src_machine
         self.dst_machine = dst_machine
         self.program = program
-        self.link = link or infiniband_link()
+        # A Network pins the pipeline to the *registered* topology: the
+        # strict lookup raises ClusterError on an unregistered pair
+        # instead of silently migrating over the default link.
+        self.network = network
+        if link is not None:
+            self.link = link
+        elif network is not None:
+            self.link = network.link_between(src_machine.name,
+                                             dst_machine.name, strict=True)
+        else:
+            self.link = infiniband_link()
         self.src_profile = src_profile or profile_for_arch(
             src_machine.isa.name)
         self.dst_profile = dst_profile or profile_for_arch(
@@ -131,12 +164,80 @@ class MigrationPipeline:
         else:
             self.src_store = src_store
             self.dst_store = dst_store
+        # Chaos: a FaultInjector turns migrate() into the staged
+        # transaction described in the module docstring. retry_budget is
+        # attempts per stage; attempt k backs off
+        # backoff_base_s * 2**(k-1) simulated seconds before retrying.
+        self.injector = injector
+        self.retry_budget = max(1, int(retry_budget))
+        self.backoff_base_s = backoff_base_s
         install_program(src_machine, program)
         install_program(dst_machine, program)
 
     def start(self) -> Process:
         return self.src_machine.spawn_process(
             exe_path_for(self.program.name, self.src_machine.isa.name))
+
+    # -- transactional machinery -------------------------------------------------
+
+    def _txn_stage(self, stage: str, txn: Dict, ctx: Dict, fn,
+                   cleanup=None):
+        """Run one stage under the retry budget.
+
+        Without an injector this is a plain call — the fault-free path
+        carries no transaction bookkeeping at all. With one, a retryable
+        failure triggers ``cleanup`` (sweep partial destination state),
+        a deterministic exponential backoff, and another attempt; an
+        exhausted budget rolls the whole migration back to the source.
+        """
+        if self.injector is None:
+            return fn()
+        attempts = 0
+        while True:
+            attempts += 1
+            txn["attempts"][stage] = attempts
+            try:
+                return fn()
+            except RETRYABLE as exc:
+                txn["errors"].append(f"{stage}#{attempts}: {exc}")
+                if cleanup is not None:
+                    cleanup()
+                if attempts >= self.retry_budget:
+                    self._rollback(stage, attempts, txn, ctx, exc)
+                backoff = self.backoff_base_s * (2 ** (attempts - 1))
+                txn["backoff_seconds"] += backoff
+
+    def _rollback(self, stage: str, attempts: int, txn: Dict, ctx: Dict,
+                  exc: BaseException) -> None:
+        """Undo the half-migration and resume the source.
+
+        The destination's image tree is removed, a checkpoint this
+        migration adopted into the destination store is deleted and its
+        now-orphaned chunks GC'd, and the paused source process is
+        resumed — it continues exactly where it stopped. Raises
+        :class:`MigrationRollback` carrying the transaction record.
+        """
+        txn["rolled_back"] = True
+        txn["rollback_stage"] = stage
+        dst_fs = self.dst_machine.tmpfs
+        for path in list(dst_fs.listdir(ctx["dst_prefix"])):
+            dst_fs.remove(path)
+        cid = ctx.get("dst_checkpoint")
+        if (cid is not None and self.dst_store is not None
+                and not ctx.get("dst_had_checkpoint")
+                and cid in self.dst_store):
+            self.dst_store.delete(cid)
+        if self.dst_store is not None:
+            chunks_freed, bytes_freed = self.dst_store.gc()
+            txn["gc"] = {"chunks": chunks_freed, "bytes": bytes_freed}
+        ctx["runtime"].resume()
+        if self.injector is not None:
+            self.injector.note("rollback", stage,
+                               f"after {attempts} attempt(s)", a=attempts)
+        raise MigrationRollback(
+            f"migration stage {stage!r} failed after {attempts} "
+            f"attempt(s); rolled back to source ({exc})",
+            stage=stage, attempts=attempts, txn=txn) from exc
 
     # -- the pipeline ------------------------------------------------------------
 
@@ -146,18 +247,32 @@ class MigrationPipeline:
             raise MigrationError("process does not run on the source machine")
         src_arch = self.src_machine.isa.name
         dst_arch = self.dst_machine.isa.name
+        injector = self.injector
         stage_seconds: Dict[str, float] = {}
+        txn: Dict = {"attempts": {}, "errors": [],
+                     "backoff_seconds": 0.0, "rolled_back": False,
+                     "fallback": False}
 
-        # 1. checkpoint
+        # Pausing happens once, outside the transaction: it advances the
+        # process to an equivalence point, which is not a retryable step.
         runtime = DapperRuntime(self.src_machine, process)
         runtime.pause_at_equivalence_points(max_pause_steps)
         output_before = process.stdout()
         footprint_bytes = process.aspace.populated_bytes()
-        page_server = None
-        if lazy:
-            images, page_server = runtime.checkpoint_lazy()
-        else:
-            images = runtime.checkpoint()
+        ctx: Dict = {"runtime": runtime,
+                     "dst_prefix": f"/images/{process.pid}",
+                     "dst_checkpoint": None, "dst_had_checkpoint": False}
+
+        # 1. checkpoint (a dump only reads the paused process, so a node
+        # crash mid-dump retries cleanly)
+        def _checkpoint():
+            if injector is not None:
+                injector.node_fault("checkpoint", self.src_machine.name)
+            if lazy:
+                return runtime.checkpoint_lazy()
+            return runtime.checkpoint(), None
+        images, page_server = self._txn_stage("checkpoint", txn, ctx,
+                                              _checkpoint)
         threads = len(images.inventory().tids)
         scale = self.byte_scale
         if self.target_footprint_bytes:
@@ -173,7 +288,12 @@ class MigrationPipeline:
         policy = CrossIsaPolicy(
             self.program.binary(src_arch), self.program.binary(dst_arch),
             exe_path_for(self.program.name, dst_arch))
-        report = ProcessRewriter().rewrite(images, policy)[0]
+
+        def _recode():
+            if injector is not None:
+                injector.node_fault("recode", self.src_machine.name)
+            return ProcessRewriter().rewrite(images, policy)[0]
+        report = self._txn_stage("recode", txn, ctx, _recode)
         stage_seconds["recode"] = self.recode_profile.recode_seconds(
             scaled(report.bytes_before), report.stats["frames"])
 
@@ -184,52 +304,142 @@ class MigrationPipeline:
         if self.use_store:
             images, page_server = self._store_transfer(
                 process, images, page_server, stage_seconds, scaled,
-                stats)
+                stats, txn, ctx)
         else:
-            images.save(self.dst_machine.tmpfs, f"/images/{process.pid}")
-            stage_seconds["scp"] = self.link.transfer_seconds(
-                scaled(images.total_bytes()))
+            images = self._plain_transfer(process, images, stage_seconds,
+                                          scaled, txn, ctx)
 
-        # 4. restore (+ tear down the source)
-        runtime.kill_source()
-        if lazy:
-            restored = restore_process_lazy(self.dst_machine, images,
+        # Post-copy chaos: maybe arm the page server to die mid
+        # fault-in; snapshot the left-behind pages *now* so the pre-copy
+        # fallback can finish the transfer from the snapshot even after
+        # the source is torn down.
+        fallback_pages = None
+        if lazy and injector is not None:
+            if injector.page_server_fault(page_server):
+                fallback_pages = page_server.pending_pages()
+
+        # 4. restore. The source is torn down only *after* the restore
+        # succeeds: until then it remains the rollback target, so a
+        # failed migration never strands the process between nodes.
+        def _restore():
+            if injector is not None:
+                injector.node_fault("restore", self.dst_machine.name)
+            if lazy:
+                return restore_process_lazy(self.dst_machine, images,
                                             page_server)
-            # Only the minimal execution context is loaded up front (the
-            # paper measures ≈8 ms); missing pages are served on demand
-            # and show up as the *indirect* restoration cost instead.
-            stage_seconds["restore"] = self.dst_profile.restore_seconds(
-                scaled(images.total_bytes()), threads)
-        else:
-            restored = restore_process(self.dst_machine, images)
-            stage_seconds["restore"] = self.dst_profile.restore_seconds(
-                scaled(images.total_bytes()), threads)
+            return restore_process(self.dst_machine, images)
+        restored = self._txn_stage("restore", txn, ctx, _restore)
+        stage_seconds["restore"] = self.dst_profile.restore_seconds(
+            scaled(images.total_bytes()), threads)
+        runtime.kill_source()
+
+        if fallback_pages is not None:
+            self._arm_precopy_fallback(restored, fallback_pages, txn)
+
+        if injector is not None:
+            stats["txn"] = txn
+            if txn["backoff_seconds"] > 0.0:
+                stage_seconds["retries"] = txn["backoff_seconds"]
 
         return MigrationResult(
             process=restored, images=images, stage_seconds=stage_seconds,
             stats=stats, output_before=output_before,
             page_server=page_server, lazy=lazy)
 
+    # -- stage 3 variants --------------------------------------------------------
+
+    def _plain_transfer(self, process: Process, images: ImageSet,
+                        stage_seconds: Dict[str, float], scaled,
+                        txn: Dict, ctx: Dict) -> ImageSet:
+        """Plain-scp stage 3: link first, bytes second, verify on arrival."""
+        injector = self.injector
+        prefix = ctx["dst_prefix"]
+        dst_fs = self.dst_machine.tmpfs
+
+        def _sweep_partial():
+            for path in list(dst_fs.listdir(prefix)):
+                dst_fs.remove(path)
+
+        def _transfer():
+            # The link — and any injected drop / partition / latency —
+            # is consulted before a single byte lands at the target.
+            factor = 1.0
+            if injector is not None:
+                factor = injector.link_fault(self.src_machine.name,
+                                             self.dst_machine.name,
+                                             site="scp")
+            images.save(dst_fs, prefix)
+            if injector is not None and injector.corrupt_roll("scp"):
+                # Flip the tail byte of the largest arrived file (the
+                # pages image) — the arrival digest check must catch it.
+                victim = max(dst_fs.listdir(prefix), key=dst_fs.size)
+                blob = bytearray(dst_fs.read(victim))
+                blob[-1] ^= 0xFF
+                dst_fs.write(victim, bytes(blob))
+            if injector is not None:
+                try:
+                    arrived = ImageSet.load(dst_fs, prefix)
+                    ok = arrived.content_digest() == images.content_digest()
+                except ReproError as exc:
+                    raise IntegrityError(
+                        f"arrived images unreadable: {exc}") from exc
+                if not ok:
+                    raise IntegrityError(
+                        "arrived image digest does not match source")
+            return factor
+        factor = self._txn_stage("scp", txn, ctx, _transfer,
+                                 cleanup=_sweep_partial)
+        stage_seconds["scp"] = self.link.transfer_seconds(
+            scaled(images.total_bytes())) * factor
+        return images
+
     def _store_transfer(self, process: Process, images: ImageSet,
                         page_server: Optional[PageServer],
                         stage_seconds: Dict[str, float], scaled,
-                        stats: Dict):
+                        stats: Dict, txn: Dict, ctx: Dict):
         """Store-backed stage 3. Returns the (materialized) image set
         the destination restores from and the (possibly store-backed)
-        page server."""
+        page server.
+
+        A retried attempt re-plans the delta: chunks that landed before
+        the fault are already in the destination store, so each retry
+        ships strictly less — the transfer is resumable, and any chunks
+        stranded by a final rollback carry no references until their
+        manifest registers, so the rollback GC reclaims them.
+        """
+        injector = self.injector
         full_bytes = images.total_bytes()
         put = self.src_store.put(images)
+        ctx["dst_checkpoint"] = put.checkpoint_id
+        ctx["dst_had_checkpoint"] = put.checkpoint_id in self.dst_store
         # Chunking + hashing runs at checkpoint-write speed on the
         # source node; it replaces writing the image files out twice.
         stage_seconds["store"] = (scaled(full_bytes)
                                   / self.src_profile.checkpoint_bytes_per_s)
-        plan = plan_transfer(self.src_store, self.dst_store,
-                             put.checkpoint_id, self.link)
-        shipped = ship(self.src_store, self.dst_store, plan)
-        stage_seconds["scp"] = self.link.transfer_seconds(scaled(shipped))
 
-        images_dst = self.dst_store.materialize(put.checkpoint_id)
-        images_dst.save(self.dst_machine.tmpfs, f"/images/{process.pid}")
+        def _ship():
+            factor = 1.0
+            if injector is not None:
+                factor = injector.link_fault(self.src_machine.name,
+                                             self.dst_machine.name,
+                                             site="ship")
+            plan = plan_transfer(self.src_store, self.dst_store,
+                                 put.checkpoint_id, self.link)
+            shipped = ship(self.src_store, self.dst_store, plan,
+                           injector=injector)
+            images_dst = self.dst_store.materialize(put.checkpoint_id)
+            if (injector is not None
+                    and images_dst.content_digest()
+                    != images.content_digest()):
+                raise IntegrityError(
+                    "materialized checkpoint digest does not match "
+                    "source images")
+            return plan, shipped, images_dst, factor
+        plan, shipped, images_dst, factor = self._txn_stage(
+            "ship", txn, ctx, _ship)
+        stage_seconds["scp"] = self.link.transfer_seconds(
+            scaled(shipped)) * factor
+        images_dst.save(self.dst_machine.tmpfs, ctx["dst_prefix"])
 
         if page_server is not None:
             # Post-copy + store: the left-behind pages live in the
@@ -267,6 +477,44 @@ class MigrationPipeline:
                                      f"{self.dst_machine.name}"),
                               a=len(plan.chunks_needed), b=shipped)
         return images_dst, page_server
+
+    # -- post-copy degradation ---------------------------------------------------
+
+    def _arm_precopy_fallback(self, process: Process,
+                              pending: Dict[int, bytes],
+                              txn: Dict) -> None:
+        """Wrap the lazy restore's missing-page hook: if the page server
+        dies mid post-copy, bulk-install the snapshotted left-behind
+        pages (pre-copy fallback) and detach the hook — execution
+        continues with byte-identical memory, just paid for eagerly."""
+        aspace = process.aspace
+        inner = aspace.missing_page_hook
+
+        def hook(base):
+            try:
+                return inner(base)
+            except PageServerDead:
+                installed = 0
+                for vaddr, data in pending.items():
+                    if vaddr == base:
+                        continue   # returned below; page() installs it
+                    # _pages membership, not page(): page() would
+                    # re-enter this hook for every missing page.
+                    if (vaddr not in aspace._pages
+                            and aspace.find_vma(vaddr) is not None):
+                        aspace.install_page(vaddr, data)
+                        installed += 1
+                aspace.missing_page_hook = None
+                txn["fallback"] = True
+                txn["fallback_pages"] = installed + (1 if base in pending
+                                                     else 0)
+                if self.injector is not None:
+                    self.injector.note(
+                        "fallback", "page-server",
+                        f"pre-copied {installed} pending pages",
+                        a=installed)
+                return pending.get(base)
+        aspace.missing_page_hook = hook
 
     # -- convenience ----------------------------------------------------------------
 

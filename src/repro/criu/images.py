@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from typing import Dict, List, Optional
 
@@ -381,6 +382,18 @@ class ImageSet:
 
     def total_bytes(self) -> int:
         return sum(len(v) for v in self.files.values())
+
+    def content_digest(self) -> str:
+        """Order-independent blake2b over every image file — the
+        transactional migration pipeline compares source and arrival
+        digests to catch wire corruption before restoring."""
+        h = hashlib.blake2b(digest_size=16)
+        for name in sorted(self.files):
+            h.update(name.encode("utf-8"))
+            h.update(b"\x00")
+            h.update(self.files[name])
+            h.update(b"\x01")
+        return h.hexdigest()
 
     # tmpfs I/O
 

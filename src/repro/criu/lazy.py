@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..errors import CheckpointError
+from ..errors import CheckpointError, LazyPageError, PageServerDead
 from ..mem.paging import PAGE_SIZE, page_align_down
 from ..vm.cpu import ThreadStatus
 from ..vm.kernel import Machine, Process
@@ -51,6 +51,11 @@ class PageServer:
         self.log: List[Tuple[int, int]] = []   # (request index, vaddr)
         self.log_limit = log_limit
         self.log_dropped = 0
+        #: a dead server raises :class:`PageServerDead` on every fetch —
+        #: the chaos injector kills servers mid post-copy to exercise
+        #: the pipeline's pre-copy fallback
+        self.alive = True
+        self._die_after: Optional[int] = None
 
     def _record(self, vaddr: int) -> None:
         if self.log_limit and len(self.log) >= self.log_limit:
@@ -69,13 +74,51 @@ class PageServer:
         path rehomes them into the source node's chunk store)."""
         return dict(self._pages)
 
-    def fetch(self, vaddr: int) -> Optional[bytes]:
+    # -- failure model ----------------------------------------------------
+
+    def schedule_death(self, after_requests: int) -> None:
+        """Arm the server to die once ``after_requests`` requests have
+        been answered (deterministic, so chaos runs replay exactly)."""
+        self._die_after = after_requests
+
+    def kill(self) -> None:
+        """Take the server down immediately."""
+        self.alive = False
+
+    def _check_alive(self) -> None:
+        if self._die_after is not None and self.requests >= self._die_after:
+            self.alive = False
+        if not self.alive:
+            raise PageServerDead(
+                f"page server on {self.node_name} is down "
+                f"(after {self.requests} requests)")
+
+    # -- serving ----------------------------------------------------------
+
+    def _take(self, vaddr: int) -> Optional[bytes]:
+        return self._pages.pop(vaddr, None)
+
+    def fetch(self, vaddr: int, strict: bool = False) -> Optional[bytes]:
+        """Serve one page.
+
+        Raises :class:`PageServerDead` if the server is down, so a lazy
+        restore distinguishes "server gone" from the (legitimate)
+        "page was never populated" case, which returns ``None`` —
+        pass ``strict=True`` to turn the latter into a typed
+        :class:`LazyPageError` instead of silently zero-filling.
+        """
+        self._check_alive()
         self.requests += 1
         self._record(vaddr)
-        data = self._pages.pop(vaddr, None)
-        if data is not None:
-            self.pages_served += 1
-            self.bytes_served += len(data)
+        data = self._take(vaddr)
+        if data is None:
+            if strict:
+                raise LazyPageError(
+                    f"page server on {self.node_name} does not own page "
+                    f"{vaddr:#x} (never populated, or already served)")
+            return None
+        self.pages_served += 1
+        self.bytes_served += len(data)
         return data
 
 

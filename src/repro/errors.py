@@ -91,8 +91,38 @@ class PolicyError(RewriteError):
     """A transformation policy was misconfigured or inapplicable."""
 
 
+class LazyPageError(RestoreError):
+    """Post-copy page service failure (page lost, double-serve, ...)."""
+
+
+class PageServerDead(LazyPageError):
+    """The page server holding left-behind pages is down."""
+
+
 class MigrationError(ReproError):
     """End-to-end migration pipeline failure."""
+
+
+class IntegrityError(MigrationError):
+    """Post-transfer verification found the arrived state differs from
+    what the source sent (corrupted scp, bad chunk, bad materialize)."""
+
+
+class MigrationRollback(MigrationError):
+    """A transactional migration exhausted its retry budget and rolled
+    back: the source process has been resumed untouched and any partial
+    destination state was garbage-collected.
+
+    Carries the failing ``stage``, the number of ``attempts`` made in
+    that stage, and the transaction record ``txn`` (attempt counts per
+    stage, backoff seconds, fired-fault count)."""
+
+    def __init__(self, message: str, *, stage: str = "?", attempts: int = 0,
+                 txn: dict = None):
+        super().__init__(message)
+        self.stage = stage
+        self.attempts = attempts
+        self.txn = dict(txn or {})
 
 
 class ClusterError(ReproError):
@@ -109,3 +139,24 @@ class JournalError(ReproError):
 
 class StoreError(ReproError):
     """Checkpoint-store failure (missing chunk, corruption, bad ref)."""
+
+
+class InjectedFault(ReproError):
+    """Base class for faults raised by the chaos injector.
+
+    ``kind`` names the fault from the taxonomy (drop, partition,
+    crash, ...); ``site`` names the injection point it fired at
+    (scp, ship, dump, restore, evict, ...)."""
+
+    def __init__(self, message: str, *, kind: str = "?", site: str = "?"):
+        super().__init__(message)
+        self.kind = kind
+        self.site = site
+
+
+class LinkDropFault(InjectedFault):
+    """An injected link failure: the transfer died before completing."""
+
+
+class NodeCrashFault(InjectedFault):
+    """An injected node crash during a dump or restore stage."""

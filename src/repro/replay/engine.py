@@ -28,7 +28,7 @@ from ..core.migration import (MigrationPipeline, exe_path_for,
                               install_program)
 from ..core.rerandomize import PeriodicRerandomizer
 from ..core.rng import RngService
-from ..errors import JournalError
+from ..errors import JournalError, MigrationRollback
 from ..isa import get_isa
 from ..vm.kernel import Machine
 from . import journal as jn
@@ -88,14 +88,39 @@ def _execute_migrate(header: Dict, recorder: FlightRecorder
     dst = _machine(header, dst_arch, name="dst")
     recorder.attach(src)
     recorder.attach(dst)
+    # A "chaos" header field reconstructs the exact fault injector: the
+    # spec round-trips the seed + per-kind probabilities, every fault
+    # decision is an RNG-service draw the recorder journals, and fired
+    # faults land as EV_FAULT events — so a faulted migration replays
+    # bit-identically from its own journal.
+    injector = None
+    chaos = header.get("chaos") or ""
+    if chaos:
+        from ..chaos import FaultInjector, FaultPlan
+        plan = FaultPlan.from_spec(chaos)
+        injector = FaultInjector(
+            plan, rng=RngService(plan.seed, observer=recorder.on_rng,
+                                 name="chaos"),
+            recorder=recorder)
     pipeline = MigrationPipeline(src, dst, program,
-                                 use_store=bool(header.get("store", 0)))
+                                 use_store=bool(header.get("store", 0)),
+                                 injector=injector,
+                                 retry_budget=header.get("retries", 3) or 3)
     process = pipeline.start()
     src.step_all(header.get("warmup", 5000))
     if process.exited:
         raise JournalError("process exited before the migration point; "
                            "lower warmup")
-    result = pipeline.migrate(process, lazy=bool(header.get("lazy", 0)))
+    try:
+        result = pipeline.migrate(process, lazy=bool(header.get("lazy", 0)))
+    except MigrationRollback as exc:
+        # Transaction aborted: the source resumed untouched — finish the
+        # run there. The rollback is part of the journaled control flow.
+        recorder.on_event(jn.EV_MIGRATE, pid=process.pid,
+                          label=f"rolled-back@{exc.stage}", a=exc.attempts)
+        src.run_process(process,
+                        header.get("max_steps", DEFAULT_MAX_STEPS))
+        return process.exit_code
     recorder.on_event(jn.EV_CHECKPOINT, pid=process.pid,
                       a=result.images.total_bytes())
     recorder.on_event(jn.EV_REWRITE, label="cross-isa",
@@ -201,17 +226,24 @@ def record_migrate(source: str, name: str, src_arch: str = "x86_64",
                    quantum: int = 64, digest_every: int = 1,
                    max_steps: int = DEFAULT_MAX_STEPS,
                    record_syscalls: bool = True,
-                   fault: Optional[BitFlip] = None) -> ReplayResult:
+                   fault: Optional[BitFlip] = None,
+                   chaos: str = "",
+                   retries: Optional[int] = None) -> ReplayResult:
     """Record a run that live-migrates across ISAs mid-execution.
 
     ``store=True`` routes the transfer through the content-addressed
     checkpoint store (EV_STORE events land in the journal; they are
-    content-derived, so record and replay stay bit-identical)."""
+    content-derived, so record and replay stay bit-identical).
+    ``chaos`` is a :meth:`~repro.chaos.FaultPlan.to_spec` string: it
+    turns the migration into a fault-injected transaction whose spec
+    (and ``retries`` budget) embed in the journal header, making the
+    chaotic run replayable bit-for-bit."""
     header = _make_header("migrate", source, name, src_arch, engine,
                           quantum, digest_every, max_steps,
                           record_syscalls, fault, dst_arch=dst_arch,
                           warmup=warmup, lazy=int(lazy),
-                          store=int(store) if store else None)
+                          store=int(store) if store else None,
+                          chaos=chaos or None, retries=retries)
     return _record(header, fault)
 
 

@@ -51,7 +51,9 @@ EV_REWRITE = 9      #: a transformation policy ran: label = policy name
 EV_RESTORE = 10     #: process restored/adopted: pid, label = arch
 EV_MIGRATE = 11     #: cross-ISA migration completed: label = "src->dst"
 EV_CLUSTER = 12     #: cluster EventQueue firing: label, a = time (ns)
-EV_FAULT = 13       #: injected fault fired: a = address, b = bit
+EV_FAULT = 13       #: injected fault fired: a = address, b = bit for a
+                    #: BitFlip; label = "chaos:<kind>@<site>" for chaos
+                    #: faults (fault spec lives in the "chaos" header)
 EV_END = 14         #: run finished: a = exit code of the last process
 EV_STORE = 15       #: checkpoint-store op: label = "put:<id>"/"plan:...",
                     #: a = chunks, b = bytes (content-derived, so
@@ -85,6 +87,8 @@ HEADER_SCHEMA = wire.Schema("JournalHeader", [
     wire.field(17, "fault_addr", "int"),
     wire.field(18, "fault_bit", "int"),
     wire.field(19, "store", "int"),
+    wire.field(20, "chaos", "str"),
+    wire.field(21, "retries", "int"),
 ])
 
 EVENT_SCHEMA = wire.Schema("JournalEvent", [

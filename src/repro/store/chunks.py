@@ -201,6 +201,13 @@ class ChunkStore:
                              f"({chunk.refs} - {count})")
         chunk.refs -= count
 
+    def orphans(self) -> List[str]:
+        """Digests with no live references — e.g. chunks adopted by an
+        aborted transfer whose manifest never registered. These are
+        exactly what the next :meth:`gc` reclaims; a clean store after
+        a migration rollback has none."""
+        return sorted(d for d, c in self._chunks.items() if c.refs <= 0)
+
     def gc(self) -> Tuple[int, int]:
         """Drop unreferenced chunks; returns (chunks, bytes) reclaimed."""
         dead = [d for d, c in self._chunks.items() if c.refs <= 0]

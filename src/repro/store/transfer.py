@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..criu.lazy import PageServer
-from ..errors import StoreError
+from ..errors import LinkDropFault, StoreError
 from .checkpoints import CheckpointStore
 
 
@@ -94,20 +94,41 @@ def plan_transfer(src: CheckpointStore, dst: CheckpointStore,
 
 
 def ship(src: CheckpointStore, dst: CheckpointStore,
-         plan: TransferPlan) -> int:
+         plan: TransferPlan, injector=None) -> int:
     """Execute a plan: move chunks, register the chain at ``dst``.
 
     Returns the compressed bytes actually shipped (0 for a fully warm
     destination). Chunks are re-hashed on arrival by
     :meth:`~repro.store.chunks.ChunkStore.adopt`.
+
+    ``injector`` (a :class:`~repro.chaos.FaultInjector`) schedules
+    wire faults: a mid-transfer link drop raises
+    :class:`~repro.errors.LinkDropFault` *after* the preceding chunks
+    have landed — the partial state the caller's rollback must sweep
+    (adopted chunks carry no references until their manifest registers,
+    so :meth:`~repro.store.chunks.ChunkStore.gc` reclaims them) — and a
+    corrupted chunk has one payload byte flipped so the arrival re-hash
+    rejects it with :class:`~repro.errors.StoreError`.
     """
+    drop_at = corrupt_at = None
+    if injector is not None:
+        drop_at, corrupt_at = injector.ship_faults(len(plan.chunks_needed))
     shipped = 0
-    for digest in plan.chunks_needed:
+    for index, digest in enumerate(plan.chunks_needed):
+        if drop_at is not None and index == drop_at:
+            raise LinkDropFault(
+                f"link dropped after {index}/{len(plan.chunks_needed)} "
+                f"chunks", kind="drop", site="ship")
         chunk = src.chunks.chunk(digest)
         if not dst.chunks.has(digest):
-            dst.chunks.adopt(chunk.digest, chunk.codec, chunk.payload,
+            payload = chunk.payload
+            if corrupt_at is not None and index == corrupt_at:
+                flipped = bytearray(payload)
+                flipped[0] ^= 0xFF
+                payload = bytes(flipped)
+            dst.chunks.adopt(chunk.digest, chunk.codec, payload,
                              chunk.logical_size)
-            shipped += len(chunk.payload)
+            shipped += len(payload)
     for cid in src.chain(plan.checkpoint_id):
         dst.adopt_manifest(src.chunks.get(cid))
     return shipped
@@ -138,13 +159,15 @@ class StorePageServer(PageServer):
         return sum(self._store.chunks.chunk(d).logical_size
                    for d in self._digests.values())
 
-    def fetch(self, vaddr: int) -> Optional[bytes]:
-        self.requests += 1
-        self._record(vaddr)
+    def pending_pages(self) -> Dict[int, bytes]:
+        """Materialized copies of the not-yet-served pages (the
+        transactional pipeline snapshots these for its pre-copy
+        fallback)."""
+        return {vaddr: self._store.chunks.get(digest)
+                for vaddr, digest in self._digests.items()}
+
+    def _take(self, vaddr: int) -> Optional[bytes]:
         digest = self._digests.pop(vaddr, None)
         if digest is None:
             return None
-        data = self._store.chunks.get(digest)
-        self.pages_served += 1
-        self.bytes_served += len(data)
-        return data
+        return self._store.chunks.get(digest)
