@@ -29,6 +29,7 @@ from ..apps.registry import get_app
 from ..core.migration import MigrationPipeline
 from ..errors import MigrationRollback
 from ..isa import get_isa
+from ..verify import Quarantine
 from ..vm.kernel import Machine, Process
 from .faults import FaultPlan
 from .injector import FaultInjector
@@ -77,11 +78,12 @@ class TrialResult:
     """One seeded chaos trial's verdict."""
 
     __slots__ = ("seed", "outcome", "ok", "detail", "faults", "attempts",
-                 "fallback")
+                 "fallback", "repaired_pages", "quarantined")
 
     def __init__(self, seed: int, outcome: str, ok: bool, detail: str,
                  faults: Dict[str, int], attempts: Dict[str, int],
-                 fallback: bool):
+                 fallback: bool, repaired_pages: int = 0,
+                 quarantined: bool = False):
         self.seed = seed
         #: "completed" | "rolled-back"
         self.outcome = outcome
@@ -91,6 +93,10 @@ class TrialResult:
         self.faults = dict(faults)
         self.attempts = dict(attempts)
         self.fallback = fallback
+        #: pages the restore guard auto-repaired before restoring
+        self.repaired_pages = repaired_pages
+        #: did the restore guard quarantine an unrepairable image?
+        self.quarantined = quarantined
 
     def __repr__(self) -> str:
         mark = "ok" if self.ok else "FAIL"
@@ -102,7 +108,8 @@ class ChaosHarness:
     def __init__(self, app: str = "kmeans", *, lazy: bool = False,
                  use_store: bool = False, warmup: int = 5000,
                  retry_budget: int = 3, size: str = "small",
-                 src_arch: str = "x86_64", dst_arch: str = "aarch64"):
+                 src_arch: str = "x86_64", dst_arch: str = "aarch64",
+                 verify_gate: bool = False):
         self.app = app
         self.lazy = lazy
         self.use_store = use_store
@@ -110,6 +117,10 @@ class ChaosHarness:
         self.retry_budget = retry_budget
         self.src_arch = src_arch
         self.dst_arch = dst_arch
+        # verify-gate mode: disable the transfer stage's own arrival
+        # digest check so injected corruption provably reaches — and is
+        # judged by — the restore guard instead of being re-copied.
+        self.verify_gate = verify_gate
         self.program = get_app(app).compile(size)
         # The oracle: one fault-free migration of the same shape.
         result, pipeline = self._migrate(None)
@@ -123,7 +134,8 @@ class ChaosHarness:
             Machine(get_isa(self.src_arch), name="src"),
             Machine(get_isa(self.dst_arch), name="dst"),
             self.program, use_store=self.use_store, injector=injector,
-            retry_budget=self.retry_budget)
+            retry_budget=self.retry_budget,
+            arrival_check=not self.verify_gate)
 
     def _migrate(self, injector: Optional[FaultInjector]):
         pipeline = self._pipeline(injector)
@@ -140,11 +152,13 @@ class ChaosHarness:
         process = pipeline.start()
         pipeline.src_machine.step_all(self.warmup)
         problems = []
+        repaired_pages = 0
         try:
             result = pipeline.migrate(process, lazy=self.lazy)
         except MigrationRollback as exc:
             outcome = "rolled-back"
-            attempts = dict(exc.txn.get("attempts", {}))
+            txn = dict(exc.txn)
+            attempts = dict(txn.get("attempts", {}))
             fallback = False
             problems += self._audit_rollback(pipeline, process)
         else:
@@ -156,10 +170,17 @@ class ChaosHarness:
             txn = result.stats.get("txn", {})
             attempts = dict(txn.get("attempts", {}))
             fallback = bool(txn.get("fallback"))
+            repaired_pages = result.stats.get("verify", {}).get(
+                "repaired_pages", 0)
             problems += self._audit_completed(pipeline, process, result)
+        faults = injector.counts()
+        quarantined = faults.get("quarantine", 0) > 0
+        problems += self._audit_corrupt_caught(outcome, txn, faults,
+                                               pipeline, repaired_pages)
         return TrialResult(plan.seed, outcome, not problems,
-                           "; ".join(problems), injector.counts(),
-                           attempts, fallback)
+                           "; ".join(problems), faults, attempts, fallback,
+                           repaired_pages=repaired_pages,
+                           quarantined=quarantined)
 
     def _audit_completed(self, pipeline: MigrationPipeline,
                          source: Process, result) -> list:
@@ -198,6 +219,52 @@ class ChaosHarness:
         if source.stdout() != self.expected_output:
             problems.append("resumed source output differs from "
                             "reference")
+        return problems
+
+    def _audit_corrupt_caught(self, outcome: str, txn: Dict,
+                              faults: Dict[str, int],
+                              pipeline: MigrationPipeline,
+                              repaired_pages: int) -> list:
+        """Every injected ``corrupt`` fault must be *provably* caught
+        before restore — an undefined-behavior escape (a corrupted image
+        silently restoring) fails the trial even when the output happens
+        to match.
+
+        Acceptable evidence, in the order the defenses sit:
+
+        * an arrival/ship integrity error in the transaction record
+          (the corrupted copy was detected and re-transferred),
+        * the restore guard auto-repaired pages (and the byte-identity
+          oracles in the completed-audit then prove the repair exact),
+        * the restore guard quarantined the image — which must come with
+          a rollback and a diagnosis naming the failing pass.
+        """
+        fired = faults.get("corrupt", 0)
+        if not fired:
+            return []
+        problems = []
+        errors = " ".join(txn.get("errors", []))
+        retried = ("digest" in errors or "unreadable" in errors
+                   or "decompress" in errors or "match" in errors)
+        quarantined = faults.get("quarantine", 0) > 0
+        if quarantined:
+            if outcome != "rolled-back":
+                problems.append("image quarantined but migration did "
+                                "not roll back")
+            quarantine = Quarantine(pipeline.dst_machine.tmpfs)
+            qids = quarantine.ids()
+            if not qids:
+                problems.append("quarantine noted but no quarantined "
+                                "image on the destination")
+            else:
+                diagnosis = quarantine.diagnosis(qids[0])
+                if not diagnosis.get("failing_pass"):
+                    problems.append(f"quarantine {qids[0]} diagnosis "
+                                    f"names no failing pass")
+        if not (retried or repaired_pages > 0 or quarantined):
+            problems.append(
+                f"{fired} corrupt fault(s) fired with no catch evidence "
+                f"(undefined-behavior escape past the restore guard)")
         return problems
 
     # -- many trials -------------------------------------------------------

@@ -9,7 +9,14 @@ and executes the four stages the paper measures:
    paper notes the rewrite can run on either node; the recode node is
    configurable and defaults to the source),
 3. **scp** — copy the transformed images over the network link,
-4. **restore** — vanilla or post-copy (lazy) restoration on the target.
+4. **verify** — the restore guard: the arrived image set runs the
+   multi-pass :class:`~repro.verify.ImageVerifier` against the
+   destination binary and the sender's per-page digest manifest;
+   clean-page divergence is auto-repaired in place, anything
+   unrepairable is quarantined on the destination
+   (``/quarantine/<id>`` with a machine-readable diagnosis) and the
+   migration rolls back to the source,
+5. **restore** — vanilla or post-copy (lazy) restoration on the target.
 
 Each stage reports a simulated wall-clock latency from the calibrated
 cost model, driven by the *measured* image sizes / frame counts / page
@@ -39,10 +46,12 @@ from ..criu.images import ImageSet
 from ..criu.lazy import PageServer, restore_process_lazy
 from ..criu.restore import restore_process
 from ..errors import (InjectedFault, IntegrityError, MigrationError,
-                      MigrationRollback, PageServerDead, ReproError,
-                      StoreError)
+                      MigrationRollback, PageServerDead, QuarantinedImage,
+                      ReproError, StoreError)
+from ..mem.paging import PAGE_SIZE
 from ..store import (CheckpointStore, StorePageServer, plan_transfer,
                      ship)
+from ..verify import ImageVerifier, Quarantine, image_page_digests
 from ..vm.kernel import Machine, Process
 from .costs import LinkProfile, NodeProfile, infiniband_link, profile_for_arch
 from .policies.cross_isa import CrossIsaPolicy
@@ -117,7 +126,8 @@ class MigrationPipeline:
                  network=None,
                  injector=None,
                  retry_budget: int = 3,
-                 backoff_base_s: float = 0.05):
+                 backoff_base_s: float = 0.05,
+                 arrival_check: bool = True):
         self.src_machine = src_machine
         self.dst_machine = dst_machine
         self.program = program
@@ -171,6 +181,11 @@ class MigrationPipeline:
         self.injector = injector
         self.retry_budget = max(1, int(retry_budget))
         self.backoff_base_s = backoff_base_s
+        # The in-stage arrival digest check retries a corrupted copy
+        # before the verifier ever sees it. Chaos harnesses turn it off
+        # (verify-gate mode) so injected corruption provably reaches —
+        # and is caught by — the restore guard itself.
+        self.arrival_check = arrival_check
         install_program(src_machine, program)
         install_program(dst_machine, program)
 
@@ -198,6 +213,13 @@ class MigrationPipeline:
             txn["attempts"][stage] = attempts
             try:
                 return fn()
+            except QuarantinedImage as exc:
+                # The verifier's verdict is a pure function of the image
+                # bytes — retrying cannot succeed, so an unrepairable
+                # image rolls back immediately (the quarantined copy and
+                # its diagnosis survive the destination sweep).
+                txn["errors"].append(f"{stage}#{attempts}: {exc}")
+                self._rollback(stage, attempts, txn, ctx, exc)
             except RETRYABLE as exc:
                 txn["errors"].append(f"{stage}#{attempts}: {exc}")
                 if cleanup is not None:
@@ -296,6 +318,11 @@ class MigrationPipeline:
         report = self._txn_stage("recode", txn, ctx, _recode)
         stage_seconds["recode"] = self.recode_profile.recode_seconds(
             scaled(report.bytes_before), report.stats["frames"])
+        # The sender-side ground truth for the restore guard: the recoded
+        # set's whole-set digest plus its per-page digest manifest (the
+        # same addressing the chunk store uses).
+        ctx["sent_digest"] = images.content_digest()
+        ctx["page_digests"] = image_page_digests(images)
 
         # 3. transfer — plain scp of the images, or (use_store) a
         # content-addressed delta: put into the source store, ship only
@@ -309,6 +336,11 @@ class MigrationPipeline:
             images = self._plain_transfer(process, images, stage_seconds,
                                           scaled, txn, ctx)
 
+        # 4. verify — nothing restores until the arrived set passes the
+        # multi-pass restore guard (repairing what it can on the way).
+        images = self._verify_stage(process, images, stage_seconds,
+                                    scaled, stats, txn, ctx)
+
         # Post-copy chaos: maybe arm the page server to die mid
         # fault-in; snapshot the left-behind pages *now* so the pre-copy
         # fallback can finish the transfer from the snapshot even after
@@ -318,16 +350,19 @@ class MigrationPipeline:
             if injector.page_server_fault(page_server):
                 fallback_pages = page_server.pending_pages()
 
-        # 4. restore. The source is torn down only *after* the restore
+        # 5. restore. The source is torn down only *after* the restore
         # succeeds: until then it remains the rollback target, so a
         # failed migration never strands the process between nodes.
+        # verify=False: the verify stage above already judged (and
+        # possibly repaired) exactly these bytes, with strictly more
+        # context than the restore-local gate has.
         def _restore():
             if injector is not None:
                 injector.node_fault("restore", self.dst_machine.name)
             if lazy:
                 return restore_process_lazy(self.dst_machine, images,
-                                            page_server)
-            return restore_process(self.dst_machine, images)
+                                            page_server, verify=False)
+            return restore_process(self.dst_machine, images, verify=False)
         restored = self._txn_stage("restore", txn, ctx, _restore)
         stage_seconds["restore"] = self.dst_profile.restore_seconds(
             scaled(images.total_bytes()), threads)
@@ -383,14 +418,101 @@ class MigrationPipeline:
                 except ReproError as exc:
                     raise IntegrityError(
                         f"arrived images unreadable: {exc}") from exc
-                if not ok:
+                if self.arrival_check and not ok:
                     raise IntegrityError(
                         "arrived image digest does not match source")
-            return factor
-        factor = self._txn_stage("scp", txn, ctx, _transfer,
-                                 cleanup=_sweep_partial)
+                # The destination restores from what actually arrived;
+                # with arrival_check off, corrupt bytes flow on to the
+                # verify stage instead of being silently re-copied.
+                return arrived, factor
+            return images, factor
+        images, factor = self._txn_stage("scp", txn, ctx, _transfer,
+                                         cleanup=_sweep_partial)
         stage_seconds["scp"] = self.link.transfer_seconds(
             scaled(images.total_bytes())) * factor
+        return images
+
+    def _verify_stage(self, process: Process, images: ImageSet,
+                      stage_seconds: Dict[str, float], scaled,
+                      stats: Dict, txn: Dict, ctx: Dict) -> ImageSet:
+        """Stage 4: the restore guard.
+
+        Runs :class:`~repro.verify.ImageVerifier` over the arrived set
+        with everything the pipeline knows — the destination binary, the
+        destination chunk store, and the sender's whole-set digest and
+        per-page manifest captured right after recode. Repairable
+        divergence (clean pages) is fixed in place and the repaired set
+        re-saved over the corrupt arrival; an unrepairable set is moved
+        to ``/quarantine/<id>`` on the destination with its diagnosis
+        and the migration rolls back to the source.
+        """
+        injector = self.injector
+        verifier = ImageVerifier(
+            binary=self.program.binary(self.dst_machine.isa.name),
+            store=self.dst_store,
+            page_digests=ctx.get("page_digests"),
+            expected_digest=ctx.get("sent_digest"))
+
+        def _verify():
+            if injector is not None:
+                injector.node_fault("verify", self.dst_machine.name)
+            fixed, verdict = verifier.repair(images)
+            if fixed is None:
+                quarantine = Quarantine(self.dst_machine.tmpfs)
+                qid = quarantine.add(
+                    images, verdict,
+                    reason=(f"migrate {self.src_machine.name}->"
+                            f"{self.dst_machine.name} pid {process.pid}"))
+                if injector is not None:
+                    injector.note("quarantine", "verify",
+                                  f"image {qid} failed pass "
+                                  f"{verdict.failing_pass()}",
+                                  a=len(verdict.findings))
+                raise QuarantinedImage(
+                    f"arrived image failed {verdict.failing_pass()} "
+                    f"verification and could not be repaired; "
+                    f"quarantined as {qid} on {self.dst_machine.name}",
+                    quarantine_id=qid, diagnosis=verdict.to_dict(),
+                    pass_name=verdict.failing_pass() or "?",
+                    findings=[f.to_dict() for f in verdict.findings])
+            return fixed, verdict
+        images, verdict = self._txn_stage("verify", txn, ctx, _verify)
+
+        # Per-pass timing from the calibrated cost model: each pass reads
+        # every image byte once at the destination's checkpoint-IO rate;
+        # the repair pass only rewrites the diverged pages.
+        rate = self.dst_profile.checkpoint_bytes_per_s
+        pass_seconds: Dict[str, float] = {}
+        for name in verdict.passes_run:
+            if name == "repair":
+                pass_seconds[name] = (scaled(len(verdict.repaired)
+                                             * PAGE_SIZE) / rate)
+            else:
+                pass_seconds[name] = scaled(images.total_bytes()) / rate
+        stage_seconds["verify"] = sum(pass_seconds.values())
+        stats["verify"] = {
+            "passes": list(verdict.passes_run),
+            "pass_seconds": pass_seconds,
+            "checks": verdict.checks,
+            "repaired_pages": len(verdict.repaired),
+        }
+        if verdict.repaired:
+            images.save(self.dst_machine.tmpfs, ctx["dst_prefix"])
+            if injector is not None:
+                injector.note("repair", "verify",
+                              f"repaired {len(verdict.repaired)} page(s) "
+                              f"in place", a=len(verdict.repaired))
+        recorder = getattr(self.src_machine, "recorder", None)
+        if recorder is not None:
+            # Verify events are a pure function of the image bytes, so
+            # verified/repaired migrations journal — and replay —
+            # bit-identically.
+            from ..replay.journal import EV_VERIFY
+            recorder.on_event(
+                EV_VERIFY, pid=process.pid,
+                label=("verify:repaired@migrate" if verdict.repaired
+                       else "verify:ok@migrate"),
+                a=verdict.checks, b=len(verdict.repaired))
         return images
 
     def _store_transfer(self, process: Process, images: ImageSet,

@@ -316,26 +316,33 @@ class ImageSet:
 
     # typed accessors (parse on demand, write back explicitly)
 
+    def _blob(self, name: str) -> bytes:
+        try:
+            return self.files[name]
+        except KeyError:
+            raise ImageFormatError(
+                f"image set has no {name}") from None
+
     def inventory(self) -> InventoryImage:
-        return InventoryImage.from_bytes(self.files["inventory.img"])
+        return InventoryImage.from_bytes(self._blob("inventory.img"))
 
     def core(self, tid: int) -> CoreImage:
-        return CoreImage.from_bytes(self.files[f"core-{tid}.img"])
+        return CoreImage.from_bytes(self._blob(f"core-{tid}.img"))
 
     def cores(self) -> List[CoreImage]:
         return [self.core(tid) for tid in self.inventory().tids]
 
     def mm(self) -> MmImage:
-        return MmImage.from_bytes(self.files["mm.img"])
+        return MmImage.from_bytes(self._blob("mm.img"))
 
     def files_img(self) -> FilesImage:
-        return FilesImage.from_bytes(self.files["files.img"])
+        return FilesImage.from_bytes(self._blob("files.img"))
 
     def pagemap(self) -> PagemapImage:
-        return PagemapImage.from_bytes(self.files["pagemap.img"])
+        return PagemapImage.from_bytes(self._blob("pagemap.img"))
 
     def pages(self) -> bytes:
-        return self.files["pages-1.img"]
+        return self._blob("pages-1.img")
 
     def set_inventory(self, image: InventoryImage) -> None:
         self.files["inventory.img"] = image.to_bytes()

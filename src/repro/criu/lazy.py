@@ -186,9 +186,10 @@ def _partition_pages(process: Process) -> Tuple[Set[int], Set[int]]:
 
 def restore_process_lazy(machine: Machine, images: ImageSet,
                          page_server: PageServer,
-                         pid: Optional[int] = None) -> Process:
+                         pid: Optional[int] = None,
+                         verify: bool = True) -> Process:
     """Restore a lazy checkpoint; missing pages fault in from the server."""
-    process = restore_process(machine, images, pid=pid)
+    process = restore_process(machine, images, pid=pid, verify=verify)
     lazy_vmas = [v for v in process.aspace.vmas
                  if not (v.file_backed or v.name.startswith("stack:")
                          or v.name.startswith("tls:"))]

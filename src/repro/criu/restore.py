@@ -4,6 +4,14 @@ The code segment is re-mapped from the executable named in ``files.img``
 (which the cross-ISA rewriter points at the destination architecture's
 binary), then the dumped pages — including the rewritten execution
 context and stacks — are overlaid.
+
+Every restore is gated by the state-image verifier
+(:mod:`repro.verify`): structural and semantic checks run against the
+destination binary before a single page is installed, so a corrupt or
+mis-rewritten image raises :class:`~repro.errors.VerifyError` here
+instead of surfacing as undefined interpreter behavior later. Pass
+``verify=False`` to opt out (e.g. for intentionally-corrupt test
+images).
 """
 
 from __future__ import annotations
@@ -11,7 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..binfmt.delf import DelfBinary
-from ..errors import RestoreError
+from ..errors import MemoryError_, RestoreError
 from ..mem import AddressSpace
 from ..mem.paging import PAGE_SIZE
 from ..mem.vma import Vma
@@ -21,9 +29,9 @@ from .images import ImageSet
 
 
 def restore_process(machine: Machine, images: ImageSet,
-                    pid: Optional[int] = None) -> Process:
+                    pid: Optional[int] = None,
+                    verify: bool = True) -> Process:
     """Restore the checkpoint into a new process on ``machine``."""
-    inventory = images.inventory()
     files_img = images.files_img()
     if files_img.exe_arch != machine.isa.name:
         raise RestoreError(
@@ -36,6 +44,9 @@ def restore_process(machine: Machine, images: ImageSet,
     if binary.arch != machine.isa.name:
         raise RestoreError(
             f"binary {files_img.exe_path!r} is {binary.arch}")
+    if verify:
+        from ..verify import verify_images
+        verify_images(images, binary=binary)
 
     aspace = _build_address_space(images, binary)
     process = Process(pid if pid is not None else machine.alloc_pid(),
@@ -50,7 +61,13 @@ def restore_process(machine: Machine, images: ImageSet,
                 f"{machine.isa.name}")
         thread = ThreadContext(core.tid, machine.isa)
         for dwarf, value in core.regs.items():
-            thread.regs[machine.isa.index_of_dwarf(dwarf)] = value
+            try:
+                index = machine.isa.index_of_dwarf(dwarf)
+            except KeyError:
+                raise RestoreError(
+                    f"core-{core.tid}: DWARF register {dwarf} unknown "
+                    f"to {machine.isa.name}") from None
+            thread.regs[index] = value
         thread.pc = core.pc
         thread.flags = core.flags
         thread.tp = core.tls_base
@@ -68,18 +85,33 @@ def restore_process(machine: Machine, images: ImageSet,
 def _build_address_space(images: ImageSet, binary: DelfBinary) -> AddressSpace:
     aspace = AddressSpace()
     mm = images.mm()
-    for vma in mm.vmas:
-        aspace.map(Vma(vma.start, vma.end, vma.prot, vma.name,
-                       vma.file_backed, vma.file_path, vma.file_offset))
-        if vma.file_backed:
-            # Reload clean code pages from the (destination) binary.
-            for segment in binary.segments:
-                if segment.section == ".text":
-                    aspace.write_code(segment.vaddr, binary.text)
+    try:
+        for vma in mm.vmas:
+            aspace.map(Vma(vma.start, vma.end, vma.prot, vma.name,
+                           vma.file_backed, vma.file_path,
+                           vma.file_offset))
+        # Reload clean code pages from the (destination) binary — once
+        # per text segment, into the file-backed VMA actually covering
+        # it (not once per file-backed VMA of the whole layout).
+        for segment in binary.segments:
+            if segment.section != ".text":
+                continue
+            vma = aspace.find_vma(segment.vaddr)
+            if vma is not None and vma.file_backed:
+                aspace.write_code(segment.vaddr, binary.text)
+    except MemoryError_ as exc:
+        raise RestoreError(
+            f"mm.img describes an invalid layout: {exc}") from exc
     # Overlay every dumped page (stacks, data, heap, TLS, and the
     # rewritten execution-context code pages).
     pagemap = images.pagemap()
     pages = images.pages()
+    expected = pagemap.data_pages() * PAGE_SIZE
+    if len(pages) < expected:
+        raise RestoreError(
+            f"pages-1.img holds {len(pages)} bytes but the pagemap "
+            f"claims {pagemap.data_pages()} data page(s) "
+            f"({expected} bytes)")
     index = 0
     for entry in pagemap.entries:
         if entry.in_parent:
@@ -88,8 +120,12 @@ def _build_address_space(images: ImageSet, binary: DelfBinary) -> AddressSpace:
                 f"checkpoint — materialize the delta through the "
                 f"checkpoint store first")
         for i in range(entry.nr_pages):
+            base = entry.vaddr + i * PAGE_SIZE
+            if aspace.find_vma(base) is None:
+                raise RestoreError(
+                    f"pagemap run page {base:#x} falls outside every "
+                    f"dumped VMA")
             offset = index * PAGE_SIZE
-            aspace.install_page(entry.vaddr + i * PAGE_SIZE,
-                                pages[offset:offset + PAGE_SIZE])
+            aspace.install_page(base, pages[offset:offset + PAGE_SIZE])
             index += 1
     return aspace

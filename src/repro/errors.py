@@ -125,6 +125,32 @@ class MigrationRollback(MigrationError):
         self.txn = dict(txn or {})
 
 
+class VerifyError(ReproError):
+    """A state image failed pre-restore verification.
+
+    Carries the name of the first failing pass (``structural`` /
+    ``semantic`` / ``repair``) and the machine-readable findings list
+    the verifier produced."""
+
+    def __init__(self, message: str, *, pass_name: str = "?",
+                 findings=None):
+        super().__init__(message)
+        self.pass_name = pass_name
+        self.findings = list(findings or [])
+
+
+class QuarantinedImage(VerifyError):
+    """An unrepairable image was moved to quarantine instead of being
+    restored. ``quarantine_id`` locates it; ``diagnosis`` is the
+    machine-readable verdict stored alongside it."""
+
+    def __init__(self, message: str, *, quarantine_id: str = "",
+                 diagnosis=None, pass_name: str = "?", findings=None):
+        super().__init__(message, pass_name=pass_name, findings=findings)
+        self.quarantine_id = quarantine_id
+        self.diagnosis = dict(diagnosis or {})
+
+
 class ClusterError(ReproError):
     """Cluster/discrete-event simulation misconfiguration."""
 

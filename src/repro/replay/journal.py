@@ -58,6 +58,10 @@ EV_END = 14         #: run finished: a = exit code of the last process
 EV_STORE = 15       #: checkpoint-store op: label = "put:<id>"/"plan:...",
                     #: a = chunks, b = bytes (content-derived, so
                     #: deterministic across record/replay)
+EV_VERIFY = 16      #: pre-restore image verification: label =
+                    #: "verify:<verdict>@<stage>", a = findings,
+                    #: b = pages repaired (content-derived — verified
+                    #: and repaired migrations replay bit-identically)
 
 KIND_NAMES = {
     EV_SCHED: "sched", EV_DIGEST: "digest", EV_SYSCALL: "syscall",
@@ -65,6 +69,7 @@ KIND_NAMES = {
     EV_CHECKPOINT: "checkpoint", EV_REWRITE: "rewrite",
     EV_RESTORE: "restore", EV_MIGRATE: "migrate", EV_CLUSTER: "cluster",
     EV_FAULT: "fault", EV_END: "end", EV_STORE: "store",
+    EV_VERIFY: "verify",
 }
 
 HEADER_SCHEMA = wire.Schema("JournalHeader", [

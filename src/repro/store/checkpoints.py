@@ -270,11 +270,20 @@ class CheckpointStore:
 
     # -- materialize ------------------------------------------------------
 
-    def materialize(self, checkpoint_id: str) -> ImageSet:
+    def materialize(self, checkpoint_id: str, verify: bool = False,
+                    binary=None) -> ImageSet:
         """Rebuild a full :class:`ImageSet` (no PE_PARENT runs left).
 
         For a full checkpoint this reproduces the stored image set
         byte-for-byte; for a delta it folds the parent chain in.
+
+        ``verify=True`` runs the rebuilt set through the restore guard
+        (:func:`repro.verify.verify_images`) against this checkpoint's
+        own page manifest — a second line of defense past the chunks'
+        read-time re-hashing, catching a manifest that resolves to the
+        wrong (but individually intact) chunks. Raises
+        :class:`~repro.errors.VerifyError` on failure; pass ``binary``
+        to extend the check to the semantic pass.
         """
         manifest = self.manifest(checkpoint_id)
         files = {name: self.chunks.get(digest)
@@ -310,6 +319,10 @@ class CheckpointStore:
             images.set_inventory(inventory)
         images.set_pagemap(PagemapImage(entries))
         images.set_pages(bytes(blob))
+        if verify:
+            from ..verify import verify_images
+            verify_images(images, binary=binary, store=self,
+                          page_digests=pages)
         return images
 
     # -- lifecycle --------------------------------------------------------

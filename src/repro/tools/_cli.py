@@ -1,0 +1,38 @@
+"""Shared CLI plumbing: one error convention for every repro tool.
+
+Every tool reports a handled failure the same way — a single
+``<prog>: error: <message>`` line on stderr and a nonzero exit status,
+never a traceback. The repo's typed :class:`~repro.errors.ReproError`
+taxonomy is the contract: anything the substrate can reject is already
+folded into it, so a traceback escaping a tool is a bug by definition
+(and ``tests/test_cli_tools.py`` treats it as one).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable
+
+from ..errors import ReproError
+
+#: exit status for a handled error (argparse itself uses 2 for usage)
+EXIT_ERROR = 1
+
+#: what a CLI command may legitimately raise: the typed error taxonomy,
+#: OS-level I/O failures, and ValueError for malformed user-supplied
+#: payloads (json.JSONDecodeError subclasses it).
+HANDLED = (ReproError, OSError, ValueError)
+
+
+def fail(prog: str, exc: BaseException) -> int:
+    """Report one handled error in the shared format."""
+    print(f"{prog}: error: {exc}", file=sys.stderr)
+    return EXIT_ERROR
+
+
+def guarded(prog: str, command: Callable[[], int]) -> int:
+    """Run one CLI command under the shared error convention."""
+    try:
+        return command()
+    except HANDLED as exc:
+        return fail(prog, exc)

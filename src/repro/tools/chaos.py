@@ -24,6 +24,7 @@ from ..apps.registry import get_app
 from ..chaos import KINDS, FaultPlan
 from ..chaos.harness import ChaosHarness
 from ..errors import ReproError
+from ._cli import guarded
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="attempts per stage before rollback")
     parser.add_argument("--warmup", type=int, default=5000,
                         help="instructions to run before migrating")
+    parser.add_argument("--verify-gate", action="store_true",
+                        help="disable the transfer's own arrival digest "
+                             "check so corrupt faults reach (and must "
+                             "be caught by) the restore guard")
     parser.add_argument("--replay-check", action="store_true",
                         help="record the first faulted seed with the "
                              "flight recorder and assert its journal "
@@ -95,27 +100,23 @@ def _replay_check(args, probabilities, faulted_seed: int) -> bool:
     return ok
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    probabilities = {kind: getattr(args, kind) for kind in KINDS}
-    if not any(probabilities.values()):
-        print("dapper-chaos: no fault probabilities given "
-              "(e.g. --drop 0.3)", file=sys.stderr)
-        return 2
+def _run(args: argparse.Namespace, probabilities: dict) -> int:
     try:
         harness = ChaosHarness(args.app, lazy=args.lazy,
                                use_store=args.store, warmup=args.warmup,
-                               retry_budget=args.retry_budget)
-        trials = harness.run_trials(args.trials, seed0=args.seed0,
-                                    **probabilities)
-    except ReproError as exc:
-        print(f"dapper-chaos: error: {exc}", file=sys.stderr)
-        return 1
+                               retry_budget=args.retry_budget,
+                               verify_gate=args.verify_gate)
+    except KeyError as exc:  # unknown app name from the registry
+        raise ReproError(exc.args[0]) from None
+    trials = harness.run_trials(args.trials, seed0=args.seed0,
+                                **probabilities)
 
     failed = [t for t in trials if not t.ok]
     completed = sum(1 for t in trials if t.outcome == "completed")
     rolled = sum(1 for t in trials if t.outcome == "rolled-back")
     fallbacks = sum(1 for t in trials if t.fallback)
+    repaired = sum(t.repaired_pages for t in trials)
+    quarantined = sum(1 for t in trials if t.quarantined)
     fired = sum(sum(t.faults.values()) for t in trials)
     if not args.quiet:
         for t in trials:
@@ -124,9 +125,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  seed {t.seed:>4}  {t.outcome:<11} [{mark}] "
                   f"faults={t.faults or '{}'}{extra}")
     print(f"[chaos] {args.app}{' lazy' if args.lazy else ''}"
-          f"{' store' if args.store else ''}: {len(trials)} trials, "
+          f"{' store' if args.store else ''}"
+          f"{' verify-gate' if args.verify_gate else ''}: "
+          f"{len(trials)} trials, "
           f"{completed} completed, {rolled} rolled back, "
-          f"{fallbacks} pre-copy fallback(s), {fired} faults fired, "
+          f"{fallbacks} pre-copy fallback(s), {repaired} page(s) "
+          f"repaired, {quarantined} quarantine(s), {fired} faults fired, "
           f"{len(failed)} invariant violation(s)")
     if failed:
         return 1
@@ -139,6 +143,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif not _replay_check(args, probabilities, faulted):
             return 1
     return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    probabilities = {kind: getattr(args, kind) for kind in KINDS}
+    if not any(probabilities.values()):
+        print("dapper-chaos: no fault probabilities given "
+              "(e.g. --drop 0.3)", file=sys.stderr)
+        return 2
+    return guarded("dapper-chaos", lambda: _run(args, probabilities))
 
 
 if __name__ == "__main__":

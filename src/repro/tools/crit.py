@@ -21,6 +21,7 @@ from typing import List, Optional
 from ..criu import crit as critlib
 from ..criu.images import ImageSet
 from ..errors import ReproError
+from ._cli import guarded
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,28 +52,28 @@ def load_image_set(directory: str) -> ImageSet:
     return ImageSet(files)
 
 
+def _run(args: argparse.Namespace) -> int:
+    if args.command == "show":
+        print(critlib.show(load_image_set(args.directory)))
+    elif args.command == "decode":
+        with open(args.image, "rb") as handle:
+            blob = handle.read()
+        decoded = critlib.decode_image(os.path.basename(args.image),
+                                       blob)
+        print(json.dumps(decoded, indent=2, sort_keys=True))
+    elif args.command == "encode":
+        with open(args.json_file) as handle:
+            data = json.load(handle)
+        blob = critlib.encode_image(os.path.basename(args.image), data)
+        with open(args.image, "wb") as handle:
+            handle.write(blob)
+        print(f"wrote {args.image} ({len(blob)} bytes)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    try:
-        if args.command == "show":
-            print(critlib.show(load_image_set(args.directory)))
-        elif args.command == "decode":
-            with open(args.image, "rb") as handle:
-                blob = handle.read()
-            decoded = critlib.decode_image(os.path.basename(args.image),
-                                           blob)
-            print(json.dumps(decoded, indent=2, sort_keys=True))
-        elif args.command == "encode":
-            with open(args.json_file) as handle:
-                data = json.load(handle)
-            blob = critlib.encode_image(os.path.basename(args.image), data)
-            with open(args.image, "wb") as handle:
-                handle.write(blob)
-            print(f"wrote {args.image} ({len(blob)} bytes)")
-    except (ReproError, OSError, json.JSONDecodeError) as exc:
-        print(f"crit: error: {exc}", file=sys.stderr)
-        return 1
-    return 0
+    return guarded("crit", lambda: _run(args))
 
 
 if __name__ == "__main__":

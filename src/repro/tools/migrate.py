@@ -17,9 +17,9 @@ from typing import List, Optional
 from ..compiler import compile_source
 from ..core.migration import MigrationPipeline, exe_path_for, \
     install_program
-from ..errors import ReproError
 from ..isa import ISAS, get_isa
 from ..vm import Machine
+from ._cli import guarded
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,32 +44,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.src_arch == args.dst_arch:
-        print("dapper-migrate: --from and --to must differ",
-              file=sys.stderr)
-        return 2
-    try:
-        with open(args.source) as handle:
-            source = handle.read()
-        name = os.path.splitext(os.path.basename(args.source))[0]
-        program = compile_source(source, name)
+def _run(args: argparse.Namespace) -> int:
+    with open(args.source) as handle:
+        source = handle.read()
+    name = os.path.splitext(os.path.basename(args.source))[0]
+    program = compile_source(source, name)
 
-        reference_machine = Machine(get_isa(args.src_arch))
-        install_program(reference_machine, program)
-        reference = reference_machine.spawn_process(
-            exe_path_for(name, args.src_arch))
-        reference_machine.run_process(reference)
+    reference_machine = Machine(get_isa(args.src_arch))
+    install_program(reference_machine, program)
+    reference = reference_machine.spawn_process(
+        exe_path_for(name, args.src_arch))
+    reference_machine.run_process(reference)
 
-        pipeline = MigrationPipeline(
-            Machine(get_isa(args.src_arch), name="src"),
-            Machine(get_isa(args.dst_arch), name="dst"), program)
-        result = pipeline.run_and_migrate(warmup_steps=args.warmup,
-                                          lazy=args.lazy)
-    except (ReproError, OSError) as exc:
-        print(f"dapper-migrate: error: {exc}", file=sys.stderr)
-        return 1
+    pipeline = MigrationPipeline(
+        Machine(get_isa(args.src_arch), name="src"),
+        Machine(get_isa(args.dst_arch), name="dst"), program)
+    result = pipeline.run_and_migrate(warmup_steps=args.warmup,
+                                      lazy=args.lazy)
 
     if not args.quiet:
         sys.stdout.write(result.combined_output())
@@ -90,6 +81,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"[images] wrote {len(result.images.files)} files to "
               f"{args.keep_images}", file=sys.stderr)
     return 0 if match else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.src_arch == args.dst_arch:
+        print("dapper-migrate: --from and --to must differ",
+              file=sys.stderr)
+        return 2
+    return guarded("dapper-migrate", lambda: _run(args))
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ from ..replay import (BitFlip, Journal, Replayer, pinpoint_by_reexecution,
                       pinpoint_divergence, record_migrate,
                       record_rerandomize, record_run)
 from ..replay.journal import KIND_NAMES
+from ._cli import guarded
 
 
 def _load_source(spec: str) -> tuple:
@@ -239,11 +240,7 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    try:
-        return _COMMANDS[args.command](args)
-    except (ReproError, OSError) as exc:
-        print(f"repro-replay: error: {exc}", file=sys.stderr)
-        return 2
+    return guarded("repro-replay", lambda: _COMMANDS[args.command](args))
 
 
 if __name__ == "__main__":

@@ -13,9 +13,9 @@ import sys
 from typing import List, Optional
 
 from ..binfmt.delf import DelfBinary
-from ..errors import ReproError
 from ..isa import get_isa
 from ..vm import Machine
+from ._cli import guarded
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,24 +29,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    try:
-        with open(args.binary, "rb") as handle:
-            binary = DelfBinary.from_bytes(handle.read())
-        machine = Machine(get_isa(binary.arch))
-        machine.tmpfs.write("/bin/app", binary.to_bytes())
-        process = machine.spawn_process("/bin/app")
-        machine.run_process(process, max_steps=args.max_steps)
-    except (ReproError, OSError) as exc:
-        print(f"dapper-run: error: {exc}", file=sys.stderr)
-        return 1
+def _run(args: argparse.Namespace) -> int:
+    with open(args.binary, "rb") as handle:
+        binary = DelfBinary.from_bytes(handle.read())
+    machine = Machine(get_isa(binary.arch))
+    machine.tmpfs.write("/bin/app", binary.to_bytes())
+    process = machine.spawn_process("/bin/app")
+    machine.run_process(process, max_steps=args.max_steps)
     sys.stdout.write(process.stdout())
     if args.stats:
         print(f"[{binary.arch}] instructions={process.instr_total} "
               f"cycles={process.cycle_total} exit={process.exit_code}",
               file=sys.stderr)
     return process.exit_code or 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return guarded("dapper-run", lambda: _run(args))
 
 
 if __name__ == "__main__":

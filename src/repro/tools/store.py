@@ -24,6 +24,7 @@ from typing import List, Optional
 
 from ..errors import ReproError
 from ..store import CheckpointStore
+from ._cli import guarded
 from .crit import load_image_set
 
 
@@ -48,6 +49,11 @@ def build_parser() -> argparse.ArgumentParser:
     get.add_argument("store_dir")
     get.add_argument("checkpoint")
     get.add_argument("out_dir")
+    get.add_argument("--verify", action="store_true",
+                     help="run the restore guard over the materialized "
+                          "set against this checkpoint's page manifest")
+    get.add_argument("--binary", metavar="DELF",
+                     help="DELF binary for --verify's semantic pass")
 
     ls = sub.add_parser("ls", help="list checkpoints")
     ls.add_argument("store_dir")
@@ -87,71 +93,77 @@ def _resolve_id(store: CheckpointStore, prefix: str) -> str:
     return matches[0]
 
 
+def _run(args: argparse.Namespace) -> int:
+    if args.command == "put":
+        store = _open_store(args.store_dir, codec=args.codec,
+                            create=True)
+        images = load_image_set(args.image_dir)
+        parent = (_resolve_id(store, args.parent)
+                  if args.parent else None)
+        result = store.put(images, parent=parent)
+        store.save_dir(args.store_dir)
+        kind = "delta" if result.delta else "full"
+        print(f"{result.checkpoint_id} {kind} "
+              f"new_chunks={result.new_chunks} "
+              f"dup_chunks={result.dup_chunks} "
+              f"physical+={result.new_physical_bytes}B "
+              f"logical={result.logical_bytes}B")
+    elif args.command == "get":
+        store = _open_store(args.store_dir)
+        cid = _resolve_id(store, args.checkpoint)
+        binary = None
+        if args.binary:
+            from ..binfmt.delf import DelfBinary
+            with open(args.binary, "rb") as fh:
+                binary = DelfBinary.from_bytes(fh.read())
+        images = store.materialize(cid, verify=args.verify,
+                                   binary=binary)
+        os.makedirs(args.out_dir, exist_ok=True)
+        for name, blob in sorted(images.files.items()):
+            with open(os.path.join(args.out_dir, name), "wb") as fh:
+                fh.write(blob)
+        print(f"materialized {cid} -> {args.out_dir} "
+              f"({images.total_bytes()}B, "
+              f"{len(images.files)} files)")
+    elif args.command == "ls":
+        store = _open_store(args.store_dir)
+        for cid in store.checkpoint_ids():
+            manifest = store.manifest(cid)
+            parent = manifest.get("parent", "") or "-"
+            print(f"{cid} arch={manifest.get('arch', '?')} "
+                  f"pages={len(manifest['pages'])} "
+                  f"parent={parent[:12] if parent != '-' else '-'}")
+        if not store.checkpoint_ids():
+            print("(no checkpoints)")
+    elif args.command == "stat":
+        stats = _open_store(args.store_dir).stats()
+        for key in ("checkpoints", "chunks", "logical_bytes",
+                    "unique_bytes", "physical_bytes"):
+            print(f"{key:15} {stats[key]}")
+        print(f"{'dedup_ratio':15} {stats['dedup_ratio']:.2f}x")
+    elif args.command == "gc":
+        store = _open_store(args.store_dir)
+        if args.delete:
+            cid = _resolve_id(store, args.delete)
+            store.delete(cid)
+            print(f"deleted {cid}")
+        count, freed = store.gc()
+        store.save_dir(args.store_dir)
+        print(f"gc: reclaimed {count} chunks, {freed}B")
+    elif args.command == "verify":
+        problems = _open_store(args.store_dir).verify()
+        for problem in problems:
+            print(problem)
+        if problems:
+            print(f"FAILED: {len(problems)} problem(s)")
+            return 1
+        print("store is clean")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    try:
-        if args.command == "put":
-            store = _open_store(args.store_dir, codec=args.codec,
-                                create=True)
-            images = load_image_set(args.image_dir)
-            parent = (_resolve_id(store, args.parent)
-                      if args.parent else None)
-            result = store.put(images, parent=parent)
-            store.save_dir(args.store_dir)
-            kind = "delta" if result.delta else "full"
-            print(f"{result.checkpoint_id} {kind} "
-                  f"new_chunks={result.new_chunks} "
-                  f"dup_chunks={result.dup_chunks} "
-                  f"physical+={result.new_physical_bytes}B "
-                  f"logical={result.logical_bytes}B")
-        elif args.command == "get":
-            store = _open_store(args.store_dir)
-            cid = _resolve_id(store, args.checkpoint)
-            images = store.materialize(cid)
-            os.makedirs(args.out_dir, exist_ok=True)
-            for name, blob in sorted(images.files.items()):
-                with open(os.path.join(args.out_dir, name), "wb") as fh:
-                    fh.write(blob)
-            print(f"materialized {cid} -> {args.out_dir} "
-                  f"({images.total_bytes()}B, "
-                  f"{len(images.files)} files)")
-        elif args.command == "ls":
-            store = _open_store(args.store_dir)
-            for cid in store.checkpoint_ids():
-                manifest = store.manifest(cid)
-                parent = manifest.get("parent", "") or "-"
-                print(f"{cid} arch={manifest.get('arch', '?')} "
-                      f"pages={len(manifest['pages'])} "
-                      f"parent={parent[:12] if parent != '-' else '-'}")
-            if not store.checkpoint_ids():
-                print("(no checkpoints)")
-        elif args.command == "stat":
-            stats = _open_store(args.store_dir).stats()
-            for key in ("checkpoints", "chunks", "logical_bytes",
-                        "unique_bytes", "physical_bytes"):
-                print(f"{key:15} {stats[key]}")
-            print(f"{'dedup_ratio':15} {stats['dedup_ratio']:.2f}x")
-        elif args.command == "gc":
-            store = _open_store(args.store_dir)
-            if args.delete:
-                cid = _resolve_id(store, args.delete)
-                store.delete(cid)
-                print(f"deleted {cid}")
-            count, freed = store.gc()
-            store.save_dir(args.store_dir)
-            print(f"gc: reclaimed {count} chunks, {freed}B")
-        elif args.command == "verify":
-            problems = _open_store(args.store_dir).verify()
-            for problem in problems:
-                print(problem)
-            if problems:
-                print(f"FAILED: {len(problems)} problem(s)")
-                return 1
-            print("store is clean")
-    except ReproError as exc:
-        print(f"store: {exc}", file=sys.stderr)
-        return 1
-    return 0
+    return guarded("store", lambda: _run(args))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,133 @@
+"""Quarantine: where unrepairable images go instead of being restored.
+
+A quarantined image keeps its full ``.img`` file set plus a
+``diagnosis.json`` — the verifier's machine-readable report naming the
+failing pass and every finding — so an operator (or ``repro-verify
+doctor`` with better repair sources) can revisit it later.
+
+The backend is anything with the tmpfs file API (``write`` / ``read`` /
+``listdir`` / ``remove`` / ``exists``): the migration pipeline
+quarantines into the destination machine's tmpfs under ``/quarantine``,
+the CLI into a real directory via :class:`HostDirFs`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from ..criu.images import ImageSet
+from ..errors import VerifyError
+from .verifier import VerifyReport
+
+DIAGNOSIS_FILE = "diagnosis.json"
+
+
+class HostDirFs:
+    """tmpfs-compatible adapter over a real directory (for the CLI)."""
+
+    def __init__(self, root: str):
+        self.root = root
+
+    def _host(self, path: str) -> str:
+        return os.path.join(self.root, path.lstrip("/"))
+
+    def write(self, path: str, data: bytes) -> None:
+        host = self._host(path)
+        os.makedirs(os.path.dirname(host), exist_ok=True)
+        with open(host, "wb") as fh:
+            fh.write(data)
+
+    def read(self, path: str) -> bytes:
+        with open(self._host(path), "rb") as fh:
+            return fh.read()
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(self._host(path))
+
+    def remove(self, path: str) -> None:
+        host = self._host(path)
+        if os.path.exists(host):
+            os.unlink(host)
+
+    def listdir(self, prefix: str) -> List[str]:
+        prefix = "/" + prefix.strip("/")
+        host = self._host(prefix)
+        out = []
+        for dirpath, _dirs, files in os.walk(host):
+            for name in files:
+                rel = os.path.relpath(os.path.join(dirpath, name), host)
+                out.append(f"{prefix}/{rel}")
+        return sorted(out)
+
+
+class Quarantine:
+    """A quarantine area over one filesystem backend."""
+
+    def __init__(self, fs, root: str = "/quarantine"):
+        self.fs = fs
+        self.root = "/" + root.strip("/")
+
+    @classmethod
+    def at_dir(cls, path: str) -> "Quarantine":
+        """A quarantine over a real host directory (the CLI's form)."""
+        return cls(HostDirFs(path), root="/")
+
+    def _prefix(self, qid: str) -> str:
+        return f"{self.root}/{qid}"
+
+    def add(self, images: ImageSet, report: VerifyReport,
+            reason: str = "") -> str:
+        """Move an image set into quarantine; returns its id (derived
+        from the content digest, so re-quarantining the same corrupt
+        bytes is idempotent)."""
+        qid = images.content_digest()[:16]
+        prefix = self._prefix(qid)
+        images.save(self.fs, prefix)
+        diagnosis = report.to_dict()
+        if reason:
+            diagnosis["reason"] = reason
+        self.fs.write(f"{prefix}/{DIAGNOSIS_FILE}",
+                      json.dumps(diagnosis, indent=1,
+                                 sort_keys=True).encode("utf-8"))
+        return qid
+
+    def ids(self) -> List[str]:
+        seen = []
+        skip = len(self.root) + 1
+        for path in self.fs.listdir(self.root):
+            qid = path[skip:].split("/", 1)[0]
+            if qid and qid not in seen:
+                seen.append(qid)
+        return seen
+
+    def diagnosis(self, qid: str) -> Dict:
+        path = f"{self._prefix(qid)}/{DIAGNOSIS_FILE}"
+        if not self.fs.exists(path):
+            raise VerifyError(f"no quarantined image {qid!r}")
+        try:
+            return json.loads(self.fs.read(path))
+        except ValueError as exc:
+            raise VerifyError(
+                f"quarantine {qid}: diagnosis is not JSON: {exc}") from exc
+
+    def images(self, qid: str) -> ImageSet:
+        prefix = self._prefix(qid)
+        files = {}
+        for path in self.fs.listdir(prefix):
+            name = path[len(prefix) + 1:]
+            if name != DIAGNOSIS_FILE:
+                files[name] = self.fs.read(path)
+        if not files:
+            raise VerifyError(f"no quarantined image {qid!r}")
+        return ImageSet(files)
+
+    def remove(self, qid: str) -> int:
+        """Delete one quarantined image; returns files removed."""
+        paths = self.fs.listdir(self._prefix(qid))
+        if not paths:
+            raise VerifyError(f"no quarantined image {qid!r}")
+        for path in paths:
+            self.fs.remove(path)
+        return len(paths)

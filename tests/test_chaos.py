@@ -264,11 +264,13 @@ class TestAbortedShipGc:
 class TestTransactionalMigrate:
     def test_fault_free_stage_keys_unchanged(self, kmeans_program):
         # No injector → no txn bookkeeping, no "retries" key, no
-        # "txn" stat: the fast path is byte-identical to before.
+        # "txn" stat. The verify stage (the restore guard) runs on
+        # every migration, fault-free or not.
         result = make_pipeline(kmeans_program).run_and_migrate(5000)
         assert set(result.stage_seconds) == {"checkpoint", "recode",
-                                             "scp", "restore"}
+                                             "scp", "verify", "restore"}
         assert "txn" not in result.stats
+        assert result.stats["verify"]["repaired_pages"] == 0
 
     def test_retry_then_success(self, harness, kmeans_program):
         # Seed 1 drops the scp once; the retry lands it.

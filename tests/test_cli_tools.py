@@ -1,12 +1,19 @@
-"""Tests for the command-line tools (dapperc, crit, run, migrate)."""
+"""Tests for the command-line tools (dapperc, crit, run, migrate,
+store, chaos, replay, repro-verify) and their shared error contract:
+a typed failure is one ``<prog>: error: <msg>`` line on stderr and a
+nonzero exit — never a traceback."""
 
 import json
 import os
 
 import pytest
 
+from repro.tools import chaos as chaos_cli
 from repro.tools import crit as crit_cli
 from repro.tools import dapperc, migrate, run as run_cli
+from repro.tools import replay as replay_cli
+from repro.tools import store as store_cli
+from repro.tools import verify as verify_cli
 
 SOURCE = """
 global int total;
@@ -155,3 +162,130 @@ class TestCrit:
 
     def test_empty_directory(self, tmp_path, capsys):
         assert crit_cli.main(["show", str(tmp_path)]) == 1
+
+
+class TestReproVerify:
+    @pytest.fixture
+    def guarded_setup(self, source_file, tmp_path, capsys):
+        """Images from a real migration plus the dst binary and the
+        sender's fingerprint."""
+        images = str(tmp_path / "imgs")
+        migrate.main([source_file, "--warmup", "1200",
+                      "--keep-images", images, "--quiet"])
+        prefix = str(tmp_path / "demo")
+        dapperc.main([source_file, "-o", prefix])
+        fingerprint = str(tmp_path / "images.fp")
+        verify_cli.main(["fingerprint", images, "-o", fingerprint])
+        capsys.readouterr()
+        return {"images": images, "fingerprint": fingerprint,
+                "binary": f"{prefix}.aarch64.delf",
+                "quarantine": str(tmp_path / "q")}
+
+    def _flip(self, setup, index):
+        path = os.path.join(setup["images"], "pages-1.img")
+        with open(path, "rb") as handle:
+            blob = bytearray(handle.read())
+        blob[index] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+
+    def test_clean_images_verify_ok(self, guarded_setup, capsys):
+        code = verify_cli.main(["verify", guarded_setup["images"],
+                                "--binary", guarded_setup["binary"],
+                                "--digests",
+                                guarded_setup["fingerprint"]])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ok" in out
+
+    def test_fingerprint_is_json_manifest(self, guarded_setup, capsys):
+        assert verify_cli.main(["fingerprint",
+                                guarded_setup["images"]]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert "content_digest" in manifest
+        assert all(vaddr.startswith("0x") for vaddr in manifest["pages"])
+
+    def test_corruption_detected(self, guarded_setup, capsys):
+        self._flip(guarded_setup, 100)
+        code = verify_cli.main(["verify", guarded_setup["images"],
+                                "--digests",
+                                guarded_setup["fingerprint"]])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED" in out and "page-digest" in out
+
+    def test_doctor_repairs_text_page_in_place(self, guarded_setup,
+                                               capsys):
+        self._flip(guarded_setup, 100)  # byte 100 is in the first
+        code = verify_cli.main(        # (text) page: binary-backed
+            ["doctor", guarded_setup["images"],
+             "--binary", guarded_setup["binary"],
+             "--digests", guarded_setup["fingerprint"],
+             "--quarantine", guarded_setup["quarantine"]])
+        assert code == 0
+        assert "repaired" in capsys.readouterr().out
+        assert verify_cli.main(["verify", guarded_setup["images"],
+                                "--binary", guarded_setup["binary"],
+                                "--digests",
+                                guarded_setup["fingerprint"]]) == 0
+
+    def test_doctor_quarantines_unrepairable(self, guarded_setup,
+                                             capsys):
+        self._flip(guarded_setup, -10)  # stack page: no repair source
+        code = verify_cli.main(
+            ["doctor", guarded_setup["images"],
+             "--binary", guarded_setup["binary"],
+             "--digests", guarded_setup["fingerprint"],
+             "--quarantine", guarded_setup["quarantine"]])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "quarantined as" in out
+        qid = out.split("quarantined as ")[1].split()[0]
+        diagnosis_path = os.path.join(guarded_setup["quarantine"], qid,
+                                      "diagnosis.json")
+        with open(diagnosis_path) as handle:
+            diagnosis = json.load(handle)
+        assert diagnosis["failing_pass"] == "structural"
+
+        assert verify_cli.main(["quarantine", "ls",
+                                guarded_setup["quarantine"]]) == 0
+        assert qid in capsys.readouterr().out
+        assert verify_cli.main(["quarantine", "rm",
+                                guarded_setup["quarantine"],
+                                qid[:6]]) == 0
+        capsys.readouterr()
+        verify_cli.main(["quarantine", "ls", guarded_setup["quarantine"]])
+        assert "empty" in capsys.readouterr().out
+
+
+class TestUnifiedErrorHandling:
+    """Every tool fails the same way on typed errors: one
+    ``<prog>: error: <msg>`` line on stderr, exit 1, no traceback."""
+
+    CASES = [
+        (run_cli, "dapper-run", ["/nonexistent.delf"]),
+        (crit_cli, "crit", ["show", "/nonexistent-dir"]),
+        (store_cli, "store", ["ls", "/nonexistent-store"]),
+        (replay_cli, "repro-replay", ["show", "/nonexistent.jrn"]),
+        (verify_cli, "repro-verify", ["verify", "/nonexistent-dir"]),
+        (verify_cli, "repro-verify",
+         ["quarantine", "rm", "/nonexistent-q", "feedbeef"]),
+        (chaos_cli, "dapper-chaos",
+         ["--app", "no-such-app", "--trials", "1", "--crash", "0.1"]),
+    ]
+
+    @pytest.mark.parametrize("tool,prog,argv", CASES,
+                             ids=lambda c: getattr(c, "__name__", str(c)))
+    def test_typed_error_is_one_clean_line(self, tool, prog, argv,
+                                           capsys):
+        assert tool.main(argv) == 1
+        captured = capsys.readouterr()
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith(f"{prog}: error: ")
+        assert "Traceback" not in captured.err
+
+    def test_usage_errors_still_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            verify_cli.main(["no-such-command"])
+        assert err.value.code == 2

@@ -1,4 +1,4 @@
-"""Property/fuzz tests for the CRIU image codecs.
+"""Property/fuzz tests for the CRIU image codecs and the restore guard.
 
 Two invariants for every image kind:
 
@@ -6,6 +6,13 @@ Two invariants for every image kind:
 2. *Total decoding*: for arbitrary, truncated, or bit-flipped input,
    ``from_bytes`` either succeeds or raises :class:`ImageFormatError` —
    never ``KeyError``/``IndexError``/``struct.error``/``WireError``.
+
+Plus one for whole image *sets* (the restore guard's contract): any
+mutation of a real checkpoint, pushed through the armed verifier and
+through ``restore_process``, yields only typed errors
+(``ImageFormatError`` / ``VerifyError`` / ``RestoreError`` / ``WireError``)
+or an honest restore — never a raw ``KeyError``/``struct.error`` and
+never a silent restore of corrupted bytes.
 """
 
 from __future__ import annotations
@@ -13,11 +20,18 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.core.migration import exe_path_for, install_program
+from repro.core.runtime import DapperRuntime
 from repro.criu.images import (PE_PARENT, CoreImage, FilesImage,
                                ImageSet, InventoryImage, MmImage,
                                PagemapEntry, PagemapImage)
-from repro.errors import ImageFormatError
+from repro.criu.restore import restore_process
+from repro.errors import (ImageFormatError, RestoreError, VerifyError,
+                          WireError)
+from repro.isa import X86_ISA
 from repro.mem.vma import Vma
+from repro.verify import image_page_digests, verify_images
+from repro.vm import Machine
 
 u32 = st.integers(min_value=0, max_value=2 ** 32 - 1)
 u48 = st.integers(min_value=0, max_value=2 ** 48 - 1)
@@ -157,3 +171,91 @@ class TestMalformedInputsAreContained:
         payload = _INVENTORY_SCHEMA.encode({"arch": "x86_64"})
         with pytest.raises(ImageFormatError):
             InventoryImage.from_bytes(_wrap("inventory", payload))
+
+
+# Every error the image stack is allowed to surface for a damaged set.
+TYPED = (ImageFormatError, VerifyError, RestoreError, WireError)
+
+
+@pytest.fixture(scope="module")
+def real_checkpoint(counter_program):
+    """A genuine checkpoint plus the ground truth the sender would ship:
+    the linked binary, the whole-set digest and the per-page manifest."""
+    machine = Machine(X86_ISA, name="src")
+    install_program(machine, counter_program)
+    process = machine.spawn_process(exe_path_for("counter", "x86_64"))
+    machine.step_all(2500)
+    runtime = DapperRuntime(machine, process)
+    runtime.pause_at_equivalence_points()
+    images = runtime.checkpoint()
+    return {
+        "files": dict(images.files),
+        "binary": counter_program.binary("x86_64"),
+        "digest": images.content_digest(),
+        "pages": image_page_digests(images),
+        "program": counter_program,
+    }
+
+
+def _mutations(files):
+    """A bounded sweep of whole-set mutations: bit flips at a stride
+    through every file, truncations, and file deletions."""
+    for name in sorted(files):
+        blob = files[name]
+        stride = max(1, len(blob) // 12)
+        for pos in range(0, len(blob), stride):
+            flipped = bytearray(blob)
+            flipped[pos] ^= 1 << (pos % 8)
+            yield f"{name}:flip@{pos}", {**files, name: bytes(flipped)}
+        for cut in (0, len(blob) // 3, max(0, len(blob) - 3)):
+            yield f"{name}:cut@{cut}", {**files, name: blob[:cut]}
+        survivors = {k: v for k, v in files.items() if k != name}
+        yield f"{name}:deleted", survivors
+
+
+class TestMutatedSetsAreContained:
+    """The restore guard's end-to-end promise, fuzzed over a real dump."""
+
+    def test_armed_verifier_catches_every_mutation(self, real_checkpoint):
+        """With the sender's digest manifest, no mutation that changes
+        bytes can pass verification — and no failure is ever a raw
+        KeyError/struct.error."""
+        pristine = real_checkpoint["files"]
+        for label, mutated_files in _mutations(pristine):
+            mutated = ImageSet(dict(mutated_files))
+            if mutated.content_digest() == real_checkpoint["digest"]:
+                continue  # a no-op mutation would be honest to accept
+            with pytest.raises(TYPED):
+                verify_images(mutated,
+                              binary=real_checkpoint["binary"],
+                              page_digests=real_checkpoint["pages"],
+                              expected_digest=real_checkpoint["digest"])
+
+    def test_restore_never_leaks_raw_errors(self, real_checkpoint):
+        """restore_process on a mutated set either restores (when its
+        own checks can't see the damage — the armed verifier above is
+        the layer that can) or raises a typed error."""
+        program = real_checkpoint["program"]
+        for label, mutated_files in _mutations(real_checkpoint["files"]):
+            machine = Machine(X86_ISA, name="dst")
+            install_program(machine, program)
+            mutated = ImageSet(dict(mutated_files))
+            try:
+                restore_process(machine, mutated)
+            except TYPED:
+                continue
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                pytest.fail(f"{label}: raw {type(exc).__name__}: {exc}")
+
+    def test_pristine_set_passes_both_layers(self, real_checkpoint):
+        images = ImageSet(dict(real_checkpoint["files"]))
+        report = verify_images(images,
+                               binary=real_checkpoint["binary"],
+                               page_digests=real_checkpoint["pages"],
+                               expected_digest=real_checkpoint["digest"])
+        assert report.ok
+        machine = Machine(X86_ISA, name="dst")
+        install_program(machine, real_checkpoint["program"])
+        process = restore_process(machine, images)
+        machine.run_process(process)
+        assert process.exit_code == 0

@@ -66,7 +66,7 @@ class TestSingleThreaded:
         assert result.stats["frames"] >= 2
         assert result.stats["code_pages_swapped"] >= 1
         assert set(result.stage_seconds) == \
-            {"checkpoint", "recode", "scp", "restore"}
+            {"checkpoint", "recode", "scp", "verify", "restore"}
         assert all(v > 0 for v in result.stage_seconds.values())
 
 

@@ -56,7 +56,9 @@ class TestCorruptImages:
     def test_missing_image_file(self, checkpoint_setup):
         machine, _runtime, images = checkpoint_setup
         del images.files["pagemap.img"]
-        with pytest.raises(KeyError):
+        # Typed, not a raw KeyError: callers fold ImageFormatError into
+        # their own error taxonomy instead of crashing on dict access.
+        with pytest.raises(ImageFormatError, match="pagemap.img"):
             images.pagemap()
 
     def test_pc_not_at_eqpoint_rejected_by_rewriter(self, checkpoint_setup,

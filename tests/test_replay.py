@@ -271,6 +271,9 @@ class TestReplayCli:
         assert replay_cli.main(["replay", journal]) == 0
 
     def test_unknown_app_errors(self, tmp_path, capsys):
+        # unified CLI contract: typed errors exit 1 (argparse usage
+        # errors keep exit 2)
         assert replay_cli.main(["record", "no-such-app",
-                                "-o", str(tmp_path / "x.jrn")]) == 2
-        assert "error" in capsys.readouterr().err
+                                "-o", str(tmp_path / "x.jrn")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro-replay: error: ")
