@@ -128,7 +128,10 @@ _register(AppSpec(
 _register(AppSpec(
     name="dhrystone", category="hpc",
     sources={"small": lambda: dhrystone.dhrystone_source(40),
-             "medium": lambda: dhrystone.dhrystone_source(400)},
+             "medium": lambda: dhrystone.dhrystone_source(400),
+             # long enough to measure steady-state engine throughput
+             # rather than tier-up warmup (~2M retired instructions)
+             "large": lambda: dhrystone.dhrystone_source(3000)},
     class_a_instructions=1.2e10, class_b_instructions=4.8e10,
     class_b_footprint=5.0e+05))
 

@@ -62,10 +62,19 @@ class ReplayResult:
                 f"digests={self.recorder.digest_count}>")
 
 
+#: Execution engines a journal may name. All three produce the same
+#: digest stream for the same scenario — that cross-engine parity is
+#: what lets a journal recorded under one tier be validated under
+#: another.
+ENGINES = ("interp", "blocks", "chains")
+
+
 def _machine(header: Dict, arch: str, name: str = "node") -> Machine:
+    engine = header.get("engine", "blocks")
     return Machine(get_isa(arch), name=name,
                    quantum=header.get("quantum", 64),
-                   block_engine=header.get("engine", "blocks") == "blocks")
+                   block_engine=engine != "interp",
+                   chain_engine=engine == "chains")
 
 
 def _execute_run(header: Dict, recorder: FlightRecorder) -> Optional[int]:
@@ -186,7 +195,7 @@ def _make_header(scenario: str, source: str, name: str, arch: str,
                  engine: str, quantum: int, digest_every: int,
                  max_steps: int, record_syscalls: bool,
                  fault: Optional[BitFlip], **extra) -> Dict:
-    if engine not in ("blocks", "interp"):
+    if engine not in ENGINES:
         raise JournalError(f"unknown engine {engine!r}")
     header = {
         "scenario": scenario, "program": name, "source": source,
@@ -265,9 +274,10 @@ def record_rerandomize(source: str, name: str, arch: str = "x86_64",
 class Replayer:
     """Re-executes a journal's scenario, with optional overrides.
 
-    ``engine`` switches the execution engine (``"blocks"`` /
-    ``"interp"``); a correct engine produces a bit-identical digest
-    stream, which is exactly what the CI replay-smoke job asserts.
+    ``engine`` switches the execution engine (``"interp"`` /
+    ``"blocks"`` / ``"chains"``); a correct engine produces a
+    bit-identical digest stream, which is exactly what the CI
+    replay-smoke job asserts.
     ``fault`` injects a deterministic bit flip; by default the fault
     recorded in the journal's own header (if any) is re-injected, so a
     divergent run reproduces from its own journal.
@@ -278,7 +288,7 @@ class Replayer:
                  fault: Optional[BitFlip] = "inherit"):
         self.header = dict(journal.header)
         if engine is not None:
-            if engine not in ("blocks", "interp"):
+            if engine not in ENGINES:
                 raise JournalError(f"unknown engine {engine!r}")
             self.header["engine"] = engine
         if digest_every is not None:

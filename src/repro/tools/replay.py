@@ -68,7 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--dst-arch", default="aarch64",
                      help="destination ISA (migrate scenario)")
     rec.add_argument("--engine", default="blocks",
-                     choices=["blocks", "interp"])
+                     choices=["blocks", "interp", "chains"])
     rec.add_argument("--quantum", type=int, default=64)
     rec.add_argument("--digest-every", type=int, default=1,
                      help="emit a state digest every N scheduling slices")
@@ -94,7 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep = sub.add_parser("replay",
                          help="re-execute a journal and verify bit-identity")
     rep.add_argument("journal")
-    rep.add_argument("--engine", choices=["blocks", "interp"],
+    rep.add_argument("--engine", choices=["blocks", "interp", "chains"],
                      help="override the execution engine")
     rep.add_argument("-o", "--output",
                      help="also write the replay's journal here")
@@ -113,7 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     seek.add_argument("journal")
     seek.add_argument("--instr", type=int, required=True,
                       help="stop once this many instructions have retired")
-    seek.add_argument("--engine", choices=["blocks", "interp"])
+    seek.add_argument("--engine", choices=["blocks", "interp", "chains"])
 
     show = sub.add_parser("show", help="summarize a journal")
     show.add_argument("journal")

@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Callable, List, Optional
 
 from ..errors import SegmentationFault
@@ -80,7 +81,8 @@ MAX_BLOCK_INSTRS = 32
 #: :func:`codegen`. Low enough that every loop tiers up almost
 #: immediately; high enough that cold startup/exit code never pays the
 #: ``compile()`` cost. Tests may set this to 0 to force every block
-#: through the generated tier.
+#: through the generated tier; steady-state benchmarks lower it to
+#: shorten warmup.
 HOT_THRESHOLD = 4
 
 _U64M = 0xFFFFFFFFFFFFFFFF
@@ -112,16 +114,19 @@ class Block:
     exits it falls through; ``pcs[i]`` is the address of op ``i``
     (``pcs[len]`` is the successor address of the whole trace);
     ``cost_prefix[i]`` is the summed cycle cost of the first ``i``
-    ops. ``term_instr`` is a trailing ``ret`` or backward ``bcc`` when
-    the trace ends in one (the dynamic-successor terminators codegen
-    specializes), else None and whatever follows the trace executes
+    ops. ``term_instr`` is a trailing ``ret`` or backward ``b``/``bcc``
+    when the trace ends in one (the loop-closing and dynamic-successor
+    terminators codegen specializes), else None and whatever follows
+    the trace executes
     via ``interp.step``. ``full`` is the maximum number of
     instructions one execution of the trace can retire.
     """
 
     __slots__ = ("pc", "version", "pcs", "cost_prefix", "body_len",
                  "full", "instrs", "term_instr", "term_cost",
-                 "fn", "pfn", "heat")
+                 "fn", "pfn", "heat", "chain", "chain_m", "chain_heat",
+                 "chain_epoch", "chain_key", "chain_web", "succ_pcs",
+                 "demoted")
 
     def __init__(self, pc: int, version: int, instrs: List[Instruction],
                  pcs: List[int], cost_prefix: List[int],
@@ -138,6 +143,14 @@ class Block:
         self.fn: Optional[Handler] = None  # specialized: whole trace
         self.pfn = None                    # specialized: first <= m ops
         self.heat = 0                      # tier-0 executions so far
+        self.chain = None                  # tier-3 chain (or NO_CHAIN)
+        self.chain_m = None                # (run, metered label) pair
+        self.chain_heat = 0                # tier-2 dispatches so far
+        self.chain_epoch = -1              # process.hot_epoch at build
+        self.chain_key = None              # memoized factory-cache key
+        self.chain_web = None              # pcs the chain was built over
+        self.succ_pcs = None               # memoized static successors
+        self.demoted = False               # codegen refused: tier 0 only
 
     def __repr__(self) -> str:
         return (f"<Block @{self.pc:#x} v{self.version} "
@@ -168,18 +181,36 @@ def run_thread(machine: "Machine", process: "Process",
     step = interp.step
     regs = thread.regs
     version = process.code_version
+    chains_on = machine.chain_engine
+    no_chain = chains.NO_CHAIN
+    eget = process.chain_entries.get
+    cget = cache.get
     while count < quantum:
-        block = cache.get(thread.pc)
+        pc = thread.pc
+        if chains_on:
+            # A pc inside a chained trace (a quantum boundary parked
+            # there last slice) resumes through the chain's metered
+            # arm — never by decoding a duplicate trace one phase
+            # over. Entries are cleared with the block cache, so a
+            # hit is always current.
+            ce = eget(pc)
+            if ce is not None:
+                run, lab, k = ce
+                count += run(thread, regs, quantum - count, lab, k)
+                continue
+        block = cget(pc)
         if block is None or block.version != version:
-            block = compile_block(process, thread.pc)
-            cache[thread.pc] = block
+            block = compile_block(process, pc)
+            cache[pc] = block
         fn = block.fn
-        if fn is None:
+        if fn is None and not block.demoted:
             heat = block.heat
             if heat >= HOT_THRESHOLD:
                 fn = block.fn = codegen(process, block)
                 if fn is None:             # shape codegen can't express:
-                    block.heat = -(1 << 60)  # stay on tier 0 for good
+                    block.demoted = True   # stay on tier 0 for good
+                else:
+                    process.hot_epoch += 1
             elif heat == 0:
                 # First dispatch: if this trace shape was already
                 # specialized anywhere (another process, an earlier
@@ -189,19 +220,57 @@ def run_thread(machine: "Machine", process: "Process",
                 fn = codegen(process, block, bind_only=True)
                 if fn is not None:
                     block.fn = fn
+                    process.hot_epoch += 1
             else:
                 block.heat = heat + 1
         remaining = quantum - count
         if fn is not None:
             if block.full <= remaining:
+                # Tier 3: a block that keeps coming back hot gets linked
+                # with its hot compiled successors into one chain
+                # function that transfers control internally (including
+                # loop back-edges) and only returns at a quantum
+                # boundary, an unlinked exit, or a fault. A chain (or a
+                # no-linkable-successor verdict) is stamped with the
+                # hot epoch it was formed at; tier-up of any block
+                # bumps the epoch, so webs frozen while their
+                # neighbours were still warming get relinked instead
+                # of permanently exiting at once-cold edges.
+                if chains_on:
+                    chain = block.chain
+                    if (chain is not None
+                            and block.chain_epoch == process.hot_epoch):
+                        if chain is not no_chain:
+                            count += chain(thread, regs, remaining)
+                            continue
+                    else:
+                        ch = block.chain_heat + 1
+                        block.chain_heat = ch
+                        if (chain is not None
+                                or ch >= chains.CHAIN_THRESHOLD):
+                            block.chain_epoch = process.hot_epoch
+                            chain = block.chain = chains.build_chain(
+                                process, block, cache)
+                            if chain is not no_chain:
+                                count += chain(thread, regs, remaining)
+                                continue
                 # One call runs the trace — side exits and accounting
                 # included — and returns how many instructions retired;
                 # faults arrive as CpuFault with pc and counters
                 # already positioned at the faulting op.
                 count += fn(thread, regs)
                 continue
-            # The quantum may end inside this trace: the partial
-            # variant executes at most the first `remaining` ops.
+            # The quantum may end inside this trace. A chained block
+            # finishes the quantum through its metered arm (which
+            # parks pc mid-trace at exactly `remaining` retired);
+            # otherwise the tier-2 partial variant does the same.
+            if chains_on:
+                chain = block.chain
+                if (chain is not None and chain is not no_chain
+                        and block.chain_epoch == process.hot_epoch):
+                    run, lab = block.chain_m
+                    count += run(thread, regs, remaining, lab)
+                    continue
             pfn = block.pfn
             if pfn is None:
                 pfn = block.pfn = codegen(process, block, partial=True)
@@ -226,11 +295,28 @@ def run_thread(machine: "Machine", process: "Process",
 
 # -- block compilation ---------------------------------------------------------
 
+#: Upper bound on shared decoded traces. The cache spans every process
+#: and binary the interpreter ever runs, so without a cap a long-lived
+#: cluster simulation (many re-spawns, many rewritten binaries) grows
+#: it without limit; LRU keeps the working set of live binaries and
+#: ages out traces of dead code versions.
+GLOBAL_TRACES_CAP = 4096
+
 #: (exec-page content hash, pc) -> decoded trace metadata, shared by
 #: every process running byte-identical code. Decoded traces are
 #: treated as immutable, so re-spawns of the same binary skip the
-#: whole decode pass.
-_GLOBAL_TRACES: dict = {}
+#: whole decode pass. Ordered, LRU-evicted at GLOBAL_TRACES_CAP.
+_GLOBAL_TRACES: OrderedDict = OrderedDict()
+
+_trace_stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def trace_cache_info() -> dict:
+    """Shared-trace-cache statistics, exposed for benchmarks and tests."""
+    info = dict(_trace_stats)
+    info["size"] = len(_GLOBAL_TRACES)
+    info["cap"] = GLOBAL_TRACES_CAP
+    return info
 
 
 def _content_key(process: "Process") -> Optional[bytes]:
@@ -280,8 +366,15 @@ def compile_block(process: "Process", pc: int) -> Block:
         return Block(pc, process.code_version, *_decode_trace(process, pc))
     meta = _GLOBAL_TRACES.get((ck, pc))
     if meta is None:
+        _trace_stats["misses"] += 1
         meta = _decode_trace(process, pc)
         _GLOBAL_TRACES[(ck, pc)] = meta
+        if len(_GLOBAL_TRACES) > GLOBAL_TRACES_CAP:
+            _GLOBAL_TRACES.popitem(last=False)
+            _trace_stats["evictions"] += 1
+    else:
+        _trace_stats["hits"] += 1
+        _GLOBAL_TRACES.move_to_end((ck, pc))
     return Block(pc, process.code_version, *meta)
 
 
@@ -329,6 +422,18 @@ def _decode_trace(process: "Process", pc: int) -> tuple:
             break
         if op not in ("b", "call", "bcc"):
             break                          # trap / syscall / .byte
+        if op == "b" and term.target <= cursor:
+            # Backward unconditional branch: a loop back-edge. Inlining
+            # it would wrap the trace around the loop, so consecutive
+            # traces tile the loop at stride MAX_BLOCK_INSTRS and spiral
+            # through every offset of the body — no canonical tiling,
+            # one near-duplicate trace per offset. Ending the trace here
+            # instead makes the loop tile exactly once from its head,
+            # which is what lets the chain layer treat the back-edge as
+            # a loop-closing jump.
+            term_instr = term
+            term_cost = isa.cost(term)
+            break
         if op == "bcc":
             if term.cond not in _COND_SYMS:
                 break                      # bad condition: fault via step
@@ -614,9 +719,11 @@ def codegen(process: "Process", block: Block, partial: bool = False,
     cycles = cp[n]
     term = block.term_instr
     tail_pc: Optional[int] = pcs[n]
-    if not partial and term is not None:   # ret or backward bcc
+    if not partial and term is not None:   # ret or backward b/bcc
         tail_pc = None
-        if term.op == "bcc":
+        if term.op == "b":
+            body.append(f"thread.pc = {term.target}")
+        elif term.op == "bcc":
             sym = _COND_SYMS[term.cond]
             body.append(f"thread.pc = {term.target} if thread.flags"
                         f" {sym} 0 else {pcs[n] + term.size}")
@@ -678,3 +785,8 @@ def codegen(process: "Process", block: Block, partial: bool = False,
                    aspace.write_u64, aspace.page, _U64S.pack_into,
                    _U64S.unpack_from, tuple(pcs), tuple(cp),
                    CpuFault, SegmentationFault)
+
+
+# Imported last: chains.py refers back to this module's codegen tables
+# and caches, so the circular import must resolve after they exist.
+from . import chains  # noqa: E402

@@ -45,7 +45,16 @@ class Process:
         self.cycle_total = 0
         self.decode_cache: Dict[int, tuple] = {}
         self.block_cache: Dict[int, "blocks.Block"] = {}
+        # Mid-trace resume points into compiled tier-3 chains:
+        # pc -> (chain run, metered label, op index). Cleared together
+        # with block_cache — a stale entry could skip dirty-tracking's
+        # first-touch writes or execute pre-rewrite code.
+        self.chain_entries: Dict[int, tuple] = {}
         self.code_version = 0
+        # Bumped whenever a block tiers up to a compiled trace; tier-3
+        # chains stamped with an older epoch relink on next dispatch so
+        # webs formed mid-warmup grow to cover newly-hot successors.
+        self.hot_epoch = 0
         # Content hash of the executable pages, computed lazily by the
         # superblock engine to share decoded traces across processes
         # running identical code (see blocks._content_key).
@@ -77,6 +86,7 @@ class Process:
         self.code_version += 1
         self.decode_cache.clear()
         self.block_cache.clear()
+        self.chain_entries.clear()
 
     # -- dirty-page tracking (incremental checkpoints) ----------------------
 
@@ -93,6 +103,7 @@ class Process:
         """
         self.aspace.start_dirty_tracking()
         self.block_cache.clear()
+        self.chain_entries.clear()
 
     def stop_dirty_tracking(self) -> None:
         self.aspace.stop_dirty_tracking()
@@ -101,6 +112,7 @@ class Process:
         """Dirty pages since tracking started; begins a fresh epoch."""
         dirty = self.aspace.harvest_dirty()
         self.block_cache.clear()
+        self.chain_entries.clear()
         return dirty
 
     def tls_disable_addr(self, thread: ThreadContext) -> int:
@@ -116,7 +128,7 @@ class Machine:
     """One simulated node: an ISA, a kernel, a tmpfs, and processes."""
 
     def __init__(self, isa, name: str = "node", quantum: int = 64,
-                 block_engine: bool = True):
+                 block_engine: bool = True, chain_engine: bool = True):
         self.isa = isa
         self.name = name
         self.quantum = quantum
@@ -124,6 +136,10 @@ class Machine:
         #: falls back to per-instruction interp.step — semantics are
         #: identical, this exists for the speed benchmark and debugging.
         self.block_engine = block_engine
+        #: additionally link hot compiled traces into chains
+        #: (repro.vm.chains, tier 3); False caps execution at tier 2.
+        #: Only consulted when block_engine is on; semantics identical.
+        self.chain_engine = chain_engine
         self.tmpfs = TmpFs()
         self.processes: Dict[int, Process] = {}
         self.next_pid = 100
@@ -197,17 +213,46 @@ class Machine:
     def step_all(self, budget: int) -> int:
         """Round-robin all runnable threads; returns instructions executed."""
         executed = 0
+        processes = self.processes
+        quantum = self.quantum
+        run = self._run_thread
         while executed < budget:
+            # Sole-thread fast loop: with one process owning one
+            # thread, a scheduling pass degenerates to "slice that
+            # thread again", so skip the per-pass snapshot lists. Every
+            # condition that could add a schedulable entity (spawn,
+            # fork) or retire this one is re-checked between slices;
+            # the slice stream is identical to the general pass.
+            if len(processes) == 1:
+                process = next(iter(processes.values()))
+                if len(process.threads) == 1:
+                    thread = next(iter(process.threads.values()))
+                    while (executed < budget
+                           and len(process.threads) == 1
+                           and len(processes) == 1
+                           and not process.stopped and not process.exited
+                           and thread.runnable()):
+                        q = budget - executed
+                        if q > quantum:
+                            q = quantum
+                        done = run(process, thread, q)
+                        executed += done
+                        if not done:
+                            return executed
+                    if executed >= budget:
+                        return executed
             ran = False
-            for process in list(self.processes.values()):
+            for process in list(processes.values()):
                 threads = process.runnable_threads()
                 if len(threads) > 1:       # deterministic round-robin order
                     threads.sort(key=_BY_TID)
                 for thread in threads:
-                    quantum = min(self.quantum, budget - executed)
-                    if quantum <= 0:
+                    q = budget - executed
+                    if q > quantum:
+                        q = quantum
+                    if q <= 0:
                         return executed
-                    done = self._run_thread(process, thread, quantum)
+                    done = run(process, thread, q)
                     executed += done
                     if done:
                         ran = True

@@ -22,7 +22,7 @@ from repro.core.rewriter import ProcessRewriter
 from repro.core.runtime import DapperRuntime
 from repro.criu.restore import restore_process
 from repro.isa import get_isa
-from repro.vm import Machine, blocks
+from repro.vm import Machine, blocks, chains
 from repro.vm.cpu import ThreadStatus
 from repro.vm.interp import CpuFault
 
@@ -163,7 +163,9 @@ class TestEqpointBoundary:
                 ops = [instr.op for instr in block.instrs]
                 assert "trap" not in ops and "syscall" not in ops
                 if block.term_instr is not None:
-                    assert block.term_instr.op in ("bcc", "ret")
+                    # backward b/bcc (loop back-edges) and ret are the
+                    # only specialized terminators
+                    assert block.term_instr.op in ("b", "bcc", "ret")
 
 
 class TestEngineParity:
@@ -206,6 +208,187 @@ class TestEngineParity:
         machine.run_process(process)
         assert _fingerprint(process) == _fingerprint(ref)
 
+
+def _run_engine(program, name, arch, quantum, engine):
+    """One run under the named tier; returns the full observable record
+    (including any fault message and per-thread park state)."""
+    isa = get_isa(arch)
+    flags = {"interp": dict(block_engine=False),
+             "blocks": dict(chain_engine=False),
+             "chains": dict()}[engine]
+    machine = Machine(isa, quantum=quantum, **flags)
+    install_program(machine, program)
+    process = machine.spawn_process(exe_path_for(name, arch))
+    fault = None
+    try:
+        machine.run_process(process)
+    except CpuFault as exc:
+        fault = str(exc)
+    return (process.stdout(), process.exit_code, process.instr_total,
+            process.cycle_total, fault,
+            sorted((t.pc, t.instr_count) for t in process.threads.values()))
+
+
+def _force_chains(monkeypatch):
+    """Tier every block up immediately and chain on second dispatch, so
+    even short test programs execute almost entirely inside chains."""
+    monkeypatch.setattr(blocks, "HOT_THRESHOLD", 0)
+    monkeypatch.setattr(chains, "CHAIN_THRESHOLD", 1)
+
+
+class TestChainParity:
+    """Tier-3 chains must be observationally identical to per-step
+    execution: same output, same totals, same fault text, same park
+    state at every quantum boundary — loops closed in-chain, linked
+    side exits, metered mid-trace resumes and faults included."""
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    @pytest.mark.parametrize("name", ["counter", "threaded"])
+    def test_forced_chain_parity(self, arch, name, counter_program,
+                                 threaded_program, monkeypatch):
+        program = counter_program if name == "counter" else threaded_program
+        ref = _run_engine(program, name, arch, 64, "interp")
+        _force_chains(monkeypatch)
+        assert _run_engine(program, name, arch, 64, "chains") == ref
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_chain_actually_forms(self, arch, counter_program, monkeypatch):
+        """Guards against the parity tests silently passing on tier-2:
+        a chain must really be built and entered."""
+        _force_chains(monkeypatch)
+        machine, process = _spawn(counter_program, arch, "counter")
+        machine.run_process(process)
+        bound = [b for b in process.block_cache.values()
+                 if b.chain is not None and b.chain is not chains.NO_CHAIN]
+        assert bound, "no chain was ever linked"
+        # Loop-closing webs register interior pcs as metered resume
+        # points for quantum boundaries that park mid-trace.
+        assert process.chain_entries
+
+    @pytest.mark.parametrize("quantum", [1, 3, 7, 13])
+    def test_chain_parity_at_odd_quanta(self, quantum, counter_program,
+                                        monkeypatch):
+        """Tiny quanta park inside nearly every trace: every slice ends
+        in a metered arm and most resume through chain_entries."""
+        ref = _run_engine(counter_program, "counter", "x86_64", quantum,
+                          "interp")
+        _force_chains(monkeypatch)
+        got = _run_engine(counter_program, "counter", "x86_64", quantum,
+                          "chains")
+        assert got == ref
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    @pytest.mark.parametrize("source,name", [
+        ("DIVZERO", "divzero"), ("WILD", "wild")])
+    def test_fault_parity_mid_chain(self, arch, source, name, monkeypatch):
+        """A div-by-zero or segfault raised from inside a linked chain
+        must surface the identical fault text and leave the identical
+        retired-instruction state as per-step execution."""
+        program = compile_source(globals()[source + "_SOURCE"], name)
+        ref = _run_engine(program, name, arch, 64, "interp")
+        assert ref[4] is not None            # the fault really fired
+        _force_chains(monkeypatch)
+        assert _run_engine(program, name, arch, 64, "chains") == ref
+
+    def test_invalidation_drops_chains_and_entries(self, counter_program,
+                                                   monkeypatch):
+        """A code rewrite must discard chain entry points with the block
+        cache — a stale resume point would jump into retired code."""
+        _force_chains(monkeypatch)
+        machine, process = _spawn(counter_program, "x86_64", "counter")
+        machine.step_all(2500)
+        assert not process.exited
+        assert process.chain_entries
+        thread = next(iter(process.threads.values()))
+        process.aspace.write_code(thread.pc, b"\x06" * 16)
+        assert process.block_cache == {}
+        assert process.chain_entries == {}
+
+
+class TestDemotion:
+    def test_demoted_block_stays_tier0_and_chains_skip_it(
+            self, counter_program, counter_reference_output, monkeypatch):
+        """When codegen refuses a block the engine must pin it to tier 0
+        (``demoted``), never retry the compile, and chains must route
+        around it rather than link it."""
+        monkeypatch.setattr(blocks, "HOT_THRESHOLD", 0)
+        monkeypatch.setattr(chains, "CHAIN_THRESHOLD", 1)
+        # Find the hottest pc under normal execution, then refuse it.
+        machine, process = _spawn(counter_program, "x86_64", "counter")
+        machine.run_process(process)
+        target = max(process.block_cache.values(), key=lambda b: b.heat).pc
+
+        real_codegen = blocks.codegen
+
+        def refusing(process, block, partial=False, bind_only=False):
+            if block.pc == target and not bind_only:
+                return None
+            return real_codegen(process, block, partial=partial,
+                                bind_only=bind_only)
+
+        monkeypatch.setattr(blocks, "codegen", refusing)
+        machine, process = _spawn(counter_program, "x86_64", "counter")
+        machine.run_process(process)
+        demoted = process.block_cache[target]
+        assert demoted.demoted
+        assert demoted.fn is None
+        # Correctness is unaffected: the block just runs per-step.
+        assert process.stdout() == counter_reference_output
+        assert process.exit_code == 0
+        # No chain web may contain the demoted block.
+        for block in process.block_cache.values():
+            if block.chain is not None and block.chain is not chains.NO_CHAIN:
+                assert target not in block.chain_web
+
+
+class TestTraceCacheLRU:
+    def test_global_trace_cache_is_capped(self, counter_program,
+                                          counter_reference_output,
+                                          monkeypatch):
+        """The shared trace cache must stay bounded under churn: inserts
+        past the cap evict the least-recently-used trace, and eviction
+        is only ever a perf event, never a correctness one."""
+        monkeypatch.setattr(blocks, "GLOBAL_TRACES_CAP", 4)
+        blocks._GLOBAL_TRACES.clear()
+        before = blocks.trace_cache_info()["evictions"]
+        machine, process = _spawn(counter_program, "x86_64", "counter")
+        machine.run_process(process)
+        info = blocks.trace_cache_info()
+        assert info["size"] <= 4
+        assert info["evictions"] > before
+        assert process.stdout() == counter_reference_output
+
+
+DIVZERO_SOURCE = """
+func main() -> int {
+    int i; int d; int acc;
+    i = 0; d = 10; acc = 0;
+    while (i < 120) {
+        d = d - 1;
+        acc = acc + i / d;
+        print(acc);
+        i = i + 1;
+    }
+    return 0;
+}
+"""
+
+WILD_SOURCE = """
+func main() -> int {
+    int i; int acc;
+    int x;
+    int *p;
+    p = &x;
+    i = 0; acc = 0;
+    while (i < 40) {
+        acc = acc + i;
+        i = i + 1;
+    }
+    p = p + 123456789;
+    *p = acc;
+    return 0;
+}
+"""
 
 # v1 doubles, v2 triples; identical call structure so the live-update
 # policy accepts the patch at any equivalence point.

@@ -84,8 +84,9 @@ class TestEventQueueFifo:
 
 
 class TestSchedulerDeterminism:
-    def _trace(self, engine: bool):
-        machine = Machine(X86_ISA, block_engine=engine)
+    def _trace(self, engine, chains=False):
+        machine = Machine(X86_ISA, block_engine=engine,
+                          chain_engine=chains)
         from repro.compiler import compile_source
         program = compile_source(THREE_THREADS, "threads")
         machine.tmpfs.write("/bin/t", program.binary("x86_64").to_bytes())
@@ -112,6 +113,14 @@ class TestSchedulerDeterminism:
         interp_order, interp_out = self._trace(engine=False)
         assert blocks_order == interp_order
         assert blocks_out == interp_out
+
+    def test_round_robin_order_matches_under_chains(self):
+        """Tier-3 chains retire whole multi-block stretches per call;
+        the slice stream handed to the scheduler must not change."""
+        chains_order, chains_out = self._trace(engine=True, chains=True)
+        interp_order, interp_out = self._trace(engine=False)
+        assert chains_order == interp_order
+        assert chains_out == interp_out
 
 
 class TestRngService:

@@ -106,6 +106,24 @@ class TestRecordReplay:
         assert replayed.journal.digest_stream() \
             == loop_recording.journal.digest_stream()
 
+    def test_cross_tier_matrix_bit_identical(self, loop_recording):
+        """All three execution tiers are interchangeable under the
+        flight recorder: a journal recorded under any one of them
+        replays bit-identically under every other."""
+        chain_rec = record_run(LOOP_SOURCE, "loop", engine="chains")
+        assert chain_rec.journal.digest_stream() \
+            == loop_recording.journal.digest_stream()
+        for engine in ("interp", "blocks", "chains"):
+            replayed = Replayer(chain_rec.journal, engine=engine).run()
+            assert replayed.journal.digest_stream() \
+                == chain_rec.journal.digest_stream()
+            assert replayed.journal.sched_stream() \
+                == chain_rec.journal.sched_stream()
+
+    def test_unknown_engine_rejected(self, loop_recording):
+        with pytest.raises(JournalError):
+            Replayer(loop_recording.journal, engine="turbo")
+
     def test_clean_run_pinpoints_nothing(self, loop_recording):
         assert pinpoint_by_reexecution(loop_recording.journal,
                                        engine="interp") is None
@@ -210,6 +228,19 @@ class TestFaultInjection:
         replayed = Replayer(bad.journal).run()
         assert replayed.journal.digest_stream() \
             == bad.journal.digest_stream()
+
+    def test_faulty_journal_replays_on_every_tier(self):
+        """A bit-flip mid-run perturbs control flow (different branch
+        outcomes, different park points); every tier must still follow
+        the perturbed execution digest-for-digest."""
+        program = compile_source(SENTINEL_SOURCE, "faulty")
+        addr = program.binary("x86_64").symtab.address_of("sentinel")
+        bad = record_run(SENTINEL_SOURCE, "faulty", engine="chains",
+                         fault=BitFlip(at_slice=40, addr=addr, bit=3))
+        for engine in ("interp", "blocks", "chains"):
+            replayed = Replayer(bad.journal, engine=engine).run()
+            assert replayed.journal.digest_stream() \
+                == bad.journal.digest_stream()
 
 
 class TestZeroOverheadOff:
