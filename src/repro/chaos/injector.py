@@ -194,3 +194,46 @@ class FaultInjector:
             self._fire("drop", f"evict:{node}")
             return True
         return False
+
+    # -- fleet-scale sites ------------------------------------------------
+
+    def migration_stage_fault(self, stage: str, src: str, dst: str
+                              ) -> Tuple[Optional[str], float]:
+        """One stage consultation for a *modeled* fleet migration.
+
+        Mirrors the real pipeline's per-stage fault surface at model
+        scale: a participating node can crash (any stage), the link can
+        drop mid-transfer, or the link can merely slow down. Returns
+        ``(fired kind or None, latency factor)``; the fleet's staged
+        transaction turns a fired kind into a retry or a rollback, just
+        as :class:`~repro.core.migration.MigrationPipeline` does for
+        the real faults.
+        """
+        site = f"fleet:{stage}"
+        if self._roll("crash", site):
+            victim = self.rng.choice((src, dst),
+                                     label=f"crash-victim@{site}")
+            self._fire("crash", site, victim)
+            return "crash", 1.0
+        if stage in ("scp", "ship") and self._roll("drop", site):
+            self._fire("drop", site, f"{src}->{dst}")
+            return "drop", 1.0
+        if stage in ("scp", "ship") and self._roll("latency", site):
+            lo, hi = self.LATENCY_FACTORS
+            factor = self.rng.randint(lo, hi, label=f"latency@{site}")
+            self._fire("latency", site, f"x{factor}", a=factor)
+            return None, float(factor)
+        return None, 1.0
+
+    def node_loss(self, site: str = "fleet") -> bool:
+        """One barrier-level node-loss decision for the fleet.
+
+        Fires at most once per consultation; the caller picks the
+        victim with its own journaled draw (so the decision sequence is
+        canonical regardless of shard count) and feeds every in-flight
+        migration touching the victim into the rollback path.
+        """
+        if self._roll("pskill", f"{site}:node-loss"):
+            self._fire("pskill", f"{site}:node-loss")
+            return True
+        return False

@@ -13,10 +13,10 @@ from .events import EventQueue
 from .node import SimNode
 from .network import Network
 from .jobs import JobTemplate, measure_job_template
-from .scheduler import EvictionScheduler
+from .scheduler import EvictionScheduler, NodeHealth
 from .energy import EnergyMeter
 from .experiment import BatchExperiment, BatchResult
 
 __all__ = ["EventQueue", "SimNode", "Network", "JobTemplate",
-           "measure_job_template", "EvictionScheduler", "EnergyMeter",
-           "BatchExperiment", "BatchResult"]
+           "measure_job_template", "EvictionScheduler", "NodeHealth",
+           "EnergyMeter", "BatchExperiment", "BatchResult"]

@@ -10,11 +10,21 @@ from ..errors import ClusterError
 
 
 class EventQueue:
-    """Time-ordered event queue with stable FIFO tie-breaking."""
+    """Time-ordered event queue with stable FIFO tie-breaking.
 
-    def __init__(self):
+    ``shard`` is the queue's identity in a sharded simulation
+    (:class:`~repro.fleet.events.ShardedEventCore`): it sits in every
+    heap tuple *between* the timestamp and the FIFO counter, so
+    merging the fired-event traces of several shards by their heap
+    keys ``(when, shard, seq)`` yields one canonical order that does
+    not depend on which shard happened to be iterated first. A
+    single-queue simulation leaves it at 0 and nothing changes.
+    """
+
+    def __init__(self, shard: int = 0):
         self._heap: list = []
         self._counter = itertools.count()
+        self.shard = shard
         self.now = 0.0
         #: optional observer called as ``on_fire(when, label)`` just
         #: before each event's action runs — the flight recorder hooks
@@ -26,7 +36,8 @@ class EventQueue:
         if when < self.now - 1e-12:
             raise ClusterError(
                 f"cannot schedule event at {when} before now={self.now}")
-        heapq.heappush(self._heap, (when, next(self._counter), label, action))
+        heapq.heappush(self._heap,
+                       (when, self.shard, next(self._counter), label, action))
 
     def schedule_in(self, delay: float, action: Callable[[], None],
                     label: str = "") -> None:
@@ -38,11 +49,19 @@ class EventQueue:
     def peek_time(self) -> Optional[float]:
         return self._heap[0][0] if self._heap else None
 
+    def peek_key(self) -> Optional[Tuple[float, int, int]]:
+        """The next event's merge key ``(when, shard, seq)`` — what a
+        multi-shard merge orders by."""
+        if not self._heap:
+            return None
+        when, shard, seq, _label, _action = self._heap[0]
+        return when, shard, seq
+
     def step(self) -> Tuple[float, str]:
         """Pop and run the next event; returns (time, label)."""
         if not self._heap:
             raise ClusterError("event queue is empty")
-        when, _seq, label, action = heapq.heappop(self._heap)
+        when, _shard, _seq, label, action = heapq.heappop(self._heap)
         self.now = when
         if self.on_fire is not None:
             self.on_fire(when, label)
@@ -50,11 +69,20 @@ class EventQueue:
         return when, label
 
     def run_until(self, horizon: float, max_events: int = 10_000_000) -> int:
-        """Run events up to ``horizon``; returns the number executed."""
+        """Run events up to ``horizon``; returns the number executed.
+
+        ``now`` only advances past the last fired event to ``horizon``
+        when every event at or before the horizon actually ran: if
+        ``max_events`` stopped the loop early, still-queued events
+        would otherwise be stranded in the past and their eventual
+        ``schedule`` neighbors would raise "cannot schedule before
+        now".
+        """
         executed = 0
         while (self._heap and self._heap[0][0] <= horizon
                and executed < max_events):
             self.step()
             executed += 1
-        self.now = max(self.now, horizon)
+        if not self._heap or self._heap[0][0] > horizon:
+            self.now = max(self.now, horizon)
         return executed

@@ -73,13 +73,21 @@ def measure_job_template(spec: AppSpec, job_class: str = "B",
 
 
 class Job:
-    """One running instance of a template."""
+    """One running instance of a template.
+
+    Pass an explicit ``job_id`` for deterministic identity: the
+    process-global counter depends on every Job ever constructed in the
+    interpreter, so anything that journals job ids (the fleet) must
+    allocate them itself.
+    """
 
     _next_id = 0
 
-    def __init__(self, template: JobTemplate):
-        Job._next_id += 1
-        self.job_id = Job._next_id
+    def __init__(self, template: JobTemplate, job_id: Optional[int] = None):
+        if job_id is None:
+            Job._next_id += 1
+            job_id = Job._next_id
+        self.job_id = job_id
         self.template = template
         self.remaining_fraction = 1.0   # of the nominal instruction count
         self.started_at = 0.0

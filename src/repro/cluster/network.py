@@ -27,6 +27,7 @@ class Network:
         self.injector = injector
         self._links: Dict[Tuple[str, str], LinkProfile] = {}
         self._partitioned: Set[Tuple[str, str]] = set()
+        self._streams: Dict[str, int] = {}
 
     def connect(self, a: str, b: str, link: LinkProfile,
                 symmetric: bool = True) -> None:
@@ -90,6 +91,33 @@ class Network:
 
     def is_partitioned(self, a: str, b: str) -> bool:
         return (a, b) in self._partitioned
+
+    # -- stream accounting (fleet contention) ------------------------------
+
+    def begin_stream(self, node: str) -> int:
+        """Reserve one long-lived transfer stream terminating at
+        ``node``; returns the active count *including* this one.
+
+        The fleet's migration scheduler brackets every in-flight
+        transfer with begin/end: a destination ingesting N migrations
+        at once splits its NIC N ways, so each concurrent transfer's
+        simulated seconds scale by the peak stream count it observed.
+        """
+        active = self._streams.get(node, 0) + 1
+        self._streams[node] = active
+        return active
+
+    def end_stream(self, node: str) -> None:
+        active = self._streams.get(node, 0)
+        if active <= 0:
+            raise ClusterError(f"no active stream to end at {node!r}")
+        if active == 1:
+            del self._streams[node]
+        else:
+            self._streams[node] = active - 1
+
+    def active_streams(self, node: str) -> int:
+        return self._streams.get(node, 0)
 
     # -- transfer ---------------------------------------------------------
 

@@ -31,6 +31,11 @@ class SimNode:
     def busy_slots(self) -> int:
         return len(self.running)
 
+    def utilization(self) -> float:
+        """Fraction of job slots busy — the fleet scheduler's load and
+        latency objectives both read this."""
+        return len(self.running) / self.job_slots if self.job_slots else 1.0
+
     def place(self, job) -> int:
         for slot in range(self.job_slots):
             if slot not in self.running:

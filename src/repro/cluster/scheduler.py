@@ -32,6 +32,47 @@ from .jobs import Job, JobTemplate
 from .node import SimNode
 
 
+class NodeHealth:
+    """Per-node circuit breaker with deterministic half-open probes.
+
+    Shared supervisor logic: the eviction scheduler (below) and the
+    fleet's concurrent migration scheduler both dock a node's health on
+    a failed migration toward it, stop routing work there after
+    ``max_failures`` consecutive failures, and retry after an
+    exponential backoff. ``failed(name)`` returns the probe delay when
+    the breaker *trips* (the caller schedules :meth:`probe`), else
+    ``None``; a success calls :meth:`recovered` and resets the count.
+    """
+
+    def __init__(self, max_failures: int = 3, backoff_s: float = 1.0):
+        self.max_failures = max(1, int(max_failures))
+        self.backoff_s = backoff_s
+        self.failures: Dict[str, int] = {}
+        self.unhealthy: Set[str] = set()
+
+    def ok(self, name: str) -> bool:
+        return name not in self.unhealthy
+
+    def failed(self, name: str) -> Optional[float]:
+        failures = self.failures.get(name, 0) + 1
+        self.failures[name] = failures
+        if failures >= self.max_failures and name not in self.unhealthy:
+            self.unhealthy.add(name)
+            # A node that keeps failing re-trips with a doubled delay.
+            return self.backoff_s * (2 ** (failures - self.max_failures))
+        return None
+
+    def recovered(self, name: str) -> None:
+        if self.failures.get(name):
+            self.failures[name] = 0
+        self.unhealthy.discard(name)
+
+    def probe(self, name: str) -> None:
+        """Half-open: allow work toward the node again; the next failure
+        re-trips the breaker (with a longer backoff)."""
+        self.unhealthy.discard(name)
+
+
 class EvictionScheduler:
     def __init__(self, queue: EventQueue, server: SimNode,
                  pis: List[SimNode], template: JobTemplate,
@@ -52,13 +93,28 @@ class EvictionScheduler:
         self._server_jobs: List[tuple] = []     # (job, slot, finish_time)
         # -- supervisor state --
         self.injector = injector
-        self.max_node_failures = max(1, int(max_node_failures))
-        self.retry_backoff_s = retry_backoff_s
+        self.health = NodeHealth(max_failures=max_node_failures,
+                                 backoff_s=retry_backoff_s)
         self.failed_evictions = 0
-        self.node_failures: Dict[str, int] = {}
-        self.unhealthy: Set[str] = set()
         #: rolled-back jobs waiting for a server slot, oldest first
         self._requeue: List[Job] = []
+
+    # Pre-NodeHealth attribute names, kept as the public API.
+    @property
+    def max_node_failures(self) -> int:
+        return self.health.max_failures
+
+    @property
+    def retry_backoff_s(self) -> float:
+        return self.health.backoff_s
+
+    @property
+    def node_failures(self) -> Dict[str, int]:
+        return self.health.failures
+
+    @property
+    def unhealthy(self) -> Set[str]:
+        return self.health.unhealthy
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -159,26 +215,18 @@ class EvictionScheduler:
     # -- node health (supervisor) -------------------------------------------------
 
     def _node_failed(self, pi: SimNode) -> None:
-        failures = self.node_failures.get(pi.name, 0) + 1
-        self.node_failures[pi.name] = failures
-        if failures >= self.max_node_failures \
-                and pi.name not in self.unhealthy:
-            self.unhealthy.add(pi.name)
-            # Probe again after a deterministic exponential backoff; a
-            # node that keeps failing re-trips with a doubled delay.
-            delay = self.retry_backoff_s * (
-                2 ** (failures - self.max_node_failures))
+        delay = self.health.failed(pi.name)
+        if delay is not None:
+            # Probe again after the breaker's deterministic exponential
+            # backoff.
             self.queue.schedule_in(delay, lambda: self._probe_node(pi),
                                    f"probe-{pi.name}")
 
     def _node_recovered(self, pi: SimNode) -> None:
-        if self.node_failures.get(pi.name):
-            self.node_failures[pi.name] = 0
-        self.unhealthy.discard(pi.name)
+        self.health.recovered(pi.name)
 
     def _probe_node(self, pi: SimNode) -> None:
-        # Half-open: allow evictions toward the node again; the next
-        # failure re-trips the breaker (with a longer backoff), the
-        # next success resets it.
-        self.unhealthy.discard(pi.name)
+        # Half-open: the next failure re-trips the breaker (with a
+        # longer backoff), the next success resets it.
+        self.health.probe(pi.name)
         self._try_evictions()

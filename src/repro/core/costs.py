@@ -30,7 +30,8 @@ class NodeProfile:
     def __init__(self, *, name: str, arch: str, freq_hz: float, ipc: float,
                  cores: int, idle_watts: float, active_watts_per_core: float,
                  recode_bytes_per_s: float, checkpoint_bytes_per_s: float,
-                 restore_bytes_per_s: float, syscall_overhead_s: float):
+                 restore_bytes_per_s: float, syscall_overhead_s: float,
+                 usd_per_hour: float = 0.0):
         self.name = name
         self.arch = arch
         self.freq_hz = freq_hz
@@ -42,6 +43,9 @@ class NodeProfile:
         self.checkpoint_bytes_per_s = checkpoint_bytes_per_s
         self.restore_bytes_per_s = restore_bytes_per_s
         self.syscall_overhead_s = syscall_overhead_s
+        #: amortized ownership cost — what the fleet scheduler's cost
+        #: objective charges for keeping a job on this node
+        self.usd_per_hour = usd_per_hour
 
     # -- compute time --------------------------------------------------------
 
@@ -51,6 +55,10 @@ class NodeProfile:
     def power_watts(self, active_cores: int) -> float:
         active = min(active_cores, self.cores)
         return self.idle_watts + active * self.active_watts_per_core
+
+    def cost_usd(self, seconds: float) -> float:
+        """Amortized dollar cost of occupying this node for ``seconds``."""
+        return self.usd_per_hour * seconds / 3600.0
 
     # -- stage latencies ---------------------------------------------------------
 
@@ -104,6 +112,89 @@ class LinkProfile:
         return f"<LinkProfile {self.name}>"
 
 
+class MigrationCostModel:
+    """Stage-latency model of one Dapper migration between two nodes.
+
+    This is the single source of truth for what each pipeline stage
+    costs in simulated wall-clock: :class:`~repro.core.migration.
+    MigrationPipeline` prices its *measured* image sizes / frame counts
+    through it, and the fleet's concurrent migration scheduler prices
+    its *modeled* migrations through the very same formulas — so a
+    storm of a thousand modeled migrations and one real end-to-end
+    migration agree on what a checkpoint, recode, transfer, verify or
+    restore costs on a given node pair.
+    """
+
+    #: verification passes a clean image pays for (structural + semantic);
+    #: the repair pass only bills for pages it actually rewrites
+    CLEAN_VERIFY_PASSES = 2
+
+    def __init__(self, src: NodeProfile, dst: NodeProfile,
+                 link: LinkProfile, recode: Optional[NodeProfile] = None):
+        self.src = src
+        self.dst = dst
+        self.link = link
+        # The paper: "we can always transform the process image on the
+        # most powerful machine" — recode defaults to the source node.
+        self.recode = recode or src
+
+    # -- per-stage costs --------------------------------------------------
+
+    def checkpoint_seconds(self, image_bytes: int, threads: int) -> float:
+        return self.src.checkpoint_seconds(image_bytes, threads)
+
+    def recode_seconds(self, image_bytes: int, frames: int,
+                       code_bytes: int = 0) -> float:
+        return self.recode.recode_seconds(image_bytes, frames, code_bytes)
+
+    def store_seconds(self, image_bytes: int) -> float:
+        """Chunking + hashing into the content-addressed store, at the
+        source node's checkpoint-write rate."""
+        return image_bytes / self.src.checkpoint_bytes_per_s
+
+    def transfer_seconds(self, nbytes: int, factor: float = 1.0) -> float:
+        return self.link.transfer_seconds(nbytes) * factor
+
+    def verify_seconds(self, image_bytes: int,
+                       repaired_pages: int = 0) -> float:
+        """The restore guard: each pass reads every image byte once at
+        the destination's checkpoint-IO rate; repair rewrites only the
+        diverged pages."""
+        rate = self.dst.checkpoint_bytes_per_s
+        seconds = self.CLEAN_VERIFY_PASSES * image_bytes / rate
+        if repaired_pages:
+            seconds += (repaired_pages * PAGE_SIZE) / rate
+        return seconds
+
+    def restore_seconds(self, image_bytes: int, threads: int) -> float:
+        return self.dst.restore_seconds(image_bytes, threads)
+
+    # -- whole-migration estimate -----------------------------------------
+
+    def blackout_seconds(self, image_bytes: int, threads: int = 1,
+                         frames: int = 8, shipped_bytes: Optional[int] = None,
+                         use_store: bool = False) -> float:
+        """End-to-end service blackout of one fault-free migration.
+
+        ``shipped_bytes`` is what actually crosses the link (a warm
+        content-addressed destination receives a fraction of the full
+        image); it defaults to the full image size.
+        """
+        shipped = image_bytes if shipped_bytes is None else shipped_bytes
+        seconds = (self.checkpoint_seconds(image_bytes, threads)
+                   + self.recode_seconds(image_bytes, frames)
+                   + self.transfer_seconds(shipped)
+                   + self.verify_seconds(image_bytes)
+                   + self.restore_seconds(image_bytes, threads))
+        if use_store:
+            seconds += self.store_seconds(image_bytes)
+        return seconds
+
+    def __repr__(self) -> str:
+        return (f"<MigrationCostModel {self.src.name}->{self.dst.name} "
+                f"over {self.link.name}>")
+
+
 # -- the paper's testbed -------------------------------------------------------
 
 def xeon_profile() -> NodeProfile:
@@ -112,7 +203,8 @@ def xeon_profile() -> NodeProfile:
         name="xeon", arch="x86_64", freq_hz=2.1e9, ipc=2.0, cores=8,
         idle_watts=45.0, active_watts_per_core=9.0,
         recode_bytes_per_s=22e6, checkpoint_bytes_per_s=400e6,
-        restore_bytes_per_s=400e6, syscall_overhead_s=0.002)
+        restore_bytes_per_s=400e6, syscall_overhead_s=0.002,
+        usd_per_hour=0.35)
 
 
 def rpi_profile() -> NodeProfile:
@@ -123,7 +215,8 @@ def rpi_profile() -> NodeProfile:
         name="rpi", arch="aarch64", freq_hz=1.5e9, ipc=1.0, cores=4,
         idle_watts=2.7, active_watts_per_core=0.8,
         recode_bytes_per_s=5.5e6, checkpoint_bytes_per_s=350e6,
-        restore_bytes_per_s=350e6, syscall_overhead_s=0.003)
+        restore_bytes_per_s=350e6, syscall_overhead_s=0.003,
+        usd_per_hour=0.015)
 
 
 def infiniband_link() -> LinkProfile:
@@ -134,6 +227,18 @@ def infiniband_link() -> LinkProfile:
 def ethernet_link() -> LinkProfile:
     return LinkProfile(name="ethernet-1g", bandwidth_bytes_per_s=110e6,
                        latency_s=200e-6, scp_overhead_s=0.35)
+
+
+def rack_link() -> LinkProfile:
+    """Top-of-rack 10 GbE — the default intra-rack fleet fabric."""
+    return LinkProfile(name="ethernet-10g", bandwidth_bytes_per_s=1.1e9,
+                       latency_s=50e-6, scp_overhead_s=0.30)
+
+
+def wan_link() -> LinkProfile:
+    """Inter-site WAN path — what a cross-rack fleet migration pays."""
+    return LinkProfile(name="wan", bandwidth_bytes_per_s=30e6,
+                       latency_s=15e-3, scp_overhead_s=0.5)
 
 
 def profile_for_arch(arch: str) -> NodeProfile:

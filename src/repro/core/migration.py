@@ -53,7 +53,8 @@ from ..store import (CheckpointStore, StorePageServer, plan_transfer,
                      ship)
 from ..verify import ImageVerifier, Quarantine, image_page_digests
 from ..vm.kernel import Machine, Process
-from .costs import LinkProfile, NodeProfile, infiniband_link, profile_for_arch
+from .costs import (LinkProfile, MigrationCostModel, NodeProfile,
+                    infiniband_link, profile_for_arch)
 from .policies.cross_isa import CrossIsaPolicy
 from .rewriter import ProcessRewriter
 from .runtime import DapperRuntime
@@ -149,6 +150,12 @@ class MigrationPipeline:
         # The paper: "we can always transform the process image on the
         # most powerful machine" — default to recoding at the source.
         self.recode_profile = recode_profile or self.src_profile
+        # Every stage latency below is priced through the shared cost
+        # model — the same formulas the fleet's concurrent migration
+        # scheduler uses for its modeled migrations.
+        self.cost_model = MigrationCostModel(self.src_profile,
+                                             self.dst_profile, self.link,
+                                             recode=self.recode_profile)
         # Stage-latency inputs are measured image bytes multiplied by
         # byte_scale; the benchmark harnesses set it to
         # nominal_footprint / measured_footprint so latencies reflect
@@ -303,7 +310,7 @@ class MigrationPipeline:
 
         def scaled(nbytes: int) -> int:
             return int(nbytes * scale)
-        stage_seconds["checkpoint"] = self.src_profile.checkpoint_seconds(
+        stage_seconds["checkpoint"] = self.cost_model.checkpoint_seconds(
             scaled(images.total_bytes()), threads)
 
         # 2. recode
@@ -316,7 +323,7 @@ class MigrationPipeline:
                 injector.node_fault("recode", self.src_machine.name)
             return ProcessRewriter().rewrite(images, policy)[0]
         report = self._txn_stage("recode", txn, ctx, _recode)
-        stage_seconds["recode"] = self.recode_profile.recode_seconds(
+        stage_seconds["recode"] = self.cost_model.recode_seconds(
             scaled(report.bytes_before), report.stats["frames"])
         # The sender-side ground truth for the restore guard: the recoded
         # set's whole-set digest plus its per-page digest manifest (the
@@ -364,7 +371,7 @@ class MigrationPipeline:
                                             page_server, verify=False)
             return restore_process(self.dst_machine, images, verify=False)
         restored = self._txn_stage("restore", txn, ctx, _restore)
-        stage_seconds["restore"] = self.dst_profile.restore_seconds(
+        stage_seconds["restore"] = self.cost_model.restore_seconds(
             scaled(images.total_bytes()), threads)
         runtime.kill_source()
 
@@ -428,8 +435,8 @@ class MigrationPipeline:
             return images, factor
         images, factor = self._txn_stage("scp", txn, ctx, _transfer,
                                          cleanup=_sweep_partial)
-        stage_seconds["scp"] = self.link.transfer_seconds(
-            scaled(images.total_bytes())) * factor
+        stage_seconds["scp"] = self.cost_model.transfer_seconds(
+            scaled(images.total_bytes()), factor)
         return images
 
     def _verify_stage(self, process: Process, images: ImageSet,
@@ -536,8 +543,8 @@ class MigrationPipeline:
         ctx["dst_had_checkpoint"] = put.checkpoint_id in self.dst_store
         # Chunking + hashing runs at checkpoint-write speed on the
         # source node; it replaces writing the image files out twice.
-        stage_seconds["store"] = (scaled(full_bytes)
-                                  / self.src_profile.checkpoint_bytes_per_s)
+        stage_seconds["store"] = self.cost_model.store_seconds(
+            scaled(full_bytes))
 
         def _ship():
             factor = 1.0
@@ -559,8 +566,8 @@ class MigrationPipeline:
             return plan, shipped, images_dst, factor
         plan, shipped, images_dst, factor = self._txn_stage(
             "ship", txn, ctx, _ship)
-        stage_seconds["scp"] = self.link.transfer_seconds(
-            scaled(shipped)) * factor
+        stage_seconds["scp"] = self.cost_model.transfer_seconds(
+            scaled(shipped), factor)
         images_dst.save(self.dst_machine.tmpfs, ctx["dst_prefix"])
 
         if page_server is not None:

@@ -155,6 +155,10 @@ class ClusterError(ReproError):
     """Cluster/discrete-event simulation misconfiguration."""
 
 
+class FleetError(ClusterError):
+    """Fleet-scale orchestration misconfiguration or invariant breach."""
+
+
 class SecurityHarnessError(ReproError):
     """Attack harness misconfiguration (not an attack failure)."""
 

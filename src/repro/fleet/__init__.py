@@ -1,0 +1,43 @@
+"""Fleet orchestration: Dapper's live state rewriting at datacenter
+scale.
+
+The paper demonstrates live program-state rewriting on a four-machine
+testbed; this package asks the operational question a fleet operator
+would: what happens when *thousands* of nodes keep serving open-loop
+traffic while a scheduler live-migrates hundreds of them at once,
+under load spikes, rolling updates and injected node loss?
+
+* :mod:`~repro.fleet.spec` — one canonical spec string per run, the
+  replay contract,
+* :mod:`~repro.fleet.events` — the sharded event core with barrier-
+  batched cross-shard delivery (deterministic across shard counts),
+* :mod:`~repro.fleet.nodes` / :mod:`~repro.fleet.traffic` — the fleet
+  topology and the nginx/redis open-loop sessions riding on it,
+* :mod:`~repro.fleet.scheduler` — bucketed energy/cost/latency
+  placement for thousands of concurrent jobs,
+* :mod:`~repro.fleet.migrate` — many staged migrations in flight under
+  one in-flight cap, sharing one warm chunk store, rolling back on
+  chaos exactly like the real transactional pipeline,
+* :mod:`~repro.fleet.storm` — the barrier-time controller tying it all
+  together into one replayable migration storm,
+* :mod:`~repro.fleet.calibrate` — real shared-store pipeline runs that
+  calibrate the model's warm-transfer fraction.
+"""
+
+from .calibrate import CalibrationResult, run_shared_store_migrations
+from .events import ShardedEventCore
+from .migrate import FleetMigration, FleetMigrationScheduler, STAGES
+from .nodes import FleetNode, build_fleet
+from .scheduler import FleetScheduler, Objective
+from .spec import FleetSpec
+from .storm import FleetStorm, StormResult
+from .traffic import (LatencyHistogram, Service, ServiceTemplate,
+                      TrafficModel, fleet_templates)
+
+__all__ = [
+    "CalibrationResult", "run_shared_store_migrations",
+    "ShardedEventCore", "FleetMigration", "FleetMigrationScheduler",
+    "STAGES", "FleetNode", "build_fleet", "FleetScheduler", "Objective",
+    "FleetSpec", "FleetStorm", "StormResult", "LatencyHistogram",
+    "Service", "ServiceTemplate", "TrafficModel", "fleet_templates",
+]

@@ -1,0 +1,100 @@
+"""Calibrating the fleet's warm-transfer fraction against *real*
+migrations through one shared chunk store.
+
+The storm models a warm destination as receiving ``1 - warm_bp/10000``
+of a template's image. That number is not invented: this module runs
+several end-to-end :class:`~repro.core.migration.MigrationPipeline`
+instances — real checkpoint, real cross-ISA recode, real
+content-addressed transfer — all sharing one source store and one
+destination store, exactly like fleet nodes sharing the chunk store.
+The first migration ships the full image; every later one ships only
+the chunks the destination is missing, and the measured warm fraction
+feeds straight into :attr:`~repro.fleet.spec.FleetSpec.warm_bp`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..apps.registry import get_app
+from ..core.migration import MigrationPipeline
+from ..isa import get_isa
+from ..store import CheckpointStore
+from ..vm.kernel import Machine
+
+
+class CalibrationResult:
+    """Measured shipped/full byte pairs from shared-store migrations."""
+
+    def __init__(self, app: str, transfers: List[Tuple[int, int]]):
+        self.app = app
+        #: (bytes shipped, bytes a full copy would have been), one per
+        #: migration in execution order — the first is the cold ship
+        self.transfers = transfers
+
+    @property
+    def cold_bytes(self) -> int:
+        return self.transfers[0][0] if self.transfers else 0
+
+    def warm_fractions(self) -> List[float]:
+        """Dedup fraction of each warm (non-first) migration."""
+        out = []
+        for shipped, full in self.transfers[1:]:
+            out.append(1.0 - shipped / full if full else 0.0)
+        return out
+
+    def warm_bp(self) -> int:
+        """Calibrated basis points for :class:`FleetSpec.warm_bp` —
+        the mean warm-migration dedup fraction, floored to stay
+        conservative."""
+        fractions = self.warm_fractions()
+        if not fractions:
+            return 0
+        mean = sum(fractions) / len(fractions)
+        return max(0, min(10_000, int(mean * 10_000)))
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "migrations": len(self.transfers),
+            "transfers": [{"shipped": s, "full": f}
+                          for s, f in self.transfers],
+            "warm_bp": self.warm_bp(),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<CalibrationResult {self.app} "
+                f"{len(self.transfers)} transfers "
+                f"warm_bp={self.warm_bp()}>")
+
+
+def run_shared_store_migrations(app: str = "nginx", destinations: int = 3,
+                                warmup_steps: int = 4000,
+                                src_store: Optional[CheckpointStore] = None,
+                                dst_store: Optional[CheckpointStore] = None
+                                ) -> CalibrationResult:
+    """Run ``destinations`` real migrations of one app through shared
+    source/destination chunk stores and measure what each one shipped.
+
+    Each migration is a fresh source machine and a fresh destination
+    machine (so the *processes* are independent, as in a fleet), but
+    the stores persist across all of them — the destination store's
+    growing chunk inventory is what makes migration *k+1* cheaper than
+    migration *k*.
+    """
+    spec = get_app(app)
+    program = spec.compile("small")
+    src_store = src_store if src_store is not None else CheckpointStore()
+    dst_store = dst_store if dst_store is not None else CheckpointStore()
+    transfers: List[Tuple[int, int]] = []
+    for index in range(destinations):
+        pipeline = MigrationPipeline(
+            Machine(get_isa("x86_64"), name=f"src{index}"),
+            Machine(get_isa("aarch64"), name=f"dst{index}"),
+            program, use_store=True,
+            src_store=src_store, dst_store=dst_store)
+        result = pipeline.run_and_migrate(warmup_steps=warmup_steps)
+        stats = result.stats["store"]
+        transfers.append((stats["bytes_shipped"],
+                          stats["bytes_full_copy"]))
+    return CalibrationResult(app, transfers)

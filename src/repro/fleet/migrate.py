@@ -1,0 +1,333 @@
+"""The concurrent migration scheduler: many staged migrations in
+flight at once, sharing one content-addressed chunk store.
+
+Each fleet migration walks the same staged transaction the real
+:class:`~repro.core.migration.MigrationPipeline` walks — checkpoint,
+recode, store, ship, verify, restore — priced through the same
+:class:`~repro.core.costs.MigrationCostModel`, retried on injected
+faults with the same bounded budget, and rolled back to the source
+when the budget runs out. Three fleet-scale effects the four-machine
+pipeline never sees are modeled explicitly:
+
+* **shared store warmth** — the first migration of a template to a
+  destination ships the full image; later ones ship only the cold
+  fraction (``FleetSpec.warm_bp``, calibrated against real shared-store
+  pipeline runs by :mod:`repro.fleet.calibrate`),
+* **NIC contention** — every in-flight transfer brackets a
+  :meth:`~repro.cluster.network.Network.begin_stream` on its
+  destination, and a transfer that shares the destination NIC with
+  ``k`` peers takes ``k``× as long,
+* **blackout-driven tail latency** — the service is paused from
+  checkpoint to restore (or to rollback), so its open-loop queue
+  absorbs the blackout and drains it into the latency histogram.
+
+Every state change runs inside barrier mail keyed by migration id, so
+the whole storm's migration history is canonical regardless of how the
+event core is sharded.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from ..core.costs import MigrationCostModel, rack_link
+from .events import ShardedEventCore
+from .nodes import FleetNode
+from .scheduler import FleetScheduler
+from .spec import FleetSpec
+from .traffic import Service
+
+#: the staged transaction, in pipeline order
+STAGES = ("checkpoint", "recode", "store", "ship", "verify", "restore")
+
+#: base retry backoff (doubles per attempt), matching the real
+#: pipeline's backoff shape at fleet time scale
+BACKOFF_S = 0.05
+
+
+class FleetMigration:
+    """One in-flight (or finished) modeled migration."""
+
+    __slots__ = ("mid", "sid", "src", "dst", "reason", "state",
+                 "stage_index", "attempts", "started_at", "finished_at",
+                 "shipped_bytes", "stream_open", "faults")
+
+    def __init__(self, mid: int, sid: int, src: int, dst: int,
+                 reason: str, started_at: float):
+        self.mid = mid
+        self.sid = sid
+        self.src = src
+        self.dst = dst
+        self.reason = reason
+        self.state = "active"           # active | done | rolled_back
+        self.stage_index = 0
+        self.attempts = [0] * len(STAGES)
+        self.started_at = started_at
+        self.finished_at = 0.0
+        self.shipped_bytes = 0
+        self.stream_open = False
+        self.faults = 0
+
+    @property
+    def stage(self) -> str:
+        return STAGES[self.stage_index]
+
+    def __repr__(self) -> str:
+        return (f"<FleetMigration #{self.mid} svc{self.sid} "
+                f"{self.src}->{self.dst} {self.state}@{self.stage}>")
+
+
+class FleetMigrationScheduler:
+    """Admits queued migrations under a bounded in-flight cap and
+    drives each one's staged transaction through barrier mail."""
+
+    def __init__(self, core: ShardedEventCore,
+                 nodes: Dict[int, FleetNode],
+                 services: Dict[int, Service],
+                 network, spec: FleetSpec,
+                 placement: FleetScheduler,
+                 injector=None):
+        self.core = core
+        self.nodes = nodes
+        self.services = services
+        self.network = network
+        self.spec = spec
+        self.placement = placement
+        self.injector = injector
+        self.pending: Deque[Tuple[int, str]] = deque()
+        self.in_flight: Dict[int, FleetMigration] = {}
+        self.migrating: Set[int] = set()        # service ids
+        self.finished: List[FleetMigration] = []
+        #: (dst node id, template name) pairs the shared store has
+        #: already warmed — the per-destination transfer plan
+        self.warm: Set[Tuple[int, str]] = set()
+        self._models: Dict[Tuple[str, str], MigrationCostModel] = {}
+        self._next_mid = 0
+        # counters
+        self.started = 0
+        self.completed = 0
+        self.rolled_back = 0
+        self.peak_in_flight = 0
+        self.bytes_shipped = 0
+        self.bytes_full = 0
+        self.blackout_s = 0.0
+        self.deferred = 0       # admissions refused for lack of a slot
+
+    # -- cost model --------------------------------------------------------
+
+    def _model(self, src: FleetNode, dst: FleetNode) -> MigrationCostModel:
+        key = (src.profile_key, dst.profile_key)
+        model = self._models.get(key)
+        if model is None:
+            model = MigrationCostModel(src.profile, dst.profile,
+                                       rack_link())
+            self._models[key] = model
+        return model
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, sid: int, reason: str) -> bool:
+        """Queue one service for migration; duplicates are refused."""
+        if sid in self.migrating:
+            return False
+        self.migrating.add(sid)
+        self.pending.append((sid, reason))
+        return True
+
+    def pump(self, now: float) -> int:
+        """Admit queued migrations up to the in-flight cap. Runs at
+        barriers, so admission order is canonical."""
+        admitted = 0
+        retry: List[Tuple[int, str]] = []
+        while self.pending and len(self.in_flight) < self.spec.max_in_flight:
+            sid, reason = self.pending.popleft()
+            if self._start(sid, reason, now):
+                admitted += 1
+            else:
+                retry.append((sid, reason))
+        self.pending.extend(retry)
+        return admitted
+
+    def _start(self, sid: int, reason: str, now: float) -> bool:
+        service = self.services[sid]
+        src = self.nodes[service.node]
+        if not src.alive:
+            # The host is dark; re-queue once it (or the service)
+            # comes back.
+            self.deferred += 1
+            return False
+        dst_id = self.placement.place(exclude={src.id})
+        if dst_id is None:
+            self.deferred += 1
+            return False
+        dst = self.nodes[dst_id]
+        dst.reserved += 1
+        self.placement.reindex(dst)
+        mid = self._next_mid
+        self._next_mid += 1
+        migration = FleetMigration(mid, sid, src.id, dst_id, reason, now)
+        self.in_flight[mid] = migration
+        self.started += 1
+        if len(self.in_flight) > self.peak_in_flight:
+            self.peak_in_flight = len(self.in_flight)
+        # Dapper stops the process at dump: blackout starts here and
+        # ends at restore (dst) or rollback (src).
+        service.pause()
+        self._begin_stage(migration, now)
+        return True
+
+    # -- the staged transaction --------------------------------------------
+
+    def _stage_seconds(self, migration: FleetMigration, stage: str) -> float:
+        src = self.nodes[migration.src]
+        dst = self.nodes[migration.dst]
+        template = self.services[migration.sid].template
+        model = self._model(src, dst)
+        image = template.image_bytes
+        if stage == "checkpoint":
+            return model.checkpoint_seconds(image, template.threads)
+        if stage == "recode":
+            return model.recode_seconds(image, template.frames)
+        if stage == "store":
+            return model.store_seconds(image)
+        if stage == "ship":
+            return model.transfer_seconds(self._planned_bytes(migration))
+        if stage == "verify":
+            return model.verify_seconds(image)
+        return model.restore_seconds(image, template.threads)
+
+    def _planned_bytes(self, migration: FleetMigration) -> int:
+        """Per-destination transfer plan: warm destinations receive
+        only the cold fraction of the template's image."""
+        template = self.services[migration.sid].template
+        full = template.image_bytes
+        if (migration.dst, template.name) in self.warm:
+            return max(1, int(full * (1.0 - self.spec.warm_fraction)))
+        return full
+
+    def _begin_stage(self, migration: FleetMigration, now: float) -> None:
+        stage = migration.stage
+        src = self.nodes[migration.src]
+        dst = self.nodes[migration.dst]
+        fired: Optional[str] = None
+        factor = 1.0
+        if self.injector is not None:
+            fired, factor = self.injector.migration_stage_fault(
+                stage, src.name, dst.name)
+        duration = self._stage_seconds(migration, stage) * factor
+        attempts = migration.attempts[migration.stage_index]
+        if attempts:
+            duration += BACKOFF_S * (1 << (attempts - 1))
+        if stage == "ship":
+            # The destination NIC splits across concurrent inbound
+            # transfers; a failed attempt holds its stream for the
+            # full (wasted) duration too.
+            streams = self.network.begin_stream(dst.name)
+            migration.stream_open = True
+            duration *= streams
+        self.core.post(now + duration, (1, migration.mid),
+                       lambda: self._stage_end(migration.mid, fired),
+                       label=f"mig{migration.mid}:{stage}")
+
+    def _stage_end(self, mid: int, fired: Optional[str]) -> None:
+        migration = self.in_flight.get(mid)
+        if migration is None or migration.state != "active":
+            return      # rolled back (node loss) while this mail flew
+        now = self.core.now
+        if migration.stream_open:
+            self.network.end_stream(self.nodes[migration.dst].name)
+            migration.stream_open = False
+        if fired is not None:
+            migration.faults += 1
+            index = migration.stage_index
+            migration.attempts[index] += 1
+            if migration.attempts[index] > self.spec.retry_budget:
+                self._rollback(migration, now, f"{migration.stage}:{fired}")
+            else:
+                self._begin_stage(migration, now)
+            return
+        if migration.stage == "ship":
+            template = self.services[migration.sid].template
+            planned = self._planned_bytes(migration)
+            self.bytes_shipped += planned
+            self.bytes_full += template.image_bytes
+            self.warm.add((migration.dst, template.name))
+        if migration.stage_index == len(STAGES) - 1:
+            self._complete(migration, now)
+        else:
+            migration.stage_index += 1
+            self._begin_stage(migration, now)
+
+    # -- outcomes ----------------------------------------------------------
+
+    def _finish(self, migration: FleetMigration, now: float,
+                state: str) -> None:
+        migration.state = state
+        migration.finished_at = now
+        self.blackout_s += now - migration.started_at
+        del self.in_flight[migration.mid]
+        self.migrating.discard(migration.sid)
+        self.finished.append(migration)
+
+    def _complete(self, migration: FleetMigration, now: float) -> None:
+        service = self.services[migration.sid]
+        src = self.nodes[migration.src]
+        dst = self.nodes[migration.dst]
+        src.services.discard(migration.sid)
+        self.placement.reindex(src)
+        dst.reserved -= 1
+        dst.services.add(migration.sid)
+        self.placement.reindex(dst)
+        service.node = dst.id
+        if dst.alive:
+            service.resume()
+        self.completed += 1
+        self._finish(migration, now, "done")
+
+    def _rollback(self, migration: FleetMigration, now: float,
+                  why: str) -> None:
+        """The fleet's arm of the transactional rollback path: free the
+        destination reservation and resume the untouched source."""
+        if migration.stream_open:
+            self.network.end_stream(self.nodes[migration.dst].name)
+            migration.stream_open = False
+        dst = self.nodes[migration.dst]
+        dst.reserved -= 1
+        self.placement.reindex(dst)
+        service = self.services[migration.sid]
+        src = self.nodes[migration.src]
+        if src.alive:
+            service.resume()
+        # else: the service stays paused on the dark source and resumes
+        # when the node respawns — the storm's revive path handles it.
+        self.rolled_back += 1
+        if self.injector is not None:
+            self.injector.note("rollback", f"fleet:{why}",
+                               f"svc{migration.sid} "
+                               f"{src.name}->{dst.name}",
+                               a=migration.mid, b=migration.faults)
+        self._finish(migration, now, "rolled_back")
+
+    def node_death(self, victim: int, now: float) -> int:
+        """Chaos killed a node: every in-flight migration touching it
+        takes the rollback path immediately (its pending stage mail is
+        ignored as stale when it arrives)."""
+        rolled = 0
+        for mid in sorted(self.in_flight):
+            migration = self.in_flight[mid]
+            if migration.src == victim or migration.dst == victim:
+                migration.faults += 1
+                self._rollback(migration, now,
+                               f"{migration.stage}:node-loss")
+                rolled += 1
+        return rolled
+
+    # -- invariants --------------------------------------------------------
+
+    def invariant_ok(self) -> bool:
+        """Complete-or-rollback: nothing started is unaccounted for."""
+        return (self.started == self.completed + self.rolled_back
+                + len(self.in_flight)
+                and all(m.state in ("done", "rolled_back")
+                        for m in self.finished))

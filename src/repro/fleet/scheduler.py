@@ -1,0 +1,168 @@
+"""Fleet placement: thousands of services scored onto thousands of
+nodes without an O(nodes) argmin per decision.
+
+The insight that makes placement cheap: two alive nodes with the same
+profile class and the same occupancy are *interchangeable* under every
+objective this scheduler supports — the score is a function of
+``(profile, occupancy)`` only. So nodes live in buckets keyed by
+``(profile class, occupancy)``, a placement decision scores one bucket
+per (class, occupancy) pair — a dozen evaluations, not a fleet scan —
+and the winner inside a bucket is simply the lowest node id, which
+keeps every decision canonical (and therefore shard-count-invariant
+and replayable).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.costs import NodeProfile
+from .nodes import FleetNode
+
+#: reference single-core speed (the Xeon) for the slowdown term
+_REF_SPEED = 2.1e9 * 2.0
+
+
+class Objective:
+    """Weighted energy / dollar-cost / latency placement objective.
+
+    Lower is better. The three terms are normalized to comparable
+    magnitudes at the paper's calibrated profiles, so unit weights give
+    a balanced tradeoff and a weight of 0 removes a concern entirely:
+
+    * **energy** — marginal watts of activating one more core,
+    * **cost** — the node's amortized ``usd_per_hour``,
+    * **latency** — current occupancy (queueing pressure) plus how much
+      slower than the reference core this node serves one request.
+    """
+
+    def __init__(self, energy: float = 1.0, cost: float = 1.0,
+                 latency: float = 1.0):
+        self.energy = energy
+        self.cost = cost
+        self.latency = latency
+
+    def score(self, profile: NodeProfile, occupancy: int,
+              slots: int) -> float:
+        slowdown = _REF_SPEED / (profile.freq_hz * profile.ipc) - 1.0
+        return (self.energy * profile.active_watts_per_core / 10.0
+                + self.cost * profile.usd_per_hour
+                + self.latency * (occupancy / slots + 0.25 * slowdown))
+
+    def __repr__(self) -> str:
+        return (f"<Objective energy={self.energy} cost={self.cost} "
+                f"latency={self.latency}>")
+
+
+class FleetScheduler:
+    """Bucketed greedy placement over ``(profile class, occupancy)``.
+
+    Buckets hold node ids in min-heaps with lazy invalidation: a node
+    is (re)pushed whenever its occupancy or liveness changes
+    (:meth:`reindex`), and stale entries are discarded at pop time by
+    checking the node's *current* state against the bucket it was
+    popped from. Each mutation adds at most one heap entry, so the
+    amortized cost stays logarithmic.
+    """
+
+    def __init__(self, nodes: Iterable[FleetNode],
+                 objective: Optional[Objective] = None):
+        self.objective = objective or Objective()
+        self.nodes: Dict[int, FleetNode] = {n.id: n for n in nodes}
+        self._profiles: Dict[str, Tuple[NodeProfile, int]] = {}
+        self._buckets: Dict[Tuple[str, int], List[int]] = {}
+        for node in self.nodes.values():
+            self._profiles.setdefault(node.profile_key,
+                                      (node.profile, node.slots))
+            self.reindex(node)
+
+    # -- bucket maintenance ------------------------------------------------
+
+    def reindex(self, node: FleetNode) -> None:
+        """(Re)file a node under its current ``(class, occupancy)``."""
+        if node.alive and node.free_slots() > 0:
+            key = (node.profile_key, node.occupancy())
+            heapq.heappush(self._buckets.setdefault(key, []), node.id)
+
+    def _pop_valid(self, key: Tuple[str, int],
+                   exclude: Set[int]) -> Optional[int]:
+        heap = self._buckets.get(key)
+        if not heap:
+            return None
+        skipped: List[int] = []
+        found = None
+        while heap:
+            node_id = heapq.heappop(heap)
+            node = self.nodes[node_id]
+            if not node.alive or node.free_slots() <= 0 \
+                    or node.occupancy() != key[1]:
+                continue        # stale entry; current state is filed too
+            if node_id in exclude:
+                skipped.append(node_id)   # valid, just barred this call
+                continue
+            found = node_id
+            break
+        for node_id in skipped:
+            heapq.heappush(heap, node_id)
+        if found is not None:
+            # The pick is about to gain an occupant; its entry for the
+            # *new* occupancy is pushed by the caller's reindex().
+            pass
+        return found
+
+    # -- placement ---------------------------------------------------------
+
+    def place(self, exclude: Optional[Set[int]] = None) -> Optional[int]:
+        """Best node id for one more service, or ``None`` if the fleet
+        is full. Does not mutate the node — the caller claims the slot
+        (service or reservation) and then calls :meth:`reindex`."""
+        exclude = exclude or set()
+        best: Optional[Tuple[float, str, int]] = None
+        for profile_key, (profile, slots) in sorted(self._profiles.items()):
+            for occupancy in range(slots):
+                heap = self._buckets.get((profile_key, occupancy))
+                if not heap:
+                    continue
+                score = self.objective.score(profile, occupancy, slots)
+                candidate = (score, profile_key, occupancy)
+                if best is None or candidate < best:
+                    best = candidate
+        while best is not None:
+            node_id = self._pop_valid((best[1], best[2]), exclude)
+            if node_id is not None:
+                return node_id
+            # That bucket was all stale/excluded; rescan without it.
+            return self._place_slow(exclude)
+        return None
+
+    def _place_slow(self, exclude: Set[int]) -> Optional[int]:
+        """Fallback full scan — only reached when every entry of the
+        winning bucket was stale or excluded, which chaos can arrange."""
+        best: Optional[Tuple[float, int]] = None
+        for node_id in sorted(self.nodes):
+            node = self.nodes[node_id]
+            if (not node.alive or node.free_slots() <= 0
+                    or node_id in exclude):
+                continue
+            score = self.objective.score(node.profile, node.occupancy(),
+                                         node.slots)
+            if best is None or (score, node_id) < best:
+                best = (score, node_id)
+        return best[1] if best else None
+
+    def place_all(self, count: int) -> List[int]:
+        """Initial mass placement: ``count`` services, one
+        :meth:`place` each, claiming a slot per pick. Returns the node
+        id per service index; raises nothing — the spec already
+        validated capacity."""
+        picks: List[int] = []
+        for _ in range(count):
+            node_id = self.place()
+            if node_id is None:
+                break
+            node = self.nodes[node_id]
+            node.reserved += 1      # claimed; storm converts to service
+            self.reindex(node)
+            picks.append(node_id)
+        return picks

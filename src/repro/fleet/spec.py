@@ -1,0 +1,148 @@
+"""The fleet storm specification: one string describes one whole run.
+
+Like :class:`~repro.chaos.faults.FaultPlan`, a :class:`FleetSpec` is a
+compact, fully deterministic description of a run that round-trips
+exactly through its canonical ``to_spec`` string — the string embeds in
+flight-recorder journal headers (the ``fleet`` field), which is what
+makes a thousand-node migration storm replayable bit-for-bit from its
+own journal. Every simulation decision is a pure function of
+``(FleetSpec, FaultPlan)``; wall-clock metrics (events/sec) are the
+only outputs allowed to differ between two runs of the same spec.
+
+Floats are serialized with ``repr`` — exact round-trip in Python 3 —
+and fields appear in one canonical order, so equal specs produce
+byte-equal strings.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import FleetError
+
+#: (name, type, default) in canonical spec order
+FIELDS: Tuple = (
+    ("seed", int, 0),
+    ("nodes", int, 64),
+    ("shards", int, 4),
+    ("duration", float, 60.0),
+    ("barrier_dt", float, 0.25),
+    ("tick_dt", float, 0.5),
+    ("services", int, 0),            # 0 = one service per node
+    ("spike_start", float, 10.0),
+    ("spike_len", float, 20.0),
+    ("spike_factor", float, 3.0),
+    ("update_start", float, 15.0),
+    ("update_fraction", float, 0.3),
+    ("max_in_flight", int, 16),
+    ("retry_budget", int, 3),
+    ("warm_bp", int, 9000),          # dedup fraction in basis points
+    ("respawn", float, 10.0),
+    ("rebalance_backlog", int, 400),
+)
+
+
+class FleetSpec:
+    """Seeded fleet-storm schedule: topology, traffic, and storm shape.
+
+    * ``nodes`` / ``shards`` — fleet size and event-core sharding. The
+      shard count must never change simulation *results*, only how the
+      event core partitions work (the determinism tests pin this).
+    * ``duration`` / ``barrier_dt`` / ``tick_dt`` — simulated seconds,
+      cross-shard barrier cadence, and traffic tick cadence.
+    * ``services`` — serving instances placed across the fleet
+      (0 means one per node).
+    * ``spike_*`` — the open-loop load spike: every third service's
+      arrival rate multiplies by ``spike_factor`` during the window.
+    * ``update_start`` / ``update_fraction`` — the rolling live-update
+      wave: that fraction of services is submitted for concurrent
+      migration, bounded by ``max_in_flight``.
+    * ``warm_bp`` — basis points of a template's image the shared chunk
+      store dedups away once the destination has seen the template
+      (calibrated by :mod:`repro.fleet.calibrate` from real
+      shared-store :class:`~repro.core.migration.MigrationPipeline`
+      runs).
+    * ``respawn`` — seconds a chaos-killed node stays dark.
+    * ``rebalance_backlog`` — per-service backlog (requests) beyond
+      which the scheduler migrates it off an overloaded node.
+    """
+
+    def __init__(self, **kwargs):
+        known = {name for name, _, _ in FIELDS}
+        for key in kwargs:
+            if key not in known:
+                raise FleetError(f"unknown fleet spec field {key!r}; "
+                                 f"known: {', '.join(sorted(known))}")
+        for name, kind, default in FIELDS:
+            value = kwargs.get(name, default)
+            try:
+                setattr(self, name, kind(value))
+            except (TypeError, ValueError):
+                raise FleetError(
+                    f"bad fleet spec field {name}={value!r}") from None
+        self.validate()
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def n_services(self) -> int:
+        return self.services if self.services > 0 else self.nodes
+
+    @property
+    def warm_fraction(self) -> float:
+        return self.warm_bp / 10_000.0
+
+    def validate(self) -> None:
+        if self.nodes < 1:
+            raise FleetError(f"fleet needs at least 1 node, got "
+                             f"{self.nodes}")
+        if not 1 <= self.shards <= self.nodes:
+            raise FleetError(f"shards must be in [1, nodes={self.nodes}], "
+                             f"got {self.shards}")
+        if self.duration <= 0 or self.barrier_dt <= 0 or self.tick_dt <= 0:
+            raise FleetError("duration, barrier_dt and tick_dt must be "
+                             "positive")
+        if self.max_in_flight < 1:
+            raise FleetError("max_in_flight must be >= 1")
+        if not 0 <= self.warm_bp <= 10_000:
+            raise FleetError(f"warm_bp must be in [0, 10000], got "
+                             f"{self.warm_bp}")
+        if not 0.0 <= self.update_fraction <= 1.0:
+            raise FleetError("update_fraction must be in [0, 1]")
+
+    # -- spec round-trip (journal header embedding) ------------------------
+
+    def to_spec(self) -> str:
+        parts = []
+        for name, kind, _default in FIELDS:
+            value = getattr(self, name)
+            parts.append(f"{name}={value!r}" if kind is float
+                         else f"{name}={value}")
+        return ",".join(parts)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FleetSpec":
+        kinds = {name: kind for name, kind, _ in FIELDS}
+        kwargs = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key not in kinds:
+                raise FleetError(f"unknown fleet spec field {key!r} in "
+                                 f"{spec!r}")
+            try:
+                kwargs[key] = kinds[key](value)
+            except ValueError:
+                raise FleetError(f"bad fleet spec field {part!r} in "
+                                 f"{spec!r}") from None
+        return cls(**kwargs)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, FleetSpec)
+                and self.to_spec() == other.to_spec())
+
+    def __repr__(self) -> str:
+        return f"<FleetSpec {self.to_spec()}>"

@@ -166,10 +166,37 @@ def _execute_rerandomize(header: Dict, recorder: FlightRecorder
     return rerand.process.exit_code
 
 
+def _execute_fleet(header: Dict, recorder: FlightRecorder
+                   ) -> Optional[int]:
+    """Run (or re-run) a fleet migration storm from its header.
+
+    The ``fleet`` spec string and the optional ``chaos`` plan are the
+    entire input: the storm is a pure function of the two, every chaos
+    draw goes through a journal-observed RNG service, and the barrier
+    schedule plus periodic fleet-state digests land in the journal —
+    so a recorded thousand-node storm replays bit-identically, exactly
+    like the single-process scenarios above.
+    """
+    # Imported lazily: the fleet package pulls in the apps registry,
+    # which plain run/migrate replays never need.
+    from ..fleet import FleetSpec, FleetStorm
+    spec = FleetSpec.from_spec(header["fleet"])
+    plan = None
+    chaos = header.get("chaos") or ""
+    if chaos:
+        from ..chaos import FaultPlan
+        plan = FaultPlan.from_spec(chaos)
+    storm = FleetStorm(spec, plan, recorder=recorder,
+                       digest_every=header.get("digest_every", 8))
+    result = storm.run()
+    return 0 if result.invariant_ok else 1
+
+
 _SCENARIOS = {
     "run": _execute_run,
     "migrate": _execute_migrate,
     "rerandomize": _execute_rerandomize,
+    "fleet": _execute_fleet,
 }
 
 
@@ -269,6 +296,35 @@ def record_rerandomize(source: str, name: str, arch: str = "x86_64",
                           record_syscalls, fault, interval=interval,
                           seed=seed)
     return _record(header, fault)
+
+
+def fleet_header(fleet_spec: str, chaos: str = "",
+                 digest_every: int = 8) -> Dict:
+    """The self-contained journal header for one fleet storm.
+
+    ``fleet_spec`` is a :meth:`~repro.fleet.FleetSpec.to_spec` string;
+    ``chaos`` an optional :meth:`~repro.chaos.FaultPlan.to_spec`
+    string. Both embed in the header, which therefore fully describes
+    the storm — :class:`Replayer` re-runs it and must reproduce the
+    same barrier schedule, RNG stream, and fleet-state digests
+    byte-for-byte.
+    """
+    header: Dict = {
+        "scenario": "fleet", "program": "fleet-storm", "source": "",
+        "src_arch": "x86_64", "fleet": fleet_spec,
+        "digest_every": digest_every, "record_syscalls": 0,
+    }
+    if chaos:
+        header["chaos"] = chaos
+    return header
+
+
+def record_fleet(fleet_spec: str, chaos: str = "",
+                 digest_every: int = 8) -> ReplayResult:
+    """Record one fleet migration storm (see :func:`fleet_header`)."""
+    recorder = FlightRecorder(digest_every=0, record_syscalls=False)
+    return execute(fleet_header(fleet_spec, chaos, digest_every),
+                   recorder)
 
 
 class Replayer:

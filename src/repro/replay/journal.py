@@ -62,6 +62,10 @@ EV_VERIFY = 16      #: pre-restore image verification: label =
                     #: "verify:<verdict>@<stage>", a = findings,
                     #: b = pages repaired (content-derived — verified
                     #: and repaired migrations replay bit-identically)
+EV_BARRIER = 17     #: fleet shard barrier: a = barrier time (µs),
+                    #: b = events fired in the window, instr = barrier
+                    #: index — the journaled barrier schedule is the
+                    #: replay contract for sharded fleet runs
 
 KIND_NAMES = {
     EV_SCHED: "sched", EV_DIGEST: "digest", EV_SYSCALL: "syscall",
@@ -69,7 +73,7 @@ KIND_NAMES = {
     EV_CHECKPOINT: "checkpoint", EV_REWRITE: "rewrite",
     EV_RESTORE: "restore", EV_MIGRATE: "migrate", EV_CLUSTER: "cluster",
     EV_FAULT: "fault", EV_END: "end", EV_STORE: "store",
-    EV_VERIFY: "verify",
+    EV_VERIFY: "verify", EV_BARRIER: "barrier",
 }
 
 HEADER_SCHEMA = wire.Schema("JournalHeader", [
@@ -94,6 +98,7 @@ HEADER_SCHEMA = wire.Schema("JournalHeader", [
     wire.field(19, "store", "int"),
     wire.field(20, "chaos", "str"),
     wire.field(21, "retries", "int"),
+    wire.field(22, "fleet", "str"),
 ])
 
 EVENT_SCHEMA = wire.Schema("JournalEvent", [

@@ -10,6 +10,7 @@ import pytest
 
 from repro.tools import chaos as chaos_cli
 from repro.tools import crit as crit_cli
+from repro.tools import fleet as fleet_cli
 from repro.tools import dapperc, migrate, run as run_cli
 from repro.tools import replay as replay_cli
 from repro.tools import store as store_cli
@@ -272,6 +273,8 @@ class TestUnifiedErrorHandling:
          ["quarantine", "rm", "/nonexistent-q", "feedbeef"]),
         (chaos_cli, "dapper-chaos",
          ["--app", "no-such-app", "--trials", "1", "--crash", "0.1"]),
+        (fleet_cli, "repro-fleet", ["--nodes", "0"]),
+        (fleet_cli, "repro-fleet", ["--nodes", "4", "--shards", "9"]),
     ]
 
     @pytest.mark.parametrize("tool,prog,argv", CASES,

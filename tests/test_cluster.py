@@ -60,6 +60,35 @@ class TestEventQueue:
         queue.run_until(5.0)
         assert seen == ["first", "second"]
 
+    def test_max_events_stop_does_not_strand_the_clock(self):
+        """When ``max_events`` stops the loop early, ``now`` must stay
+        at the last fired event — advancing it to the horizon would
+        make the still-queued events un-runnable (their neighbors
+        would raise "cannot schedule before now")."""
+        queue = EventQueue()
+        seen = []
+        for i in range(4):
+            queue.schedule(1.0 + i, lambda i=i: seen.append(i))
+        assert queue.run_until(10.0, max_events=2) == 2
+        assert seen == [0, 1]
+        assert queue.now == 2.0                  # not 10.0
+        queue.schedule(2.5, lambda: seen.append("mid"))  # must not raise
+        assert queue.run_until(10.0) == 3
+        assert seen == [0, 1, "mid", 2, 3]
+        assert queue.now == 10.0
+
+    def test_shard_id_sits_in_the_merge_key(self):
+        """Two shard queues firing at the same timestamp merge in
+        (when, shard, seq) order — stable regardless of iteration
+        order, which is what the sharded fleet core's canonical trace
+        merge relies on."""
+        low, high = EventQueue(shard=0), EventQueue(shard=3)
+        high.schedule(1.0, lambda: None)
+        low.schedule(1.0, lambda: None)
+        assert low.peek_key() < high.peek_key()
+        keys = sorted([high.peek_key(), low.peek_key()])
+        assert [shard for _w, shard, _s in keys] == [0, 3]
+
 
 class TestNodeAndEnergy:
     def test_power_calibration_xeon(self):
