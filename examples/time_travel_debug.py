@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Time-travel debugging smoke: a scripted DAP session over a recording.
+
+The flow a human would follow when a run misbehaves, end to end and
+fully scripted (this is also what the CI ``debug-smoke`` job runs):
+
+1. record a faulty run — a helper silently corrupts a global
+   ``sentinel`` mid-run — into a journal;
+2. spawn ``repro-debug`` on that journal as a real subprocess and
+   connect over TCP with the bundled DAP client;
+3. set a source-line breakpoint, hit it, read a local variable, and
+   assert the value matches the live run's arithmetic exactly;
+4. step backward twice across a snapshot boundary and assert the
+   instruction counter walks back exactly;
+5. set a watchpoint on ``sentinel`` and reverse-continue: digest-style
+   bisection over the snapshot index lands on the one corrupting
+   write, with the pre-corruption value visible one step earlier.
+
+Run:  python examples/time_travel_debug.py
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.debug import DapClient               # noqa: E402
+from repro.replay import record_run             # noqa: E402
+
+SOURCE = """
+global int sentinel;
+global int acc;
+func work(int i) -> int {
+    acc = acc + i;
+    if (i == 150) { sentinel = 666; }
+    return acc;
+}
+func main() -> int {
+    int i;
+    sentinel = 12345;
+    i = 0;
+    while (i < 300) { work(i); i = i + 1; }
+    print(sentinel);
+    print(acc);
+    return 0;
+}
+"""
+
+WORK_LINE = 4  # a line inside work(): binds to work()'s entry
+
+
+def main() -> int:
+    # 1. record the faulty run
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_path = os.path.join(tmp, "faulty.jrn")
+        recorded = record_run(SOURCE, "faulty", digest_every=8)
+        recorded.journal.save(journal_path)
+        print(f"recorded faulty run: exit={recorded.exit_code} "
+              f"instr={recorded.recorder.instructions}")
+
+        # 2. serve it with a real repro-debug subprocess
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.tools.debug", journal_path,
+             "--snapshot-every", "16"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True,
+            env={**os.environ,
+                 "PYTHONPATH": os.pathsep.join(
+                     [os.path.join(os.path.dirname(__file__), "..",
+                                   "src"),
+                      os.environ.get("PYTHONPATH", "")])})
+        try:
+            line = server.stdout.readline()
+            match = re.search(r"listening on (\S+):(\d+)", line)
+            assert match, f"no listen banner, got {line!r}"
+            host, port = match.group(1), int(match.group(2))
+            print(f"repro-debug up at {host}:{port}")
+
+            with DapClient(host, port) as dap:
+                dap.initialize()
+                dap.launch()
+                bps = dap.set_breakpoints([WORK_LINE])
+                assert bps[0]["verified"], bps
+                dap.configuration_done()
+
+                # 3. hit work() twice; i must match the live run (the
+                # k-th call of work() runs with i == k)
+                for expected in (0, 1):
+                    stop = dap.continue_()
+                    assert stop["body"]["reason"] == "breakpoint"
+                    tid = stop["body"]["threadId"]
+                    frame = dap.stack_trace(tid)[0]
+                    assert frame["name"] == "work"
+                    value = dap.locals_of(frame["id"])["i"]
+                    assert value == str(expected), \
+                        f"i == {value}, live run had {expected}"
+                print("source-line breakpoint: i matches the live run")
+
+                # 4. step backward twice across a snapshot boundary
+                before = dap.time_travel()["instruction"]
+                dap.step_back()
+                dap.step_back()
+                after = dap.time_travel()["instruction"]
+                assert after == before - 2, (before, after)
+                print(f"reverse step: {before} -> {after} "
+                      f"(exactly -2 instructions)")
+
+                # 5. watchpoint + reverse-continue to the corrupting
+                # write, from the very end of the recording
+                dap.set_breakpoints([])
+                tid = dap.threads()[0]["id"]
+                frame = dap.stack_trace(tid)[0]
+                info = dap.data_breakpoint_info("sentinel",
+                                                frame["id"])
+                assert info["dataId"], info
+                total = dap.time_travel()["totalInstructions"]
+                dap.request("timeTravel", {"instruction": total})
+                assert dap.set_data_breakpoints(
+                    [info["dataId"]])[0]["verified"]
+                stop = dap.reverse_continue()
+                assert stop["body"]["reason"] == "data breakpoint", stop
+                assert "666" in stop["body"]["text"] or \
+                    "0x29a" in stop["body"]["text"], stop
+                # one step earlier the sentinel is still intact
+                dap.set_data_breakpoints([])
+                dap.step_back()
+                tid = dap.threads()[0]["id"]
+                frame = dap.stack_trace(tid)[0]
+                sentinel = dap.evaluate("sentinel", frame["id"])
+                assert sentinel == "12345", sentinel
+                print("watchpoint bisection: corrupting write found; "
+                      "sentinel == 12345 one step earlier")
+
+                dap.disconnect()
+        finally:
+            server.terminate()
+            server.wait(timeout=30)
+    print("time-travel debug smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Time-travel debugger: a DAP server over the flight recorder.
+
+A recorded journal is a complete, deterministic description of one
+run — so it is also a debuggable artifact. ``repro-debug`` serves the
+Debug Adapter Protocol over a recording, giving any DAP client (or
+the bundled scripted one) breakpoints by source line, function,
+instruction address and scheduling quantum; forward *and reverse*
+step/continue; watchpoints located by value bisection over a snapshot
+index; and stack/variable/register/memory inspection that is
+byte-for-byte the original run's state — including across a cross-ISA
+live migration, where frames re-decode against the destination ISA.
+
+* :mod:`repro.debug.session` — the core: snapshot-backed seek over a
+  re-derived timeline, stepping, breakpoints, reverse execution,
+  state decoding.
+* :mod:`repro.debug.snapshots` — store-backed world snapshots and the
+  position index that makes reverse seeks O(snapshot gap).
+* :mod:`repro.debug.source` — source-line → function-entry mapping
+  over the journal's embedded DapperC source.
+* :mod:`repro.debug.protocol` — DAP Content-Length framing.
+* :mod:`repro.debug.adapter` — DAP request dispatch.
+* :mod:`repro.debug.server` — asyncio TCP and stdio transports.
+* :mod:`repro.debug.client` — a synchronous scripted client.
+"""
+
+from .adapter import DebugAdapter
+from .client import DapClient
+from .protocol import StreamDecoder, encode_message
+from .session import DebugSession, StopInfo
+from .snapshots import SnapshotIndex, WorldSnapshot
+from .source import SourceMap
+
+__all__ = [
+    "DebugSession", "StopInfo", "DebugAdapter", "DapClient",
+    "StreamDecoder", "encode_message", "SnapshotIndex",
+    "WorldSnapshot", "SourceMap",
+]

@@ -1,0 +1,202 @@
+"""A small synchronous DAP client, for tests and the CI smoke job.
+
+:class:`DapClient` speaks the request/reply discipline the server
+guarantees: send one request, then read messages until its response
+arrives, buffering any events that precede it (the server writes each
+request's response before its events *except* ``initialize``, whose
+``initialized`` event follows the response — either order is handled).
+The convenience methods mirror the adapter's surface
+(:meth:`set_breakpoints`, :meth:`continue_`, :meth:`step_back`,
+:meth:`variables`, ...) and raise :class:`~repro.errors.DebugError`
+on a failed response so scripted sessions fail loudly.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, List, Optional
+
+from ..errors import DebugError
+from .protocol import StreamDecoder, encode_message
+
+
+class DapClient:
+    """One synchronous DAP conversation over a TCP socket."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0):
+        self.sock = socket.create_connection((host, port),
+                                             timeout=timeout)
+        self.decoder = StreamDecoder()
+        self.events: List[Dict] = []
+        self._inbox: List[Dict] = []
+        self._seq = 0
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "DapClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- plumbing ------------------------------------------------------
+
+    def request(self, command: str,
+                arguments: Optional[Dict] = None) -> Dict:
+        """Send one request; block until its response. Raises
+        :class:`DebugError` when the response reports failure."""
+        self._seq += 1
+        message: Dict = {"seq": self._seq, "type": "request",
+                         "command": command}
+        if arguments is not None:
+            message["arguments"] = arguments
+        self.sock.sendall(encode_message(message))
+        response = self._read_until_response(self._seq)
+        if not response.get("success", False):
+            raise DebugError(f"{command} failed: "
+                             f"{response.get('message', '?')}")
+        return response.get("body", {})
+
+    def _read_until_response(self, request_seq: int) -> Dict:
+        while True:
+            for i, message in enumerate(self._inbox):
+                if message.get("type") == "response" and \
+                        message.get("request_seq") == request_seq:
+                    return self._inbox.pop(i)
+            data = self.sock.recv(65536)
+            if not data:
+                raise DebugError("DAP server closed the connection "
+                                 "mid-request")
+            for message in self.decoder.feed(data):
+                if message.get("type") == "event":
+                    self.events.append(message)
+                else:
+                    self._inbox.append(message)
+
+    def wait_event(self, event: str) -> Dict:
+        """Pop the oldest buffered event of the given kind (reading
+        from the socket if none is buffered yet)."""
+        while True:
+            for i, message in enumerate(self.events):
+                if message.get("event") == event:
+                    return self.events.pop(i)
+            data = self.sock.recv(65536)
+            if not data:
+                raise DebugError(f"DAP server closed before "
+                                 f"{event!r} event")
+            for message in self.decoder.feed(data):
+                if message.get("type") == "event":
+                    self.events.append(message)
+                else:
+                    self._inbox.append(message)
+
+    # -- convenience ----------------------------------------------------
+
+    def initialize(self) -> Dict:
+        body = self.request("initialize", {"adapterID": "repro-debug"})
+        self.wait_event("initialized")
+        return body
+
+    def launch(self) -> None:
+        self.request("launch", {})
+
+    def configuration_done(self) -> Dict:
+        self.request("configurationDone")
+        return self.wait_event("stopped")
+
+    def set_breakpoints(self, lines: List[int]) -> List[Dict]:
+        body = self.request("setBreakpoints", {
+            "source": {"sourceReference": 1},
+            "breakpoints": [{"line": line} for line in lines]})
+        return body.get("breakpoints", [])
+
+    def set_function_breakpoints(self,
+                                 names: List[str]) -> List[Dict]:
+        body = self.request("setFunctionBreakpoints", {
+            "breakpoints": [{"name": name} for name in names]})
+        return body.get("breakpoints", [])
+
+    def set_data_breakpoints(self,
+                             data_ids: List[str]) -> List[Dict]:
+        body = self.request("setDataBreakpoints", {
+            "dataBreakpoints": [{"dataId": d} for d in data_ids]})
+        return body.get("breakpoints", [])
+
+    def set_quantum_breakpoints(self,
+                                quanta: List[int]) -> List[Dict]:
+        body = self.request("setQuantumBreakpoints",
+                            {"quanta": quanta})
+        return body.get("breakpoints", [])
+
+    def data_breakpoint_info(self, name: str,
+                             frame_id: Optional[int] = None) -> Dict:
+        args: Dict = {"name": name}
+        if frame_id is not None:
+            args["frameId"] = frame_id
+        return self.request("dataBreakpointInfo", args)
+
+    def continue_(self) -> Dict:
+        self.request("continue", {"threadId": 0})
+        return self.wait_event("stopped")
+
+    def reverse_continue(self) -> Dict:
+        self.request("reverseContinue", {"threadId": 0})
+        return self.wait_event("stopped")
+
+    def step(self) -> Dict:
+        self.request("next", {"threadId": 0})
+        return self.wait_event("stopped")
+
+    def step_back(self) -> Dict:
+        self.request("stepBack", {"threadId": 0})
+        return self.wait_event("stopped")
+
+    def threads(self) -> List[Dict]:
+        return self.request("threads").get("threads", [])
+
+    def stack_trace(self, thread_id: int) -> List[Dict]:
+        return self.request("stackTrace",
+                            {"threadId": thread_id}
+                            ).get("stackFrames", [])
+
+    def scopes(self, frame_id: int) -> List[Dict]:
+        return self.request("scopes",
+                            {"frameId": frame_id}).get("scopes", [])
+
+    def variables(self, reference: int) -> List[Dict]:
+        return self.request("variables",
+                            {"variablesReference": reference}
+                            ).get("variables", [])
+
+    def locals_of(self, frame_id: int) -> Dict[str, str]:
+        """Name -> value of the Locals scope of one frame."""
+        for scope in self.scopes(frame_id):
+            if scope["name"] == "Locals":
+                return {v["name"]: v["value"] for v in
+                        self.variables(scope["variablesReference"])}
+        return {}
+
+    def evaluate(self, expression: str,
+                 frame_id: Optional[int] = None) -> str:
+        args: Dict = {"expression": expression}
+        if frame_id is not None:
+            args["frameId"] = frame_id
+        return self.request("evaluate", args).get("result", "")
+
+    def read_memory(self, addr: int, count: int) -> Dict:
+        return self.request("readMemory",
+                            {"memoryReference": hex(addr),
+                             "count": count})
+
+    def time_travel(self, instruction: Optional[int] = None) -> Dict:
+        args: Dict = {}
+        if instruction is not None:
+            args["instruction"] = instruction
+        return self.request("timeTravel", args)
+
+    def disconnect(self) -> None:
+        self.request("disconnect")

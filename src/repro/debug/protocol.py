@@ -1,0 +1,81 @@
+"""DAP wire framing: Content-Length headers around JSON bodies.
+
+The Debug Adapter Protocol frames every message the LSP way::
+
+    Content-Length: 119\\r\\n
+    \\r\\n
+    {"seq": 1, "type": "request", "command": "initialize", ...}
+
+This module is the transport-independent half: :func:`encode_message`
+turns one message dict into framed bytes, and :class:`StreamDecoder`
+incrementally consumes an arbitrary byte stream (TCP segments, pipe
+reads) and yields complete message dicts, tolerating messages split
+across — or coalesced within — reads. Malformed framing raises
+:class:`~repro.errors.DebugError` rather than desynchronizing the
+stream.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..errors import DebugError
+
+_SEPARATOR = b"\r\n\r\n"
+#: backstop against a corrupt or hostile length header
+MAX_MESSAGE = 64 * 1024 * 1024
+
+
+def encode_message(message: Dict) -> bytes:
+    body = json.dumps(message, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+    return b"Content-Length: %d\r\n\r\n%b" % (len(body), body)
+
+
+class StreamDecoder:
+    """Incremental DAP frame decoder over a byte stream."""
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict]:
+        """Consume ``data``; return every message completed by it."""
+        self._buffer.extend(data)
+        messages: List[Dict] = []
+        while True:
+            end = self._buffer.find(_SEPARATOR)
+            if end < 0:
+                if len(self._buffer) > 4096:
+                    raise DebugError("DAP stream desynchronized: no "
+                                     "header separator in 4 KiB")
+                break
+            length = self._parse_length(bytes(self._buffer[:end]))
+            start = end + len(_SEPARATOR)
+            if len(self._buffer) < start + length:
+                break
+            body = bytes(self._buffer[start:start + length])
+            del self._buffer[:start + length]
+            try:
+                message = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise DebugError(f"bad DAP message body: {exc}")
+            if not isinstance(message, dict):
+                raise DebugError("DAP message body is not an object")
+            messages.append(message)
+        return messages
+
+    @staticmethod
+    def _parse_length(header: bytes) -> int:
+        for line in header.split(b"\r\n"):
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    raise DebugError(f"bad Content-Length {value!r}")
+                if not 0 <= length <= MAX_MESSAGE:
+                    raise DebugError(f"unreasonable Content-Length "
+                                     f"{length}")
+                return length
+        raise DebugError("DAP header carries no Content-Length")

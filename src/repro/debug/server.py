@@ -1,0 +1,90 @@
+"""Serving a :class:`~repro.debug.adapter.DebugAdapter` over asyncio.
+
+Two transports, one loop body: a TCP listener (``repro-debug
+--port``, the default — the chosen port is printed so scripted
+clients can connect to port 0) and raw stdio pipes (``--stdio``, the
+transport DAP-aware editors spawn adapters with). Requests are
+processed strictly in order — the timeline is single and every
+navigation request moves it, so concurrency would only interleave
+seeks — and each request's response-plus-events batch is written
+before the next request is read.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from typing import Optional
+
+from .adapter import DebugAdapter
+from .protocol import StreamDecoder, encode_message
+from .session import DebugSession
+
+
+async def _serve_stream(adapter: DebugAdapter,
+                        reader: asyncio.StreamReader,
+                        write) -> None:
+    decoder = StreamDecoder()
+    while not adapter.terminated:
+        data = await reader.read(65536)
+        if not data:
+            break
+        for request in decoder.feed(data):
+            for message in adapter.handle(request):
+                write(encode_message(message))
+            if adapter.terminated:
+                break
+
+
+async def serve_tcp(session: DebugSession, host: str = "127.0.0.1",
+                    port: int = 0,
+                    ready: Optional["asyncio.Event"] = None,
+                    announce=None) -> None:
+    """Listen for one DAP client at a time; returns when a client
+    disconnects the session (or the task is cancelled)."""
+    done = asyncio.Event()
+
+    async def on_client(reader: asyncio.StreamReader,
+                        writer: asyncio.StreamWriter) -> None:
+        adapter = DebugAdapter(session)
+        try:
+            await _serve_stream(adapter, reader, writer.write)
+            await writer.drain()
+        finally:
+            writer.close()
+        if adapter.terminated:
+            done.set()
+
+    server = await asyncio.start_server(on_client, host, port)
+    bound = server.sockets[0].getsockname()
+    if announce is not None:
+        announce(bound[0], bound[1])
+    if ready is not None:
+        ready.set()
+    async with server:
+        await done.wait()
+
+
+async def serve_stdio(session: DebugSession) -> None:
+    """Speak DAP over this process's stdin/stdout (binary mode)."""
+    loop = asyncio.get_running_loop()
+    reader = asyncio.StreamReader()
+    await loop.connect_read_pipe(
+        lambda: asyncio.StreamReaderProtocol(reader), sys.stdin.buffer)
+    stdout = sys.stdout.buffer
+
+    def write(data: bytes) -> None:
+        stdout.write(data)
+        stdout.flush()
+
+    adapter = DebugAdapter(session)
+    await _serve_stream(adapter, reader, write)
+
+
+def run_tcp(session: DebugSession, host: str = "127.0.0.1",
+            port: int = 0, announce=None) -> None:
+    asyncio.run(serve_tcp(session, host, port, announce=announce))
+
+
+def run_stdio(session: DebugSession) -> None:
+    asyncio.run(serve_stdio(session))

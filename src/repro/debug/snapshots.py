@@ -1,0 +1,193 @@
+"""Store-backed world snapshots, indexed by timeline position.
+
+The time-travel debugger needs to restore the *entire* simulated world
+— every process on every machine, plus the kernel-visible state CRIU
+images do not carry — at arbitrary points of a recorded run. A
+:class:`WorldSnapshot` captures that by reusing the checkpoint
+machinery end to end: each live process is dumped with
+:func:`~repro.criu.dump.dump_process` and ingested into a shared
+:class:`~repro.store.CheckpointStore`, so the snapshot proper is just a
+list of checkpoint ids plus a small "extras" sidecar. Because the
+store is content-addressed, consecutive snapshots of a mostly-idle
+world dedup to almost nothing, and a snapshot of *identical* state is
+literally free (same manifest, same id).
+
+The extras sidecar exists because :func:`~repro.criu.restore.
+restore_process` deliberately normalizes state a migration wants reset
+but a debugger must preserve exactly: thread statuses (restore forces
+RUNNING; we put TRAPPED/STOPPED back), ``trap_pc``, per-thread
+instruction counters, dead threads (never dumped), the lock table,
+accumulated stdout, SIGSTOP state, instruction/cycle totals, tid/pid
+allocators. Every one of those fields folds into the flight recorder's
+machine digests, so a restore that dropped any of them would be
+detectably wrong.
+
+A :class:`SnapshotIndex` orders snapshots by timeline position
+``(events_applied, micro)`` and answers "latest snapshot at or before
+position p" — the seek primitive that makes reverse execution
+O(snapshot gap) instead of O(run).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from ..criu.dump import dump_process
+from ..criu.restore import restore_process
+from ..errors import DebugError
+from ..store import CheckpointStore
+from ..vm.cpu import ThreadContext, ThreadStatus
+from ..vm.kernel import Machine
+
+#: timeline position: (journal events applied, instructions into the
+#: next scheduling slice). Lexicographic order is execution order.
+Position = Tuple[int, int]
+
+
+def _thread_extras(thread: ThreadContext) -> Dict:
+    return {
+        "status": thread.status,
+        "instr_count": thread.instr_count,
+        "trap_pc": thread.trap_pc,
+    }
+
+
+def _dead_thread_state(thread: ThreadContext) -> Dict:
+    return {
+        "tid": thread.tid,
+        "regs": list(thread.regs),
+        "pc": thread.pc,
+        "flags": thread.flags,
+        "tp": thread.tp,
+        "instr_count": thread.instr_count,
+        "trap_pc": thread.trap_pc,
+    }
+
+
+class _ProcessSnapshot:
+    """One process: a checkpoint id plus the state images drop."""
+
+    __slots__ = ("pid", "checkpoint_id", "extras")
+
+    def __init__(self, pid: int, checkpoint_id: str, extras: Dict):
+        self.pid = pid
+        self.checkpoint_id = checkpoint_id
+        self.extras = extras
+
+
+class WorldSnapshot:
+    """Every machine's full state at one timeline position."""
+
+    __slots__ = ("position", "machines")
+
+    def __init__(self, position: Position):
+        self.position = position
+        #: per machine (in world order): machine extras + processes
+        self.machines: List[Dict] = []
+
+    @classmethod
+    def capture(cls, position: Position, machines: List[Machine],
+                store: CheckpointStore) -> "WorldSnapshot":
+        """Dump the world into ``store``.
+
+        Raises :class:`~repro.errors.CheckpointError` when any process
+        is in an undumpable state (exited, no live threads) — callers
+        skip the snapshot and rely on an earlier one.
+        """
+        snap = cls(position)
+        for machine in machines:
+            entry: Dict = {"next_pid": machine.next_pid, "processes": []}
+            for pid in sorted(machine.processes):
+                process = machine.processes[pid]
+                images = dump_process(process, require_stopped=False)
+                put = store.put(images)
+                extras = {
+                    "locks": dict(process.locks),
+                    "output": list(process.output),
+                    "instr_total": process.instr_total,
+                    "cycle_total": process.cycle_total,
+                    "stopped": process.stopped,
+                    "next_tid": process.next_tid,
+                    "heap_end": process.heap_end,
+                    "threads": {t.tid: _thread_extras(t)
+                                for t in process.threads.values()
+                                if t.status != ThreadStatus.DEAD},
+                    "dead_threads": [
+                        _dead_thread_state(t)
+                        for t in process.threads.values()
+                        if t.status == ThreadStatus.DEAD],
+                }
+                entry["processes"].append(
+                    _ProcessSnapshot(pid, put.checkpoint_id, extras))
+            snap.machines.append(entry)
+        return snap
+
+    def restore(self, machines: List[Machine],
+                store: CheckpointStore) -> None:
+        """Materialize into ``machines`` (fresh, process-free, with the
+        program binaries already installed in their tmpfs)."""
+        if len(machines) != len(self.machines):
+            raise DebugError(
+                f"snapshot spans {len(self.machines)} machine(s), world "
+                f"has {len(machines)}")
+        for machine, entry in zip(machines, self.machines):
+            for psnap in entry["processes"]:
+                images = store.materialize(psnap.checkpoint_id)
+                process = restore_process(machine, images, pid=psnap.pid,
+                                          verify=False)
+                extras = psnap.extras
+                process.locks = dict(extras["locks"])
+                process.output = list(extras["output"])
+                process.instr_total = extras["instr_total"]
+                process.cycle_total = extras["cycle_total"]
+                process.stopped = extras["stopped"]
+                process.heap_end = extras["heap_end"]
+                for tid, textras in extras["threads"].items():
+                    thread = process.threads[tid]
+                    thread.status = textras["status"]
+                    thread.instr_count = textras["instr_count"]
+                    thread.trap_pc = textras["trap_pc"]
+                for dead in extras["dead_threads"]:
+                    thread = ThreadContext(dead["tid"], machine.isa)
+                    thread.regs[:] = dead["regs"]
+                    thread.pc = dead["pc"]
+                    thread.flags = dead["flags"]
+                    thread.tp = dead["tp"]
+                    thread.instr_count = dead["instr_count"]
+                    thread.trap_pc = dead["trap_pc"]
+                    thread.status = ThreadStatus.DEAD
+                    process.threads[dead["tid"]] = thread
+                process.next_tid = extras["next_tid"]
+            # after all restores: the allocator must not depend on how
+            # many processes the snapshot happened to hold
+            machine.next_pid = entry["next_pid"]
+
+
+class SnapshotIndex:
+    """Snapshots ordered by position, with bisecting lookups."""
+
+    def __init__(self):
+        self._positions: List[Position] = []
+        self._snapshots: List[WorldSnapshot] = []
+
+    def add(self, snapshot: WorldSnapshot) -> None:
+        pos = snapshot.position
+        i = bisect.bisect_left(self._positions, pos)
+        if i < len(self._positions) and self._positions[i] == pos:
+            # re-snapshot at the same position (several mutations at
+            # one boundary): the later state wins
+            self._snapshots[i] = snapshot
+            return
+        self._positions.insert(i, pos)
+        self._snapshots.insert(i, snapshot)
+
+    def at_or_before(self, position: Position) -> Optional[WorldSnapshot]:
+        i = bisect.bisect_right(self._positions, position)
+        return self._snapshots[i - 1] if i else None
+
+    def positions(self) -> List[Position]:
+        return list(self._positions)
+
+    def __len__(self) -> int:
+        return len(self._snapshots)

@@ -1,0 +1,55 @@
+"""Source-line mapping over the journal's embedded DapperC text.
+
+Journals are self-contained: the header embeds the program's DapperC
+source, so the debugger can serve source content and accept
+line-number breakpoints without any file on disk. The toolchain emits
+no per-statement line table, but it does emit one *entry equivalence
+point* per function (``.stackmaps``), and DapperC's surface syntax
+makes function extents trivially recoverable: every definition opens
+with ``func <name>(...)`` at column 0 and runs until the next one.
+
+A line breakpoint therefore resolves to the *enclosing function's
+entry eqpoint* — the first stable, named, live-value-bearing address
+executed on entry — which is also exactly where the Dapper runtime
+itself parks threads. The adapter reports the actually-bound line
+back to the client, DAP-style.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+_FUNC_RE = re.compile(r"^\s*func\s+([A-Za-z_]\w*)\s*\(")
+
+
+class SourceMap:
+    """Function extents of one DapperC source text (1-based lines)."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.lines = source.splitlines()
+        #: [(name, first_line, last_line)] in order of definition
+        self.functions: List[Tuple[str, int, int]] = []
+        starts: List[Tuple[str, int]] = []
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _FUNC_RE.match(line)
+            if match:
+                starts.append((match.group(1), lineno))
+        for i, (name, first) in enumerate(starts):
+            last = (starts[i + 1][1] - 1 if i + 1 < len(starts)
+                    else len(self.lines))
+            self.functions.append((name, first, last))
+        self._line_of: Dict[str, int] = {name: first for name, first, _
+                                         in self.functions}
+
+    def function_at_line(self, line: int) -> Optional[str]:
+        """Name of the function whose definition encloses ``line``."""
+        for name, first, last in self.functions:
+            if first <= line <= last:
+                return name
+        return None
+
+    def line_of(self, func: str) -> Optional[int]:
+        """First line of ``func``'s definition."""
+        return self._line_of.get(func)

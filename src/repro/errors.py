@@ -16,6 +16,12 @@ class WireError(ReproError):
     """Malformed data in the protobuf-like wire format."""
 
 
+class WireTruncated(WireError):
+    """The byte stream ended mid-record (a killed writer, a partial
+    copy). Distinct from in-place corruption: everything before the cut
+    decoded cleanly, so a tolerant reader may keep the prefix."""
+
+
 class IsaError(ReproError):
     """Problems assembling, encoding, or decoding machine instructions."""
 
@@ -165,6 +171,27 @@ class SecurityHarnessError(ReproError):
 
 class JournalError(ReproError):
     """A flight-recorder journal is malformed or cannot be replayed."""
+
+
+class JournalTruncated(JournalError):
+    """A journal's tail was cut mid-record (e.g. the recorder was
+    killed). The prefix decoded cleanly and is carried as ``journal``
+    so crash-run journals stay openable; ``last_instr`` is the
+    instruction count of the last complete scheduling slice and
+    ``last_digest`` the index of the last complete state digest (None
+    if the cut landed before the first one)."""
+
+    def __init__(self, message: str, *, journal=None, last_instr: int = 0,
+                 last_digest=None):
+        super().__init__(message)
+        self.journal = journal
+        self.last_instr = last_instr
+        self.last_digest = last_digest
+
+
+class DebugError(ReproError):
+    """Time-travel debugger failure (bad request, unsupported journal,
+    or a re-execution that does not reproduce the recording)."""
 
 
 class StoreError(ReproError):

@@ -26,18 +26,24 @@ and the exact register or memory byte.
   header, and the :class:`Replayer` that re-executes them.
 * :mod:`repro.replay.divergence` — digest-stream bisection and
   byte-exact state diffing between a journal and a replay.
+* :mod:`repro.replay.resume` — :class:`ReplaySession`, a pausable,
+  resumable re-execution that stops at instruction targets while
+  keeping the journaled run bit-identical to a straight replay.
 """
 
+from ..errors import JournalTruncated
 from .journal import Journal, JournalError
-from .recorder import BitFlip, FlightRecorder, ReplayStop
+from .recorder import BitFlip, FlightRecorder, ReplayObserver, ReplayStop
 from .engine import Replayer, record_migrate, record_rerandomize, record_run
 from .divergence import (DivergenceReport, bisect_digest_streams,
-                         diff_states, pinpoint_by_reexecution,
-                         pinpoint_divergence)
+                         bisect_last_transition, diff_states,
+                         pinpoint_by_reexecution, pinpoint_divergence)
+from .resume import ReplaySession
 
 __all__ = [
-    "Journal", "JournalError", "FlightRecorder", "BitFlip", "ReplayStop",
+    "Journal", "JournalError", "JournalTruncated", "FlightRecorder",
+    "BitFlip", "ReplayObserver", "ReplayStop", "ReplaySession",
     "Replayer", "record_run", "record_migrate", "record_rerandomize",
-    "DivergenceReport", "bisect_digest_streams", "diff_states",
-    "pinpoint_divergence", "pinpoint_by_reexecution",
+    "DivergenceReport", "bisect_digest_streams", "bisect_last_transition",
+    "diff_states", "pinpoint_divergence", "pinpoint_by_reexecution",
 ]

@@ -43,6 +43,40 @@ def bisect_digest_streams(a: Sequence[bytes],
     return lo
 
 
+def bisect_last_transition(probe, lo: int, hi: int) -> Optional[int]:
+    """Locate the last value transition over an indexed probe.
+
+    ``probe(i)`` samples some observable (a digest, a watched memory
+    word) at monotone checkpoint index ``i``. Assuming the samples form
+    two blocks — an old-value prefix and a block equal to ``probe(hi)``
+    — returns the smallest ``k`` in ``(lo, hi]`` with
+    ``probe(k) == probe(hi)``, i.e. the checkpoint interval
+    ``(k-1, k]`` containing the transition. Returns ``None`` when
+    ``probe(lo) == probe(hi)`` (no transition visible at this
+    granularity).
+
+    This is the search the time-travel debugger's watchpoints ride on:
+    each probe is one snapshot restore (O(1) re-execution), so locating
+    the transition interval costs O(log snapshots) restores, and only
+    the single interval is then micro-scanned. Like digest bisection,
+    a value that changes and changes *back* entirely between two
+    adjacent checkpoints is invisible — the caller's cadence bounds
+    the blind spot.
+    """
+    if lo >= hi:
+        return None
+    target = probe(hi)
+    if probe(lo) == target:
+        return None
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if probe(mid) == target:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
 class DivergenceReport:
     """First diverging quantum plus the state-level diff behind it."""
 

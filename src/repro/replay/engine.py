@@ -363,11 +363,16 @@ class Replayer:
         return BitFlip(spec.at_slice, spec.addr, spec.bit)
 
     def run(self, stop_at_digest: Optional[int] = None,
-            stop_at_instr: Optional[int] = None) -> ReplayResult:
+            stop_at_instr: Optional[int] = None,
+            observer=None) -> ReplayResult:
+        """Execute the scenario; ``observer`` is a
+        :class:`~repro.replay.recorder.ReplayObserver` notified at every
+        safe point (the pausable-session and snapshot hooks)."""
         recorder = FlightRecorder(
             digest_every=self.header.get("digest_every", 1),
             record_syscalls=bool(self.header.get("record_syscalls", 1)),
             fault=self._fresh_fault(),
             stop_at_digest=stop_at_digest,
-            stop_at_instr=stop_at_instr)
+            stop_at_instr=stop_at_instr,
+            observer=observer)
         return execute(dict(self.header), recorder)

@@ -32,7 +32,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional
 
 from .. import wire
-from ..errors import JournalError, WireError
+from ..errors import JournalError, JournalTruncated, WireError, WireTruncated
 
 MAGIC = b"DAPRJRN1"
 VERSION = 1
@@ -201,24 +201,53 @@ class Journal:
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "Journal":
+        """Decode a journal.
+
+        A blob whose *tail* was cut mid-record (a killed recorder, a
+        partial copy) raises :class:`~repro.errors.JournalTruncated`
+        carrying every complete record as a partial journal — callers
+        like ``repro-debug`` catch it and debug the prefix. Corruption
+        anywhere else stays a plain :class:`JournalError`.
+        """
         if not blob.startswith(MAGIC):
             raise JournalError("not a flight-recorder journal (bad magic)")
+        pos = len(MAGIC)
         try:
-            pos = len(MAGIC)
             version, pos = wire.decode_varint(blob, pos)
-            if version != VERSION:
-                raise JournalError(f"unsupported journal version {version}")
-            frames = list(_iter_frames(blob, pos))
+        except WireError as exc:
+            raise JournalError(f"corrupt journal: {exc}") from exc
+        if version != VERSION:
+            raise JournalError(f"unsupported journal version {version}")
+        frames: List[bytes] = []
+        cut: Optional[WireTruncated] = None
+        try:
+            for frame in _iter_frames(blob, pos):
+                frames.append(frame)
+        except WireTruncated as exc:
+            cut = exc
         except WireError as exc:
             raise JournalError(f"corrupt journal: {exc}") from exc
         if not frames:
-            raise JournalError("journal has no header")
+            raise JournalError("journal has no header"
+                               if cut is None else
+                               "journal truncated before the header")
+        # Complete frames that fail schema decode are corruption, not
+        # truncation — the frame length said the bytes were all there.
         try:
             journal = cls(HEADER_SCHEMA.decode(frames[0]))
             for frame in frames[1:]:
                 journal.events.append(EVENT_SCHEMA.decode(frame))
         except WireError as exc:
             raise JournalError(f"corrupt journal record: {exc}") from exc
+        if cut is not None:
+            scheds = journal.of_kind(EV_SCHED)
+            digests = journal.digests()
+            raise JournalTruncated(
+                f"journal truncated after {len(journal.events)} complete "
+                f"event(s): {cut}",
+                journal=journal,
+                last_instr=scheds[-1].get("instr", 0) if scheds else 0,
+                last_digest=digests[-1].get("a") if digests else None)
         return journal
 
     def save(self, path: str) -> None:
@@ -240,6 +269,6 @@ def _iter_frames(blob: bytes, pos: int) -> Iterator[bytes]:
     while pos < len(blob):
         length, pos = wire.decode_varint(blob, pos)
         if pos + length > len(blob):
-            raise WireError("truncated journal frame")
+            raise WireTruncated("truncated journal frame")
         yield blob[pos:pos + length]
         pos += length

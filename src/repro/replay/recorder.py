@@ -38,6 +38,35 @@ if TYPE_CHECKING:
     from ..vm.kernel import Machine, Process
 
 
+class ReplayObserver:
+    """Callbacks fired by a :class:`FlightRecorder` as a run progresses.
+
+    This is the replay engine's extension point: a pausable replay
+    session (:class:`~repro.replay.resume.ReplaySession`) blocks inside
+    :meth:`after_slice`, and the time-travel debugger's snapshot
+    capturer dumps machine state from :meth:`after_event` /
+    :meth:`on_mutation`. Every callback runs at a *safe point* — no
+    machine is mid-slice — and receives the recorder, through which the
+    attached machines, the journal so far, and the slice/instruction
+    counters are all reachable. The default implementations do nothing.
+    """
+
+    def on_recorder(self, recorder: "FlightRecorder") -> None:
+        """The recorder this observer was handed to, at construction."""
+
+    def after_slice(self, recorder: "FlightRecorder") -> None:
+        """One scheduling slice (and its digest, if due) was journaled."""
+
+    def after_event(self, recorder: "FlightRecorder", event: Dict) -> None:
+        """A non-slice event (spawn/restore/migrate/...) was journaled."""
+
+    def on_mutation(self, recorder: "FlightRecorder", label: str) -> None:
+        """Guest state was written *outside* any journaled event (e.g.
+        the runtime poking ``__dapper_flag`` over ptrace). Journal-driven
+        re-execution cannot reproduce these writes, so seekers must
+        anchor a snapshot here."""
+
+
 class ReplayStop(ReproError):
     """Raised by the recorder when a requested stop point is reached."""
 
@@ -125,13 +154,17 @@ class FlightRecorder:
                  digest_every: int = 1, record_syscalls: bool = True,
                  fault: Optional[BitFlip] = None,
                  stop_at_digest: Optional[int] = None,
-                 stop_at_instr: Optional[int] = None):
+                 stop_at_instr: Optional[int] = None,
+                 observer: Optional[ReplayObserver] = None):
         self.journal = journal if journal is not None else jn.Journal()
         self.digest_every = digest_every
         self.record_syscalls = record_syscalls
         self.fault = fault
         self.stop_at_digest = stop_at_digest
         self.stop_at_instr = stop_at_instr
+        self.observer = observer
+        if observer is not None:
+            observer.on_recorder(self)
         self.machines: List["Machine"] = []
         self.slices = 0
         self.instructions = 0
@@ -169,13 +202,18 @@ class FlightRecorder:
         if fault is not None and not fault.fired \
                 and self.slices >= fault.at_slice:
             if fault.fire(self.machines):
-                self.journal.append(jn.EV_FAULT, instr=self.instructions,
-                                    a=fault.addr, b=fault.bit)
+                event = self.journal.append(jn.EV_FAULT,
+                                            instr=self.instructions,
+                                            a=fault.addr, b=fault.bit)
+                if self.observer is not None:
+                    self.observer.after_event(self, event)
         if self.digest_every and self.slices % self.digest_every == 0:
             self._emit_digest()
         if (self.stop_at_instr is not None
                 and self.instructions >= self.stop_at_instr):
             self._stop()
+        if self.observer is not None:
+            self.observer.after_slice(self)
 
     def on_syscall(self, machine: "Machine", process: "Process",
                    thread: "ThreadContext", number: int, args: List[int],
@@ -192,18 +230,32 @@ class FlightRecorder:
                             instr=self.instructions)
 
     def on_spawn(self, machine: "Machine", process: "Process") -> None:
-        self.journal.append(jn.EV_SPAWN, pid=process.pid,
-                            label=process.exe_path)
+        event = self.journal.append(jn.EV_SPAWN, pid=process.pid,
+                                    label=process.exe_path)
+        if self.observer is not None:
+            self.observer.after_event(self, event)
 
     def on_restore(self, machine: "Machine", process: "Process") -> None:
-        self.journal.append(jn.EV_RESTORE, pid=process.pid,
-                            label=machine.isa.name,
-                            instr=self.instructions)
+        event = self.journal.append(jn.EV_RESTORE, pid=process.pid,
+                                    label=machine.isa.name,
+                                    instr=self.instructions)
+        if self.observer is not None:
+            self.observer.after_event(self, event)
 
     def on_kill(self, machine: "Machine", process: "Process") -> None:
-        self.journal.append(jn.EV_EXIT, pid=process.pid,
-                            a=process.exit_code
-                            if process.exit_code is not None else -9)
+        event = self.journal.append(jn.EV_EXIT, pid=process.pid,
+                                    a=process.exit_code
+                                    if process.exit_code is not None else -9)
+        if self.observer is not None:
+            self.observer.after_event(self, event)
+
+    def on_poke(self, machine: "Machine", process: "Process",
+                addr: int) -> None:
+        """A ptrace POKEDATA wrote guest memory outside any journaled
+        event. Replay reproduces it (the same runtime code runs), but a
+        journal-driven *seeker* cannot — observers snapshot here."""
+        if self.observer is not None:
+            self.observer.on_mutation(self, f"poke@{addr:#x}")
 
     # -- non-kernel event sources -----------------------------------------
 
@@ -217,7 +269,9 @@ class FlightRecorder:
     def on_event(self, kind: int, **fields) -> None:
         """Journal a scenario-level event (checkpoint/rewrite/migrate)."""
         fields.setdefault("instr", self.instructions)
-        self.journal.append(kind, **fields)
+        event = self.journal.append(kind, **fields)
+        if self.observer is not None:
+            self.observer.after_event(self, event)
 
     # -- digests and stop points ------------------------------------------
 

@@ -13,8 +13,9 @@ Examples::
     # pinpoint the first diverging quantum between two journals
     python -m repro.tools.replay diff good.jrn bad.jrn
 
-    # reconstruct machine state at an instruction count
-    python -m repro.tools.replay seek dhry.jrn --instr 5000
+    # reconstruct machine state at one or more instruction counts
+    # (a single re-execution pauses at each target in order)
+    python -m repro.tools.replay seek dhry.jrn --instr 2000 --instr 5000
 
     # summarize a journal
     python -m repro.tools.replay show dhry.jrn
@@ -28,9 +29,9 @@ import sys
 from typing import List, Optional
 
 from ..errors import ReproError
-from ..replay import (BitFlip, Journal, Replayer, pinpoint_by_reexecution,
-                      pinpoint_divergence, record_migrate,
-                      record_rerandomize, record_run)
+from ..replay import (BitFlip, Journal, Replayer, ReplaySession,
+                      pinpoint_by_reexecution, pinpoint_divergence,
+                      record_migrate, record_rerandomize, record_run)
 from ..replay.journal import KIND_NAMES
 from ._cli import guarded
 
@@ -108,11 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="max memory byte diffs to report")
 
     seek = sub.add_parser("seek",
-                          help="re-execute up to an instruction count and "
-                               "dump thread state")
+                          help="re-execute up to one or more instruction "
+                               "counts and dump thread state at each")
     seek.add_argument("journal")
-    seek.add_argument("--instr", type=int, required=True,
-                      help="stop once this many instructions have retired")
+    seek.add_argument("--instr", type=int, required=True, action="append",
+                      help="pause once this many instructions have retired "
+                           "(repeatable; one re-execution serves all "
+                           "targets in ascending order)")
     seek.add_argument("--engine", choices=["blocks", "interp", "chains"])
 
     show = sub.add_parser("show", help="summarize a journal")
@@ -186,17 +189,8 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 1
 
 
-def _cmd_seek(args: argparse.Namespace) -> int:
-    journal = Journal.load(args.journal)
-    result = Replayer(journal, engine=args.engine).run(
-        stop_at_instr=args.instr)
-    if not result.stopped or result.snapshot is None:
-        print(f"run completed (exit={result.exit_code}) before "
-              f"instruction {args.instr}", file=sys.stderr)
-        return 1
-    print(f"state at instr>={args.instr} "
-          f"(slices={result.recorder.slices}):")
-    for (mi, pid), proc in sorted(result.snapshot.items()):
+def _print_state(snapshot: dict) -> None:
+    for (mi, pid), proc in sorted(snapshot.items()):
         print(f"  machine {mi} pid {pid} [{proc['isa']}] "
               f"heap_end={proc['heap_end']:#x} "
               f"instr={proc['instr_total']}")
@@ -205,6 +199,26 @@ def _cmd_seek(args: argparse.Namespace) -> int:
                             for i, v in enumerate(thread["regs"]))
             print(f"    tid {tid} pc={thread['pc']:#x} "
                   f"status={thread['status']} {regs}")
+
+
+def _cmd_seek(args: argparse.Namespace) -> int:
+    journal = Journal.load(args.journal)
+    targets = sorted(set(args.instr))
+    missed: List[int] = []
+    with ReplaySession(journal, engine=args.engine) as session:
+        for target in targets:
+            if not session.run_until(target):
+                missed = targets[targets.index(target):]
+                break
+            print(f"state at instr>={target} "
+                  f"(instr={session.instructions} "
+                  f"slices={session.slices}):")
+            _print_state(session.state())
+    if missed:
+        exit_code = session.result.exit_code if session.result else None
+        print(f"run completed (exit={exit_code}) before "
+              f"instruction {missed[0]}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -47,6 +47,11 @@ class Tracer:
     def poke_data(self, addr: int, value: int) -> None:
         self._require_attached()
         self._process.aspace.write_u64(addr, value)
+        # Not a journaled event (replay re-runs the same runtime code),
+        # but journal-driven seekers must know guest state changed
+        # outside the slice stream — see FlightRecorder.on_poke.
+        if self.machine.recorder is not None:
+            self.machine.recorder.on_poke(self.machine, self._process, addr)
 
     def peek_data(self, addr: int) -> int:
         self._require_attached()

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Tuple, Union
 
-from .errors import WireError
+from .errors import WireError, WireTruncated
 
 WIRE_VARINT = 0
 WIRE_LEN = 2
@@ -54,7 +54,7 @@ def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
     pos = offset
     while True:
         if pos >= len(data):
-            raise WireError("truncated varint")
+            raise WireTruncated("truncated varint")
         byte = data[pos]
         pos += 1
         result |= (byte & 0x7F) << shift
@@ -119,7 +119,7 @@ def iter_fields(data: bytes) -> Iterator[Tuple[int, int, Union[int, bytes]]]:
         elif wire_type == WIRE_LEN:
             length, pos = decode_varint(data, pos)
             if pos + length > len(data):
-                raise WireError("truncated length-delimited field")
+                raise WireTruncated("truncated length-delimited field")
             yield field, wire_type, data[pos:pos + length]
             pos += length
         else:

@@ -199,3 +199,98 @@ class TestDelfBinary:
         binary = self._binary()
         sections = {s.section for s in binary.segments}
         assert sections == {".text", ".data"}
+
+
+class TestDecodingEdgeCases:
+    """Edge cases the time-travel debugger leans on when decoding
+    frames and live variables from arbitrary mid-run pc values."""
+
+    # -- empty sections -----------------------------------------------
+
+    def test_empty_frame_section(self):
+        section = FrameSection()
+        assert len(section) == 0
+        assert section.containing(0x400000) is None
+        with pytest.raises(ImageFormatError):
+            section.get("main")
+
+    def test_empty_frame_section_roundtrip(self):
+        copy = FrameSection.from_bytes(FrameSection().to_bytes())
+        assert len(copy) == 0
+        assert copy.containing(0) is None
+
+    def test_empty_stackmap_section(self):
+        maps = StackMapSection()
+        assert maps.by_addr.get(0x400000) is None
+        assert maps.entry_for("main") is None
+        copy = StackMapSection.from_bytes(maps.to_bytes())
+        assert len(copy) == 0
+
+    # -- pc between and outside frame extents -------------------------
+
+    def _section(self):
+        return FrameSection([
+            FrameRecord("first", 0x400000, 0x400080, 16, 0,
+                        [Slot(0, "x", -8, 8)]),
+            FrameRecord("second", 0x400100, 0x400180, 16, 1,
+                        [Slot(0, "y", -8, 8)]),
+        ])
+
+    def test_pc_in_gap_between_functions(self):
+        section = self._section()
+        # [0x400080, 0x400100) belongs to no function (padding)
+        assert section.containing(0x400080) is None
+        assert section.containing(0x4000FF) is None
+
+    def test_pc_at_extent_boundaries(self):
+        section = self._section()
+        assert section.containing(0x400000).func == "first"
+        assert section.containing(0x40007F).func == "first"
+        assert section.containing(0x400100).func == "second"
+        assert section.containing(0x40017F).func == "second"
+
+    def test_pc_outside_all_extents(self):
+        section = self._section()
+        assert section.containing(0x3FFFFF) is None
+        assert section.containing(0x400180) is None
+        assert section.containing(0) is None
+
+    def test_pc_between_eqpoints_has_no_livemap(self):
+        maps = StackMapSection([
+            EqPoint(0, "f", "entry", 0x400010),
+            EqPoint(1, "f", "callsite", 0x400040),
+        ])
+        # mid-function pc that is not an equivalence point: no record,
+        # the debugger falls back to frame slots
+        assert maps.by_addr.get(0x400020) is None
+        assert maps.by_addr.get(0x400010).kind == "entry"
+
+    # -- variables spanning registers and stack slots ------------------
+
+    def test_both_location_roundtrip(self):
+        live = [
+            LiveValue(0, "n", LOC_BOTH, dwarf_reg=5, stack_offset=-8,
+                      size=8),
+            LiveValue(1, "r", LOC_REG, dwarf_reg=0, size=8),
+            LiveValue(2, "s", LOC_STACK, stack_offset=-24, size=16),
+        ]
+        maps = StackMapSection([EqPoint(0, "f", "entry", 0x400010,
+                                        live=live)])
+        copy = StackMapSection.from_bytes(maps.to_bytes())
+        n, r, s = copy.by_id[0].live
+        assert n.in_register() and n.on_stack()
+        assert n.dwarf_reg == 5 and n.stack_offset == -8
+        assert r.in_register() and not r.on_stack()
+        assert s.on_stack() and not s.in_register()
+        assert s.size == 16
+
+    def test_wide_stack_value_spans_slots(self):
+        record = FrameRecord("f", 0x400000, 0x400100, 48, 0, [
+            Slot(0, "lo", -8, 8),
+            Slot(1, "wide", -24, 16),
+        ])
+        # every byte of the 16-byte value resolves to the same slot
+        for off in range(-24, -8):
+            assert record.slot_containing(off).name == "wide"
+        assert record.slot_containing(-8).name == "lo"
+        assert record.slot_containing(-25) is None

@@ -14,6 +14,7 @@ EXAMPLES = [
     "stack_shuffle_defense.py",
     "lazy_migration.py",
     "live_update.py",
+    "time_travel_debug.py",
 ]
 
 
