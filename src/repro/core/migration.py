@@ -77,6 +77,16 @@ class MigrationResult:
         self.output_before = output_before
         self.page_server = page_server
         self.lazy = lazy
+        #: hold_source=True migrations keep the paused source alive
+        #: until MigrationPipeline.commit/abort decides its fate
+        self.held_runtime = None
+        self.held_ctx: Optional[Dict] = None
+
+    @property
+    def held(self) -> bool:
+        """True while the source is still paused awaiting commit/abort
+        (two-phase group migrations)."""
+        return self.held_runtime is not None
 
     @property
     def total_seconds(self) -> float:
@@ -128,7 +138,8 @@ class MigrationPipeline:
                  injector=None,
                  retry_budget: int = 3,
                  backoff_base_s: float = 0.05,
-                 arrival_check: bool = True):
+                 arrival_check: bool = True,
+                 dump_extra=None):
         self.src_machine = src_machine
         self.dst_machine = dst_machine
         self.program = program
@@ -193,6 +204,11 @@ class MigrationPipeline:
         # (verify-gate mode) so injected corruption provably reaches —
         # and is caught by — the restore guard itself.
         self.arrival_check = arrival_check
+        # Extra per-resource dump payloads for the checkpoint plugins:
+        # a callable (process -> dict) evaluated at dump time. The group
+        # layer uses it to journal each member's in-flight connections
+        # into the new sockets.img section.
+        self.dump_extra = dump_extra
         install_program(src_machine, program)
         install_program(dst_machine, program)
 
@@ -271,7 +287,19 @@ class MigrationPipeline:
     # -- the pipeline ------------------------------------------------------------
 
     def migrate(self, process: Process, lazy: bool = False,
-                max_pause_steps: int = 20_000_000) -> MigrationResult:
+                max_pause_steps: int = 20_000_000,
+                hold_source: bool = False) -> MigrationResult:
+        """Migrate ``process`` to the destination machine.
+
+        With ``hold_source=True`` the pipeline stops one step short of
+        done: the process is restored on the destination but the paused
+        source is **not** torn down — the caller must settle the
+        transaction with :meth:`commit` (kill the source) or
+        :meth:`abort` (kill the destination copy, sweep its images, and
+        resume the source at the cut). This is the per-member building
+        block of two-phase group migrations: no source dies until every
+        member of the group has restored.
+        """
         if process.machine is not self.src_machine:
             raise MigrationError("process does not run on the source machine")
         src_arch = self.src_machine.isa.name
@@ -297,9 +325,11 @@ class MigrationPipeline:
         def _checkpoint():
             if injector is not None:
                 injector.node_fault("checkpoint", self.src_machine.name)
+            extra = (self.dump_extra(process)
+                     if self.dump_extra is not None else None)
             if lazy:
-                return runtime.checkpoint_lazy()
-            return runtime.checkpoint(), None
+                return runtime.checkpoint_lazy(extra=extra)
+            return runtime.checkpoint(extra=extra), None
         images, page_server = self._txn_stage("checkpoint", txn, ctx,
                                               _checkpoint)
         threads = len(images.inventory().tids)
@@ -313,19 +343,27 @@ class MigrationPipeline:
         stage_seconds["checkpoint"] = self.cost_model.checkpoint_seconds(
             scaled(images.total_bytes()), threads)
 
-        # 2. recode
-        policy = CrossIsaPolicy(
-            self.program.binary(src_arch), self.program.binary(dst_arch),
-            exe_path_for(self.program.name, dst_arch))
+        # 2. recode — skipped when the placement shares the source ISA
+        # (e.g. a same-ISA member of a split group placement): the dump
+        # ships verbatim.
+        if src_arch == dst_arch:
+            stats: Dict = {"frames": 0, "same_isa": True}
+            stage_seconds["recode"] = 0.0
+        else:
+            policy = CrossIsaPolicy(
+                self.program.binary(src_arch),
+                self.program.binary(dst_arch),
+                exe_path_for(self.program.name, dst_arch))
 
-        def _recode():
-            if injector is not None:
-                injector.node_fault("recode", self.src_machine.name)
-            return ProcessRewriter().rewrite(images, policy)[0]
-        report = self._txn_stage("recode", txn, ctx, _recode)
-        stage_seconds["recode"] = self.cost_model.recode_seconds(
-            scaled(report.bytes_before), report.stats["frames"])
-        # The sender-side ground truth for the restore guard: the recoded
+            def _recode():
+                if injector is not None:
+                    injector.node_fault("recode", self.src_machine.name)
+                return ProcessRewriter().rewrite(images, policy)[0]
+            report = self._txn_stage("recode", txn, ctx, _recode)
+            stage_seconds["recode"] = self.cost_model.recode_seconds(
+                scaled(report.bytes_before), report.stats["frames"])
+            stats = dict(report.stats)
+        # The sender-side ground truth for the restore guard: the sent
         # set's whole-set digest plus its per-page digest manifest (the
         # same addressing the chunk store uses).
         ctx["sent_digest"] = images.content_digest()
@@ -334,7 +372,6 @@ class MigrationPipeline:
         # 3. transfer — plain scp of the images, or (use_store) a
         # content-addressed delta: put into the source store, ship only
         # the chunks missing at the destination, materialize there.
-        stats = dict(report.stats)
         if self.use_store:
             images, page_server = self._store_transfer(
                 process, images, page_server, stage_seconds, scaled,
@@ -373,7 +410,8 @@ class MigrationPipeline:
         restored = self._txn_stage("restore", txn, ctx, _restore)
         stage_seconds["restore"] = self.cost_model.restore_seconds(
             scaled(images.total_bytes()), threads)
-        runtime.kill_source()
+        if not hold_source:
+            runtime.kill_source()
 
         if fallback_pages is not None:
             self._arm_precopy_fallback(restored, fallback_pages, txn)
@@ -383,10 +421,55 @@ class MigrationPipeline:
             if txn["backoff_seconds"] > 0.0:
                 stage_seconds["retries"] = txn["backoff_seconds"]
 
-        return MigrationResult(
+        result = MigrationResult(
             process=restored, images=images, stage_seconds=stage_seconds,
             stats=stats, output_before=output_before,
             page_server=page_server, lazy=lazy)
+        if hold_source:
+            result.held_runtime = runtime
+            result.held_ctx = ctx
+        return result
+
+    # -- two-phase settlement (hold_source=True) ----------------------------------
+
+    def commit(self, result: MigrationResult) -> None:
+        """Settle a held-open migration: tear down the source. After
+        this the destination copy is the only one, exactly as a plain
+        ``migrate`` would have left things."""
+        if not result.held:
+            raise MigrationError(
+                "migration was not held open (hold_source=False) or "
+                "is already settled")
+        result.held_runtime.kill_source()
+        result.held_runtime = None
+        result.held_ctx = None
+
+    def abort(self, result: MigrationResult) -> None:
+        """Settle a held-open migration the other way: kill the restored
+        destination copy, sweep its images, drop any checkpoint this
+        migration adopted into the destination store (GC'ing the orphan
+        chunks), and resume the paused source at the cut — the mirror of
+        :meth:`_rollback` for a migration that had already restored."""
+        if not result.held:
+            raise MigrationError(
+                "migration was not held open (hold_source=False) or "
+                "is already settled")
+        ctx = result.held_ctx
+        if not result.process.exited:
+            self.dst_machine.kill(result.process)
+        dst_fs = self.dst_machine.tmpfs
+        for path in list(dst_fs.listdir(ctx["dst_prefix"])):
+            dst_fs.remove(path)
+        cid = ctx.get("dst_checkpoint")
+        if (cid is not None and self.dst_store is not None
+                and not ctx.get("dst_had_checkpoint")
+                and cid in self.dst_store):
+            self.dst_store.delete(cid)
+        if self.dst_store is not None:
+            self.dst_store.gc()
+        result.held_runtime.resume()
+        result.held_runtime = None
+        result.held_ctx = None
 
     # -- stage 3 variants --------------------------------------------------------
 

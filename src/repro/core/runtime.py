@@ -71,14 +71,19 @@ class DapperRuntime:
 
     # -- checkpointing --------------------------------------------------------
 
-    def checkpoint(self) -> ImageSet:
-        """CRIU-dump the SIGSTOPped process (into tmpfs-resident images)."""
-        self._clear_flag()
-        return dump_process(self.process)
+    def checkpoint(self, extra: Optional[dict] = None) -> ImageSet:
+        """CRIU-dump the SIGSTOPped process (into tmpfs-resident images).
 
-    def checkpoint_lazy(self) -> Tuple[ImageSet, PageServer]:
+        ``extra`` is forwarded to the checkpoint plugins (journaled
+        ``connections`` for the sockets plugin, ``tmpfs_paths`` for the
+        tmpfs plugin)."""
         self._clear_flag()
-        return dump_process_lazy(self.process)
+        return dump_process(self.process, extra=extra)
+
+    def checkpoint_lazy(self, extra: Optional[dict] = None
+                        ) -> Tuple[ImageSet, PageServer]:
+        self._clear_flag()
+        return dump_process_lazy(self.process, extra=extra)
 
     def clear_flag(self) -> None:
         """Zero ``__dapper_flag`` in the paused process before dumping so

@@ -9,22 +9,35 @@ Mirrors the structure of real CRIU images (paper §III-D2b):
 ``files.img``      opened files — here, the executable path and arch
 ``pagemap.img``    which virtual regions have dumped pages
 ``pages-1.img``    raw page contents (no wire encoding, like real CRIU)
+``sockets.img``    journaled in-flight connections (group cuts; optional)
+``tmpfs.img``      node-local file artifacts (optional)
 =================  ========================================================
 
 All ``.img`` files except ``pages-1.img`` are encoded with the
 protobuf-like wire format and can be decoded to JSON and re-encoded with
 the CRIT tool (``repro.criu.crit``), exactly as the paper extends CRIT
 for rewriting.
+
+Each image section is owned by one checkpoint plugin
+(:mod:`repro.criu.plugins`, DMTCP-style): ``dump_process`` /
+``restore_process`` are thin drivers over an ordered
+:class:`~repro.criu.plugins.PluginRegistry`, so new resource classes
+register without touching them.
 """
 
 from .images import (CoreImage, FilesImage, ImageSet, InventoryImage,
-                     MmImage, PagemapEntry, PagemapImage)
+                     MmImage, PagemapEntry, PagemapImage, register_magic)
+from .plugins import (CheckpointPlugin, PluginRegistry, SocketsImage,
+                      TmpfsImage, default_registry)
 from .dump import dump_process
 from .restore import restore_process
 from .lazy import PageServer, dump_process_lazy, restore_process_lazy
 
 __all__ = [
     "CoreImage", "FilesImage", "ImageSet", "InventoryImage", "MmImage",
-    "PagemapEntry", "PagemapImage", "dump_process", "restore_process",
+    "PagemapEntry", "PagemapImage", "register_magic",
+    "CheckpointPlugin", "PluginRegistry", "SocketsImage", "TmpfsImage",
+    "default_registry",
+    "dump_process", "restore_process",
     "PageServer", "dump_process_lazy", "restore_process_lazy",
 ]

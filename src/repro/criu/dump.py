@@ -1,130 +1,44 @@
 """Checkpoint: dump a stopped process into an :class:`ImageSet`.
 
-Page-dump policy mirrors CRIU (paper §III-C): file-backed (code) VMAs
-contribute only the *execution context* — the page(s) each thread's
-program counter points into — because clean code pages reload from the
-binary at restore. All other populated pages are dumped.
-
-Incremental dumps (like CRIU's ``--prev-images-dir``): given a parent
-checkpoint id, the set of page addresses the parent chain can resolve,
-and the process's dirty-page set (``Process.harvest_dirty_pages``),
-pages that are clean *and* available from the parent are emitted as
-:data:`~repro.criu.images.PE_PARENT` pagemap runs with no data — the
-checkpoint store (:mod:`repro.store`) resolves them by walking the
-parent chain at materialize time.
+Since the plugin refactor this module is a thin driver: the actual
+per-resource dump logic lives in :mod:`repro.criu.plugins` — an ordered
+registry of :class:`~repro.criu.plugins.CheckpointPlugin` hooks, each
+emitting its own named image section(s). The page-dump and incremental
+(PE_PARENT delta) policies are documented on, and implemented by, the
+vmas plugin; output is byte-identical to the pre-plugin dumper.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Set
+from typing import Optional, Set
 
-from ..errors import CheckpointError
-from ..mem.paging import PAGE_SIZE, page_align_down
-from ..vm.cpu import ThreadStatus
 from ..vm.kernel import Process
-from .images import (PE_PARENT, CoreImage, FilesImage, ImageSet,
-                     InventoryImage, MmImage, PagemapEntry, PagemapImage)
+from .images import ImageSet
+from .plugins.base import DumpContext
+from .plugins.registry import PluginRegistry, default_registry
+# Re-exported for callers that drive page selection directly (the lazy
+# dumper historically lived on these; tests use them too).
+from .plugins.vmas import _select_pages, _write_pages  # noqa: F401
 
 
 def dump_process(process: Process, require_stopped: bool = True,
                  parent: Optional[str] = None,
                  parent_pages: Optional[Set[int]] = None,
-                 dirty_pages: Optional[Set[int]] = None) -> ImageSet:
+                 dirty_pages: Optional[Set[int]] = None,
+                 extra: Optional[dict] = None,
+                 registry: Optional[PluginRegistry] = None) -> ImageSet:
     """Dump ``process`` into a fresh image set.
 
     With ``parent`` (a checkpoint id), ``parent_pages`` (addresses the
     parent chain holds data for) and ``dirty_pages`` (written since the
     parent dump), the result is a *delta* dump: unchanged pages present
     in the parent become PE_PARENT runs and ship no data.
+
+    ``extra`` carries resource payloads for plugins beyond the kernel's
+    own state (journaled ``connections`` for the sockets plugin,
+    ``tmpfs_paths`` for the tmpfs plugin); ``registry`` substitutes a
+    custom plugin registry for :func:`~repro.criu.plugins.default_registry`.
     """
-    if require_stopped and not process.stopped:
-        raise CheckpointError(
-            f"process {process.pid} must be SIGSTOPped before dumping")
-    if process.exited:
-        raise CheckpointError(f"process {process.pid} has exited")
-    if parent is not None and (parent_pages is None or dirty_pages is None):
-        raise CheckpointError(
-            "delta dump needs both parent_pages and dirty_pages")
-
-    images = ImageSet()
-    live = [t for t in process.threads.values()
-            if t.status != ThreadStatus.DEAD]
-    if not live:
-        raise CheckpointError("no live threads to dump")
-
-    images.set_inventory(InventoryImage(
-        pid=process.pid, arch=process.isa.name,
-        source_name=process.binary.source_name,
-        tids=sorted(t.tid for t in live),
-        parent=parent if parent is not None else ""))
-
-    for thread in live:
-        regs = {process.isa.dwarf_of_index(i): value
-                for i, value in enumerate(thread.regs)}
-        images.set_core(CoreImage(
-            tid=thread.tid, arch=process.isa.name, pc=thread.pc,
-            flags=thread.flags, tls_base=thread.tp, status=thread.status,
-            regs=regs))
-
-    images.set_mm(MmImage(process.aspace.vmas, process.heap_end))
-    images.set_files_img(FilesImage(process.exe_path, process.isa.name))
-
-    dump_pages = _select_pages(process)
-    in_parent: FrozenSet[int] = frozenset()
-    if parent is not None:
-        # A page stays behind only if the parent chain actually holds
-        # it AND it has not been written since — a page that is clean
-        # but newly selected (e.g. the pc moved into a fresh code page)
-        # still ships its data.
-        in_parent = frozenset(base for base in dump_pages
-                              if base in parent_pages
-                              and base not in dirty_pages)
-    _write_pages(process, sorted(dump_pages), images, in_parent)
-    return images
-
-
-def _select_pages(process: Process) -> Set[int]:
-    """Page-aligned addresses to dump."""
-    selected: Set[int] = set()
-    exec_pages = {page_align_down(t.pc)
-                  for t in process.threads.values()
-                  if t.status != ThreadStatus.DEAD}
-    for base, _data in process.aspace.populated_pages():
-        vma = process.aspace.find_vma(base)
-        if vma is None:
-            continue
-        if vma.file_backed:
-            # Execution context only: the page under each thread's pc
-            # (and its successor, since an instruction can straddle).
-            if base in exec_pages or (base - PAGE_SIZE) in exec_pages:
-                selected.add(base)
-        else:
-            selected.add(base)
-    return selected
-
-
-def _write_pages(process: Process, pages: List[int], images: ImageSet,
-                 in_parent: FrozenSet[int] = frozenset()) -> None:
-    entries: List[PagemapEntry] = []
-    blob = bytearray()
-    run_start = None
-    run_len = 0
-    run_flags = 0
-    for base in pages:
-        flags = PE_PARENT if base in in_parent else 0
-        if flags == 0:
-            data = process.aspace.page(base)
-            blob += bytes(data) if data is not None else bytes(PAGE_SIZE)
-        if (run_start is not None and flags == run_flags
-                and base == run_start + run_len * PAGE_SIZE):
-            run_len += 1
-        else:
-            if run_start is not None:
-                entries.append(PagemapEntry(run_start, run_len, run_flags))
-            run_start = base
-            run_len = 1
-            run_flags = flags
-    if run_start is not None:
-        entries.append(PagemapEntry(run_start, run_len, run_flags))
-    images.set_pagemap(PagemapImage(entries))
-    images.set_pages(bytes(blob))
+    ctx = DumpContext(process, parent=parent, parent_pages=parent_pages,
+                      dirty_pages=dirty_pages, extra=extra)
+    return (registry or default_registry()).dump(ctx, require_stopped)

@@ -32,6 +32,24 @@ _MAGIC_BY_KIND = {
 }
 
 
+def register_magic(kind: str, magic: int) -> int:
+    """Register a new image kind's magic value.
+
+    Checkpoint plugins that introduce new image sections (sockets,
+    tmpfs, ...) register their magics here instead of editing this
+    module — the wrap/unwrap helpers then work for them unchanged.
+    Re-registering the same (kind, magic) pair is a no-op; a conflicting
+    magic for a known kind is an error.
+    """
+    existing = _MAGIC_BY_KIND.get(kind)
+    if existing is not None and existing != magic:
+        raise ImageFormatError(
+            f"image kind {kind!r} already registered with magic "
+            f"{existing:#x}")
+    _MAGIC_BY_KIND[kind] = magic
+    return magic
+
+
 def _wrap(kind: str, payload: bytes) -> bytes:
     return struct.pack("<I", _MAGIC_BY_KIND[kind]) + payload
 

@@ -10,15 +10,16 @@ source node; the restored process faults them in on demand.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..errors import CheckpointError, LazyPageError, PageServerDead
-from ..mem.paging import PAGE_SIZE, page_align_down
-from ..vm.cpu import ThreadStatus
+from ..errors import LazyPageError, PageServerDead
+from ..mem.paging import PAGE_SIZE
 from ..vm.kernel import Machine, Process
-from .dump import _write_pages
-from .images import (CoreImage, FilesImage, ImageSet, InventoryImage,
-                     MmImage)
+from .images import ImageSet
+from .plugins.base import DumpContext
+from .plugins.registry import PluginRegistry, default_registry
+# Re-exported: the eager/lazy page split lives with the vmas plugin now.
+from .plugins.vmas import _partition_pages  # noqa: F401
 from .restore import restore_process
 
 
@@ -123,73 +124,39 @@ class PageServer:
 
 
 def dump_process_lazy(process: Process,
-                      require_stopped: bool = True
+                      require_stopped: bool = True,
+                      extra: Optional[dict] = None,
+                      registry: Optional[PluginRegistry] = None
                       ) -> Tuple[ImageSet, PageServer]:
-    """Minimal dump + a page server holding everything else."""
-    if require_stopped and not process.stopped:
-        raise CheckpointError(
-            f"process {process.pid} must be SIGSTOPped before dumping")
-    if process.exited:
-        raise CheckpointError(f"process {process.pid} has exited")
+    """Minimal dump + a page server holding everything else.
 
-    images = ImageSet()
-    live = [t for t in process.threads.values()
-            if t.status != ThreadStatus.DEAD]
-    if not live:
-        raise CheckpointError("no live threads to dump")
-
-    images.set_inventory(InventoryImage(
-        pid=process.pid, arch=process.isa.name,
-        source_name=process.binary.source_name,
-        tids=sorted(t.tid for t in live), lazy=True))
-    for thread in live:
-        regs = {process.isa.dwarf_of_index(i): value
-                for i, value in enumerate(thread.regs)}
-        images.set_core(CoreImage(
-            tid=thread.tid, arch=process.isa.name, pc=thread.pc,
-            flags=thread.flags, tls_base=thread.tp, status=thread.status,
-            regs=regs))
-    images.set_mm(MmImage(process.aspace.vmas, process.heap_end))
-    images.set_files_img(FilesImage(process.exe_path, process.isa.name))
-
-    eager, lazy = _partition_pages(process)
-    _write_pages(process, sorted(eager), images)
-    server_pages = {}
-    for base in lazy:
-        data = process.aspace.page(base)
-        server_pages[base] = bytes(data) if data is not None \
-            else bytes(PAGE_SIZE)
-    return images, PageServer(server_pages, node_name=process.machine.name)
-
-
-def _partition_pages(process: Process) -> Tuple[Set[int], Set[int]]:
-    """Split populated pages into (eagerly dumped, left at source)."""
-    eager: Set[int] = set()
-    lazy: Set[int] = set()
-    exec_pages = {page_align_down(t.pc)
-                  for t in process.threads.values()
-                  if t.status != ThreadStatus.DEAD}
-    for base, _data in process.aspace.populated_pages():
-        vma = process.aspace.find_vma(base)
-        if vma is None:
-            continue
-        if vma.file_backed:
-            if base in exec_pages or (base - PAGE_SIZE) in exec_pages:
-                eager.add(base)
-            continue   # other clean code pages: reload from the binary
-        if vma.name.startswith("stack:") or vma.name.startswith("tls:"):
-            eager.add(base)
-        else:
-            lazy.add(base)
-    return eager, lazy
+    Runs the same plugin pipeline as :func:`~repro.criu.dump_process`
+    with the context's ``lazy`` flag set: the vmas plugin writes only
+    the eager page set and stashes the remainder on the context for the
+    returned :class:`PageServer`.
+    """
+    ctx = DumpContext(process, lazy=True, extra=extra)
+    images = (registry or default_registry()).dump(ctx, require_stopped)
+    return images, PageServer(ctx.lazy_pages,
+                              node_name=process.machine.name)
 
 
 def restore_process_lazy(machine: Machine, images: ImageSet,
                          page_server: PageServer,
                          pid: Optional[int] = None,
-                         verify: bool = True) -> Process:
-    """Restore a lazy checkpoint; missing pages fault in from the server."""
-    process = restore_process(machine, images, pid=pid, verify=verify)
+                         verify: bool = True,
+                         registry: Optional[PluginRegistry] = None
+                         ) -> Process:
+    """Restore a lazy checkpoint; missing pages fault in from the server.
+
+    Routes through :func:`~repro.criu.restore_process` and therefore
+    through the same restore guard as the eager path: with ``verify=``
+    left on, a corrupt minimal image raises
+    :class:`~repro.errors.VerifyError` *before* the process is built and
+    the missing-page hook installed.
+    """
+    process = restore_process(machine, images, pid=pid, verify=verify,
+                              registry=registry)
     lazy_vmas = [v for v in process.aspace.vmas
                  if not (v.file_backed or v.name.startswith("stack:")
                          or v.name.startswith("tls:"))]

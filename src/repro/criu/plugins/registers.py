@@ -1,0 +1,58 @@
+"""Registers plugin: per-thread architectural state (``core-<tid>.img``).
+
+Registers are stored as (DWARF number, value) pairs so the rewriter can
+address them exactly the way the stackmaps do.
+"""
+
+from __future__ import annotations
+
+from ...errors import RestoreError
+from ...vm.cpu import ThreadContext, ThreadStatus
+from ..images import CoreImage
+from .base import CheckpointPlugin, DumpContext, RestoreContext
+
+
+class RegistersPlugin(CheckpointPlugin):
+    name = "registers"
+    section_prefixes = ("core-",)
+    codes = ("regs-incomplete", "regs-unknown", "eqpoint", "stack-walk",
+             "pointer")
+    code_prefixes = ("decode:core",)
+
+    def dump(self, ctx: DumpContext, images) -> None:
+        isa = ctx.process.isa
+        for thread in ctx.live:
+            regs = {isa.dwarf_of_index(i): value
+                    for i, value in enumerate(thread.regs)}
+            images.set_core(CoreImage(
+                tid=thread.tid, arch=isa.name, pc=thread.pc,
+                flags=thread.flags, tls_base=thread.tp,
+                status=thread.status, regs=regs))
+
+    def restore(self, ctx: RestoreContext, images) -> None:
+        machine = ctx.machine
+        process = ctx.process
+        max_tid = 0
+        for core in images.cores():
+            if core.arch != machine.isa.name:
+                raise RestoreError(
+                    f"core-{core.tid} is {core.arch}, machine is "
+                    f"{machine.isa.name}")
+            thread = ThreadContext(core.tid, machine.isa)
+            for dwarf, value in core.regs.items():
+                try:
+                    index = machine.isa.index_of_dwarf(dwarf)
+                except KeyError:
+                    raise RestoreError(
+                        f"core-{core.tid}: DWARF register {dwarf} unknown "
+                        f"to {machine.isa.name}") from None
+                thread.regs[index] = value
+            thread.pc = core.pc
+            thread.flags = core.flags
+            thread.tp = core.tls_base
+            # Trapped threads resume running: the dumped pc already points
+            # past the trap, at the equivalence point.
+            thread.status = ThreadStatus.RUNNING
+            process.threads[core.tid] = thread
+            max_tid = max(max_tid, core.tid)
+        process.next_tid = max_tid + 1

@@ -1,0 +1,124 @@
+"""Ordered plugin registry driving dump, restore, and per-plugin verify.
+
+The order is *restore dependency order*: the files plugin loads the
+destination binary before the vmas plugin rebuilds the address space,
+the address space exists before the task plugin creates the process,
+and the process exists before the registers plugin rebuilds its
+threads. Dump order is immaterial (an :class:`~repro.criu.ImageSet` is
+an unordered dict of named files and every digest sorts them), so one
+order serves both directions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ...errors import CheckpointError
+from .base import CheckpointPlugin, DumpContext, RestoreContext
+from .files import FilesPlugin
+from .registers import RegistersPlugin
+from .sockets import SocketsPlugin
+from .task import TaskPlugin
+from .tls import TlsPlugin
+from .tmpfs import TmpfsPlugin
+from .vmas import VmasPlugin
+
+
+class PluginRegistry:
+    """An ordered set of :class:`CheckpointPlugin` instances."""
+
+    def __init__(self, plugins=()):
+        self._plugins: List[CheckpointPlugin] = []
+        for plugin in plugins:
+            self.register(plugin)
+
+    def __iter__(self) -> Iterator[CheckpointPlugin]:
+        return iter(self._plugins)
+
+    def __len__(self) -> int:
+        return len(self._plugins)
+
+    def names(self) -> List[str]:
+        return [p.name for p in self._plugins]
+
+    def get(self, name: str) -> CheckpointPlugin:
+        for plugin in self._plugins:
+            if plugin.name == name:
+                return plugin
+        raise CheckpointError(f"no checkpoint plugin named {name!r}")
+
+    def register(self, plugin: CheckpointPlugin,
+                 before: Optional[str] = None,
+                 after: Optional[str] = None) -> CheckpointPlugin:
+        """Add a plugin, optionally anchored relative to an existing one
+        (restore runs in registry order, so a plugin whose restore needs
+        another's output registers ``after`` it)."""
+        if any(p.name == plugin.name for p in self._plugins):
+            raise CheckpointError(
+                f"checkpoint plugin {plugin.name!r} already registered")
+        if before is not None and after is not None:
+            raise CheckpointError("pass before= or after=, not both")
+        if before is not None:
+            index = self._plugins.index(self.get(before))
+        elif after is not None:
+            index = self._plugins.index(self.get(after)) + 1
+        else:
+            index = len(self._plugins)
+        self._plugins.insert(index, plugin)
+        return plugin
+
+    # -- attribution ------------------------------------------------------
+
+    def plugin_for_code(self, code: str) -> Optional[str]:
+        """Name of the plugin owning a verifier finding code."""
+        for plugin in self._plugins:
+            if plugin.owns_code(code):
+                return plugin.name
+        return None
+
+    def plugin_for_file(self, name: str) -> Optional[str]:
+        """Name of the plugin owning an image section."""
+        for plugin in self._plugins:
+            if plugin.owns_file(name):
+                return plugin.name
+        return None
+
+    # -- driving ------------------------------------------------------------
+
+    def dump(self, ctx: DumpContext, require_stopped: bool = True):
+        from ..images import ImageSet
+        ctx.validate(require_stopped)
+        for plugin in self._plugins:
+            plugin.pre_dump(ctx)
+        images = ImageSet()
+        for plugin in self._plugins:
+            plugin.dump(ctx, images)
+        return images
+
+    def pre_restore(self, ctx: RestoreContext) -> None:
+        for plugin in self._plugins:
+            plugin.pre_restore(ctx, ctx.images)
+
+    def restore(self, ctx: RestoreContext):
+        for plugin in self._plugins:
+            plugin.restore(ctx, ctx.images)
+        return ctx.process
+
+    def verify(self, images, report, binary=None, store=None) -> None:
+        for plugin in self._plugins:
+            plugin.verify(images, report, binary=binary, store=store)
+
+
+def default_registry() -> PluginRegistry:
+    """A fresh registry with the built-in resource plugins. Fresh (not a
+    shared singleton) so callers can extend or reorder their copy
+    without affecting anyone else; the built-ins are stateless."""
+    return PluginRegistry([
+        FilesPlugin(),
+        VmasPlugin(),
+        TaskPlugin(),
+        RegistersPlugin(),
+        TlsPlugin(),
+        TmpfsPlugin(),
+        SocketsPlugin(),
+    ])

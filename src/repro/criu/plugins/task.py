@@ -1,0 +1,32 @@
+"""Task plugin: process identity (``inventory.img``) and the Process
+object itself on restore."""
+
+from __future__ import annotations
+
+from ...vm.kernel import Process
+from ..images import InventoryImage
+from .base import CheckpointPlugin, DumpContext, RestoreContext
+
+
+class TaskPlugin(CheckpointPlugin):
+    name = "task"
+    sections = ("inventory.img",)
+    codes = ("arch-unknown", "missing-file")
+    code_prefixes = ("decode:inventory",)
+
+    def dump(self, ctx: DumpContext, images) -> None:
+        images.set_inventory(InventoryImage(
+            pid=ctx.process.pid, arch=ctx.process.isa.name,
+            source_name=ctx.process.binary.source_name,
+            tids=sorted(t.tid for t in ctx.live),
+            lazy=ctx.lazy,
+            parent=ctx.parent if ctx.parent is not None else ""))
+
+    def restore(self, ctx: RestoreContext, images) -> None:
+        files_img = images.files_img()
+        machine = ctx.machine
+        process = Process(
+            ctx.pid if ctx.pid is not None else machine.alloc_pid(),
+            ctx.binary, files_img.exe_path, machine, aspace=ctx.aspace)
+        process.heap_end = images.mm().heap_end
+        ctx.process = process

@@ -1,0 +1,17 @@
+"""TLS plugin: thread-local storage invariants.
+
+TLS state ships inside the core images (``tls_base``) and the tls VMAs
+(mm + pages), so this plugin emits no section of its own — it exists to
+own the TLS-specific verifier findings (``tls-vma``, ``tls-base``) and
+to document that per-thread ``tp`` restore happens in the registers
+plugin. It is also the template for a section-less resource plugin.
+"""
+
+from __future__ import annotations
+
+from .base import CheckpointPlugin
+
+
+class TlsPlugin(CheckpointPlugin):
+    name = "tls"
+    codes = ("tls-vma", "tls-base")

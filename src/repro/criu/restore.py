@@ -1,131 +1,44 @@
 """Restore: rebuild a live process from an :class:`ImageSet`.
 
-The code segment is re-mapped from the executable named in ``files.img``
-(which the cross-ISA rewriter points at the destination architecture's
-binary), then the dumped pages — including the rewritten execution
-context and stacks — are overlaid.
+A thin driver over the plugin registry (:mod:`repro.criu.plugins`),
+in three steps:
 
-Every restore is gated by the state-image verifier
-(:mod:`repro.verify`): structural and semantic checks run against the
-destination binary before a single page is installed, so a corrupt or
-mis-rewritten image raises :class:`~repro.errors.VerifyError` here
-instead of surfacing as undefined interpreter behavior later. Pass
-``verify=False`` to opt out (e.g. for intentionally-corrupt test
-images).
+1. every plugin's ``pre_restore`` validates its section against the
+   destination machine (the files plugin checks the image's target
+   architecture and loads the destination binary) — nothing is built
+   yet;
+2. the restore guard (:mod:`repro.verify`) judges the image set,
+   including each plugin's own ``verify`` hook, so a corrupt or
+   mis-rewritten image raises :class:`~repro.errors.VerifyError` here
+   instead of surfacing as undefined interpreter behavior later — pass
+   ``verify=False`` to opt out (e.g. for intentionally-corrupt test
+   images);
+3. every plugin's ``restore`` rebuilds its resource in registry
+   (dependency) order: address space, then task, then threads, then
+   auxiliary resources (tmpfs artifacts, journaled connections).
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from ..binfmt.delf import DelfBinary
-from ..errors import MemoryError_, RestoreError
-from ..mem import AddressSpace
-from ..mem.paging import PAGE_SIZE
-from ..mem.vma import Vma
-from ..vm.cpu import ThreadContext, ThreadStatus
 from ..vm.kernel import Machine, Process
 from .images import ImageSet
+from .plugins.base import RestoreContext
+from .plugins.registry import PluginRegistry, default_registry
 
 
 def restore_process(machine: Machine, images: ImageSet,
                     pid: Optional[int] = None,
-                    verify: bool = True) -> Process:
+                    verify: bool = True,
+                    registry: Optional[PluginRegistry] = None) -> Process:
     """Restore the checkpoint into a new process on ``machine``."""
-    files_img = images.files_img()
-    if files_img.exe_arch != machine.isa.name:
-        raise RestoreError(
-            f"image targets {files_img.exe_arch}, machine runs "
-            f"{machine.isa.name} — rewrite the image first")
-    if not machine.tmpfs.exists(files_img.exe_path):
-        raise RestoreError(f"executable {files_img.exe_path!r} not present "
-                           f"on {machine.name}")
-    binary = DelfBinary.from_bytes(machine.tmpfs.read(files_img.exe_path))
-    if binary.arch != machine.isa.name:
-        raise RestoreError(
-            f"binary {files_img.exe_path!r} is {binary.arch}")
+    registry = registry or default_registry()
+    ctx = RestoreContext(machine, images, pid=pid)
+    registry.pre_restore(ctx)
     if verify:
         from ..verify import verify_images
-        verify_images(images, binary=binary)
-
-    aspace = _build_address_space(images, binary)
-    process = Process(pid if pid is not None else machine.alloc_pid(),
-                      binary, files_img.exe_path, machine, aspace=aspace)
-    process.heap_end = images.mm().heap_end
-
-    max_tid = 0
-    for core in images.cores():
-        if core.arch != machine.isa.name:
-            raise RestoreError(
-                f"core-{core.tid} is {core.arch}, machine is "
-                f"{machine.isa.name}")
-        thread = ThreadContext(core.tid, machine.isa)
-        for dwarf, value in core.regs.items():
-            try:
-                index = machine.isa.index_of_dwarf(dwarf)
-            except KeyError:
-                raise RestoreError(
-                    f"core-{core.tid}: DWARF register {dwarf} unknown "
-                    f"to {machine.isa.name}") from None
-            thread.regs[index] = value
-        thread.pc = core.pc
-        thread.flags = core.flags
-        thread.tp = core.tls_base
-        # Trapped threads resume running: the dumped pc already points
-        # past the trap, at the equivalence point.
-        thread.status = ThreadStatus.RUNNING
-        process.threads[core.tid] = thread
-        max_tid = max(max_tid, core.tid)
-    process.next_tid = max_tid + 1
-
+        verify_images(images, binary=ctx.binary, registry=registry)
+    process = registry.restore(ctx)
     machine.adopt_process(process)
     return process
-
-
-def _build_address_space(images: ImageSet, binary: DelfBinary) -> AddressSpace:
-    aspace = AddressSpace()
-    mm = images.mm()
-    try:
-        for vma in mm.vmas:
-            aspace.map(Vma(vma.start, vma.end, vma.prot, vma.name,
-                           vma.file_backed, vma.file_path,
-                           vma.file_offset))
-        # Reload clean code pages from the (destination) binary — once
-        # per text segment, into the file-backed VMA actually covering
-        # it (not once per file-backed VMA of the whole layout).
-        for segment in binary.segments:
-            if segment.section != ".text":
-                continue
-            vma = aspace.find_vma(segment.vaddr)
-            if vma is not None and vma.file_backed:
-                aspace.write_code(segment.vaddr, binary.text)
-    except MemoryError_ as exc:
-        raise RestoreError(
-            f"mm.img describes an invalid layout: {exc}") from exc
-    # Overlay every dumped page (stacks, data, heap, TLS, and the
-    # rewritten execution-context code pages).
-    pagemap = images.pagemap()
-    pages = images.pages()
-    expected = pagemap.data_pages() * PAGE_SIZE
-    if len(pages) < expected:
-        raise RestoreError(
-            f"pages-1.img holds {len(pages)} bytes but the pagemap "
-            f"claims {pagemap.data_pages()} data page(s) "
-            f"({expected} bytes)")
-    index = 0
-    for entry in pagemap.entries:
-        if entry.in_parent:
-            raise RestoreError(
-                f"pagemap run at {entry.vaddr:#x} references a parent "
-                f"checkpoint — materialize the delta through the "
-                f"checkpoint store first")
-        for i in range(entry.nr_pages):
-            base = entry.vaddr + i * PAGE_SIZE
-            if aspace.find_vma(base) is None:
-                raise RestoreError(
-                    f"pagemap run page {base:#x} falls outside every "
-                    f"dumped VMA")
-            offset = index * PAGE_SIZE
-            aspace.install_page(base, pages[offset:offset + PAGE_SIZE])
-            index += 1
-    return aspace

@@ -157,6 +157,28 @@ class QuarantinedImage(VerifyError):
         self.diagnosis = dict(diagnosis or {})
 
 
+class GroupError(ReproError):
+    """Coordinated group checkpoint/restore failure (bad group spec,
+    inconsistent membership, partial restore)."""
+
+
+class GroupRollback(GroupError):
+    """A coordinated group checkpoint/migration aborted and rolled back:
+    prepared member images were swept, orphan chunks GC'd, and every
+    member resumed at the cut.
+
+    Carries the protocol ``phase`` that failed, the number of members
+    already ``prepared`` when it did, and the coordinator's transaction
+    record ``txn``."""
+
+    def __init__(self, message: str, *, phase: str = "?",
+                 prepared: int = 0, txn: dict = None):
+        super().__init__(message)
+        self.phase = phase
+        self.prepared = prepared
+        self.txn = dict(txn or {})
+
+
 class ClusterError(ReproError):
     """Cluster/discrete-event simulation misconfiguration."""
 

@@ -51,16 +51,17 @@ class FleetMigration:
 
     __slots__ = ("mid", "sid", "src", "dst", "reason", "state",
                  "stage_index", "attempts", "started_at", "finished_at",
-                 "shipped_bytes", "stream_open", "faults")
+                 "shipped_bytes", "stream_open", "faults", "gid")
 
     def __init__(self, mid: int, sid: int, src: int, dst: int,
-                 reason: str, started_at: float):
+                 reason: str, started_at: float,
+                 gid: Optional[int] = None):
         self.mid = mid
         self.sid = sid
         self.src = src
         self.dst = dst
         self.reason = reason
-        self.state = "active"           # active | done | rolled_back
+        self.state = "active"           # active | prepared | done | rolled_back
         self.stage_index = 0
         self.attempts = [0] * len(STAGES)
         self.started_at = started_at
@@ -68,6 +69,8 @@ class FleetMigration:
         self.shipped_bytes = 0
         self.stream_open = False
         self.faults = 0
+        #: coordinated-group id, or None for a solo migration
+        self.gid = gid
 
     @property
     def stage(self) -> str:
@@ -95,10 +98,14 @@ class FleetMigrationScheduler:
         self.spec = spec
         self.placement = placement
         self.injector = injector
-        self.pending: Deque[Tuple[int, str]] = deque()
+        self.pending: Deque[Tuple[int, str, Optional[int]]] = deque()
         self.in_flight: Dict[int, FleetMigration] = {}
         self.migrating: Set[int] = set()        # service ids
         self.finished: List[FleetMigration] = []
+        #: gid -> coordinated-group state (two-phase commit across the
+        #: member migrations; see :meth:`submit_group`)
+        self.groups: Dict[int, Dict] = {}
+        self._next_gid = 0
         #: (dst node id, template name) pairs the shared store has
         #: already warmed — the per-destination transfer plan
         self.warm: Set[Tuple[int, str]] = set()
@@ -132,24 +139,63 @@ class FleetMigrationScheduler:
         if sid in self.migrating:
             return False
         self.migrating.add(sid)
-        self.pending.append((sid, reason))
+        self.pending.append((sid, reason, None))
         return True
+
+    def submit_group(self, sids: List[int], reason: str) -> Optional[int]:
+        """Queue a coordinated group: the members commit together or
+        not at all. Each member walks the staged transaction like a
+        solo migration but *holds* at the end of its last stage
+        (state ``prepared``, destination still reserved, source still
+        paused) until every member of the group is prepared — then all
+        commit in one barrier. Any member exhausting its retry budget
+        (or losing a node) aborts the whole group: every member rolls
+        back to its source, exactly like the
+        :class:`~repro.group.GroupCoordinator`'s commit-or-resume
+        invariant at fleet scale. Admission is all-or-nothing: if any
+        member is already migrating, the group is refused. Returns the
+        group id, or ``None`` if refused."""
+        if not sids or len(set(sids)) != len(sids):
+            return None
+        if any(sid in self.migrating for sid in sids):
+            return None
+        gid = self._next_gid
+        self._next_gid += 1
+        self.groups[gid] = {"sids": set(sids), "prepared": set(),
+                            "aborted": False, "committed": False}
+        for sid in sids:
+            self.migrating.add(sid)
+            self.pending.append((sid, reason, gid))
+        return gid
 
     def pump(self, now: float) -> int:
         """Admit queued migrations up to the in-flight cap. Runs at
-        barriers, so admission order is canonical."""
+        barriers, so admission order is canonical. Prepared group
+        members hold no stream and cost nothing, so they do not count
+        against the cap — otherwise a large group could wedge the storm
+        waiting for a sibling the cap keeps out."""
         admitted = 0
-        retry: List[Tuple[int, str]] = []
-        while self.pending and len(self.in_flight) < self.spec.max_in_flight:
-            sid, reason = self.pending.popleft()
-            if self._start(sid, reason, now):
+        retry: List[Tuple[int, str, Optional[int]]] = []
+
+        def active() -> int:
+            return sum(1 for m in self.in_flight.values()
+                       if m.state == "active")
+        while self.pending and active() < self.spec.max_in_flight:
+            sid, reason, gid = self.pending.popleft()
+            if gid is not None and self.groups[gid]["aborted"]:
+                # A sibling already aborted the group while this member
+                # sat queued; it never starts.
+                self.migrating.discard(sid)
+                continue
+            if self._start(sid, reason, now, gid):
                 admitted += 1
             else:
-                retry.append((sid, reason))
+                retry.append((sid, reason, gid))
         self.pending.extend(retry)
         return admitted
 
-    def _start(self, sid: int, reason: str, now: float) -> bool:
+    def _start(self, sid: int, reason: str, now: float,
+               gid: Optional[int] = None) -> bool:
         service = self.services[sid]
         src = self.nodes[service.node]
         if not src.alive:
@@ -166,7 +212,8 @@ class FleetMigrationScheduler:
         self.placement.reindex(dst)
         mid = self._next_mid
         self._next_mid += 1
-        migration = FleetMigration(mid, sid, src.id, dst_id, reason, now)
+        migration = FleetMigration(mid, sid, src.id, dst_id, reason, now,
+                                   gid=gid)
         self.in_flight[mid] = migration
         self.started += 1
         if len(self.in_flight) > self.peak_in_flight:
@@ -254,10 +301,46 @@ class FleetMigrationScheduler:
             self.bytes_full += template.image_bytes
             self.warm.add((migration.dst, template.name))
         if migration.stage_index == len(STAGES) - 1:
-            self._complete(migration, now)
+            if migration.gid is None:
+                self._complete(migration, now)
+            else:
+                self._prepare(migration, now)
         else:
             migration.stage_index += 1
             self._begin_stage(migration, now)
+
+    # -- coordinated groups --------------------------------------------------
+
+    def _prepare(self, migration: FleetMigration, now: float) -> None:
+        """A group member finished its last stage: it *holds* —
+        destination reserved, source paused — until every sibling is
+        prepared, then the whole group commits in one barrier."""
+        group = self.groups[migration.gid]
+        migration.state = "prepared"
+        group["prepared"].add(migration.mid)
+        if len(group["prepared"]) < len(group["sids"]):
+            return
+        group["committed"] = True
+        for mid in sorted(group["prepared"]):
+            member = self.in_flight[mid]
+            member.state = "active"     # _complete finishes it as done
+            self._complete(member, now)
+
+    def _abort_group(self, gid: int, now: float, why: str) -> None:
+        """A member failed: the whole group rolls back to its sources
+        — queued members never start, prepared members release their
+        holds, active members abort in place."""
+        group = self.groups[gid]
+        if group["aborted"]:
+            return                      # already cascading
+        group["aborted"] = True
+        for mid in sorted(self.in_flight):
+            member = self.in_flight.get(mid)
+            if member is None or member.gid != gid:
+                continue
+            if member.state in ("active", "prepared"):
+                member.state = "active"
+                self._rollback(member, now, f"group{gid}:{why}")
 
     # -- outcomes ----------------------------------------------------------
 
@@ -308,6 +391,27 @@ class FleetMigrationScheduler:
                                f"{src.name}->{dst.name}",
                                a=migration.mid, b=migration.faults)
         self._finish(migration, now, "rolled_back")
+        if migration.gid is not None:
+            # Commit-or-resume at fleet scale: one member down takes
+            # the whole group back to its sources (re-entry is guarded
+            # by the group's aborted flag).
+            self._abort_group(migration.gid, now, why)
+
+    def drain_admissions(self, now: float) -> None:
+        """Past the storm horizon nothing new is admitted: withdraw
+        queued-but-never-started requests, then abort any group that
+        can no longer fully prepare — a withdrawn member would leave
+        its prepared siblings holding their destinations forever."""
+        for sid, _reason, _gid in self.pending:
+            self.migrating.discard(sid)
+        self.pending.clear()
+        for gid, group in list(self.groups.items()):
+            if group["committed"] or group["aborted"]:
+                continue
+            live = sum(1 for m in self.in_flight.values()
+                       if m.gid == gid)
+            if live < len(group["sids"]):
+                self._abort_group(gid, now, "admissions-drained")
 
     def node_death(self, victim: int, now: float) -> int:
         """Chaos killed a node: every in-flight migration touching it
@@ -315,7 +419,10 @@ class FleetMigrationScheduler:
         ignored as stale when it arrives)."""
         rolled = 0
         for mid in sorted(self.in_flight):
-            migration = self.in_flight[mid]
+            migration = self.in_flight.get(mid)
+            if migration is None:
+                # Already swept by a sibling's group-abort cascade.
+                continue
             if migration.src == victim or migration.dst == victim:
                 migration.faults += 1
                 self._rollback(migration, now,
@@ -326,8 +433,17 @@ class FleetMigrationScheduler:
     # -- invariants --------------------------------------------------------
 
     def invariant_ok(self) -> bool:
-        """Complete-or-rollback: nothing started is unaccounted for."""
-        return (self.started == self.completed + self.rolled_back
-                + len(self.in_flight)
-                and all(m.state in ("done", "rolled_back")
-                        for m in self.finished))
+        """Complete-or-rollback: nothing started is unaccounted for,
+        and no coordinated group half-committed (members of one group
+        never mix ``done`` with ``rolled_back``)."""
+        if self.started != (self.completed + self.rolled_back
+                            + len(self.in_flight)):
+            return False
+        if not all(m.state in ("done", "rolled_back")
+                   for m in self.finished):
+            return False
+        for gid in self.groups:
+            states = {m.state for m in self.finished if m.gid == gid}
+            if "done" in states and "rolled_back" in states:
+                return False
+        return True

@@ -34,6 +34,8 @@ FIELDS: Tuple = (
     ("spike_factor", float, 3.0),
     ("update_start", float, 15.0),
     ("update_fraction", float, 0.3),
+    ("update_group", int, 0),        # 0 = solo; N>1 = coordinated groups
+
     ("max_in_flight", int, 16),
     ("retry_budget", int, 3),
     ("warm_bp", int, 9000),          # dedup fraction in basis points
@@ -57,6 +59,11 @@ class FleetSpec:
     * ``update_start`` / ``update_fraction`` — the rolling live-update
       wave: that fraction of services is submitted for concurrent
       migration, bounded by ``max_in_flight``.
+    * ``update_group`` — when > 1, the update wave is submitted as
+      coordinated groups of that size
+      (:meth:`~repro.fleet.migrate.FleetMigrationScheduler.submit_group`):
+      each group's members prepare independently but commit together or
+      roll back together.
     * ``warm_bp`` — basis points of a template's image the shared chunk
       store dedups away once the destination has seen the template
       (calibrated by :mod:`repro.fleet.calibrate` from real
@@ -109,6 +116,9 @@ class FleetSpec:
                              f"{self.warm_bp}")
         if not 0.0 <= self.update_fraction <= 1.0:
             raise FleetError("update_fraction must be in [0, 1]")
+        if self.update_group < 0:
+            raise FleetError(f"update_group must be >= 0, got "
+                             f"{self.update_group}")
 
     # -- spec round-trip (journal header embedding) ------------------------
 

@@ -84,6 +84,10 @@ class StormResult:
         self.energy_kj = storm.energy_j / 1e3
         self.cost_usd = storm.cost_usd
         self.node_losses = storm.node_losses
+        self.groups_committed = sum(
+            1 for g in migrations.groups.values() if g["committed"])
+        self.groups_aborted = sum(
+            1 for g in migrations.groups.values() if g["aborted"])
         self.chaos_counts = (storm.injector.counts()
                              if storm.injector else {})
         self.invariant_ok = (migrations.invariant_ok()
@@ -111,6 +115,8 @@ class StormResult:
                 "blackout_s_total": round(self.blackout_s, 3),
                 "migrations_per_sim_sec": round(
                     self.migrations_per_sim_sec, 3),
+                "groups_committed": self.groups_committed,
+                "groups_aborted": self.groups_aborted,
             },
             "traffic": {
                 "arrived": self.arrived,
@@ -235,8 +241,14 @@ class FleetStorm:
                 and when >= self.spec.update_start):
             self._update_submitted = True
             wave = int(self.spec.update_fraction * len(self.services))
-            for sid in range(wave):
-                self.migrations.submit(sid, "update")
+            size = self.spec.update_group
+            if size > 1:
+                for base in range(0, wave, size):
+                    sids = list(range(base, min(base + size, wave)))
+                    self.migrations.submit_group(sids, "update")
+            else:
+                for sid in range(wave):
+                    self.migrations.submit(sid, "update")
         if not self._draining and index % REBALANCE_EVERY == 0:
             self._rebalance()
         self.migrations.pump(when)
@@ -329,9 +341,7 @@ class FleetStorm:
         # runs to completion or rollback — the invariant the CI smoke
         # and the determinism tests both assert.
         self._draining = True
-        for sid, _reason in self.migrations.pending:
-            self.migrations.migrating.discard(sid)
-        self.migrations.pending.clear()
+        self.migrations.drain_admissions(self.core.now)
         drained = 0
         while self.migrations.in_flight and drained < DRAIN_BARRIERS:
             self.core.run_until(self.core.now + self.spec.barrier_dt)

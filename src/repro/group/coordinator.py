@@ -1,0 +1,247 @@
+"""The two-phase group coordinator: commit-or-resume, never half a group.
+
+One :class:`GroupCoordinator` drives a whole
+:class:`~repro.group.service.ServiceGroup` through a coordinated
+checkpoint-and-migrate at a consistent cut:
+
+1. **quiesce** — every member is paused at an equivalence point
+   (:meth:`~repro.core.runtime.DapperRuntime.pause_at_equivalence_points`);
+   pausing only reads the members, so like the migration pipeline's
+   pause it sits outside the transaction,
+2. **drain** — in-flight connections are served-to-completion up to the
+   bounded drain budget (:meth:`ConnectionBroker.begin_drain`); the
+   leftovers are journaled into each endpoint's ``sockets.img`` by the
+   sockets checkpoint plugin at dump time,
+3. **prepare** — each member runs a held-open
+   :class:`~repro.core.migration.MigrationPipeline` migration
+   (``hold_source=True``): dumped, recoded for its placement's ISA,
+   transferred, judged by the restore guard, and restored on the
+   destination — while every paused source stays alive as the rollback
+   target. Each prepared image set is put into the
+   :class:`~repro.store.CheckpointStore`,
+4. **commit** — one :meth:`~repro.store.CheckpointStore.put_group`
+   registers the group manifest (a single chunk: it registers or it
+   does not, so a coordinator crash can never leave a partial group
+   visible), the drain is committed, and every source is torn down.
+
+A member failure, store fault, or injected coordinator crash at any
+phase aborts the whole group cleanly: destination copies killed and
+their image trees swept, prepared checkpoints deleted and their orphan
+chunks GC'd, the drain rolled back, and **every member resumed at the
+cut** — the group-scale mirror of the pipeline's rollback-to-source
+invariant. The protocol journals ``EV_GROUP`` events (all fields
+content-derived), so chaotic group checkpoints replay bit-identically
+from their own journals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.migration import MigrationPipeline
+from ..errors import (GroupError, GroupRollback, InjectedFault,
+                      MigrationRollback, QuarantinedImage, StoreError)
+from ..core.runtime import DapperRuntime
+from ..store import CheckpointStore
+from ..vm.kernel import Machine, Process
+from .service import ServiceGroup
+
+#: the protocol, in order (quiesce is not fault-targetable — see module
+#: docstring; FAULT_PHASES in .spec lists the targetable subset)
+PHASES = ("quiesce", "drain", "prepare", "restore", "commit")
+
+#: pipeline stages that belong to the group protocol's *prepare* phase;
+#: a member rollback in any later stage is a *restore*-phase abort
+_PREPARE_STAGES = ("checkpoint", "recode", "scp", "ship", "store",
+                   "verify")
+
+
+class GroupResult:
+    """Everything one committed group migration produced."""
+
+    def __init__(self, *, gid: str, member_ids: List[str],
+                 processes: List[Process], drained: int, leftover: int):
+        #: the group manifest's checkpoint id (content-derived)
+        self.gid = gid
+        #: member checkpoint ids, in member order
+        self.member_ids = list(member_ids)
+        #: the restored destination processes, in member order
+        self.processes = list(processes)
+        self.drained = drained
+        self.leftover = leftover
+
+    def __repr__(self) -> str:
+        return (f"<GroupResult {self.gid[:12]} members="
+                f"{len(self.member_ids)} drained={self.drained} "
+                f"journaled={self.leftover}>")
+
+
+class GroupCoordinator:
+    """Drives one group through quiesce/drain/prepare/commit."""
+
+    def __init__(self, group: ServiceGroup, placements: List[Machine],
+                 store: Optional[CheckpointStore] = None,
+                 injector=None, recorder=None, fault_phase: str = "",
+                 retry_budget: int = 3):
+        if len(placements) != len(group.members):
+            raise GroupError(
+                f"{len(group.members)} member(s) but "
+                f"{len(placements)} placement(s)")
+        self.group = group
+        self.placements = list(placements)
+        self.store = store if store is not None else CheckpointStore()
+        self.injector = injector
+        self.recorder = recorder
+        self.fault_phase = fault_phase
+        self.retry_budget = retry_budget
+        self._phase = "quiesce"
+        self._forced_fired = False
+        #: PutResults of the prepared member checkpoints (abort sweeps
+        #: the ones this run created)
+        self._puts: List = []
+
+    # -- journaling / fault plumbing ----------------------------------------
+
+    def _journal(self, label: str, a: int = 0, b: int = 0) -> None:
+        if self.recorder is not None:
+            from ..replay.journal import EV_GROUP
+            self.recorder.on_event(EV_GROUP, label=label, a=a, b=b)
+
+    def _fault(self, phase: str) -> None:
+        """One coordinator-level fault consultation. The forced phase
+        from the spec fires exactly once (deterministically — it is a
+        header field, not a draw); a probabilistic injector draws on
+        top of it through the journal-observed RNG."""
+        self._phase = phase
+        if self.fault_phase == phase and not self._forced_fired:
+            self._forced_fired = True
+            self._journal(f"group:forced@{phase}",
+                          a=len(self.group.members))
+            raise InjectedFault(
+                f"forced coordinator fault at group {phase}",
+                kind="crash", site=f"group:{phase}")
+        if self.injector is not None:
+            self.injector.node_fault(f"group:{phase}",
+                                     self.group.machine.name)
+
+    # -- the protocol --------------------------------------------------------
+
+    def migrate(self, max_pause_steps: int = 20_000_000) -> GroupResult:
+        """Run the full protocol; returns the committed
+        :class:`GroupResult` or raises
+        :class:`~repro.errors.GroupRollback` after a clean abort."""
+        group = self.group
+        members = group.members
+
+        # Phase 1: quiesce — all members parked before any dump.
+        self._phase = "quiesce"
+        parked = 0
+        for member in members:
+            member.runtime = DapperRuntime(group.machine, member.process)
+            parked += len(
+                member.runtime.pause_at_equivalence_points(max_pause_steps))
+        self._journal("group:quiesced", a=len(members), b=parked)
+
+        try:
+            return self._transact(members)
+        except (InjectedFault, MigrationRollback, QuarantinedImage,
+                StoreError) as exc:
+            self._abort(exc)
+
+    def _transact(self, members) -> GroupResult:
+        group = self.group
+        broker = group.broker
+
+        # Phase 2: drain — bounded; the rest is journaled at dump time.
+        self._fault("drain")
+        drained, leftover = broker.begin_drain(group.spec.drain)
+        self._journal("group:drained", a=len(drained), b=len(leftover))
+
+        # Phase 3: prepare — held-open per-member migrations; every
+        # prepared image set lands in the store. The forced 'prepare'
+        # fault fires before the *last* member and the forced 'restore'
+        # fault after the *first*, so both abort paths run with some
+        # members already holding restored destination copies.
+        last = len(members) - 1
+        for i, member in enumerate(members):
+            if i == last:
+                self._fault("prepare")
+            self._phase = "prepare"
+            member.pipeline = MigrationPipeline(
+                group.machine, self.placements[i],
+                group.program_for(member),
+                injector=self.injector, retry_budget=self.retry_budget,
+                dump_extra=lambda p, b=broker:
+                    {"connections": b.journaled_for(p.pid)})
+            try:
+                member.result = member.pipeline.migrate(member.process,
+                                                        hold_source=True)
+            except MigrationRollback as exc:
+                # The member's own transaction already resumed *its*
+                # source; map its failing stage onto the group phase.
+                self._phase = ("prepare" if exc.stage in _PREPARE_STAGES
+                               else "restore")
+                raise
+            self._puts.append(self.store.put(member.result.images))
+            if i == 0:
+                self._fault("restore")
+        self._journal("group:prepared", a=len(members),
+                      b=sum(m.result.images.total_bytes()
+                            for m in members))
+
+        # Phase 4: commit — one atomic chunk registers the group, then
+        # the drain and every held source settle. Nothing after
+        # put_group can fault, so an aborted run never leaves a group
+        # manifest behind.
+        self._fault("commit")
+        gid = self.store.put_group(
+            [p.checkpoint_id for p in self._puts],
+            label=f"{group.spec.workers}x-nginx+redis")
+        broker.commit_drain()
+        for member in members:
+            member.pipeline.commit(member.result)
+        self._journal(f"group:committed:{gid[:12]}", a=len(members),
+                      b=len(drained))
+        return GroupResult(
+            gid=gid, member_ids=[p.checkpoint_id for p in self._puts],
+            processes=[m.result.process for m in members],
+            drained=len(drained), leftover=len(leftover))
+
+    # -- the abort path -------------------------------------------------------
+
+    def _abort(self, exc: BaseException) -> None:
+        """Undo the half-coordinated group and resume every member.
+
+        Destination copies are killed and their image trees swept
+        (:meth:`MigrationPipeline.abort`), prepared checkpoints this run
+        registered are deleted and their orphan chunks GC'd, the drain
+        rolls back, and every member resumes at the cut. Raises
+        :class:`~repro.errors.GroupRollback` carrying the phase."""
+        phase = self._phase
+        group = self.group
+        held = 0
+        for member in group.members:
+            if member.result is not None and member.result.held:
+                held += 1
+                member.pipeline.abort(member.result)
+            elif member.runtime is not None:
+                # Never migrated, or its own pipeline already rolled it
+                # back (resume is idempotent on a running process).
+                member.runtime.resume()
+            member.result = None
+        for put in reversed(self._puts):
+            if put.created and put.checkpoint_id in self.store:
+                self.store.delete(put.checkpoint_id)
+        self._puts = []
+        self.store.gc()
+        group.broker.abort_drain()
+        self._journal(f"group:aborted@{phase}", a=len(group.members),
+                      b=held)
+        if self.injector is not None:
+            self.injector.note("rollback", f"group:{phase}",
+                               f"{held} member(s) were already restored",
+                               a=held)
+        raise GroupRollback(
+            f"group checkpoint aborted at {phase!r}; every member "
+            f"resumed at the cut ({exc})",
+            phase=phase, prepared=held) from exc

@@ -1,0 +1,95 @@
+"""Restoring a committed group manifest — possibly split across ISAs.
+
+:func:`restore_group` is the other half of the coordinator's protocol:
+given a group id in a :class:`~repro.store.CheckpointStore`, it
+materializes every member checkpoint, recodes each one for the ISA of
+the machine it is placed on (the same
+:class:`~repro.core.policies.cross_isa.CrossIsaPolicy` +
+:class:`~repro.core.rewriter.ProcessRewriter` path the migration
+pipeline runs), pushes it through the restore guard, and adopts it.
+A failure on any member kills the members already restored and raises
+:class:`~repro.errors.GroupRollback` — all-or-nothing, mirroring the
+coordinator's commit-or-resume invariant from the restore side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..compiler.driver import CompiledProgram
+from ..core.migration import exe_path_for, install_program
+from ..core.policies.cross_isa import CrossIsaPolicy
+from ..core.rewriter import ProcessRewriter
+from ..criu.restore import restore_process
+from ..errors import GroupError, GroupRollback, ReproError
+from ..store import CheckpointStore
+from ..vm.kernel import Machine, Process
+from .service import NGINX, ServiceGroup
+
+
+def split_placements(group: ServiceGroup, worker_machine: Machine,
+                     backend_machine: Machine) -> List[Machine]:
+    """The canonical split placement: the nginx worker pool on one
+    destination, the redis backend on the other — with the two
+    machines on different ISAs this exercises cross-ISA and same-ISA
+    member restores in a single group."""
+    return [worker_machine if member.role == NGINX else backend_machine
+            for member in group.members]
+
+
+def _program_name(exe_path: str) -> str:
+    """``/bin/nginx.x86_64`` -> ``nginx``."""
+    return exe_path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+
+
+def restore_group(store: CheckpointStore, gid: str,
+                  placements: List[Machine],
+                  programs: Dict[str, CompiledProgram],
+                  verify: bool = True) -> List[Process]:
+    """Restore every member of group ``gid`` onto its placement.
+
+    ``placements`` maps member order to destination machines;
+    ``programs`` maps program names (parsed from each member's
+    ``files.img``) to compiled programs, used to recode members whose
+    checkpoint ISA differs from their placement's. ``verify=True``
+    routes every member through the restore guard (including the
+    per-plugin verify hooks). Returns the restored processes in member
+    order; any member failure kills the ones already restored and
+    raises :class:`~repro.errors.GroupRollback` (phase ``restore``).
+    """
+    member_ids = store.members(gid)
+    if len(placements) != len(member_ids):
+        raise GroupError(f"group {gid[:12]} has {len(member_ids)} "
+                         f"member(s) but {len(placements)} placement(s) "
+                         f"were given")
+    restored: List[Process] = []
+    try:
+        for cid, machine in zip(member_ids, placements):
+            images = store.materialize(cid)
+            src_arch = images.inventory().arch
+            name = _program_name(images.files_img().exe_path)
+            program = programs.get(name)
+            if program is None:
+                raise GroupError(
+                    f"group member {cid[:12]} runs {name!r} but no "
+                    f"compiled program for it was given")
+            install_program(machine, program)
+            dst_arch = machine.isa.name
+            if dst_arch != src_arch:
+                policy = CrossIsaPolicy(program.binary(src_arch),
+                                        program.binary(dst_arch),
+                                        exe_path_for(name, dst_arch))
+                ProcessRewriter().rewrite(images, policy)
+            restored.append(restore_process(machine, images,
+                                            verify=verify))
+    except ReproError as exc:
+        for process in restored:
+            if not process.exited:
+                process.machine.kill(process)
+        raise GroupRollback(
+            f"group restore of {gid[:12]} failed on member "
+            f"{len(restored)} of {len(member_ids)}; "
+            f"{len(restored)} already-restored member(s) killed "
+            f"({exc})", phase="restore",
+            prepared=len(restored)) from exc
+    return restored

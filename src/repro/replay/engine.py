@@ -192,11 +192,70 @@ def _execute_fleet(header: Dict, recorder: FlightRecorder
     return 0 if result.invariant_ok else 1
 
 
+def _execute_group(header: Dict, recorder: FlightRecorder
+                   ) -> Optional[int]:
+    """Run (or re-run) a coordinated group checkpoint from its header.
+
+    The ``group`` spec string (which embeds the forced fault phase, if
+    any) and the optional ``chaos`` plan are the entire input; the
+    coordinator journals each protocol phase as an ``EV_GROUP`` event
+    with content-derived fields, every chaos decision draws through a
+    journal-observed RNG service, and the attached machines emit
+    periodic state digests — so a chaotic group checkpoint replays
+    bit-identically from its own journal, commit and abort alike.
+    """
+    # Lazy import: the group package pulls in the apps registry, which
+    # plain run/migrate replays never need.
+    from ..errors import GroupRollback
+    from ..group import GroupCoordinator, GroupSpec, ServiceGroup, \
+        split_placements
+    from ..store import CheckpointStore
+    spec = GroupSpec.from_spec(header["group"])
+    injector = None
+    chaos = header.get("chaos") or ""
+    if chaos:
+        from ..chaos import FaultInjector, FaultPlan
+        plan = FaultPlan.from_spec(chaos)
+        injector = FaultInjector(
+            plan, rng=RngService(plan.seed, observer=recorder.on_rng,
+                                 name="chaos"),
+            recorder=recorder)
+    src = _machine(header, header["src_arch"], name="src")
+    group = ServiceGroup(spec, recorder=recorder, machine=src)
+    group.warmup()
+    # The canonical split placement: workers cross to aarch64, the
+    # backend stays on a same-ISA destination.
+    dst_a = _machine(header, header.get("dst_arch", "aarch64"),
+                     name="dst-a")
+    dst_b = _machine(header, header["src_arch"], name="dst-b")
+    recorder.attach(dst_a)
+    recorder.attach(dst_b)
+    placements = split_placements(group, dst_a, dst_b)
+    coordinator = GroupCoordinator(
+        group, placements, store=CheckpointStore(), injector=injector,
+        recorder=recorder, fault_phase=spec.fault,
+        retry_budget=header.get("retries", 3) or 3)
+    try:
+        result = coordinator.migrate()
+    except GroupRollback:
+        # Aborted: every member resumed at the cut — finish the run on
+        # the source. The abort is part of the journaled control flow.
+        codes = group.run_to_exit_on_source(
+            header.get("max_steps", DEFAULT_MAX_STEPS))
+        return codes[-1]
+    code: Optional[int] = 0
+    for machine, process in zip(placements, result.processes):
+        code = machine.run_process(
+            process, header.get("max_steps", DEFAULT_MAX_STEPS))
+    return code
+
+
 _SCENARIOS = {
     "run": _execute_run,
     "migrate": _execute_migrate,
     "rerandomize": _execute_rerandomize,
     "fleet": _execute_fleet,
+    "group": _execute_group,
 }
 
 
@@ -324,6 +383,40 @@ def record_fleet(fleet_spec: str, chaos: str = "",
     """Record one fleet migration storm (see :func:`fleet_header`)."""
     recorder = FlightRecorder(digest_every=0, record_syscalls=False)
     return execute(fleet_header(fleet_spec, chaos, digest_every),
+                   recorder)
+
+
+def group_header(group_spec: str, chaos: str = "",
+                 digest_every: int = 64) -> Dict:
+    """The self-contained journal header for one coordinated group
+    checkpoint.
+
+    ``group_spec`` is a :meth:`~repro.group.GroupSpec.to_spec` string
+    (including the forced fault phase, if any); ``chaos`` an optional
+    :meth:`~repro.chaos.FaultPlan.to_spec` string. Both embed in the
+    header, which therefore fully describes the run — :class:`Replayer`
+    re-runs it and must reproduce the same ``EV_GROUP`` protocol
+    events, RNG stream, fired faults, and machine digests
+    byte-for-byte, whether the group committed or aborted.
+    """
+    header: Dict = {
+        "scenario": "group", "program": "group-nginx+redis",
+        "source": "", "src_arch": "x86_64", "dst_arch": "aarch64",
+        "group": group_spec, "digest_every": digest_every,
+        "record_syscalls": 0,
+    }
+    if chaos:
+        header["chaos"] = chaos
+    return header
+
+
+def record_group(group_spec: str, chaos: str = "",
+                 digest_every: int = 64) -> ReplayResult:
+    """Record one coordinated group checkpoint (see
+    :func:`group_header`)."""
+    recorder = FlightRecorder(digest_every=digest_every,
+                              record_syscalls=False)
+    return execute(group_header(group_spec, chaos, digest_every),
                    recorder)
 
 

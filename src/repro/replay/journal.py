@@ -66,6 +66,11 @@ EV_BARRIER = 17     #: fleet shard barrier: a = barrier time (µs),
                     #: b = events fired in the window, instr = barrier
                     #: index — the journaled barrier schedule is the
                     #: replay contract for sharded fleet runs
+EV_GROUP = 18       #: coordinated group checkpoint protocol phase:
+                    #: label = "group:<phase>" ("group:prepared",
+                    #: "group:aborted@commit", ...), a = member count,
+                    #: b = content-derived detail (drained connections,
+                    #: prepared members, ...)
 
 KIND_NAMES = {
     EV_SCHED: "sched", EV_DIGEST: "digest", EV_SYSCALL: "syscall",
@@ -73,7 +78,7 @@ KIND_NAMES = {
     EV_CHECKPOINT: "checkpoint", EV_REWRITE: "rewrite",
     EV_RESTORE: "restore", EV_MIGRATE: "migrate", EV_CLUSTER: "cluster",
     EV_FAULT: "fault", EV_END: "end", EV_STORE: "store",
-    EV_VERIFY: "verify", EV_BARRIER: "barrier",
+    EV_VERIFY: "verify", EV_BARRIER: "barrier", EV_GROUP: "group",
 }
 
 HEADER_SCHEMA = wire.Schema("JournalHeader", [
@@ -99,6 +104,7 @@ HEADER_SCHEMA = wire.Schema("JournalHeader", [
     wire.field(20, "chaos", "str"),
     wire.field(21, "retries", "int"),
     wire.field(22, "fleet", "str"),
+    wire.field(23, "group", "str"),
 ])
 
 EVENT_SCHEMA = wire.Schema("JournalEvent", [

@@ -168,6 +168,35 @@ class CheckpointStore:
                          dup_chunks, new_physical, logical,
                          pagemap.total_pages(), len(pages))
 
+    def put_group(self, member_ids: List[str], label: str = "") -> str:
+        """Atomically register a *group manifest* covering already-put
+        member checkpoints — the commit point of a coordinated group
+        checkpoint (:mod:`repro.group`): one chunk either registers or
+        it does not, so a coordinator crash can never leave a partial
+        group visible.
+
+        The group manifest pins every member (like a parent link), so
+        :meth:`delete` refuses to drop a member while a live group
+        still references it. The returned group id is the manifest
+        chunk's digest — content-derived, replay-stable.
+        """
+        if not member_ids:
+            raise StoreError("group manifest needs at least one member")
+        for member in member_ids:
+            if member not in self._checkpoints:
+                raise StoreError(f"group member {member[:12]} is not a "
+                                 f"registered checkpoint")
+            if self.is_group(member):
+                raise StoreError(f"group member {member[:12]} is itself "
+                                 f"a group manifest")
+        manifest = {"kind": "group", "label": label,
+                    "members": list(member_ids)}
+        group_id, _created = self.chunks.ensure(_canon(manifest))
+        if group_id in self._checkpoints:
+            return group_id
+        self._register(group_id, manifest)
+        return group_id
+
     def adopt_manifest(self, manifest_blob: bytes) -> str:
         """Register a manifest whose chunks are already present (the
         receive side of a delta transfer). Idempotent."""
@@ -184,6 +213,11 @@ class CheckpointStore:
             raise StoreError(f"manifest {digest[:12]} parent "
                              f"{parent[:12]} not registered — ship the "
                              f"chain root first")
+        for member in manifest.get("members", ()):
+            if member not in self._checkpoints:
+                raise StoreError(f"group manifest {digest[:12]} member "
+                                 f"{member[:12]} not registered — ship "
+                                 f"the members first")
         for ref in self._manifest_refs(digest, manifest):
             if not self.chunks.has(ref):
                 raise StoreError(f"manifest {digest[:12]} references "
@@ -194,8 +228,12 @@ class CheckpointStore:
     def _manifest_refs(self, checkpoint_id: str, manifest: dict
                        ) -> List[str]:
         """Every chunk reference a registered manifest pins (with
-        multiplicity): its own blob, metas, pages, parent manifest."""
+        multiplicity): its own blob, metas, pages, parent manifest —
+        or, for a group manifest, its own blob plus every member."""
         refs = [checkpoint_id]
+        if manifest.get("kind") == "group":
+            refs.extend(manifest["members"])
+            return refs
         refs.extend(manifest["meta"].values())
         refs.extend(digest for _vaddr, digest in manifest["pages"])
         if manifest.get("parent"):
@@ -242,6 +280,28 @@ class CheckpointStore:
         return [cid for cid, man in self._checkpoints.items()
                 if man.get("parent", "") == checkpoint_id]
 
+    # -- group manifests ----------------------------------------------------
+
+    def is_group(self, checkpoint_id: str) -> bool:
+        return self.manifest(checkpoint_id).get("kind") == "group"
+
+    def group_ids(self) -> List[str]:
+        return [cid for cid, man in self._checkpoints.items()
+                if man.get("kind") == "group"]
+
+    def members(self, group_id: str) -> List[str]:
+        manifest = self.manifest(group_id)
+        if manifest.get("kind") != "group":
+            raise StoreError(
+                f"checkpoint {group_id[:12]} is not a group manifest")
+        return list(manifest["members"])
+
+    def groups_referencing(self, checkpoint_id: str) -> List[str]:
+        """Group manifests that pin ``checkpoint_id`` as a member."""
+        return [gid for gid, man in self._checkpoints.items()
+                if man.get("kind") == "group"
+                and checkpoint_id in man["members"]]
+
     def resolve_pages(self, checkpoint_id: str) -> Dict[int, str]:
         """vaddr -> chunk digest for every page of the checkpoint,
         resolved through the parent chain (child wins), restricted to
@@ -261,8 +321,12 @@ class CheckpointStore:
 
     def logical_bytes(self, checkpoint_id: str) -> int:
         """Size of the checkpoint as a *full* (non-delta) image set —
-        what a plain scp copy of it would ship."""
+        what a plain scp copy of it would ship. For a group manifest:
+        the sum over its members."""
         manifest = self.manifest(checkpoint_id)
+        if manifest.get("kind") == "group":
+            return sum(self.logical_bytes(member)
+                       for member in manifest["members"])
         meta_bytes = sum(self.chunks.chunk(d).logical_size
                          for d in manifest["meta"].values())
         return (meta_bytes
@@ -286,6 +350,10 @@ class CheckpointStore:
         to extend the check to the semantic pass.
         """
         manifest = self.manifest(checkpoint_id)
+        if manifest.get("kind") == "group":
+            raise StoreError(
+                f"checkpoint {checkpoint_id[:12]} is a group manifest — "
+                f"materialize its members individually")
         files = {name: self.chunks.get(digest)
                  for name, digest in manifest["meta"].items()}
         pagemap = PagemapImage.from_bytes(files["pagemap.img"])
@@ -328,14 +396,22 @@ class CheckpointStore:
     # -- lifecycle --------------------------------------------------------
 
     def delete(self, checkpoint_id: str) -> None:
-        """Unregister a checkpoint (children must go first); chunk data
-        is reclaimed by the next :meth:`ChunkStore.gc`."""
+        """Unregister a checkpoint (children must go first, and a member
+        of a live group manifest is refused — delete the group first);
+        chunk data is reclaimed by the next :meth:`ChunkStore.gc`."""
         manifest = self.manifest(checkpoint_id)
         kids = self.children(checkpoint_id)
         if kids:
             raise StoreError(
                 f"checkpoint {checkpoint_id[:12]} has "
                 f"{len(kids)} dependent child(ren); delete those first")
+        groups = self.groups_referencing(checkpoint_id)
+        if groups:
+            raise StoreError(
+                f"checkpoint {checkpoint_id[:12]} is a member of "
+                f"{len(groups)} group manifest(s) "
+                f"({', '.join(g[:12] for g in groups)}); delete those "
+                f"first")
         for ref in self._manifest_refs(checkpoint_id, manifest):
             self.chunks.decref(ref)
         del self._checkpoints[checkpoint_id]
@@ -354,6 +430,10 @@ class CheckpointStore:
             if parent and parent not in self._checkpoints:
                 problems.append(f"checkpoint {cid[:12]}: parent "
                                 f"{parent[:12]} not registered")
+            for member in manifest.get("members", ()):
+                if member not in self._checkpoints:
+                    problems.append(f"group {cid[:12]}: member "
+                                    f"{member[:12]} not registered")
             for ref in self._manifest_refs(cid, manifest):
                 expected[ref] += 1
                 if not self.chunks.has(ref):

@@ -48,6 +48,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--wave", type=float, default=0.3, metavar="F",
                         help="fraction of services in the rolling-"
                              "update wave (default 0.3)")
+    parser.add_argument("--update-group", type=int, default=0,
+                        metavar="N",
+                        help="submit the update wave as coordinated "
+                             "groups of N (commit together or roll "
+                             "back together; default 0 = solo)")
     parser.add_argument("--spike", type=float, default=3.0, metavar="X",
                         help="load-spike factor (default 3.0)")
     for kind in KINDS:
@@ -75,7 +80,8 @@ def _build_spec(args: argparse.Namespace) -> Tuple[object, str]:
     spec = FleetSpec(seed=args.seed, nodes=args.nodes, shards=args.shards,
                      services=args.services, duration=args.duration,
                      max_in_flight=args.max_in_flight,
-                     update_fraction=args.wave, spike_factor=args.spike)
+                     update_fraction=args.wave, spike_factor=args.spike,
+                     update_group=args.update_group)
     probabilities = {kind: getattr(args, kind) for kind in KINDS}
     chaos = ""
     if any(probabilities.values()):
@@ -147,6 +153,9 @@ def _run(args: argparse.Namespace) -> int:
         print(f"  migrations: {m['started']} started, "
               f"{m['completed']} completed, {m['rolled_back']} rolled "
               f"back (peak {m['peak_in_flight']} in flight)")
+        if m["groups_committed"] or m["groups_aborted"]:
+            print(f"  groups: {m['groups_committed']} committed, "
+                  f"{m['groups_aborted']} aborted")
         print(f"  latency ms: p50={d['latency_ms']['p50']} "
               f"p99={d['latency_ms']['p99']} "
               f"p99_storm={d['latency_ms']['p99_storm']}")

@@ -69,20 +69,28 @@ class Finding:
     ``repair`` is ``None`` (unrepairable) or a tuple naming the source
     pass 3 can rebuild the page from: ``("binary", page_base)`` or
     ``("store", page_base, chunk_digest)``.
+
+    ``plugin`` names the checkpoint plugin
+    (:mod:`repro.criu.plugins`) owning the defective resource — set
+    directly by plugin ``verify`` hooks, or attributed afterwards from
+    the finding code so quarantine diagnoses say *which resource class*
+    failed, not just which pass.
     """
 
     __slots__ = ("pass_name", "code", "severity", "message", "vaddr",
-                 "repair")
+                 "repair", "plugin")
 
     def __init__(self, pass_name: str, code: str, message: str,
                  severity: str = FATAL, vaddr: Optional[int] = None,
-                 repair: Optional[tuple] = None):
+                 repair: Optional[tuple] = None,
+                 plugin: Optional[str] = None):
         self.pass_name = pass_name
         self.code = code
         self.severity = severity
         self.message = message
         self.vaddr = vaddr
         self.repair = repair
+        self.plugin = plugin
 
     def to_dict(self) -> dict:
         out = {"pass": self.pass_name, "code": self.code,
@@ -91,6 +99,8 @@ class Finding:
             out["vaddr"] = self.vaddr
         if self.repair is not None:
             out["repair"] = list(self.repair)
+        if self.plugin is not None:
+            out["plugin"] = self.plugin
         return out
 
     def __repr__(self) -> str:
@@ -129,6 +139,15 @@ class VerifyReport:
     def repairable(self) -> List[Finding]:
         return [f for f in self.findings if f.repair is not None]
 
+    def by_plugin(self) -> Dict[str, int]:
+        """Finding counts keyed by owning checkpoint plugin (findings no
+        plugin claims count under ``"?"``)."""
+        out: Dict[str, int] = {}
+        for finding in self.findings:
+            key = finding.plugin or "?"
+            out[key] = out.get(key, 0) + 1
+        return out
+
     def failing_pass(self) -> Optional[str]:
         """Name of the first failing pass (the diagnosis headline)."""
         for name in (PASS_STRUCTURAL, PASS_SEMANTIC, PASS_REPAIR):
@@ -146,6 +165,7 @@ class VerifyReport:
             "findings": [f.to_dict() for f in self.findings],
             "repaired": [f.to_dict() for f in self.repaired],
             "notes": [f.to_dict() for f in self.notes],
+            "by_plugin": self.by_plugin(),
         }
 
     def summary(self) -> str:
@@ -172,16 +192,32 @@ class ImageVerifier:
     ``CheckpointStore.resolve_pages``) and ``expected_digest`` (the
     sender's ``ImageSet.content_digest``) catch byte-level divergence
     the schemas cannot see.
+
+    ``registry`` is the checkpoint plugin registry
+    (:func:`repro.criu.plugins.default_registry` when omitted): its
+    plugins' ``verify`` hooks run as part of the semantic pass — so new
+    resource sections (sockets, tmpfs, ...) get checked without this
+    module changing — and every finding is attributed to its owning
+    plugin for the quarantine diagnosis.
     """
 
     def __init__(self, binary: Optional[DelfBinary] = None,
                  store=None,
                  page_digests: Optional[Dict[int, str]] = None,
-                 expected_digest: Optional[str] = None):
+                 expected_digest: Optional[str] = None,
+                 registry=None):
         self.binary = binary
         self.store = store
         self.page_digests = dict(page_digests or {})
         self.expected_digest = expected_digest
+        self._registry = registry
+
+    @property
+    def registry(self):
+        if self._registry is None:
+            from ..criu.plugins import default_registry
+            self._registry = default_registry()
+        return self._registry
 
     # -- driving -----------------------------------------------------------
 
@@ -192,7 +228,19 @@ class ImageVerifier:
         if not report.fatal():
             report.passes_run.append(PASS_SEMANTIC)
             self._pass_semantic(images, report)
+            self.registry.verify(images, report, binary=self.binary,
+                                 store=self.store)
+        self._attribute(report)
         return report
+
+    def _attribute(self, report: VerifyReport) -> None:
+        """Stamp each finding with the plugin owning its code, so the
+        report (and any quarantine diagnosis built from it) says which
+        resource class failed."""
+        registry = self.registry
+        for finding in report.findings + report.notes + report.repaired:
+            if finding.plugin is None:
+                finding.plugin = registry.plugin_for_code(finding.code)
 
     def repair(self, images: ImageSet
                ) -> Tuple[Optional[ImageSet], VerifyReport]:
@@ -619,12 +667,14 @@ def image_page_digests(images: ImageSet) -> Dict[int, str]:
 
 def verify_images(images: ImageSet, *, binary: Optional[DelfBinary] = None,
                   store=None, page_digests=None, expected_digest=None,
-                  raise_on_fail: bool = True) -> VerifyReport:
+                  raise_on_fail: bool = True,
+                  registry=None) -> VerifyReport:
     """One-call verification. Raises :class:`VerifyError` carrying the
     findings when the image fails and ``raise_on_fail`` is set."""
     verifier = ImageVerifier(binary=binary, store=store,
                              page_digests=page_digests,
-                             expected_digest=expected_digest)
+                             expected_digest=expected_digest,
+                             registry=registry)
     report = verifier.verify(images)
     if raise_on_fail and not report.ok:
         raise VerifyError(

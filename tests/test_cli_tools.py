@@ -11,6 +11,7 @@ import pytest
 from repro.tools import chaos as chaos_cli
 from repro.tools import crit as crit_cli
 from repro.tools import fleet as fleet_cli
+from repro.tools import group as group_cli
 from repro.tools import dapperc, migrate, run as run_cli
 from repro.tools import replay as replay_cli
 from repro.tools import store as store_cli
@@ -275,6 +276,9 @@ class TestUnifiedErrorHandling:
          ["--app", "no-such-app", "--trials", "1", "--crash", "0.1"]),
         (fleet_cli, "repro-fleet", ["--nodes", "0"]),
         (fleet_cli, "repro-fleet", ["--nodes", "4", "--shards", "9"]),
+        (group_cli, "repro-group", ["--workers", "0"]),
+        (group_cli, "repro-group", ["--fault", "bogus"]),
+        (group_cli, "repro-group", ["--chaos", "--trials", "2"]),
     ]
 
     @pytest.mark.parametrize("tool,prog,argv", CASES,

@@ -1,0 +1,310 @@
+"""Checkpoint plugin pipeline tests: the ordered registry, per-plugin
+image sections, extensibility without touching core code, the sockets
+and tmpfs plugins, per-plugin verify attribution, and the lazy restore
+path's guard routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import wire
+from repro.core.migration import exe_path_for, install_program
+from repro.core.runtime import DapperRuntime
+from repro.criu.dump import dump_process
+from repro.criu.images import ImageSet, _decode, _wrap, register_magic
+from repro.criu.lazy import restore_process_lazy
+from repro.criu.plugins import (CheckpointPlugin, DumpContext,
+                                PluginRegistry, default_registry)
+from repro.criu.plugins.sockets import SocketsImage, sockets_img
+from repro.criu.plugins.tmpfs import TmpfsImage, tmpfs_img
+from repro.criu.restore import restore_process
+from repro.errors import CheckpointError, VerifyError
+from repro.isa import X86_ISA
+from repro.mem.paging import PAGE_SIZE
+from repro.verify import image_page_digests, verify_images
+from repro.vm import Machine
+
+
+@pytest.fixture
+def parked(counter_program):
+    """A counter process parked at an equivalence point, SIGSTOPped."""
+    machine = Machine(X86_ISA, name="src")
+    install_program(machine, counter_program)
+    process = machine.spawn_process(exe_path_for("counter", "x86_64"))
+    machine.step_all(2500)
+    assert not process.exited
+    runtime = DapperRuntime(machine, process)
+    runtime.pause_at_equivalence_points()
+    return machine, process, runtime
+
+
+def fresh_dst(counter_program, name="dst"):
+    machine = Machine(X86_ISA, name=name)
+    install_program(machine, counter_program)
+    return machine
+
+
+CONNECTIONS = [
+    {"cid": 0, "src_pid": 100, "dst_pid": 102, "payload": "GET /key-1"},
+    {"cid": 3, "src_pid": 101, "dst_pid": 100, "payload": "GET /key-9"},
+]
+
+
+class TestRegistry:
+    def test_default_order_is_restore_dependency_order(self):
+        assert default_registry().names() == [
+            "files", "vmas", "task", "registers", "tls", "tmpfs",
+            "sockets"]
+
+    def test_register_anchored(self):
+        registry = default_registry()
+
+        class P(CheckpointPlugin):
+            name = "custom"
+        registry.register(P(), after="vmas")
+        assert registry.names().index("custom") == \
+            registry.names().index("vmas") + 1
+        registry2 = default_registry()
+        registry2.register(P(), before="files")
+        assert registry2.names()[0] == "custom"
+
+    def test_duplicate_and_ambiguous_anchors_rejected(self):
+        registry = default_registry()
+        with pytest.raises(CheckpointError):
+            registry.register(default_registry().get("vmas"))
+
+        class P(CheckpointPlugin):
+            name = "p"
+        with pytest.raises(CheckpointError):
+            registry.register(P(), before="files", after="vmas")
+        with pytest.raises(CheckpointError):
+            registry.get("nope")
+
+    def test_section_and_code_ownership(self):
+        registry = default_registry()
+        assert registry.plugin_for_file("pages-1.img") == "vmas"
+        assert registry.plugin_for_file("core-1.img") == "registers"
+        assert registry.plugin_for_file("sockets.img") == "sockets"
+        assert registry.plugin_for_code("socket-dup") == "sockets"
+        assert registry.plugin_for_code("decode:core-2.img") == "registers"
+        assert registry.plugin_for_file("nonsense.bin") is None
+
+
+class TestPluginDump:
+    def test_no_extra_emits_no_optional_sections(self, parked):
+        _, process, _ = parked
+        images = dump_process(process)
+        assert "sockets.img" not in images.files
+        assert "tmpfs.img" not in images.files
+
+    def test_dump_is_deterministic_across_registries(self, parked):
+        """Two fresh registries dump byte-identical image sets — the
+        refactor's parity guarantee."""
+        _, process, _ = parked
+        a = dump_process(process, registry=default_registry())
+        b = dump_process(process, registry=default_registry())
+        assert a.content_digest() == b.content_digest()
+        assert a.files.keys() == b.files.keys()
+
+    def test_extra_sections_do_not_perturb_core_sections(self, parked):
+        _, process, _ = parked
+        plain = dump_process(process)
+        extra = dump_process(process,
+                             extra={"connections": CONNECTIONS})
+        assert set(extra.files) - set(plain.files) == {"sockets.img"}
+        for name in plain.files:
+            assert plain.files[name] == extra.files[name]
+
+
+class TestExtensibility:
+    def test_new_resource_class_without_touching_core(self, parked,
+                                                      counter_program):
+        """The tentpole claim: a brand-new plugin — own magic, wire
+        schema, section, restore hook, verify finding — dumps and
+        restores through the unchanged core drivers."""
+        _, process, _ = parked
+
+        MAGIC = register_magic("leases", 0x4C454153)
+        SCHEMA = wire.Schema("leases", [wire.field(1, "owner", "str")])
+
+        class LeasesPlugin(CheckpointPlugin):
+            name = "leases"
+            sections = ("leases.img",)
+            codes = ("lease-owner",)
+
+            def dump(self, ctx, images):
+                owner = ctx.extra.get("lease_owner")
+                if owner:
+                    images.files["leases.img"] = _wrap(
+                        "leases", SCHEMA.encode({"owner": owner}))
+
+            def restore(self, ctx, images):
+                blob = images.files.get("leases.img")
+                if blob is not None:
+                    data = _decode("leases", SCHEMA, blob)
+                    ctx.process.restored_lease = data["owner"]
+
+            def verify(self, images, report, binary=None, store=None):
+                if "leases.img" in images.files:
+                    report.checks += 1
+
+        registry = default_registry()
+        registry.register(LeasesPlugin(), after="sockets")
+        images = dump_process(process, extra={"lease_owner": "node-7"},
+                              registry=registry)
+        assert "leases.img" in images.files
+        assert registry.plugin_for_file("leases.img") == "leases"
+
+        dst = fresh_dst(counter_program)
+        restored = restore_process(dst, images, registry=registry)
+        assert restored.restored_lease == "node-7"
+        assert MAGIC == 0x4C454153
+
+    def test_unextended_registry_rejects_nothing(self, parked,
+                                                 counter_program):
+        """A dump from an extended registry still restores through the
+        default registry — unknown optional sections must not break
+        consumers that never registered the plugin."""
+        _, process, _ = parked
+        images = dump_process(process,
+                              extra={"connections": CONNECTIONS})
+        dst = fresh_dst(counter_program)
+        restored = restore_process(dst, images)
+        assert restored.restored_connections == CONNECTIONS
+
+
+class TestSocketsPlugin:
+    def test_journal_and_reattach(self, parked, counter_program):
+        _, process, _ = parked
+        images = dump_process(process,
+                              extra={"connections": CONNECTIONS})
+        assert sockets_img(images).connections == CONNECTIONS
+        dst = fresh_dst(counter_program)
+        restored = restore_process(dst, images)
+        assert restored.restored_connections == CONNECTIONS
+
+    def test_image_round_trip(self):
+        image = SocketsImage(CONNECTIONS)
+        again = SocketsImage.from_bytes(image.to_bytes())
+        assert again.connections == CONNECTIONS
+
+    def test_verify_attributes_findings_to_plugin(self, parked,
+                                                  counter_program):
+        """Per-plugin verify: a duplicated cid and a connection that
+        does not touch the dumped pid are semantic findings stamped
+        with the sockets plugin's name."""
+        _, process, _ = parked
+        bad = [
+            {"cid": 1, "src_pid": process.pid, "dst_pid": 999,
+             "payload": "a"},
+            {"cid": 1, "src_pid": process.pid, "dst_pid": 999,
+             "payload": "a"},
+            {"cid": 2, "src_pid": 777, "dst_pid": 888, "payload": "b"},
+        ]
+        images = dump_process(process, extra={"connections": bad})
+        report = verify_images(
+            images, binary=counter_program.binary("x86_64"),
+            raise_on_fail=False)
+        codes = {f.code for f in report.findings}
+        assert {"socket-dup", "socket-owner"} <= codes
+        assert all(f.plugin == "sockets" for f in report.findings)
+        assert report.by_plugin()["sockets"] == len(report.findings)
+
+
+class TestTmpfsPlugin:
+    def test_snapshot_and_recreate(self, parked, counter_program):
+        machine, process, _ = parked
+        machine.tmpfs.write("/var/app.journal", b"aof-bytes")
+        images = dump_process(
+            process, extra={"tmpfs_paths": ["/var/app.journal"]})
+        assert tmpfs_img(images).entries == {
+            "/var/app.journal": b"aof-bytes"}
+        dst = fresh_dst(counter_program)
+        restore_process(dst, images)
+        assert dst.tmpfs.read("/var/app.journal") == b"aof-bytes"
+
+    def test_missing_named_path_is_a_dump_error(self, parked):
+        _, process, _ = parked
+        with pytest.raises(CheckpointError):
+            dump_process(process, extra={"tmpfs_paths": ["/no/such"]})
+
+    def test_image_round_trip(self):
+        image = TmpfsImage({"/a": b"1", "/b": b""})
+        assert TmpfsImage.from_bytes(image.to_bytes()).entries == \
+            {"/a": b"1", "/b": b""}
+
+
+def _text_vaddr(images: ImageSet, binary) -> int:
+    text = next(s for s in binary.segments if s.section == ".text")
+    for entry in images.pagemap().entries:
+        for i in range(entry.nr_pages):
+            vaddr = entry.vaddr + i * PAGE_SIZE
+            if text.vaddr <= vaddr < text.vaddr + text.size:
+                return vaddr
+    raise AssertionError("no text page dumped")
+
+
+def _corrupt_page(images: ImageSet, vaddr: int) -> ImageSet:
+    offset = 0
+    for entry in images.pagemap().entries:
+        for i in range(entry.nr_pages):
+            if entry.vaddr + i * PAGE_SIZE == vaddr:
+                blob = bytearray(images.pages())
+                blob[offset + 7] ^= 0xA5
+                mutated = ImageSet(dict(images.files))
+                mutated.set_pages(bytes(blob))
+                return mutated
+            offset += PAGE_SIZE
+    raise AssertionError(f"page {vaddr:#x} not dumped")
+
+
+class TestLazyRestoreGuard:
+    """Regression: restore_process_lazy routes through the restore
+    guard exactly like restore_process — a corrupt minimal image is
+    rejected before the process is built."""
+
+    def test_corrupt_lazy_image_rejected_by_guard(self, parked,
+                                                  counter_program):
+        _, _, runtime = parked
+        binary = counter_program.binary("x86_64")
+        images, server = runtime.checkpoint_lazy()
+        mutated = _corrupt_page(images, _text_vaddr(images, binary))
+        dst = fresh_dst(counter_program)
+        with pytest.raises(VerifyError):
+            restore_process_lazy(dst, mutated, server, verify=True)
+        assert not dst.processes      # nothing half-built
+
+    def test_verify_false_still_bypasses(self, parked, counter_program):
+        _, _, runtime = parked
+        images, server = runtime.checkpoint_lazy()
+        dst = fresh_dst(counter_program)
+        restored = restore_process_lazy(dst, images, server,
+                                        verify=False)
+        code = dst.run_process(restored)
+        assert code == 0
+
+    def test_clean_lazy_image_passes_guard(self, parked,
+                                           counter_program,
+                                           counter_reference_output):
+        _, process, runtime = parked
+        output_before = process.stdout()
+        images, server = runtime.checkpoint_lazy()
+        dst = fresh_dst(counter_program)
+        restored = restore_process_lazy(dst, images, server, verify=True)
+        dst.run_process(restored)
+        assert output_before + restored.stdout() == \
+            counter_reference_output
+
+
+class TestDumpContract:
+    def test_validate_precedence_is_registry_independent(self, parked):
+        """Contract errors come from DumpContext.validate, so they fire
+        identically no matter how the registry is extended."""
+        machine, process, runtime = parked
+        runtime.resume()
+        machine.step_all(10)
+        with pytest.raises(CheckpointError):
+            dump_process(process)           # not stopped
+        registry = PluginRegistry([])       # even an EMPTY registry
+        with pytest.raises(CheckpointError):
+            registry.dump(DumpContext(process))

@@ -262,6 +262,84 @@ class TestCheckpointStore:
         assert stats["dedup_ratio"] > 1.0
 
 
+class TestGroupManifestChains:
+    """A group manifest pins its members like a parent link: deleting
+    a mid-chain checkpoint a live group references must be refused —
+    never silently GC'd out from under the manifest."""
+
+    def _chain(self, parked, store, epochs=2):
+        """Build full A <- delta B (<- delta C ...); returns the ids."""
+        machine, process, runtime = parked
+        ckpt = IncrementalCheckpointer(store, process, runtime=runtime)
+        ids = [ckpt.checkpoint().checkpoint_id]
+        for _ in range(epochs - 1):
+            advance(machine, runtime)
+            ids.append(ckpt.checkpoint().checkpoint_id)
+        return ids
+
+    def test_mid_chain_member_delete_refused_while_group_lives(
+            self, parked):
+        store = CheckpointStore()
+        root, mid, leaf = self._chain(parked, store, epochs=3)
+        gid = store.put_group([mid], label="pins-the-middle")
+        assert store.groups_referencing(mid) == [gid]
+        store.delete(leaf)              # the chain child goes first...
+        with pytest.raises(StoreError):
+            store.delete(mid)           # ...but the group still pins mid
+        # Nothing was silently reclaimed: the member still materializes
+        # and fsck stays clean.
+        assert not store.materialize(mid).is_delta()
+        assert store.verify() == []
+        # Delete in dependency order and the chain drains completely.
+        store.delete(gid)
+        store.delete(mid)
+        store.delete(root)
+        store.gc()
+        assert len(store.chunks) == 0
+
+    def test_parent_of_group_member_refused_for_children_first(
+            self, parked):
+        store = CheckpointStore()
+        root, leaf = self._chain(parked, store)
+        store.put_group([leaf])
+        with pytest.raises(StoreError):
+            store.delete(root)          # child ordering, group or not
+
+    def test_group_members_must_be_registered_checkpoints(self, parked):
+        _machine, _process, runtime = parked
+        store = CheckpointStore()
+        put = store.put(runtime.checkpoint())
+        with pytest.raises(StoreError):
+            store.put_group([])
+        with pytest.raises(StoreError):
+            store.put_group([put.checkpoint_id, "f" * 32])
+        gid = store.put_group([put.checkpoint_id])
+        with pytest.raises(StoreError):
+            store.put_group([gid])      # groups of groups are refused
+
+    def test_put_group_is_idempotent_and_content_derived(self, parked):
+        _machine, _process, runtime = parked
+        store = CheckpointStore()
+        put = store.put(runtime.checkpoint())
+        gid = store.put_group([put.checkpoint_id], label="twice")
+        again = store.put_group([put.checkpoint_id], label="twice")
+        assert gid == again
+        assert store.group_ids() == [gid]
+        assert store.verify() == []
+
+    def test_group_delete_unpins_members_for_gc(self, parked):
+        _machine, _process, runtime = parked
+        store = CheckpointStore()
+        put = store.put(runtime.checkpoint())
+        gid = store.put_group([put.checkpoint_id])
+        store.delete(gid)
+        assert store.groups_referencing(put.checkpoint_id) == []
+        store.delete(put.checkpoint_id)
+        store.gc()
+        assert len(store.chunks) == 0
+        assert store.chunks.orphans() == []
+
+
 class TestTransfer:
     def _two_epoch_store(self, parked):
         machine, process, runtime = parked
