@@ -11,6 +11,10 @@ plain copy-the-images pipeline:
   new chunks cross the wire),
 * **incremental dumps** — physical bytes each successive epoch
   checkpoint adds to the store (dirty pages only),
+* **durability** — wall-clock crash-recovery time and scrub
+  throughput of the dir-backend store holding the epoch chain, plus
+  the crash-point sweep verdict (every durability site of a ``put``
+  killed and recovered; deterministic, so asserted under ``--smoke``),
 * store fsck (``verify``) must be clean on both sides, and the
   restored output must be byte-identical on every path.
 
@@ -102,6 +106,66 @@ def incremental_epochs(program):
     return epochs, stats
 
 
+def durability(program) -> dict:
+    """Recovery time, scrub throughput, and the crash-sweep verdict
+    for a dir-backend store holding the epoch chain."""
+    import time
+
+    from repro.chaos import sweep as crash_sweep
+    from repro.core.migration import exe_path_for, install_program
+    from repro.criu.dump import dump_process
+    from repro.store import DirBackend, SimDisk
+
+    machine = Machine(get_isa("x86_64"), name="dur")
+    install_program(machine, program)
+    process = machine.spawn_process(
+        exe_path_for(program.name, "x86_64"))
+    machine.step_all(WARMUP)
+    runtime = DapperRuntime(machine, process)
+    runtime.pause_at_equivalence_points()
+
+    disk = SimDisk(seed=0)
+    store = CheckpointStore(backend=DirBackend(disk))
+    first_images = None
+    for _ in range(EPOCHS):
+        images = dump_process(process)
+        if first_images is None:
+            first_images = images
+        store.put(images)
+        runtime.resume()
+        machine.step_all(EPOCH_STEPS)
+        if process.exited:
+            break
+        runtime.pause_at_equivalence_points()
+
+    start = time.perf_counter()
+    recovered, report = CheckpointStore.recover(DirBackend(disk.clone()))
+    recover_ms = (time.perf_counter() - start) * 1000.0
+    if report.fsck:
+        raise SystemExit(f"recovery fsck failed: {report.fsck}")
+
+    start = time.perf_counter()
+    scrubbed = store.scrub()
+    elapsed = max(time.perf_counter() - start, 1e-9)
+    if scrubbed.corrupt:
+        raise SystemExit(f"scrub found corruption on a healthy "
+                         f"store: {scrubbed.corrupt}")
+
+    swept = crash_sweep(lambda s: None,
+                        lambda s, ctx: s.put(first_images),
+                        label="put", seed=0, atomic=True)
+    return {
+        "checkpoints": len(recovered.checkpoint_ids()),
+        "chunks": len(recovered.chunks),
+        "recover_ms": round(recover_ms, 3),
+        "scrub_chunks": scrubbed.scanned,
+        "scrub_mb_per_s": round(
+            scrubbed.logical_bytes / elapsed / 1e6, 2),
+        "crash_sites": len(swept.sites),
+        "crash_sweep_ok": swept.ok,
+    }
+
+
 def measure(app_name: str, size: str) -> dict:
     program = get_app(app_name).compile(size)
 
@@ -124,6 +188,7 @@ def measure(app_name: str, size: str) -> dict:
                              f"{app_name}: {problems}")
 
     epochs, inc_stats = incremental_epochs(program)
+    durable = durability(program)
 
     cold_bytes = cold.stats["store"]["bytes_shipped"]
     warm_bytes = warm.stats["store"]["bytes_shipped"]
@@ -142,6 +207,7 @@ def measure(app_name: str, size: str) -> dict:
         "incremental_epochs": epochs,
         "incremental_dedup_ratio": round(
             inc_stats["dedup_ratio"], 2),
+        "durability": durable,
     }
 
 
@@ -171,6 +237,13 @@ def main() -> int:
             print(f"  epoch {i} {kind} pages="
                   f"{epoch['pages_carried']}/{epoch['pages_total']} "
                   f"+{epoch['new_physical_bytes']}B")
+        durable = row["durability"]
+        print(f"  durability: recover={durable['recover_ms']}ms "
+              f"({durable['checkpoints']} ckpts, "
+              f"{durable['chunks']} chunks) "
+              f"scrub={durable['scrub_mb_per_s']}MB/s "
+              f"sweep={durable['crash_sites']} sites "
+              f"{'ok' if durable['crash_sweep_ok'] else 'FAILED'}")
 
     if args.smoke:
         for row in results:
@@ -178,7 +251,10 @@ def main() -> int:
                 f"{row['app']}: warm store migration shipped "
                 f"{row['warm_store_bytes']}B, not under half of the "
                 f"{row['full_copy_bytes']}B full copy")
-        print("smoke OK: warm delta < 50% of full copy on every app")
+            assert row["durability"]["crash_sweep_ok"], (
+                f"{row['app']}: crash-point sweep failed")
+        print("smoke OK: warm delta < 50% of full copy on every app, "
+              "crash sweep recovered every site")
 
     record = {
         "benchmark": "store",

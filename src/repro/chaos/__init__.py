@@ -5,9 +5,18 @@ A :class:`FaultPlan` says *what can go wrong and how often*; a
 :class:`~repro.core.rng.RngService`, so chaos runs are deterministic and
 — with a flight recorder attached — replay bit-identically from their
 own journals.
+
+The crash-point engine (:mod:`repro.chaos.crashpoints`) is the
+exhaustive counterpart: instead of rolling dice it enumerates every
+durability site the checkpoint store's backend touches and kills the
+store at each one, reopening the survivors and asserting the
+crash-consistency invariants.
 """
 
+from .crashpoints import (CrashPointInjector, SweepResult, SweepTrial,
+                          sweep)
 from .faults import BP, KINDS, FaultPlan
 from .injector import FaultInjector, FiredFault
 
-__all__ = ["BP", "KINDS", "FaultPlan", "FaultInjector", "FiredFault"]
+__all__ = ["BP", "KINDS", "FaultPlan", "FaultInjector", "FiredFault",
+           "CrashPointInjector", "SweepResult", "SweepTrial", "sweep"]

@@ -220,6 +220,24 @@ class StoreError(ReproError):
     """Checkpoint-store failure (missing chunk, corruption, bad ref)."""
 
 
+class StoreCrash(ReproError):
+    """A simulated process crash at a store durability site.
+
+    Raised by the chaos engine's :class:`~repro.chaos.CrashPointInjector`
+    at an exact backend write / fsync / rename / WAL-append boundary.
+    Deliberately *not* an :class:`InjectedFault`: a crash is sudden
+    death, so no transactional abort path may catch and "handle" it —
+    it unwinds to the harness, which discards the in-memory store and
+    reopens from the surviving simulated disk via
+    :meth:`~repro.store.CheckpointStore.recover`. ``site`` names the
+    durability site that was about to execute."""
+
+    def __init__(self, message: str, *, site: str = "?", index: int = -1):
+        super().__init__(message)
+        self.site = site
+        self.index = index
+
+
 class InjectedFault(ReproError):
     """Base class for faults raised by the chaos injector.
 

@@ -115,6 +115,7 @@ class FleetMigrationScheduler:
         self.started = 0
         self.completed = 0
         self.rolled_back = 0
+        self.resumed_durable = 0
         self.peak_in_flight = 0
         self.bytes_shipped = 0
         self.bytes_full = 0
@@ -416,18 +417,41 @@ class FleetMigrationScheduler:
     def node_death(self, victim: int, now: float) -> int:
         """Chaos killed a node: every in-flight migration touching it
         takes the rollback path immediately (its pending stage mail is
-        ignored as stale when it arrives)."""
+        ignored as stale when it arrives).
+
+        With ``spec.durable`` set the nodes hold crash-consistent
+        stores (PR 10): a migration that lost only its *source* after
+        its checkpoint durably landed in the shared store (past the
+        ``store`` stage, or already ``prepared``) does **not** roll
+        back — there is nothing on the dead node it still needs, so it
+        resumes from the warm recovered store and completes on its
+        destination. A lost destination, or a source lost before the
+        checkpoint was durable, still rolls back."""
         rolled = 0
+        store_stage = STAGES.index("store")
         for mid in sorted(self.in_flight):
             migration = self.in_flight.get(mid)
             if migration is None:
                 # Already swept by a sibling's group-abort cascade.
                 continue
-            if migration.src == victim or migration.dst == victim:
-                migration.faults += 1
-                self._rollback(migration, now,
-                               f"{migration.stage}:node-loss")
-                rolled += 1
+            if migration.src != victim and migration.dst != victim:
+                continue
+            if (self.spec.durable
+                    and migration.src == victim
+                    and migration.dst != victim
+                    and (migration.state == "prepared"
+                         or migration.stage_index > store_stage)):
+                self.resumed_durable += 1
+                if self.injector is not None:
+                    self.injector.note(
+                        "resume", f"fleet:{migration.stage}:durable",
+                        f"svc{migration.sid} survives src loss",
+                        a=migration.mid)
+                continue
+            migration.faults += 1
+            self._rollback(migration, now,
+                           f"{migration.stage}:node-loss")
+            rolled += 1
         return rolled
 
     # -- invariants --------------------------------------------------------

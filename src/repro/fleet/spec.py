@@ -41,6 +41,9 @@ FIELDS: Tuple = (
     ("warm_bp", int, 9000),          # dedup fraction in basis points
     ("respawn", float, 10.0),
     ("rebalance_backlog", int, 400),
+    ("durable", int, 0),             # 1 = nodes hold crash-consistent
+                                     # stores: prepared migrations
+                                     # resume after a node restart
 )
 
 

@@ -67,6 +67,7 @@ class StormResult:
         self.started = migrations.started
         self.completed = migrations.completed
         self.rolled_back = migrations.rolled_back
+        self.resumed_durable = migrations.resumed_durable
         self.peak_in_flight = migrations.peak_in_flight
         self.deferred = migrations.deferred
         self.bytes_shipped = migrations.bytes_shipped
@@ -108,6 +109,7 @@ class StormResult:
                 "started": self.started,
                 "completed": self.completed,
                 "rolled_back": self.rolled_back,
+                "resumed_durable": self.resumed_durable,
                 "peak_in_flight": self.peak_in_flight,
                 "deferred": self.deferred,
                 "bytes_shipped": self.bytes_shipped,
@@ -293,10 +295,15 @@ class FleetStorm:
         node = self.nodes[node_id]
         node.revive()
         self.placement.reindex(node)
-        # Nothing hosted here can be mid-migration (a dead source
-        # rolls back immediately and never re-admits), so everything
-        # resumes — with whatever backlog accumulated in the dark.
+        # A dead source normally rolls back and never re-admits, so
+        # everything hosted here resumes — with whatever backlog
+        # accumulated in the dark. In durable mode, though, a migration
+        # may have survived this node's death on its recovered store
+        # and still be completing toward its destination: that service
+        # stays paused until its restore lands over there.
         for sid in sorted(node.services):
+            if sid in self.migrations.migrating:
+                continue
             self.services[sid].resume()
 
     def _emit_digest(self) -> None:
@@ -321,6 +328,7 @@ class FleetStorm:
                            service.backlog)).encode())
         m = self.migrations
         h.update(repr((m.started, m.completed, m.rolled_back,
+                       m.resumed_durable,
                        m.bytes_shipped, sorted(m.in_flight),
                        self.hist.total, self.hist.counts,
                        self.storm_hist.total)).encode())

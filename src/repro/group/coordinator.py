@@ -99,6 +99,13 @@ class GroupCoordinator:
         #: PutResults of the prepared member checkpoints (abort sweeps
         #: the ones this run created)
         self._puts: List = []
+        #: open WAL group intent on a durable store (None otherwise):
+        #: opened before the first member prepares, amended per member,
+        #: sealed by put_group's commit record or by group_abort — the
+        #: durable side of commit-or-resume. A coordinator *crash*
+        #: (as opposed to a handled fault) leaves it open, and
+        #: CheckpointStore.recover rolls the prepared members back.
+        self._txn = None
 
     # -- journaling / fault plumbing ----------------------------------------
 
@@ -163,6 +170,8 @@ class GroupCoordinator:
         # fault after the *first*, so both abort paths run with some
         # members already holding restored destination copies.
         last = len(members) - 1
+        self._txn = self.store.group_begin(
+            label=f"{group.spec.workers}x-nginx+redis")
         for i, member in enumerate(members):
             if i == last:
                 self._fault("prepare")
@@ -182,7 +191,9 @@ class GroupCoordinator:
                 self._phase = ("prepare" if exc.stage in _PREPARE_STAGES
                                else "restore")
                 raise
-            self._puts.append(self.store.put(member.result.images))
+            put = self.store.put(member.result.images)
+            self._puts.append(put)
+            self.store.group_member(self._txn, put.checkpoint_id)
             if i == 0:
                 self._fault("restore")
         self._journal("group:prepared", a=len(members),
@@ -196,7 +207,8 @@ class GroupCoordinator:
         self._fault("commit")
         gid = self.store.put_group(
             [p.checkpoint_id for p in self._puts],
-            label=f"{group.spec.workers}x-nginx+redis")
+            label=f"{group.spec.workers}x-nginx+redis", txn=self._txn)
+        self._txn = None
         broker.commit_drain()
         for member in members:
             member.pipeline.commit(member.result)
@@ -233,6 +245,8 @@ class GroupCoordinator:
             if put.created and put.checkpoint_id in self.store:
                 self.store.delete(put.checkpoint_id)
         self._puts = []
+        self.store.group_abort(self._txn)
+        self._txn = None
         self.store.gc()
         group.broker.abort_drain()
         self._journal(f"group:aborted@{phase}", a=len(group.members),

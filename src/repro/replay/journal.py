@@ -71,6 +71,13 @@ EV_GROUP = 18       #: coordinated group checkpoint protocol phase:
                     #: "group:aborted@commit", ...), a = member count,
                     #: b = content-derived detail (drained connections,
                     #: prepared members, ...)
+EV_RECOVER = 19     #: durable-store crash recovery: label =
+                    #: "recover:<clean|torn>", a = checkpoints
+                    #: registered after recovery, b = damage handled
+                    #: (quarantined chunks + rolled-back txns + orphans
+                    #: swept). Purely content-derived from the
+                    #: surviving disk, so crash/recover runs replay
+                    #: bit-identically
 
 KIND_NAMES = {
     EV_SCHED: "sched", EV_DIGEST: "digest", EV_SYSCALL: "syscall",
@@ -79,6 +86,7 @@ KIND_NAMES = {
     EV_RESTORE: "restore", EV_MIGRATE: "migrate", EV_CLUSTER: "cluster",
     EV_FAULT: "fault", EV_END: "end", EV_STORE: "store",
     EV_VERIFY: "verify", EV_BARRIER: "barrier", EV_GROUP: "group",
+    EV_RECOVER: "recover",
 }
 
 HEADER_SCHEMA = wire.Schema("JournalHeader", [

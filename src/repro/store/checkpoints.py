@@ -26,7 +26,8 @@ from ..criu.dump import dump_process
 from ..criu.images import ImageSet, PagemapEntry, PagemapImage
 from ..errors import StoreError
 from ..mem.paging import PAGE_SIZE
-from .chunks import ChunkStore
+from .chunks import CODECS, ChunkStore, chunk_digest
+from .wal import WriteAheadLog, decode_wal, fold_wal
 
 #: every image file except the page data itself
 _PAGES_FILE = "pages-1.img"
@@ -75,13 +76,110 @@ class PutResult:
                 f"({self.logical_bytes}B logical)>")
 
 
-class CheckpointStore:
-    """Checkpoint manifests over a :class:`ChunkStore`."""
+class RecoveryReport:
+    """What :meth:`CheckpointStore.recover` found and did."""
 
-    def __init__(self, codec: str = "zlib"):
+    def __init__(self):
+        #: checkpoint ids registered after recovery, in WAL order
+        self.checkpoints: List[str] = []
+        #: chunk digests whose files were torn/corrupt → quarantined
+        self.quarantined: List[str] = []
+        #: committed checkpoints skipped because a chunk they need was
+        #: damaged (cascades through children and groups)
+        self.damaged: List[str] = []
+        #: open (uncommitted) transactions rolled back, as
+        #: ``(txn, action, cid-or-"")``
+        self.rolled_back: List[Tuple[int, str, str]] = []
+        #: member checkpoint ids of aborted coordinator group intents —
+        #: the caller (coordinator / fleet) resumes these processes
+        self.aborted_group_members: List[str] = []
+        #: unreferenced chunk files swept from disk
+        self.orphans_swept: int = 0
+        #: in-flight tmp files discarded
+        self.tmp_swept: int = 0
+        #: why the WAL tail was cut, or None for a clean log
+        self.tail_cut: Optional[str] = None
+        #: post-recovery fsck findings (empty on a healthy recovery)
+        self.fsck: List[str] = []
+
+    @property
+    def clean(self) -> bool:
+        return not self.fsck
+
+    @property
+    def damage_handled(self) -> int:
+        return (len(self.quarantined) + len(self.rolled_back)
+                + len(self.damaged) + self.orphans_swept)
+
+    def __repr__(self) -> str:
+        return (f"<RecoveryReport {len(self.checkpoints)} ckpts "
+                f"quarantined={len(self.quarantined)} "
+                f"rolled_back={len(self.rolled_back)} "
+                f"orphans={self.orphans_swept} "
+                f"{'clean' if self.clean else 'DIRTY'}>")
+
+
+class ScrubReport:
+    """One :meth:`CheckpointStore.scrub` pass over a digest window."""
+
+    def __init__(self):
+        self.scanned = 0
+        self.logical_bytes = 0
+        self.corrupt: List[str] = []
+        self.repaired: List[str] = []
+        self.quarantined: List[str] = []
+        #: digest to resume the next incremental window from ("" = done)
+        self.cursor: str = ""
+
+    def __repr__(self) -> str:
+        return (f"<ScrubReport scanned={self.scanned} "
+                f"corrupt={len(self.corrupt)} "
+                f"repaired={len(self.repaired)} "
+                f"quarantined={len(self.quarantined)}>")
+
+
+class CheckpointStore:
+    """Checkpoint manifests over a :class:`ChunkStore`.
+
+    With no ``backend`` the store is purely in-memory (the seed
+    behaviour, unchanged). With a :class:`~repro.store.backend.DirBackend`
+    every mutation is made *crash-consistent*: chunk files land
+    content-addressed via write-tmp/fsync/rename, and every multi-step
+    mutation (put / put_group / adopt / delete / gc / coordinator
+    group) is bracketed by write-ahead intents, so
+    :meth:`recover` can reopen whatever a crash left behind.
+    """
+
+    def __init__(self, codec: str = "zlib", backend=None):
         self.chunks = ChunkStore(codec=codec)
         # checkpoint id -> manifest dict, in registration order
         self._checkpoints: Dict[str, dict] = {}
+        self.backend = backend
+        self.wal: Optional[WriteAheadLog] = None
+        if backend is not None:
+            if backend.has_wal():
+                raise StoreError(
+                    "backend already holds a durable store — open it "
+                    "with CheckpointStore.recover()")
+            self.wal = WriteAheadLog(backend)
+            self.wal.init(codec)
+
+    # -- durable plumbing --------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        return self.backend is not None
+
+    def _persist_chunk(self, digest: str) -> None:
+        """Publish one in-memory chunk as a durable file (idempotent)."""
+        chunk = self.chunks.chunk(digest)
+        self.backend.put_chunk(digest, chunk.codec, chunk.logical_size,
+                               chunk.payload)
+
+    def _persist_refs(self, checkpoint_id: str, manifest: dict) -> None:
+        for ref in sorted(set(self._manifest_refs(checkpoint_id,
+                                                  manifest))):
+            self._persist_chunk(ref)
 
     # -- ingest -----------------------------------------------------------
 
@@ -163,12 +261,22 @@ class CheckpointStore:
                              dup_chunks, new_physical, logical,
                              pagemap.total_pages(), len(pages))
 
+        if self.durable:
+            # Intent first, chunk files second, commit third: a crash
+            # anywhere in between recovers as "this put never
+            # happened" (orphan files swept), while a durable commit
+            # record guarantees every referenced chunk file already
+            # landed — committed checkpoints reopen byte-identically.
+            txn = self.wal.begin("put", cid=checkpoint_id)
+            self._persist_refs(checkpoint_id, manifest)
+            self.wal.commit(txn)
         self._register(checkpoint_id, manifest)
         return PutResult(checkpoint_id, True, delta, new_chunks,
                          dup_chunks, new_physical, logical,
                          pagemap.total_pages(), len(pages))
 
-    def put_group(self, member_ids: List[str], label: str = "") -> str:
+    def put_group(self, member_ids: List[str], label: str = "",
+                  txn: Optional[int] = None) -> str:
         """Atomically register a *group manifest* covering already-put
         member checkpoints — the commit point of a coordinated group
         checkpoint (:mod:`repro.group`): one chunk either registers or
@@ -179,6 +287,12 @@ class CheckpointStore:
         :meth:`delete` refuses to drop a member while a live group
         still references it. The returned group id is the manifest
         chunk's digest — content-derived, replay-stable.
+
+        ``txn`` is an open coordinator intent from :meth:`group_begin`;
+        when given, the group's WAL commit record seals that
+        transaction (carrying the group id, which is only known here),
+        making this call the durable commit point of the whole
+        two-phase protocol.
         """
         if not member_ids:
             raise StoreError("group manifest needs at least one member")
@@ -193,9 +307,56 @@ class CheckpointStore:
                     "members": list(member_ids)}
         group_id, _created = self.chunks.ensure(_canon(manifest))
         if group_id in self._checkpoints:
+            if self.durable and txn is not None:
+                self.wal.commit(txn, cid=group_id)
             return group_id
+        if self.durable:
+            if txn is None:
+                txn = self.wal.begin("put_group", cid=group_id,
+                                     members=list(member_ids),
+                                     label=label)
+            self._persist_refs(group_id, manifest)
+            self.wal.commit(txn, cid=group_id)
         self._register(group_id, manifest)
         return group_id
+
+    # -- coordinator group intents ----------------------------------------
+
+    def group_begin(self, label: str = "") -> Optional[int]:
+        """Open a coordinated-group intent *before* any member is
+        prepared. Returns the WAL transaction id (None on an in-memory
+        store). Amend it with :meth:`group_member` as members prepare;
+        :meth:`put_group` (with ``txn=``) commits it, and
+        :meth:`group_abort` closes it after an in-process rollback."""
+        if not self.durable:
+            return None
+        return self.wal.begin("group", label=label)
+
+    def group_member(self, txn: Optional[int], member_id: str) -> None:
+        """Record one prepared member on an open group intent, so a
+        coordinator crash before commit knows exactly which member
+        checkpoints to roll back and which processes to resume."""
+        if self.durable and txn is not None:
+            self.wal.member(txn, member_id)
+
+    def group_abort(self, txn: Optional[int]) -> None:
+        """Seal an aborted group intent whose in-process rollback
+        already deleted the prepared members — recovery must not undo
+        it a second time."""
+        if self.durable and txn is not None:
+            self.wal.abort(txn)
+
+    def adopt_chunk(self, digest: str, codec: str, payload: bytes,
+                    logical_size: int) -> bool:
+        """Install an already-compressed chunk (the receive side of a
+        transfer), persisting it durably when backed. No WAL record:
+        chunk files are content-addressed and self-verifying, so an
+        unreferenced one left by a crashed transfer is simply swept as
+        an orphan at :meth:`recover` time."""
+        created = self.chunks.adopt(digest, codec, payload, logical_size)
+        if self.durable:
+            self._persist_chunk(digest)
+        return created
 
     def adopt_manifest(self, manifest_blob: bytes) -> str:
         """Register a manifest whose chunks are already present (the
@@ -222,6 +383,10 @@ class CheckpointStore:
             if not self.chunks.has(ref):
                 raise StoreError(f"manifest {digest[:12]} references "
                                  f"missing chunk {ref[:12]}")
+        if self.durable:
+            txn = self.wal.begin("adopt", cid=digest)
+            self._persist_refs(digest, manifest)
+            self.wal.commit(txn)
         self._register(digest, manifest)
         return digest
 
@@ -412,17 +577,41 @@ class CheckpointStore:
                 f"{len(groups)} group manifest(s) "
                 f"({', '.join(g[:12] for g in groups)}); delete those "
                 f"first")
+        if self.durable:
+            # Intent + commit with no durable apply in between: the
+            # unregistration is real iff the commit record landed;
+            # chunk files linger until the next gc either way.
+            txn = self.wal.begin("delete", cid=checkpoint_id)
+            self.wal.commit(txn)
+        self._delete_mem(checkpoint_id, manifest)
+
+    def _delete_mem(self, checkpoint_id: str, manifest: dict) -> None:
         for ref in self._manifest_refs(checkpoint_id, manifest):
             self.chunks.decref(ref)
         del self._checkpoints[checkpoint_id]
 
     def gc(self) -> Tuple[int, int]:
-        return self.chunks.gc()
+        if not self.durable:
+            return self.chunks.gc()
+        dead = self.chunks.orphans()
+        txn = self.wal.begin("gc", digests=dead)
+        reclaimed = self.chunks.gc()
+        for digest in dead:
+            self.backend.unlink_chunk(digest)
+        self.wal.commit(txn)
+        return reclaimed
 
     # -- fsck -------------------------------------------------------------
 
     def verify(self) -> List[str]:
-        """Chunk-level fsck plus referential audit of the manifests."""
+        """Chunk-level fsck plus referential audit of the manifests.
+
+        The refcount books are cross-checked in *both* directions
+        against what the live manifests + group manifests actually
+        reference (plus the raw pins the page server holds): an
+        under-referenced chunk could be freed while still needed, an
+        over-referenced one is a leak gc can never reclaim.
+        """
         problems = self.chunks.verify()
         expected: Counter = Counter()
         for cid, manifest in self._checkpoints.items():
@@ -439,13 +628,245 @@ class CheckpointStore:
                 if not self.chunks.has(ref):
                     problems.append(f"checkpoint {cid[:12]}: missing "
                                     f"chunk {ref[:12]}")
-        for digest, want in expected.items():
-            if self.chunks.has(digest) and \
-                    self.chunks.chunk(digest).refs < want:
-                problems.append(
-                    f"chunk {digest[:12]}: under-referenced "
-                    f"({self.chunks.chunk(digest).refs} < {want})")
+        pins = self.chunks.raw_pins
+        for digest in self.chunks.digests():
+            refs = self.chunks.chunk(digest).refs
+            want = expected.get(digest, 0) + pins.get(digest, 0)
+            if refs < want:
+                problems.append(f"chunk {digest[:12]}: under-referenced "
+                                f"({refs} < {want})")
+            elif refs > want:
+                problems.append(f"chunk {digest[:12]}: over-referenced "
+                                f"({refs} > {want}; {refs - want} "
+                                f"reference(s) unaccounted for)")
         return problems
+
+    # -- crash recovery ----------------------------------------------------
+
+    @classmethod
+    def recover(cls, backend, recorder=None
+                ) -> Tuple["CheckpointStore", RecoveryReport]:
+        """Reopen whatever a crash left on ``backend``.
+
+        The recovery state machine, in order:
+
+        1. decode the WAL to its longest valid prefix and fold it;
+        2. load every surviving chunk file, quarantining any that is
+           torn or corrupt (bad framing, wrong hash, wrong size);
+        3. register committed manifests in WAL order, rebuilding the
+           refcount books purely from manifest references; a manifest
+           whose chunks were quarantined is skipped as *damaged*, and
+           the skip cascades through its children and groups;
+        4. roll back open (uncommitted) transactions — in particular a
+           coordinator group intent whose commit record never landed
+           has its prepared member checkpoints unregistered, and they
+           are reported so the caller can resume the member processes;
+        5. sweep in-flight tmp files and unreferenced (orphan) chunk
+           files — the debris of rolled-back puts and crashed
+           transfers;
+        6. fsck the result (:meth:`verify`);
+        7. compact the WAL to one snapshot record, making recovery
+           idempotent: recovering again reopens the identical store.
+
+        Every step is content-derived from the surviving disk, so a
+        crash/recover run journals (``EV_RECOVER`` via ``recorder``)
+        and replays bit-identically.
+        """
+        report = RecoveryReport()
+        records, tail_cut = decode_wal(backend.wal_read())
+        report.tail_cut = tail_cut
+        state = fold_wal(records)
+
+        store = cls(codec=state.codec)
+        store.backend = backend
+        store.wal = WriteAheadLog(backend, next_txn=state.max_txn + 1)
+
+        # 2. chunk files: load-or-quarantine
+        for digest in backend.list_chunks():
+            try:
+                info = backend.read_chunk(digest)
+                store.chunks.adopt(digest, info["codec"],
+                                   info["payload"], info["logical"])
+            except StoreError:
+                backend.quarantine_chunk(digest)
+                report.quarantined.append(digest)
+
+        # 3. committed manifests, in WAL order (parents land before
+        # children and members before groups because their commits did)
+        for cid in state.registered:
+            if cid in store._checkpoints:
+                continue
+            problem = store._recover_manifest(cid)
+            if problem is not None:
+                report.damaged.append(cid)
+
+        # 4. roll back open transactions
+        for txn in sorted(state.open_txns):
+            intent = state.open_txns[txn]
+            action = intent.get("action", "?")
+            report.rolled_back.append((txn, action,
+                                       intent.get("cid", "")))
+            if action != "group":
+                # An uncommitted put/adopt never registered (no commit
+                # record), an uncommitted delete never unregistered,
+                # and a half-done gc is finished by the orphan sweep.
+                continue
+            for member in reversed(intent.get("members", [])):
+                if (member in store._checkpoints
+                        and not store.children(member)
+                        and not store.groups_referencing(member)):
+                    store._delete_mem(member, store._checkpoints[member])
+                    report.aborted_group_members.append(member)
+
+        # 5. sweep debris
+        report.tmp_swept = backend.sweep_tmp()
+        dead = set(store.chunks.orphans())
+        store.chunks.gc()
+        for digest in backend.list_chunks():
+            if digest in dead or not store.chunks.has(digest):
+                backend.unlink_chunk(digest)
+                report.orphans_swept += 1
+
+        # 6. fsck + 7. compact
+        report.checkpoints = list(store._checkpoints)
+        report.fsck = store.verify()
+        store.wal.compact(state.codec, list(store._checkpoints))
+
+        if recorder is not None:
+            from ..replay.journal import EV_RECOVER
+            verdict = "torn" if tail_cut else "clean"
+            recorder.on_event(EV_RECOVER, label=f"recover:{verdict}",
+                              a=len(store._checkpoints),
+                              b=report.damage_handled)
+        return store, report
+
+    def _recover_manifest(self, cid: str) -> Optional[str]:
+        """Try to register one committed checkpoint during recovery;
+        returns a problem string (and registers nothing) on damage."""
+        if not self.chunks.has(cid):
+            return f"manifest chunk {cid[:12]} missing or quarantined"
+        try:
+            manifest = json.loads(self.chunks.get(cid))
+        except (StoreError, ValueError) as exc:
+            return f"manifest {cid[:12]} unreadable: {exc}"
+        if not isinstance(manifest, dict):
+            return f"manifest {cid[:12]} is not an object"
+        parent = manifest.get("parent", "")
+        if parent and parent not in self._checkpoints:
+            return (f"manifest {cid[:12]} parent {parent[:12]} "
+                    f"not recovered")
+        for member in manifest.get("members", ()):
+            if member not in self._checkpoints:
+                return (f"group {cid[:12]} member {member[:12]} "
+                        f"not recovered")
+        try:
+            refs = self._manifest_refs(cid, manifest)
+        except (KeyError, TypeError):
+            return f"manifest {cid[:12]} malformed"
+        for ref in refs:
+            if not self.chunks.has(ref):
+                return (f"manifest {cid[:12]} references missing "
+                        f"chunk {ref[:12]}")
+        self._register(cid, manifest)
+        return None
+
+    # -- scrubbing ---------------------------------------------------------
+
+    def scrub(self, binary=None, start: str = "",
+              limit: Optional[int] = None) -> ScrubReport:
+        """Incremental integrity scrub over the chunk population.
+
+        Re-hashes every chunk in ``(start, …]`` digest order (at most
+        ``limit`` of them — run repeatedly with ``start=report.cursor``
+        to cover the store in windows). A chunk whose in-memory copy
+        *or* durable file no longer matches its digest is **corrupt**;
+        when ``binary`` (the linked :class:`~repro.isa.DelfBinary`) is
+        given, clean text pages are rebuilt from the binary by digest
+        exactly like the restore guard's repair pass (PR 5) and
+        re-persisted; anything unrepairable is quarantined on disk and
+        reported.
+        """
+        report = ScrubReport()
+        digests = [d for d in self.chunks.digests() if d > start]
+        if limit is not None:
+            report.cursor = digests[limit - 1] \
+                if len(digests) > limit else ""
+            digests = digests[:limit]
+        for digest in digests:
+            report.scanned += 1
+            chunk = self.chunks.chunk(digest)
+            report.logical_bytes += chunk.logical_size
+            if self._chunk_intact(digest):
+                continue
+            report.corrupt.append(digest)
+            page = self._rebuild_page(digest, binary)
+            if page is None:
+                report.quarantined.append(digest)
+                if self.durable:
+                    self.backend.quarantine_chunk(digest)
+                continue
+            self._reinstall(digest, page)
+            report.repaired.append(digest)
+        return report
+
+    def _chunk_intact(self, digest: str) -> bool:
+        """Both copies of one chunk still hash to their address."""
+        chunk = self.chunks.chunk(digest)
+        codec = CODECS.get(chunk.codec)
+        try:
+            data = codec.decompress(chunk.payload) if codec else None
+        except StoreError:
+            data = None
+        if data is None or chunk_digest(data) != digest \
+                or len(data) != chunk.logical_size:
+            return False
+        if self.durable:
+            try:
+                info = self.backend.read_chunk(digest)
+                disk = CODECS[info["codec"]].decompress(info["payload"])
+            except (StoreError, KeyError):
+                return False
+            if chunk_digest(disk) != digest \
+                    or len(disk) != info["logical"]:
+                return False
+        return True
+
+    def _rebuild_page(self, digest: str, binary) -> Optional[bytes]:
+        """Rebuild a corrupt *text page* chunk from the linked binary:
+        find a manifest that maps the digest at some vaddr, ask the
+        binary for that page, and accept it only if it re-hashes to the
+        address (the same digest-directed repair the restore guard
+        uses)."""
+        if binary is None:
+            return None
+        from ..verify.verifier import _binary_page
+        for manifest in self._checkpoints.values():
+            if manifest.get("kind") == "group":
+                continue
+            for vaddr, page_digest in manifest["pages"]:
+                if page_digest != digest:
+                    continue
+                page = _binary_page(binary, vaddr)
+                if chunk_digest(page) == digest:
+                    return page
+        return None
+
+    def _reinstall(self, digest: str, data: bytes) -> None:
+        """Overwrite a corrupt chunk (memory + disk) with clean bytes,
+        re-deriving the codec choice exactly like the original insert
+        so repaired stores stay byte-identical to never-damaged ones."""
+        chunk = self.chunks.chunk(digest)
+        codec_name = self.chunks.codec_name
+        payload = CODECS[codec_name].compress(data)
+        if len(payload) >= len(data):
+            codec_name = "raw"
+            payload = bytes(data)
+        chunk.codec = codec_name
+        chunk.payload = payload
+        chunk.logical_size = len(data)
+        if self.durable:
+            self.backend.quarantine_chunk(digest)
+            self._persist_chunk(digest)
 
     # -- metrics ----------------------------------------------------------
 

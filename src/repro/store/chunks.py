@@ -107,6 +107,11 @@ class ChunkStore:
         self._chunks: Dict[str, Chunk] = {}
         self.puts = 0       # ensure/put calls
         self.dup_puts = 0   # calls that hit an existing chunk
+        # References taken by put() rather than by a manifest (the
+        # page server pinning left-behind pages). Tracked so the
+        # refcount audit can account for every reference: for each
+        # digest, refs == manifest references + raw_pins.
+        self.raw_pins: Dict[str, int] = {}
 
     # -- insertion --------------------------------------------------------
 
@@ -138,25 +143,48 @@ class ChunkStore:
         """Insert ``data`` and take one reference (raw-blob use)."""
         digest, _created = self.ensure(data)
         self._chunks[digest].refs += 1
+        self.raw_pins[digest] = self.raw_pins.get(digest, 0) + 1
         return digest
 
+    def unpin(self, digest: str) -> None:
+        """Release one raw (non-manifest) reference taken by :meth:`put`."""
+        pins = self.raw_pins.get(digest, 0)
+        if pins <= 0:
+            raise StoreError(f"unpin of unpinned chunk {digest[:12]}")
+        if pins == 1:
+            del self.raw_pins[digest]
+        else:
+            self.raw_pins[digest] = pins - 1
+        self.decref(digest)
+
     def adopt(self, digest: str, codec: str, payload: bytes,
-              logical_size: int) -> None:
+              logical_size: int) -> bool:
         """Install an already-compressed chunk (the transfer path).
 
         The payload is decompressed and re-hashed before acceptance —
-        a corrupted wire transfer must not poison the store.
+        a corrupted wire transfer must not poison the store. When the
+        digest is already present the incoming payload must decompress
+        to the *same* bytes as the stored chunk: a mismatch is either a
+        hash collision or (far more likely) a corrupted sender, and
+        silently keeping the local copy would mask it. Returns True if
+        a new chunk was installed.
         """
-        if digest in self._chunks:
-            return
         if codec not in CODECS:
             raise StoreError(f"adopt: unknown codec {codec!r}")
         data = CODECS[codec].decompress(payload)
         if chunk_digest(data) != digest or len(data) != logical_size:
             raise StoreError(f"adopt: chunk {digest[:12]} does not match "
                              f"its digest")
+        existing = self._chunks.get(digest)
+        if existing is not None:
+            if CODECS[existing.codec].decompress(existing.payload) != data:
+                raise StoreError(
+                    f"adopt: digest collision on {digest[:12]} — incoming "
+                    f"payload differs from the stored chunk")
+            return False
         self._chunks[digest] = Chunk(digest, codec, bytes(payload),
                                      logical_size)
+        return True
 
     # -- retrieval --------------------------------------------------------
 

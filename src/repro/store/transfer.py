@@ -126,8 +126,8 @@ def ship(src: CheckpointStore, dst: CheckpointStore,
                 flipped = bytearray(payload)
                 flipped[0] ^= 0xFF
                 payload = bytes(flipped)
-            dst.chunks.adopt(chunk.digest, chunk.codec, payload,
-                             chunk.logical_size)
+            dst.adopt_chunk(chunk.digest, chunk.codec, payload,
+                            chunk.logical_size)
             shipped += len(payload)
     for cid in src.chain(plan.checkpoint_id):
         dst.adopt_manifest(src.chunks.get(cid))

@@ -55,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "back together; default 0 = solo)")
     parser.add_argument("--spike", type=float, default=3.0, metavar="X",
                         help="load-spike factor (default 3.0)")
+    parser.add_argument("--durable", action="store_true",
+                        help="nodes hold crash-consistent stores: a "
+                             "migration whose checkpoint durably landed "
+                             "survives its source node's death and "
+                             "completes from the recovered store "
+                             "instead of rolling back")
     for kind in KINDS:
         parser.add_argument(f"--{kind}", type=float, default=0.0,
                             metavar="P",
@@ -81,7 +87,8 @@ def _build_spec(args: argparse.Namespace) -> Tuple[object, str]:
                      services=args.services, duration=args.duration,
                      max_in_flight=args.max_in_flight,
                      update_fraction=args.wave, spike_factor=args.spike,
-                     update_group=args.update_group)
+                     update_group=args.update_group,
+                     durable=int(args.durable))
     probabilities = {kind: getattr(args, kind) for kind in KINDS}
     chaos = ""
     if any(probabilities.values()):
